@@ -1,0 +1,87 @@
+// Reproduces the Fig 8.3 discussion ("an alternative implementation of the
+// proposed model"): the state space can be evaluated natively on in-memory
+// extensions (Table 5.1 notations) or by re-executing each state's
+// intention as SPARQL (Table 5.2, the SPARQL-only evaluation approach).
+// This benchmark compares the two implementation strategies on the same
+// click sequence.
+//
+// Expected shape: native set evaluation wins (no query re-planning per
+// click), SPARQL-only stays usable and scales with |KG| — the feasibility
+// claim of §8.2.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "fs/session.h"
+#include "rdf/rdfs.h"
+#include "workload/products.h"
+
+namespace {
+
+const std::string kEx = rdfa::workload::kExampleNs;
+
+rdfa::rdf::Graph* SharedGraph(size_t laptops) {
+  static std::map<size_t, rdfa::rdf::Graph>* graphs =
+      new std::map<size_t, rdfa::rdf::Graph>();
+  auto it = graphs->find(laptops);
+  if (it == graphs->end()) {
+    rdfa::rdf::Graph g;
+    rdfa::workload::ProductKgOptions opt;
+    opt.laptops = laptops;
+    opt.companies = laptops / 100 + 5;
+    rdfa::workload::GenerateProductKg(&g, opt);
+    rdfa::rdf::MaterializeRdfsClosure(&g);
+    it = graphs->emplace(laptops, std::move(g)).first;
+  }
+  return &it->second;
+}
+
+void ClickSequence(rdfa::fs::Session* s) {
+  // A representative session: class, range filter, path value click.
+  benchmark::DoNotOptimize(s->ClickClass(kEx + "Laptop"));
+  benchmark::DoNotOptimize(s->ClickRange({{kEx + "price"}}, 500, 2500));
+  benchmark::DoNotOptimize(s->ClickRange({{kEx + "USBPorts"}}, 2, 5));
+}
+
+void BM_StateSpaceNative(benchmark::State& state) {
+  rdfa::rdf::Graph* g = SharedGraph(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    rdfa::fs::Session s(g, rdfa::fs::EvalMode::kNative);
+    ClickSequence(&s);
+    benchmark::DoNotOptimize(s.current().ext.size());
+  }
+  state.SetLabel("Table 5.1 native set evaluation");
+}
+BENCHMARK(BM_StateSpaceNative)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_StateSpaceSparqlOnly(benchmark::State& state) {
+  rdfa::rdf::Graph* g = SharedGraph(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    rdfa::fs::Session s(g, rdfa::fs::EvalMode::kSparqlOnly);
+    ClickSequence(&s);
+    benchmark::DoNotOptimize(s.current().ext.size());
+  }
+  state.SetLabel("Table 5.2 SPARQL-only evaluation");
+}
+BENCHMARK(BM_StateSpaceSparqlOnly)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FacetComputationAfterClick(benchmark::State& state) {
+  rdfa::rdf::Graph* g = SharedGraph(static_cast<size_t>(state.range(0)));
+  rdfa::fs::Session s(g);
+  (void)s.ClickClass(kEx + "Laptop");
+  for (auto _ : state) {
+    auto facets = s.PropertyFacets();
+    benchmark::DoNotOptimize(facets.size());
+  }
+  state.SetLabel("per-click facet recomputation (both variants share this)");
+}
+BENCHMARK(BM_FacetComputationAfterClick)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

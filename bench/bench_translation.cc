@@ -1,0 +1,125 @@
+// Reproduces the §4.2 cost story: HIFUN->SPARQL translation is a
+// string-building pass (microseconds), so the interaction model adds
+// negligible overhead over raw SPARQL; evaluation cost dominates and the
+// two evaluation routes (direct HIFUN vs translated SPARQL) stay within a
+// small constant factor (Proposition 2 gives identical answers; the
+// equivalence tests check that).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "hifun/evaluator.h"
+#include "hifun/hifun_parser.h"
+#include "rdf/namespaces.h"
+#include "sparql/executor.h"
+#include "sparql/parser.h"
+#include "translator/translator.h"
+#include "workload/invoices.h"
+
+namespace {
+
+const std::string kInv = rdfa::workload::kInvoiceNs;
+
+const char* const kQueries[] = {
+    "(takesPlaceAt, inQuantity, SUM) over Invoice",
+    "(brand o delivers, inQuantity, SUM) over Invoice",
+    "((takesPlaceAt x MONTH(hasDate)), inQuantity, SUM+AVG) over Invoice",
+    "(takesPlaceAt / = branch0, inQuantity / >= 100, SUM / > 1000) over "
+    "Invoice",
+};
+
+rdfa::hifun::Query ParseAt(size_t i) {
+  rdfa::rdf::PrefixMap prefixes;
+  auto q = rdfa::hifun::ParseHifun(kQueries[i], prefixes, kInv);
+  return q.value();
+}
+
+rdfa::rdf::Graph* SharedGraph(size_t invoices) {
+  static std::map<size_t, rdfa::rdf::Graph>* graphs =
+      new std::map<size_t, rdfa::rdf::Graph>();
+  auto it = graphs->find(invoices);
+  if (it == graphs->end()) {
+    rdfa::rdf::Graph g;
+    rdfa::workload::InvoicesOptions opt;
+    opt.invoices = invoices;
+    rdfa::workload::GenerateInvoices(&g, opt);
+    it = graphs->emplace(invoices, std::move(g)).first;
+  }
+  return &it->second;
+}
+
+void BM_HifunParse(benchmark::State& state) {
+  rdfa::rdf::PrefixMap prefixes;
+  for (auto _ : state) {
+    for (const char* q : kQueries) {
+      benchmark::DoNotOptimize(rdfa::hifun::ParseHifun(q, prefixes, kInv));
+    }
+  }
+}
+BENCHMARK(BM_HifunParse);
+
+void BM_Translate(benchmark::State& state) {
+  std::vector<rdfa::hifun::Query> parsed;
+  for (size_t i = 0; i < 4; ++i) parsed.push_back(ParseAt(i));
+  for (auto _ : state) {
+    for (const auto& q : parsed) {
+      benchmark::DoNotOptimize(rdfa::translator::TranslateToSparql(q));
+    }
+  }
+  state.SetLabel("Algorithms 1-4, 4 queries per iteration");
+}
+BENCHMARK(BM_Translate);
+
+void BM_SparqlParse(benchmark::State& state) {
+  std::vector<std::string> texts;
+  for (size_t i = 0; i < 4; ++i) {
+    texts.push_back(
+        rdfa::translator::TranslateToSparql(ParseAt(i)).value());
+  }
+  for (auto _ : state) {
+    for (const std::string& t : texts) {
+      benchmark::DoNotOptimize(rdfa::sparql::ParseQuery(t));
+    }
+  }
+}
+BENCHMARK(BM_SparqlParse);
+
+void BM_EvalTranslatedSparql(benchmark::State& state) {
+  rdfa::rdf::Graph* g = SharedGraph(static_cast<size_t>(state.range(0)));
+  std::string text =
+      rdfa::translator::TranslateToSparql(ParseAt(static_cast<size_t>(
+                                              state.range(1))))
+          .value();
+  auto parsed = rdfa::sparql::ParseQuery(text);
+  rdfa::sparql::Executor exec(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Select(parsed.value().select));
+  }
+}
+BENCHMARK(BM_EvalTranslatedSparql)
+    ->Args({5000, 0})
+    ->Args({5000, 1})
+    ->Args({5000, 2})
+    ->Args({20000, 0})
+    ->Args({20000, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EvalDirectHifun(benchmark::State& state) {
+  rdfa::rdf::Graph* g = SharedGraph(static_cast<size_t>(state.range(0)));
+  rdfa::hifun::Query q = ParseAt(static_cast<size_t>(state.range(1)));
+  rdfa::hifun::Evaluator eval(*g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Evaluate(q));
+  }
+}
+BENCHMARK(BM_EvalDirectHifun)
+    ->Args({5000, 0})
+    ->Args({5000, 1})
+    ->Args({5000, 2})
+    ->Args({20000, 0})
+    ->Args({20000, 2})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,253 @@
+// Reproduces the shape of Figs 8.1 / 8.2 (task-based evaluation): the ten
+// information-need tasks of the user study, executed by a *scripted user*
+// through the public interaction API. The paper reports per-task completion
+// percentage and user ratings; completion is machine-checkable (can the
+// task be expressed by clicks alone, and does it give the right answer?),
+// ratings are subjective and quoted from the paper for reference.
+//
+// Run: ./build/bench/bench_user_tasks
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analytics/answer_frame.h"
+#include "analytics/session.h"
+#include "rdf/rdfs.h"
+#include "sparql/value.h"
+#include "workload/products.h"
+
+namespace {
+
+const std::string kEx = rdfa::workload::kExampleNs;
+
+struct TaskResult {
+  bool completed = false;
+  int actions = 0;  // clicks the scripted user needed
+};
+
+struct Task {
+  const char* id;
+  const char* description;
+  std::function<TaskResult(rdfa::rdf::Graph*)> run;
+};
+
+#define ACT(expr)                    \
+  do {                               \
+    ++result.actions;                \
+    if (!(expr).ok()) return result; \
+  } while (false)
+
+double Num(const rdfa::sparql::ResultTable& t, size_t r, size_t c) {
+  auto v = rdfa::sparql::Value::FromTerm(t.at(r, c)).AsNumeric();
+  return v.value_or(-1);
+}
+
+const std::vector<Task>& Tasks() {
+  static const std::vector<Task> kTasks = {
+      {"T1", "locate all laptops (class navigation)",
+       [](rdfa::rdf::Graph* g) {
+         TaskResult result;
+         rdfa::fs::Session s(g);
+         ACT(s.ClickClass(kEx + "Laptop"));
+         result.completed = s.current().ext.size() == 3;
+         return result;
+       }},
+      {"T2", "laptops of a given manufacturer (value filter)",
+       [](rdfa::rdf::Graph* g) {
+         TaskResult result;
+         rdfa::fs::Session s(g);
+         ACT(s.ClickClass(kEx + "Laptop"));
+         ACT(s.ClickValue({{kEx + "manufacturer"}},
+                          rdfa::rdf::Term::Iri(kEx + "DELL")));
+         result.completed = s.current().ext.size() == 2;
+         return result;
+       }},
+      {"T3", "laptops made by US companies (path expansion)",
+       [](rdfa::rdf::Graph* g) {
+         TaskResult result;
+         rdfa::fs::Session s(g);
+         ACT(s.ClickClass(kEx + "Laptop"));
+         ACT(s.ClickValue({{kEx + "manufacturer"}, {kEx + "origin"}},
+                          rdfa::rdf::Term::Iri(kEx + "USA")));
+         result.completed = s.current().ext.size() == 2;
+         return result;
+       }},
+      {"T4", "laptops with 2-4 USB ports (range filter)",
+       [](rdfa::rdf::Graph* g) {
+         TaskResult result;
+         rdfa::fs::Session s(g);
+         ACT(s.ClickClass(kEx + "Laptop"));
+         ACT(s.ClickRange({{kEx + "USBPorts"}}, 2, 4));
+         result.completed = s.current().ext.size() == 3;
+         return result;
+       }},
+      {"T5", "count laptops per manufacturer (simple analytics)",
+       [](rdfa::rdf::Graph* g) {
+         TaskResult result;
+         rdfa::analytics::AnalyticsSession s(g);
+         ACT(s.fs().ClickClass(kEx + "Laptop"));
+         rdfa::analytics::GroupingSpec grp;
+         grp.path = {kEx + "manufacturer"};
+         ACT(s.ClickGroupBy(grp));
+         rdfa::analytics::MeasureSpec m;
+         m.ops = {rdfa::hifun::AggOp::kCount};
+         ACT(s.ClickAggregate(m));
+         ++result.actions;
+         auto af = s.Execute();
+         result.completed = af.ok() && af.value().table().num_rows() == 2;
+         return result;
+       }},
+      {"T6", "average price per manufacturer",
+       [](rdfa::rdf::Graph* g) {
+         TaskResult result;
+         rdfa::analytics::AnalyticsSession s(g);
+         ACT(s.fs().ClickClass(kEx + "Laptop"));
+         rdfa::analytics::GroupingSpec grp;
+         grp.path = {kEx + "manufacturer"};
+         ACT(s.ClickGroupBy(grp));
+         rdfa::analytics::MeasureSpec m;
+         m.path = {kEx + "price"};
+         m.ops = {rdfa::hifun::AggOp::kAvg};
+         ACT(s.ClickAggregate(m));
+         ++result.actions;
+         auto af = s.Execute();
+         if (!af.ok()) return result;
+         const auto& t = af.value().table();
+         for (size_t r = 0; r < t.num_rows(); ++r) {
+           if (Num(t, r, 1) == 950) result.completed = true;  // DELL avg
+         }
+         return result;
+       }},
+      {"T7", "avg price by manufacturer AND origin (two groupings)",
+       [](rdfa::rdf::Graph* g) {
+         TaskResult result;
+         rdfa::analytics::AnalyticsSession s(g);
+         ACT(s.fs().ClickClass(kEx + "Laptop"));
+         rdfa::analytics::GroupingSpec g1, g2;
+         g1.path = {kEx + "manufacturer"};
+         g2.path = {kEx + "manufacturer", kEx + "origin"};
+         ACT(s.ClickGroupBy(g1));
+         ACT(s.ClickGroupBy(g2));
+         rdfa::analytics::MeasureSpec m;
+         m.path = {kEx + "price"};
+         m.ops = {rdfa::hifun::AggOp::kAvg};
+         ACT(s.ClickAggregate(m));
+         ++result.actions;
+         auto af = s.Execute();
+         result.completed = af.ok() && af.value().table().num_columns() == 3 &&
+                            af.value().table().num_rows() == 2;
+         return result;
+       }},
+      {"T8", "max price by release year (derived attribute)",
+       [](rdfa::rdf::Graph* g) {
+         TaskResult result;
+         rdfa::analytics::AnalyticsSession s(g);
+         ACT(s.fs().ClickClass(kEx + "Laptop"));
+         rdfa::analytics::GroupingSpec grp;
+         grp.path = {kEx + "releaseDate"};
+         grp.derived_function = "YEAR";
+         ACT(s.ClickGroupBy(grp));
+         rdfa::analytics::MeasureSpec m;
+         m.path = {kEx + "price"};
+         m.ops = {rdfa::hifun::AggOp::kMax};
+         ACT(s.ClickAggregate(m));
+         ++result.actions;
+         auto af = s.Execute();
+         result.completed = af.ok() && af.value().table().num_rows() == 1 &&
+                            Num(af.value().table(), 0, 1) == 1000;
+         return result;
+       }},
+      {"T9", "manufacturers whose avg price exceeds 900 (HAVING)",
+       [](rdfa::rdf::Graph* g) {
+         TaskResult result;
+         rdfa::analytics::AnalyticsSession s(g);
+         ACT(s.fs().ClickClass(kEx + "Laptop"));
+         rdfa::analytics::GroupingSpec grp;
+         grp.path = {kEx + "manufacturer"};
+         ACT(s.ClickGroupBy(grp));
+         rdfa::analytics::MeasureSpec m;
+         m.path = {kEx + "price"};
+         m.ops = {rdfa::hifun::AggOp::kAvg};
+         ACT(s.ClickAggregate(m));
+         s.SetResultRestriction(">", 900);
+         ++result.actions;
+         ++result.actions;
+         auto af = s.Execute();
+         result.completed = af.ok() && af.value().table().num_rows() == 1;
+         return result;
+       }},
+      {"T10", "nested: explore the answer of T6 and keep avg >= 900",
+       [](rdfa::rdf::Graph* g) {
+         TaskResult result;
+         rdfa::analytics::AnalyticsSession s(g);
+         ACT(s.fs().ClickClass(kEx + "Laptop"));
+         rdfa::analytics::GroupingSpec grp;
+         grp.path = {kEx + "manufacturer"};
+         ACT(s.ClickGroupBy(grp));
+         rdfa::analytics::MeasureSpec m;
+         m.path = {kEx + "price"};
+         m.ops = {rdfa::hifun::AggOp::kAvg};
+         ACT(s.ClickAggregate(m));
+         ++result.actions;
+         if (!s.Execute().ok()) return result;
+         rdfa::rdf::Graph af_graph;
+         auto nested = s.ExploreAnswer(&af_graph);
+         ++result.actions;
+         if (!nested.ok()) return result;
+         ++result.actions;
+         if (!nested.value()
+                  ->fs()
+                  .ClickRange({{rdfa::analytics::AnswerFrame::ColumnIri(
+                                  "agg1")}},
+                              900, std::nullopt)
+                  .ok()) {
+           return result;
+         }
+         result.completed =
+             nested.value()->fs().current().ext.size() == 1;
+         return result;
+       }},
+  };
+  return kTasks;
+}
+
+// Per-task user ratings reported by the paper's study (Fig 8.1; 1-5 scale,
+// quoted for reference — subjective, not reproducible mechanically).
+const double kPaperRatings[] = {4.8, 4.7, 4.3, 4.5, 4.4,
+                                4.4, 4.2, 4.1, 3.9, 3.8};
+
+}  // namespace
+
+int main() {
+  std::printf("== Figs 8.1 / 8.2 reproduction: task-based evaluation with a "
+              "scripted user ==\n\n");
+  rdfa::rdf::Graph g;
+  rdfa::workload::BuildRunningExample(&g);
+  rdfa::rdf::MaterializeRdfsClosure(&g);
+
+  std::printf("%-4s %-58s %-10s %-8s %-12s\n", "task", "description",
+              "completed", "actions", "paper rating");
+  size_t completed = 0;
+  int total_actions = 0;
+  const auto& tasks = Tasks();
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    TaskResult r = tasks[i].run(&g);
+    std::printf("%-4s %-58s %-10s %-8d %-12.1f\n", tasks[i].id,
+                tasks[i].description, r.completed ? "yes" : "NO", r.actions,
+                kPaperRatings[i]);
+    if (r.completed) ++completed;
+    total_actions += r.actions;
+  }
+  std::printf("\nFig 8.2 totals: %zu/%zu tasks completed (%.0f%%), %d actions "
+              "overall\n",
+              completed, tasks.size(),
+              100.0 * static_cast<double>(completed) /
+                  static_cast<double>(tasks.size()),
+              total_actions);
+  std::printf("paper shape: users completed all or nearly all tasks; harder "
+              "tasks (HAVING, nesting)\nrate slightly lower but remain "
+              "expressible through clicks alone.\n");
+  return 0;
+}

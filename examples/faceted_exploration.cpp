@@ -1,0 +1,90 @@
+// Faceted exploration of the dissertation's running example: reproduces the
+// transition-marker trees of Figs 5.4 and 5.5 as text, then walks a session
+// (class click, path expansion, value click, back).
+//
+// Build & run:  ./build/examples/faceted_exploration
+
+#include <cstdio>
+#include <string>
+
+#include "fs/session.h"
+#include "rdf/rdfs.h"
+#include "viz/table_render.h"
+#include "workload/products.h"
+
+namespace {
+
+const std::string kEx = rdfa::workload::kExampleNs;
+
+void PrintClassTree(const rdfa::rdf::Graph& g,
+                    const std::vector<rdfa::fs::ClassFacet>& facets,
+                    int indent) {
+  for (const auto& f : facets) {
+    std::printf("%*s%s (%zu)\n", indent, "",
+                rdfa::viz::LocalName(g.terms().Get(f.cls).lexical()).c_str(),
+                f.count);
+    PrintClassTree(g, f.children, indent + 2);
+  }
+}
+
+void PrintPropertyFacets(const rdfa::rdf::Graph& g,
+                         const std::vector<rdfa::fs::PropertyFacet>& facets) {
+  for (const auto& f : facets) {
+    std::printf("by %s%s (%zu)\n", f.prop.inverse ? "^" : "",
+                rdfa::viz::LocalName(f.prop.iri).c_str(), f.values.size());
+    for (const auto& vc : f.values) {
+      const rdfa::rdf::Term& v = g.terms().Get(vc.value);
+      std::printf("  %s (%zu)\n",
+                  (v.is_literal() ? v.lexical()
+                                  : rdfa::viz::LocalName(v.lexical()))
+                      .c_str(),
+                  vc.count);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  rdfa::rdf::Graph g;
+  rdfa::workload::BuildRunningExample(&g);
+  size_t inferred = rdfa::rdf::MaterializeRdfsClosure(&g);
+  std::printf("running example: %zu triples (%zu inferred)\n\n", g.size(),
+              inferred);
+
+  rdfa::fs::Session session(&g);
+
+  std::printf("=== Fig 5.4 (a/b): class-based transition markers ===\n");
+  PrintClassTree(g, session.ClassFacets(), 0);
+
+  auto check = [](const rdfa::Status& st) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "action failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  };
+
+  std::printf("\n=== click Laptop: Fig 5.4 (c) property markers ===\n");
+  check(session.ClickClass(kEx + "Laptop"));
+  PrintPropertyFacets(g, session.PropertyFacets());
+
+  std::printf("\n=== Fig 5.5 (b): path expansion manufacturer > origin ===\n");
+  rdfa::fs::PropertyFacet origin = session.ExpandPath(
+      {{kEx + "manufacturer"}, {kEx + "origin"}});
+  PrintPropertyFacets(g, {origin});
+
+  std::printf("\n=== click USA at the end of the path (Eq. 5.1) ===\n");
+  check(session.ClickValue({{kEx + "manufacturer"}, {kEx + "origin"}},
+                           rdfa::rdf::Term::Iri(kEx + "USA")));
+  std::printf("%s\n", session.RenderText().c_str());
+
+  std::printf("=== intention of the state (Table 5.1 SPARQL) ===\n%s\n\n",
+              session.current().intent.ToSparql().c_str());
+
+  std::printf("=== Back() ===\n");
+  check(session.Back());
+  std::printf("back to: %s (%zu objects)\n",
+              session.current().intent.ToString().c_str(),
+              session.current().ext.size());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: load RDF, ask a SPARQL question, ask the same question in
+// HIFUN, and let the library translate it for you.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "hifun/hifun_parser.h"
+#include "rdf/graph.h"
+#include "rdf/turtle.h"
+#include "sparql/executor.h"
+#include "translator/translator.h"
+#include "viz/table_render.h"
+
+int main() {
+  // 1. Load a small product catalog from Turtle.
+  rdfa::rdf::Graph graph;
+  rdfa::Status st = rdfa::rdf::ParseTurtle(R"(
+    @prefix ex: <http://e.org/> .
+    ex:l1 a ex:Laptop ; ex:manufacturer ex:DELL   ; ex:price 900 .
+    ex:l2 a ex:Laptop ; ex:manufacturer ex:DELL   ; ex:price 1000 .
+    ex:l3 a ex:Laptop ; ex:manufacturer ex:Lenovo ; ex:price 820 .
+    ex:l4 a ex:Laptop ; ex:manufacturer ex:Lenovo ; ex:price 780 .
+  )",
+                                           &graph);
+  if (!st.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu triples\n\n", graph.size());
+
+  // 2. Plain SPARQL.
+  auto table = rdfa::sparql::ExecuteQueryString(&graph, R"(
+    PREFIX ex: <http://e.org/>
+    SELECT ?m (AVG(?p) AS ?avgPrice) (COUNT(?x) AS ?n)
+    WHERE { ?x ex:manufacturer ?m . ?x ex:price ?p . }
+    GROUP BY ?m ORDER BY DESC(?avgPrice)
+  )");
+  if (!table.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("SPARQL: average price by manufacturer\n%s\n",
+              rdfa::viz::RenderTable(table.value()).c_str());
+
+  // 3. The same analytic question in HIFUN: (manufacturer, price, AVG).
+  rdfa::rdf::PrefixMap prefixes;
+  auto hifun_query = rdfa::hifun::ParseHifun(
+      "(manufacturer, price, AVG+COUNT) over Laptop", prefixes,
+      "http://e.org/");
+  if (!hifun_query.ok()) {
+    std::fprintf(stderr, "hifun parse failed: %s\n",
+                 hifun_query.status().ToString().c_str());
+    return 1;
+  }
+  auto sparql_text = rdfa::translator::TranslateToSparql(hifun_query.value());
+  if (!sparql_text.ok()) {
+    std::fprintf(stderr, "translation failed: %s\n",
+                 sparql_text.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("HIFUN %s translates to:\n%s\n\n",
+              hifun_query.value().ToString().c_str(),
+              sparql_text.value().c_str());
+
+  auto answer = rdfa::sparql::ExecuteQueryString(&graph, sparql_text.value());
+  if (!answer.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("answer:\n%s", rdfa::viz::RenderTable(answer.value()).c_str());
+  return 0;
+}

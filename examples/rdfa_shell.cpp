@@ -1,0 +1,347 @@
+// Interactive RDF-ANALYTICS shell: a terminal rendition of the Chapter 6
+// system demonstration. Drives the full stack — faceted exploration,
+// analytics buttons, HIFUN synthesis, SPARQL translation, answer frame,
+// nested exploration, keyword search — through line commands.
+//
+// Run interactively:   ./build/examples/rdfa_shell
+// Scripted demo:       ./build/examples/rdfa_shell --demo
+// Type `help` for the command list.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analytics/answer_frame.h"
+#include "analytics/expressiveness.h"
+#include "analytics/session.h"
+#include "common/string_util.h"
+#include "fs/facets.h"
+#include "rdf/rdfs.h"
+#include "rdf/turtle.h"
+#include "search/keyword.h"
+#include "sparql/results_io.h"
+#include "viz/chart.h"
+#include "viz/table_render.h"
+#include "workload/invoices.h"
+#include "workload/products.h"
+
+namespace {
+
+struct Shell {
+  // The base graph plus one graph per answer-frame nesting level.
+  std::vector<std::unique_ptr<rdfa::rdf::Graph>> graphs;
+  std::vector<std::unique_ptr<rdfa::analytics::AnalyticsSession>> sessions;
+  std::string default_ns;
+
+  rdfa::analytics::AnalyticsSession& session() { return *sessions.back(); }
+  rdfa::rdf::Graph& graph() { return *graphs.back(); }
+
+  std::string Resolve(const std::string& name) const {
+    if (name.find("://") != std::string::npos || name.rfind("urn:", 0) == 0) {
+      return name;
+    }
+    return default_ns + name;
+  }
+
+  std::vector<rdfa::fs::PropRef> ResolvePath(const std::string& path) const {
+    std::vector<rdfa::fs::PropRef> out;
+    for (const std::string& part : rdfa::SplitString(path, '/')) {
+      if (!part.empty() && part[0] == '^') {
+        out.push_back({Resolve(part.substr(1)), true});
+      } else {
+        out.push_back({Resolve(part), false});
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::string> ResolvePlainPath(const std::string& path) const {
+    std::vector<std::string> out;
+    for (const std::string& part : rdfa::SplitString(path, '/')) {
+      out.push_back(Resolve(part));
+    }
+    return out;
+  }
+
+  void Reset(std::unique_ptr<rdfa::rdf::Graph> g) {
+    graphs.clear();
+    sessions.clear();
+    graphs.push_back(std::move(g));
+    sessions.push_back(
+        std::make_unique<rdfa::analytics::AnalyticsSession>(graphs[0].get()));
+  }
+};
+
+void PrintHelp() {
+  std::printf(R"(commands:
+  example products|invoices     load a built-in dataset
+  load <file.ttl>               load a Turtle file
+  ns <iri>                      set the default namespace for bare names
+  infer                         materialize the RDFS closure
+  show                          render the two-frame GUI (facets + objects)
+  click <Class>                 class-based transition
+  value <p1/p2/...> <v>         click a value at the end of a property path
+  range <p1/...> <min> <max>    numeric range filter ('-' = unbounded)
+  buckets <prop> <n>            show a facet's values grouped into intervals
+  back                          pop the current state
+  keyword <words...>            restart the session from a keyword query
+  group <p1/...> [FN]           G button (optional transform, e.g. YEAR)
+  agg <p1/...|.> OP[,OP...]     sigma button ('.' = count the items)
+  having <op> <value>           restriction on the final answer
+  hifun                         show the synthesized HIFUN query
+  check                         expressiveness report for the current query
+  sparql                        show the translated SPARQL
+  exec                          run the analytic query (fills the AF)
+  chart                         bar-chart the answer frame
+  json | csv                    export the answer frame (W3C formats)
+  explore                       load the AF as a new dataset (nesting)
+  pop                           leave the nested dataset
+  quit
+)");
+}
+
+rdfa::hifun::AggOp ParseOp(const std::string& s) {
+  std::string u = rdfa::ToUpperAscii(s);
+  if (u == "AVG") return rdfa::hifun::AggOp::kAvg;
+  if (u == "COUNT") return rdfa::hifun::AggOp::kCount;
+  if (u == "MIN") return rdfa::hifun::AggOp::kMin;
+  if (u == "MAX") return rdfa::hifun::AggOp::kMax;
+  return rdfa::hifun::AggOp::kSum;
+}
+
+bool HandleLine(Shell& shell, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty()) return true;
+  auto report = [](const rdfa::Status& st) {
+    if (!st.ok()) std::printf("error: %s\n", st.ToString().c_str());
+    return st.ok();
+  };
+
+  if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == "help") {
+    PrintHelp();
+  } else if (cmd == "example") {
+    std::string which;
+    in >> which;
+    auto g = std::make_unique<rdfa::rdf::Graph>();
+    if (which == "invoices") {
+      rdfa::workload::BuildInvoicesExample(g.get());
+      shell.default_ns = rdfa::workload::kInvoiceNs;
+    } else {
+      rdfa::workload::BuildRunningExample(g.get());
+      shell.default_ns = rdfa::workload::kExampleNs;
+    }
+    std::printf("loaded %zu triples (ns %s)\n", g->size(),
+                shell.default_ns.c_str());
+    shell.Reset(std::move(g));
+  } else if (cmd == "load") {
+    std::string path;
+    in >> path;
+    std::ifstream file(path);
+    if (!file) {
+      std::printf("error: cannot open %s\n", path.c_str());
+      return true;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto g = std::make_unique<rdfa::rdf::Graph>();
+    rdfa::rdf::PrefixMap prefixes;
+    if (report(rdfa::rdf::ParseTurtle(buffer.str(), g.get(), &prefixes))) {
+      std::printf("loaded %zu triples\n", g->size());
+      shell.Reset(std::move(g));
+    }
+  } else if (cmd == "ns") {
+    in >> shell.default_ns;
+  } else if (cmd == "infer") {
+    std::printf("inferred %zu triples\n",
+                rdfa::rdf::MaterializeRdfsClosure(&shell.graph()));
+    // Rebuild the session so the schema view sees the closure.
+    auto base = std::move(shell.graphs.back());
+    shell.Reset(std::move(base));
+  } else if (cmd == "show") {
+    std::printf("%s", shell.session().fs().RenderText().c_str());
+  } else if (cmd == "click") {
+    std::string cls;
+    in >> cls;
+    report(shell.session().fs().ClickClass(shell.Resolve(cls)));
+  } else if (cmd == "value") {
+    std::string path, value;
+    in >> path >> value;
+    rdfa::rdf::Term term;
+    if (!value.empty() &&
+        (std::isdigit(static_cast<unsigned char>(value[0])) ||
+         value[0] == '-')) {
+      term = rdfa::rdf::Term::Integer(std::strtoll(value.c_str(), nullptr, 10));
+    } else {
+      term = rdfa::rdf::Term::Iri(shell.Resolve(value));
+    }
+    report(shell.session().fs().ClickValue(shell.ResolvePath(path), term));
+  } else if (cmd == "range") {
+    std::string path, lo, hi;
+    in >> path >> lo >> hi;
+    std::optional<double> min, max;
+    if (lo != "-") min = std::strtod(lo.c_str(), nullptr);
+    if (hi != "-") max = std::strtod(hi.c_str(), nullptr);
+    report(shell.session().fs().ClickRange(shell.ResolvePath(path), min, max));
+  } else if (cmd == "buckets") {
+    std::string prop;
+    size_t n = 5;
+    in >> prop >> n;
+    auto facet = shell.session().fs().ExpandPath(shell.ResolvePath(prop));
+    auto buckets =
+        rdfa::fs::BucketNumericFacet(shell.graph(), facet, n == 0 ? 5 : n);
+    for (const auto& b : buckets) {
+      std::printf("[%g, %g): %zu\n", b.lo, b.hi, b.count);
+    }
+  } else if (cmd == "back") {
+    report(shell.session().fs().Back());
+  } else if (cmd == "keyword") {
+    std::string rest;
+    std::getline(in, rest);
+    rdfa::search::KeywordIndex index(shell.graph());
+    auto ext = index.SearchAsExtension(rest);
+    std::printf("%zu hits\n", ext.size());
+    if (!ext.empty()) shell.session().fs().StartFromResults(ext);
+  } else if (cmd == "group") {
+    std::string path, fn;
+    in >> path >> fn;
+    rdfa::analytics::GroupingSpec g;
+    g.path = shell.ResolvePlainPath(path);
+    g.derived_function = rdfa::ToUpperAscii(fn);
+    report(shell.session().ClickGroupBy(g));
+  } else if (cmd == "agg") {
+    std::string path, ops;
+    in >> path >> ops;
+    rdfa::analytics::MeasureSpec m;
+    if (path != ".") m.path = shell.ResolvePlainPath(path);
+    for (const std::string& op : rdfa::SplitString(ops, ',')) {
+      m.ops.push_back(ParseOp(op));
+    }
+    report(shell.session().ClickAggregate(m));
+  } else if (cmd == "having") {
+    std::string op;
+    double value = 0;
+    in >> op >> value;
+    shell.session().SetResultRestriction(op, value);
+  } else if (cmd == "hifun") {
+    auto q = shell.session().BuildHifunQuery();
+    if (q.ok()) std::printf("%s\n", q.value().ToString().c_str());
+    else report(q.status());
+  } else if (cmd == "check") {
+    auto q = shell.session().BuildHifunQuery();
+    if (!q.ok()) {
+      report(q.status());
+      return true;
+    }
+    auto rep = rdfa::analytics::CheckExpressible(q.value());
+    std::printf("expressible: %s (about %d actions)\n",
+                rep.expressible ? "yes" : "no", rep.estimated_actions);
+    for (const std::string& r : rep.reasons) std::printf("  - %s\n", r.c_str());
+  } else if (cmd == "sparql") {
+    auto s = shell.session().BuildSparql();
+    if (s.ok()) std::printf("%s\n", s.value().c_str());
+    else report(s.status());
+  } else if (cmd == "exec") {
+    auto af = shell.session().Execute();
+    if (af.ok()) {
+      std::printf("%s",
+                  rdfa::viz::RenderTable(af.value().table()).c_str());
+    } else {
+      report(af.status());
+    }
+  } else if (cmd == "chart") {
+    const auto& t = shell.session().answer().table();
+    if (t.num_columns() < 2) {
+      std::printf("run exec first\n");
+      return true;
+    }
+    auto series = rdfa::viz::SeriesFromTable(
+        t, t.columns()[0], t.columns()[t.num_columns() - 1]);
+    if (series.ok()) {
+      std::printf("%s", rdfa::viz::RenderBarChart(series.value()).c_str());
+    } else {
+      report(series.status());
+    }
+  } else if (cmd == "json") {
+    std::printf("%s\n",
+                rdfa::sparql::WriteResultsJson(shell.session().answer().table())
+                    .c_str());
+  } else if (cmd == "csv") {
+    std::printf("%s",
+                rdfa::sparql::WriteResultsCsv(shell.session().answer().table())
+                    .c_str());
+  } else if (cmd == "explore") {
+    auto g = std::make_unique<rdfa::rdf::Graph>();
+    auto nested = shell.session().ExploreAnswer(g.get());
+    if (nested.ok()) {
+      shell.graphs.push_back(std::move(g));
+      shell.sessions.push_back(std::move(nested).value());
+      std::printf("exploring the answer as a dataset (level %zu)\n",
+                  shell.sessions.size() - 1);
+    } else {
+      report(nested.status());
+    }
+  } else if (cmd == "pop") {
+    if (shell.sessions.size() > 1) {
+      shell.sessions.pop_back();
+      shell.graphs.pop_back();
+      std::printf("back to level %zu\n", shell.sessions.size() - 1);
+    } else {
+      std::printf("already at the base dataset\n");
+    }
+  } else {
+    std::printf("unknown command '%s' (try help)\n", cmd.c_str());
+  }
+  return true;
+}
+
+int RunDemo(Shell& shell) {
+  const char* script[] = {
+      "example products",
+      "infer",
+      "click Laptop",
+      "show",
+      "value manufacturer/origin USA",
+      "range USBPorts 2 4",
+      "group manufacturer",
+      "agg price AVG,SUM",
+      "hifun",
+      "check",
+      "sparql",
+      "exec",
+      "chart",
+      "explore",
+      "show",
+      "pop",
+  };
+  for (const char* line : script) {
+    std::printf("rdfa> %s\n", line);
+    if (!HandleLine(shell, line)) break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  shell.Reset(std::make_unique<rdfa::rdf::Graph>());
+  if (argc > 1 && std::string(argv[1]) == "--demo") return RunDemo(shell);
+
+  std::printf("RDF-ANALYTICS shell — type 'help' for commands, "
+              "'example products' to begin.\n");
+  std::string line;
+  while (true) {
+    std::printf("rdfa> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!HandleLine(shell, line)) break;
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "analytics/expressiveness.h"
+
+namespace rdfa::analytics {
+
+using hifun::AttrExpr;
+using hifun::AttrExprPtr;
+
+namespace {
+
+/// A plain composition of properties (no derived steps, no pairings)?
+bool IsPropertyPath(const AttrExpr& attr) {
+  switch (attr.kind) {
+    case AttrExpr::Kind::kProperty:
+      return true;
+    case AttrExpr::Kind::kCompose:
+      for (const AttrExprPtr& step : attr.args) {
+        if (step->kind != AttrExpr::Kind::kProperty) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// A grouping component the G button can produce: a property path,
+/// optionally wrapped in exactly one outermost derived function.
+bool IsGroupingComponent(const AttrExpr& attr, std::string* reason) {
+  if (attr.kind == AttrExpr::Kind::kDerived) {
+    if (!IsPropertyPath(*attr.args[0])) {
+      *reason = "derived function '" + attr.function +
+                "' wraps a non-path expression; only the outermost transform "
+                "has a button";
+      return false;
+    }
+    return true;
+  }
+  if (attr.kind == AttrExpr::Kind::kCompose) {
+    for (const AttrExprPtr& step : attr.args) {
+      if (step->kind == AttrExpr::Kind::kDerived) {
+        *reason =
+            "derived function inside a composition: the UI offers transforms "
+            "only on the final facet";
+        return false;
+      }
+      if (step->kind == AttrExpr::Kind::kPair) {
+        *reason = "pairing nested inside a composition";
+        return false;
+      }
+    }
+    return true;
+  }
+  if (attr.kind == AttrExpr::Kind::kProperty ||
+      attr.kind == AttrExpr::Kind::kIdentity) {
+    return true;
+  }
+  *reason = "unsupported grouping construct";
+  return false;
+}
+
+size_t PathLength(const AttrExpr& attr) {
+  if (attr.kind == AttrExpr::Kind::kCompose) return attr.args.size();
+  return 1;
+}
+
+}  // namespace
+
+ExpressivenessReport CheckExpressible(const hifun::Query& query) {
+  ExpressivenessReport report;
+  report.expressible = true;
+  int actions = query.root_class.empty() ? 0 : 1;  // class click
+
+  // Grouping: flatten the pairing.
+  std::vector<AttrExprPtr> components;
+  if (query.grouping != nullptr) {
+    if (query.grouping->kind == AttrExpr::Kind::kPair) {
+      for (const AttrExprPtr& c : query.grouping->args) components.push_back(c);
+    } else {
+      components.push_back(query.grouping);
+    }
+  }
+  for (const AttrExprPtr& c : components) {
+    std::string reason;
+    if (c->kind == AttrExpr::Kind::kPair) {
+      report.expressible = false;
+      report.reasons.push_back("nested pairing in the grouping function");
+      continue;
+    }
+    if (!IsGroupingComponent(*c, &reason)) {
+      report.expressible = false;
+      report.reasons.push_back(reason);
+      continue;
+    }
+    actions += 1;  // G click
+    if (c->kind == AttrExpr::Kind::kDerived) actions += 1;  // transform
+    (void)PathLength(*c);
+  }
+
+  // Measuring: property path or identity; no pairings, no derived (the Σ
+  // button aggregates raw values).
+  if (query.measuring != nullptr) {
+    if (query.measuring->kind == AttrExpr::Kind::kPair) {
+      report.expressible = false;
+      report.reasons.push_back("pairing in the measuring function");
+    } else if (query.measuring->kind == AttrExpr::Kind::kDerived) {
+      report.expressible = false;
+      report.reasons.push_back(
+          "derived measuring function: apply an FCO transformation first");
+    } else if (query.measuring->kind != AttrExpr::Kind::kIdentity &&
+               !IsPropertyPath(*query.measuring)) {
+      report.expressible = false;
+      report.reasons.push_back("measuring function is not a property path");
+    }
+  }
+  actions += 1;  // Σ click (+ op ticks folded into it)
+
+  // Restrictions are clicks / range filters on forward paths.
+  for (const auto& r : query.group_restrictions) {
+    actions += 1;
+    (void)r;
+  }
+  for (const auto& r : query.measure_restrictions) {
+    actions += 1;
+    (void)r;
+  }
+
+  // Result restriction: expressible through the AF reload (§5.3.3).
+  if (query.result_restriction.has_value()) {
+    actions += 2;  // "Explore with FS" + range filter on the agg column
+  }
+
+  report.estimated_actions = actions;
+  return report;
+}
+
+}  // namespace rdfa::analytics

@@ -1,0 +1,42 @@
+#ifndef RDFA_ANALYTICS_EXPRESSIVENESS_H_
+#define RDFA_ANALYTICS_EXPRESSIVENESS_H_
+
+#include <string>
+#include <vector>
+
+#include "hifun/query.h"
+
+namespace rdfa::analytics {
+
+/// Verdict of the Chapter 7.1 analysis ("Expressible HIFUN queries"): can a
+/// given HIFUN query be formulated through the interaction model's clicks
+/// alone, and roughly how many actions would that take?
+struct ExpressivenessReport {
+  bool expressible = false;
+  /// When inexpressible, one reason per offending construct.
+  std::vector<std::string> reasons;
+  /// Estimated number of UI actions: class click + one G click per grouping
+  /// component (+1 for a transform), one Σ click, one filter per
+  /// restriction, +2 when a result restriction forces an AF reload.
+  int estimated_actions = 0;
+};
+
+/// Classifies `query` against the model of Chapter 5:
+///   expressible  - grouping: a pairing of compositions of properties, each
+///                  component optionally wrapped in ONE derived function
+///                  (the transform button);
+///                - measuring: a composition of properties or the identity;
+///                - restrictions: forward property paths compared to a
+///                  value (clicks / range filters);
+///                - ops: any subset of SUM/AVG/COUNT/MIN/MAX;
+///                - result restriction: yes, via loading the AF (§5.3.3).
+///   NOT expressible (paper §7.1 limits):
+///                - derived functions *inside* a composition (only the
+///                  outermost transform has a button);
+///                - pairings nested in the measuring function;
+///                - restrictions on the operation other than comparisons.
+ExpressivenessReport CheckExpressible(const hifun::Query& query);
+
+}  // namespace rdfa::analytics
+
+#endif  // RDFA_ANALYTICS_EXPRESSIVENESS_H_

@@ -1,0 +1,94 @@
+#ifndef RDFA_ANALYTICS_FCO_H_
+#define RDFA_ANALYTICS_FCO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+
+namespace rdfa::analytics {
+
+/// Linked-Data-based Feature Creation Operators (dissertation Table 4.1,
+/// §4.1.2 / §4.2.6): transformations that materialize a *functional*
+/// feature property onto the entities of `root_class` so that HIFUN's
+/// prerequisites hold on data with missing values or multi-valued
+/// properties. Each operator adds triples `(e, feature_iri, value)` to the
+/// graph and returns how many were added.
+///
+/// `root_class` empty selects every subject. Feature IRIs are caller-chosen
+/// (typically under the dataset's namespace).
+
+/// FCO1 `p.value`: copies the single value of `p`; entities where `p` is
+/// multi-valued are skipped (use FCO4 or FCO9 for those).
+Result<size_t> FcoValue(rdf::Graph* graph, const std::string& root_class,
+                        const std::string& p, const std::string& feature_iri);
+
+/// FCO2 `p.exists`: boolean — 1 iff the entity has `p` in either direction.
+Result<size_t> FcoExists(rdf::Graph* graph, const std::string& root_class,
+                         const std::string& p, const std::string& feature_iri);
+
+/// FCO3 `p.count`: integer — number of `p` values of the entity.
+Result<size_t> FcoCount(rdf::Graph* graph, const std::string& root_class,
+                        const std::string& p, const std::string& feature_iri);
+
+/// FCO4 `p.values.AsFeatures`: one boolean feature per distinct value v of
+/// `p`, named `<feature_prefix><local-name-of-v>`.
+Result<size_t> FcoValuesAsFeatures(rdf::Graph* graph,
+                                   const std::string& root_class,
+                                   const std::string& p,
+                                   const std::string& feature_prefix);
+
+/// FCO5 `degree`: number of triples mentioning the entity as subject or
+/// object.
+Result<size_t> FcoDegree(rdf::Graph* graph, const std::string& root_class,
+                         const std::string& feature_iri);
+
+/// FCO6 `average degree`: |triples(C)| / |C| over the entity's objects C.
+Result<size_t> FcoAverageDegree(rdf::Graph* graph,
+                                const std::string& root_class,
+                                const std::string& feature_iri);
+
+/// FCO7 `p1.p2.exists`: boolean — 1 iff some o2 with (e,p1,o1),(o1,p2,o2).
+Result<size_t> FcoPathExists(rdf::Graph* graph, const std::string& root_class,
+                             const std::string& p1, const std::string& p2,
+                             const std::string& feature_iri);
+
+/// FCO8 `p1.p2.count`: number of such o2 (distinct).
+Result<size_t> FcoPathCount(rdf::Graph* graph, const std::string& root_class,
+                            const std::string& p1, const std::string& p2,
+                            const std::string& feature_iri);
+
+/// FCO9 `p1.p2.value.maxFreq`: the most frequent o2 at the end of the path
+/// (ties broken by term order) — turns a multi-valued path into a
+/// functional feature.
+Result<size_t> FcoPathValueMaxFreq(rdf::Graph* graph,
+                                   const std::string& root_class,
+                                   const std::string& p1,
+                                   const std::string& p2,
+                                   const std::string& feature_iri);
+
+/// §4.1.2 also allows the transformations to be "embedded in a SPARQL query
+/// as a sub-query" and materialized with CONSTRUCT. These variants build
+/// the CONSTRUCT query text and run it through the engine — same feature
+/// triples as the direct operators, derived the paper's second way.
+
+/// FCO1 via CONSTRUCT: a HAVING(COUNT = 1) subquery keeps only entities
+/// where `p` is functional, then the value is copied to `feature_iri`.
+/// Equivalent to FcoValue.
+Result<size_t> FcoValueViaConstruct(rdf::Graph* graph,
+                                    const std::string& root_class,
+                                    const std::string& p,
+                                    const std::string& feature_iri);
+
+/// FCO8 via CONSTRUCT: COUNT(DISTINCT path ends) per entity. Unlike
+/// FcoPathCount, entities with no path get *no* feature triple (SPARQL
+/// cannot emit a constant for non-matching entities); counts > 0 agree.
+Result<size_t> FcoPathCountViaConstruct(rdf::Graph* graph,
+                                        const std::string& root_class,
+                                        const std::string& p1,
+                                        const std::string& p2,
+                                        const std::string& feature_iri);
+
+}  // namespace rdfa::analytics
+
+#endif  // RDFA_ANALYTICS_FCO_H_

@@ -1,0 +1,113 @@
+#include "analytics/olap.h"
+
+#include <algorithm>
+
+namespace rdfa::analytics {
+
+OlapView::OlapView(AnalyticsSession* session,
+                   std::vector<Dimension> dimensions, MeasureSpec measure)
+    : session_(session), measure_(std::move(measure)) {
+  for (Dimension& d : dimensions) {
+    DimState s;
+    s.dim = std::move(d);
+    dims_.push_back(std::move(s));
+  }
+}
+
+OlapView::DimState* OlapView::FindDim(const std::string& name) {
+  for (DimState& d : dims_) {
+    if (d.dim.name == name) return &d;
+  }
+  return nullptr;
+}
+
+Status OlapView::RollUp(const std::string& dim) {
+  DimState* d = FindDim(dim);
+  if (d == nullptr || !d->active) return Status::NotFound("no active dimension " + dim);
+  if (d->level + 1 >= d->dim.levels.size()) {
+    return Status::InvalidArgument(dim + " is already at its coarsest level");
+  }
+  ++d->level;
+  return Status::OK();
+}
+
+Status OlapView::DrillDown(const std::string& dim) {
+  DimState* d = FindDim(dim);
+  if (d == nullptr || !d->active) return Status::NotFound("no active dimension " + dim);
+  if (d->level == 0) {
+    return Status::InvalidArgument(dim + " is already at its finest level");
+  }
+  --d->level;
+  return Status::OK();
+}
+
+Status OlapView::SetLevel(const std::string& dim, size_t level) {
+  DimState* d = FindDim(dim);
+  if (d == nullptr) return Status::NotFound("no dimension " + dim);
+  if (level >= d->dim.levels.size()) {
+    return Status::InvalidArgument("no such level");
+  }
+  d->level = level;
+  d->active = true;
+  return Status::OK();
+}
+
+Status OlapView::Slice(const std::string& dim, const rdf::Term& value) {
+  DimState* d = FindDim(dim);
+  if (d == nullptr || !d->active) return Status::NotFound("no active dimension " + dim);
+  const DimensionLevel& level = d->dim.levels[d->level];
+  if (!level.derived_function.empty()) {
+    return Status::Unsupported(
+        "slicing on a derived level is not supported; slice on the base "
+        "attribute instead");
+  }
+  std::vector<fs::PropRef> path;
+  path.reserve(level.path.size());
+  for (const std::string& p : level.path) path.push_back(fs::PropRef{p, false});
+  RDFA_RETURN_NOT_OK(session_->fs().ClickValue(path, value));
+  d->active = false;
+  return Status::OK();
+}
+
+Status OlapView::Dice(const std::string& dim, std::optional<double> min,
+                      std::optional<double> max) {
+  DimState* d = FindDim(dim);
+  if (d == nullptr || !d->active) return Status::NotFound("no active dimension " + dim);
+  const DimensionLevel& level = d->dim.levels[d->level];
+  if (!level.derived_function.empty()) {
+    return Status::Unsupported("dicing on a derived level is not supported");
+  }
+  std::vector<fs::PropRef> path;
+  path.reserve(level.path.size());
+  for (const std::string& p : level.path) path.push_back(fs::PropRef{p, false});
+  return session_->fs().ClickRange(path, min, max);
+}
+
+void OlapView::Pivot() {
+  if (dims_.size() > 1) {
+    std::rotate(dims_.begin(), dims_.end() - 1, dims_.end());
+  }
+}
+
+int OlapView::LevelOf(const std::string& dim) const {
+  for (const DimState& d : dims_) {
+    if (d.dim.name == dim) return d.active ? static_cast<int>(d.level) : -1;
+  }
+  return -1;
+}
+
+Result<AnswerFrame> OlapView::Materialize() {
+  session_->ClearAnalytics();
+  for (const DimState& d : dims_) {
+    if (!d.active) continue;
+    const DimensionLevel& level = d.dim.levels[d.level];
+    GroupingSpec g;
+    g.path = level.path;
+    g.derived_function = level.derived_function;
+    RDFA_RETURN_NOT_OK(session_->ClickGroupBy(std::move(g)));
+  }
+  RDFA_RETURN_NOT_OK(session_->ClickAggregate(measure_));
+  return session_->Execute();
+}
+
+}  // namespace rdfa::analytics

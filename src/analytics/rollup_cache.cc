@@ -1,0 +1,145 @@
+#include "analytics/rollup_cache.h"
+
+#include <map>
+
+#include "sparql/value.h"
+
+namespace rdfa::analytics {
+
+using hifun::AggOp;
+using rdf::Term;
+using sparql::Value;
+
+namespace {
+
+Result<std::vector<int>> ResolveColumns(
+    const sparql::ResultTable& table, const std::vector<std::string>& names) {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    int idx = table.ColumnIndex(name);
+    if (idx < 0) return Status::NotFound("no column " + name);
+    out.push_back(idx);
+  }
+  return out;
+}
+
+std::string GroupKey(const sparql::ResultTable& table, size_t row,
+                     const std::vector<int>& cols) {
+  std::string key;
+  for (int c : cols) key += table.at(row, c).ToNTriples() + "\t";
+  return key;
+}
+
+}  // namespace
+
+Result<AnswerFrame> RollUpAnswer(const AnswerFrame& answer,
+                                 const std::vector<std::string>& keep_columns,
+                                 const std::string& agg_column,
+                                 AggOp op) {
+  if (op == AggOp::kAvg) {
+    return Status::InvalidArgument(
+        "AVG is not distributive; roll it up from its (sum, count) pair "
+        "with RollUpAverage");
+  }
+  const sparql::ResultTable& table = answer.table();
+  RDFA_ASSIGN_OR_RETURN(std::vector<int> keep,
+                        ResolveColumns(table, keep_columns));
+  int agg_idx = table.ColumnIndex(agg_column);
+  if (agg_idx < 0) return Status::NotFound("no column " + agg_column);
+
+  struct Acc {
+    std::vector<Term> key_terms;
+    double sum = 0;
+    bool first = true;
+    double best = 0;
+  };
+  std::map<std::string, Acc> groups;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    auto v = Value::FromTerm(table.at(r, agg_idx)).AsNumeric();
+    if (!v.has_value()) {
+      return Status::TypeError("non-numeric aggregate cell in row " +
+                               std::to_string(r));
+    }
+    Acc& acc = groups[GroupKey(table, r, keep)];
+    if (acc.key_terms.empty()) {
+      for (int c : keep) acc.key_terms.push_back(table.at(r, c));
+    }
+    acc.sum += *v;
+    if (acc.first) {
+      acc.best = *v;
+      acc.first = false;
+    } else if (op == AggOp::kMin) {
+      acc.best = std::min(acc.best, *v);
+    } else if (op == AggOp::kMax) {
+      acc.best = std::max(acc.best, *v);
+    }
+  }
+
+  std::vector<std::string> columns = keep_columns;
+  columns.push_back(agg_column);
+  sparql::ResultTable out(columns);
+  for (auto& [key, acc] : groups) {
+    std::vector<Term> row = std::move(acc.key_terms);
+    double value =
+        (op == AggOp::kSum || op == AggOp::kCount) ? acc.sum : acc.best;
+    if (value == static_cast<int64_t>(value)) {
+      row.push_back(Term::Integer(static_cast<int64_t>(value)));
+    } else {
+      row.push_back(Term::Double(value));
+    }
+    out.AddRow(std::move(row));
+  }
+  return AnswerFrame(std::move(out));
+}
+
+Result<AnswerFrame> RollUpAverage(const AnswerFrame& answer,
+                                  const std::vector<std::string>& keep_columns,
+                                  const std::string& sum_column,
+                                  const std::string& count_column) {
+  const sparql::ResultTable& table = answer.table();
+  RDFA_ASSIGN_OR_RETURN(std::vector<int> keep,
+                        ResolveColumns(table, keep_columns));
+  int sum_idx = table.ColumnIndex(sum_column);
+  int count_idx = table.ColumnIndex(count_column);
+  if (sum_idx < 0) return Status::NotFound("no column " + sum_column);
+  if (count_idx < 0) return Status::NotFound("no column " + count_column);
+
+  struct Acc {
+    std::vector<Term> key_terms;
+    double sum = 0;
+    double count = 0;
+  };
+  std::map<std::string, Acc> groups;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    auto s = Value::FromTerm(table.at(r, sum_idx)).AsNumeric();
+    auto n = Value::FromTerm(table.at(r, count_idx)).AsNumeric();
+    if (!s.has_value() || !n.has_value()) {
+      return Status::TypeError("non-numeric sum/count cell in row " +
+                               std::to_string(r));
+    }
+    Acc& acc = groups[GroupKey(table, r, keep)];
+    if (acc.key_terms.empty()) {
+      for (int c : keep) acc.key_terms.push_back(table.at(r, c));
+    }
+    acc.sum += *s;
+    acc.count += *n;
+  }
+
+  std::vector<std::string> columns = keep_columns;
+  columns.push_back("sum");
+  columns.push_back("count");
+  columns.push_back("avg");
+  sparql::ResultTable out(columns);
+  for (auto& [key, acc] : groups) {
+    std::vector<Term> row = std::move(acc.key_terms);
+    row.push_back(Term::Double(acc.sum));
+    row.push_back(Term::Integer(static_cast<int64_t>(acc.count)));
+    row.push_back(
+        Term::Double(acc.count == 0 ? 0 : acc.sum / acc.count));
+    out.AddRow(std::move(row));
+  }
+  return AnswerFrame(std::move(out));
+}
+
+}  // namespace rdfa::analytics

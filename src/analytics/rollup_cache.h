@@ -1,0 +1,37 @@
+#ifndef RDFA_ANALYTICS_ROLLUP_CACHE_H_
+#define RDFA_ANALYTICS_ROLLUP_CACHE_H_
+
+#include <string>
+#include <vector>
+
+#include "analytics/answer_frame.h"
+#include "hifun/attr_expr.h"
+
+namespace rdfa::analytics {
+
+/// Materialized-answer reuse: computing a *coarser* grouping from an
+/// already-materialized answer frame instead of the base KG — the
+/// optimization of the works the dissertation surveys in §3.3 ([16], [51]:
+/// "use the materialized result of an RDF analytical query to compute the
+/// answer to a subsequent query"), and what makes OLAP roll-up cheap.
+///
+/// `keep_columns` selects the grouping columns that remain; rows sharing
+/// those values are merged; the `agg_column` values are re-aggregated with
+/// `op`. Only *distributive* aggregates are valid here: SUM, COUNT (sums of
+/// partial counts), MIN, MAX. AVG is algebraic — use RollUpAverage with the
+/// (sum, count) pair.
+Result<AnswerFrame> RollUpAnswer(const AnswerFrame& answer,
+                                 const std::vector<std::string>& keep_columns,
+                                 const std::string& agg_column,
+                                 hifun::AggOp op);
+
+/// Rolls up an average from its (sum, count) decomposition: the result has
+/// the kept grouping columns plus columns "sum", "count", "avg".
+Result<AnswerFrame> RollUpAverage(const AnswerFrame& answer,
+                                  const std::vector<std::string>& keep_columns,
+                                  const std::string& sum_column,
+                                  const std::string& count_column);
+
+}  // namespace rdfa::analytics
+
+#endif  // RDFA_ANALYTICS_ROLLUP_CACHE_H_

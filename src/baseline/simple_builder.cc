@@ -1,0 +1,108 @@
+#include "baseline/simple_builder.h"
+
+#include <set>
+
+#include "common/string_util.h"
+#include "rdf/namespaces.h"
+#include "sparql/executor.h"
+
+namespace rdfa::baseline {
+
+void SimpleQueryBuilder::AddConstraint(const std::string& property_iri,
+                                       const rdf::Term& value) {
+  Constraint c;
+  c.property = property_iri;
+  c.value = value;
+  constraints_.push_back(std::move(c));
+}
+
+void SimpleQueryBuilder::AddRangeConstraint(const std::string& property_iri,
+                                            std::optional<double> min,
+                                            std::optional<double> max) {
+  Constraint c;
+  c.property = property_iri;
+  c.is_range = true;
+  c.min = min;
+  c.max = max;
+  constraints_.push_back(std::move(c));
+}
+
+void SimpleQueryBuilder::SetAggregate(hifun::AggOp op,
+                                      const std::string& property_iri) {
+  agg_op_ = op;
+  agg_property_ = property_iri;
+}
+
+std::vector<std::string> SimpleQueryBuilder::CandidateProperties() const {
+  std::set<std::string> out;
+  rdf::TermId type = graph_->terms().FindIri(rdf::rdfns::kType);
+  rdf::TermId cls = graph_->terms().FindIri(class_iri_);
+  if (type == rdf::kNoTermId || cls == rdf::kNoTermId) return {};
+  graph_->ForEachMatch(rdf::kNoTermId, type, cls, [&](const rdf::TripleId& t) {
+    graph_->ForEachMatch(t.s, rdf::kNoTermId, rdf::kNoTermId,
+                         [&](const rdf::TripleId& edge) {
+                           if (edge.p != type) {
+                             out.insert(
+                                 graph_->terms().Get(edge.p).lexical());
+                           }
+                         });
+  });
+  return {out.begin(), out.end()};
+}
+
+std::string SimpleQueryBuilder::BuildSparql() const {
+  std::string where;
+  int var = 1;
+  std::vector<std::string> filters;
+  if (!class_iri_.empty()) {
+    where += "  ?x <" + std::string(rdf::rdfns::kType) + "> <" + class_iri_ +
+             "> .\n";
+  }
+  for (const Constraint& c : constraints_) {
+    if (c.is_range) {
+      std::string v = "?v" + std::to_string(++var);
+      where += "  ?x <" + c.property + "> " + v + " .\n";
+      if (c.min.has_value()) filters.push_back(v + " >= " + FormatNumber(*c.min));
+      if (c.max.has_value()) filters.push_back(v + " <= " + FormatNumber(*c.max));
+    } else {
+      where += "  ?x <" + c.property + "> " + c.value.ToNTriples() + " .\n";
+    }
+  }
+
+  std::string select = "SELECT ";
+  std::string group;
+  if (!group_by_.empty()) {
+    where += "  ?x <" + group_by_ + "> ?g .\n";
+    select += "?g ";
+    group = "\nGROUP BY ?g";
+  }
+  if (agg_op_.has_value()) {
+    std::string m = "?x";
+    if (!agg_property_.empty()) {
+      where += "  ?x <" + agg_property_ + "> ?m .\n";
+      m = "?m";
+    }
+    select += "(" + std::string(AggOpName(*agg_op_)) + "(" + m +
+              ") AS ?agg) ";
+  } else if (group_by_.empty()) {
+    select += "?x ";
+  }
+  std::string sparql = select + "\nWHERE {\n" + where;
+  for (const std::string& f : filters) sparql += "  FILTER(" + f + ") .\n";
+  sparql += "}" + group;
+  return sparql;
+}
+
+Result<sparql::ResultTable> SimpleQueryBuilder::Execute() {
+  return sparql::ExecuteQueryString(graph_, BuildSparql());
+}
+
+void SimpleQueryBuilder::Reset() {
+  class_iri_.clear();
+  constraints_.clear();
+  group_by_.clear();
+  agg_op_.reset();
+  agg_property_.clear();
+}
+
+}  // namespace rdfa::baseline

@@ -1,0 +1,85 @@
+#ifndef RDFA_BASELINE_SIMPLE_BUILDER_H_
+#define RDFA_BASELINE_SIMPLE_BUILDER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hifun/attr_expr.h"
+#include "rdf/graph.h"
+#include "sparql/result_table.h"
+
+namespace rdfa::baseline {
+
+/// A deliberately *reduced* interactive query builder, standing in for the
+/// guided-formulation baselines the dissertation compares against in Table
+/// 3.5 (the [41]/SPARKLIS-style editors and the SemFacet extension [100]):
+///
+///   - class selection and direct (single-hop) property constraints only —
+///     no property-path expansion;
+///   - NO count information on the offered options, and NO never-empty
+///     guarantee: a constraint combination may produce an empty result;
+///   - basic analytics: group-by on direct properties, one aggregate — but
+///     no HAVING, no nesting, no multi-aggregate, no derived attributes.
+///
+/// The comparison bench runs the paper's task battery on both this baseline
+/// and the full interaction model, mechanically regenerating the Table 3.5
+/// functionality matrix.
+class SimpleQueryBuilder {
+ public:
+  /// `graph` must outlive the builder.
+  explicit SimpleQueryBuilder(rdf::Graph* graph) : graph_(graph) {}
+
+  /// Picks the target class (replaces any previous pick).
+  void SelectClass(const std::string& class_iri) { class_iri_ = class_iri; }
+
+  /// Adds a direct property = value constraint. No paths: the property
+  /// applies to the target entity itself.
+  void AddConstraint(const std::string& property_iri, const rdf::Term& value);
+
+  /// Adds a direct numeric range constraint.
+  void AddRangeConstraint(const std::string& property_iri,
+                          std::optional<double> min,
+                          std::optional<double> max);
+
+  /// Sets a group-by on a direct property (empty = none).
+  void SetGroupBy(const std::string& property_iri) { group_by_ = property_iri; }
+
+  /// Sets the (single) aggregate: op over a direct property.
+  void SetAggregate(hifun::AggOp op, const std::string& property_iri);
+
+  /// The candidate properties the builder's drop-down would offer for the
+  /// selected class — names only, no counts (a Table 3.5 row: "Plain
+  /// Faceted Search ... with No Count information").
+  std::vector<std::string> CandidateProperties() const;
+
+  /// Builds the SPARQL text for the current choices.
+  std::string BuildSparql() const;
+
+  /// Executes. May legitimately return an empty table — the baseline gives
+  /// no never-empty guarantee.
+  Result<sparql::ResultTable> Execute();
+
+  void Reset();
+
+ private:
+  struct Constraint {
+    std::string property;
+    rdf::Term value;
+    bool is_range = false;
+    std::optional<double> min;
+    std::optional<double> max;
+  };
+
+  rdf::Graph* graph_;
+  std::string class_iri_;
+  std::vector<Constraint> constraints_;
+  std::string group_by_;
+  std::optional<hifun::AggOp> agg_op_;
+  std::string agg_property_;
+};
+
+}  // namespace rdfa::baseline
+
+#endif  // RDFA_BASELINE_SIMPLE_BUILDER_H_

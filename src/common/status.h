@@ -1,0 +1,124 @@
+#ifndef RDFA_COMMON_STATUS_H_
+#define RDFA_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rdfa {
+
+/// Error categories used across the library. Modeled after the
+/// Arrow/RocksDB status idiom: no exceptions cross the public API.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kParseError,        ///< A parser (Turtle, SPARQL, HIFUN) rejected its input.
+  kNotFound,          ///< A term, facet, or state id does not exist.
+  kTypeError,         ///< An expression was evaluated over incompatible types.
+  kUnsupported,       ///< Feature outside the implemented SPARQL/HIFUN subset.
+  kPrecondition,      ///< HIFUN prerequisite violated (e.g. non-functional attr).
+  kInternal,          ///< Invariant violation; indicates a library bug.
+};
+
+/// Returns a short human-readable name for `code` (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path (no
+/// allocation); errors carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Precondition(std::string msg) {
+    return Status(StatusCode::kPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union, the return type of fallible library functions.
+template <typename T>
+class Result {
+ public:
+  /// Implicit on purpose: `return value;` and `return status;` both work.
+  Result(T value) : repr_(std::move(value)) {}
+  Result(Status status) : repr_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the result; OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Value accessors. Precondition: ok().
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T value_or(T fallback) && {
+    if (ok()) return std::get<T>(std::move(repr_));
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define RDFA_RETURN_NOT_OK(expr)                   \
+  do {                                             \
+    ::rdfa::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+/// Evaluates a Result expression; assigns the value to `lhs` or propagates
+/// the error. `lhs` must be a declaration, e.g. `auto x`.
+#define RDFA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define RDFA_ASSIGN_OR_RETURN(lhs, expr) \
+  RDFA_ASSIGN_OR_RETURN_IMPL(RDFA_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define RDFA_CONCAT_(a, b) RDFA_CONCAT_2_(a, b)
+#define RDFA_CONCAT_2_(a, b) a##b
+
+}  // namespace rdfa
+
+#endif  // RDFA_COMMON_STATUS_H_

@@ -1,0 +1,43 @@
+#ifndef RDFA_COMMON_STRING_UTIL_H_
+#define RDFA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdfa {
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality (used for SPARQL keywords).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII letters.
+std::string ToUpperAscii(std::string_view s);
+/// Lowercases ASCII letters.
+std::string ToLowerAscii(std::string_view s);
+
+/// Escapes `s` for use inside a double-quoted N-Triples / SPARQL literal.
+std::string EscapeLiteral(std::string_view s);
+/// Reverses EscapeLiteral; unknown escapes are kept verbatim.
+std::string UnescapeLiteral(std::string_view s);
+
+/// Formats a double the way SPARQL results print plain decimals: integral
+/// values have no trailing ".0"; otherwise up to 6 significant decimals with
+/// trailing zeros removed.
+std::string FormatNumber(double v);
+
+}  // namespace rdfa
+
+#endif  // RDFA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,120 @@
+#include "endpoint/endpoint.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "sparql/executor.h"
+#include "sparql/parser.h"
+
+namespace rdfa::endpoint {
+
+LatencyProfile LatencyProfile::Peak() {
+  LatencyProfile p;
+  p.name = "peak";
+  p.load_multiplier = 3.5;    // busy endpoint: queued behind other clients
+  p.network_base_ms = 180.0;  // loaded network round-trip
+  p.network_jitter_ms = 240.0;
+  return p;
+}
+
+LatencyProfile LatencyProfile::OffPeak() {
+  LatencyProfile p;
+  p.name = "off-peak";
+  p.load_multiplier = 1.0;
+  p.network_base_ms = 60.0;
+  p.network_jitter_ms = 40.0;
+  return p;
+}
+
+LatencyProfile LatencyProfile::Local() {
+  LatencyProfile p;
+  p.name = "local";
+  return p;
+}
+
+SimulatedEndpoint::SimulatedEndpoint(rdf::Graph* graph, LatencyProfile profile,
+                                     bool enable_cache)
+    : graph_(graph), profile_(std::move(profile)), enable_cache_(enable_cache) {}
+
+double SimulatedEndpoint::SimulatedNetworkMs(const std::string& sparql) {
+  if (profile_.network_base_ms == 0 && profile_.network_jitter_ms == 0) {
+    return 0;
+  }
+  // xorshift over (query hash ^ running state): deterministic per call
+  // sequence, so benchmark runs are reproducible.
+  uint64_t h = std::hash<std::string>()(sparql);
+  jitter_state_ ^= h;
+  jitter_state_ ^= jitter_state_ << 13;
+  jitter_state_ ^= jitter_state_ >> 7;
+  jitter_state_ ^= jitter_state_ << 17;
+  double unit = static_cast<double>(jitter_state_ % 10000) / 10000.0;
+  return profile_.network_base_ms + unit * profile_.network_jitter_ms;
+}
+
+namespace {
+QueryLogEntry MakeLogEntry(const std::string& sparql,
+                           const QueryResponse& resp) {
+  QueryLogEntry entry;
+  size_t newline = sparql.find('\n');
+  entry.query_head = sparql.substr(0, newline);
+  entry.exec_ms = resp.exec_ms;
+  entry.total_ms = resp.total_ms;
+  entry.rows = resp.table.num_rows();
+  entry.cache_hit = resp.cache_hit;
+  return entry;
+}
+}  // namespace
+
+Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql) {
+  ++queries_served_;
+  QueryResponse resp;
+  resp.network_ms = SimulatedNetworkMs(sparql);
+
+  if (enable_cache_) {
+    auto it = cache_.find(sparql);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      resp.table = it->second;
+      resp.cache_hit = true;
+      resp.exec_ms = 0;
+      resp.total_ms = resp.network_ms;
+      log_.push_back(MakeLogEntry(sparql, resp));
+      return resp;
+    }
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  RDFA_ASSIGN_OR_RETURN(sparql::ParsedQuery parsed, sparql::ParseQuery(sparql));
+  sparql::Executor exec(graph_);
+  RDFA_ASSIGN_OR_RETURN(resp.table, exec.Execute(parsed));
+  auto end = std::chrono::steady_clock::now();
+  resp.exec_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  resp.total_ms = resp.exec_ms * profile_.load_multiplier + resp.network_ms;
+  if (enable_cache_) cache_[sparql] = resp.table;
+  log_.push_back(MakeLogEntry(sparql, resp));
+  return resp;
+}
+
+EndpointStats SimulatedEndpoint::Stats() const {
+  EndpointStats stats;
+  stats.count = log_.size();
+  if (log_.empty()) return stats;
+  std::vector<double> execs;
+  execs.reserve(log_.size());
+  for (const QueryLogEntry& e : log_) {
+    stats.mean_exec_ms += e.exec_ms;
+    stats.mean_total_ms += e.total_ms;
+    stats.max_exec_ms = std::max(stats.max_exec_ms, e.exec_ms);
+    execs.push_back(e.exec_ms);
+  }
+  stats.mean_exec_ms /= static_cast<double>(log_.size());
+  stats.mean_total_ms /= static_cast<double>(log_.size());
+  std::sort(execs.begin(), execs.end());
+  size_t idx = static_cast<size_t>(
+      static_cast<double>(execs.size() - 1) * 0.95);
+  stats.p95_exec_ms = execs[idx];
+  return stats;
+}
+
+}  // namespace rdfa::endpoint

@@ -1,0 +1,220 @@
+#include "fs/facets.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sparql/value.h"
+
+namespace rdfa::fs {
+
+using rdf::kNoTermId;
+using rdf::TermId;
+
+size_t FacetComputer::CountInstances(TermId cls, const Extension& ext) const {
+  size_t n = 0;
+  graph_.ForEachMatch(kNoTermId, vocab_.type, cls,
+                      [&](const rdf::TripleId& t) {
+                        if (ext.count(t.s)) ++n;
+                      });
+  return n;
+}
+
+void FacetComputer::FillClassFacet(const HierarchyNode& node,
+                                   const Extension& ext,
+                                   std::vector<ClassFacet>* out) const {
+  size_t count = CountInstances(node.term, ext);
+  if (count == 0) return;  // prune empty transitions
+  ClassFacet facet;
+  facet.cls = node.term;
+  facet.count = count;
+  for (const HierarchyNode& child : node.children) {
+    FillClassFacet(child, ext, &facet.children);
+  }
+  out->push_back(std::move(facet));
+}
+
+std::vector<ClassFacet> FacetComputer::ClassFacets(const Extension& ext) const {
+  std::vector<HierarchyNode> forest =
+      BuildClassForest(schema_, schema_.classes());
+  std::vector<ClassFacet> out;
+  for (const HierarchyNode& root : forest) FillClassFacet(root, ext, &out);
+  return out;
+}
+
+std::vector<PropertyFacet> FacetComputer::PropertyFacets(
+    const Extension& ext, bool include_inverse) const {
+  std::vector<PropertyFacet> out;
+  // Applicable forward properties: predicates of triples whose subject is in
+  // ext.
+  std::map<TermId, std::map<TermId, size_t>> forward;  // p -> v -> count
+  std::map<TermId, std::map<TermId, size_t>> backward;
+  for (TermId e : ext) {
+    graph_.ForEachMatch(e, kNoTermId, kNoTermId, [&](const rdf::TripleId& t) {
+      if (t.p == vocab_.type || t.p == vocab_.sub_class_of ||
+          t.p == vocab_.sub_property_of || t.p == vocab_.domain ||
+          t.p == vocab_.range) {
+        return;
+      }
+      forward[t.p][t.o] += 1;
+    });
+    if (include_inverse) {
+      graph_.ForEachMatch(kNoTermId, kNoTermId, e,
+                          [&](const rdf::TripleId& t) {
+                            if (t.p == vocab_.type) return;
+                            backward[t.p][t.s] += 1;
+                          });
+    }
+  }
+  auto emit = [&](const std::map<TermId, std::map<TermId, size_t>>& index,
+                  bool inverse) {
+    for (const auto& [p, values] : index) {
+      PropertyFacet facet;
+      facet.prop = PropRef{graph_.terms().Get(p).lexical(), inverse};
+      for (const auto& [v, count] : values) {
+        facet.values.push_back(ValueCount{v, count});
+      }
+      out.push_back(std::move(facet));
+    }
+  };
+  emit(forward, false);
+  if (include_inverse) emit(backward, true);
+  return out;
+}
+
+PropertyFacet FacetComputer::PathFacet(
+    const Extension& ext, const std::vector<PropRef>& path) const {
+  PropertyFacet facet;
+  if (path.empty()) return facet;
+  facet.prop = path.back();
+  // Forward marker sets M_1..M_k; count of value v = |RestrictByPath(ext,
+  // path, v)| — how many focus objects reach it.
+  Extension frontier = ext;
+  for (const PropRef& p : path) {
+    frontier = Joins(graph_, frontier, p);
+  }
+  for (TermId v : frontier) {
+    size_t n = RestrictByPath(ext, path, v).size();
+    if (n > 0) facet.values.push_back(ValueCount{v, n});
+  }
+  return facet;
+}
+
+Extension FacetComputer::RestrictByPath(const Extension& ext,
+                                        const std::vector<PropRef>& path,
+                                        TermId value) const {
+  // Back-propagation of Eq. 5.1: S_k = {v}; S_{i-1} = the objects of M_{i-1}
+  // reaching S_i via p_i. We walk backwards using inverse joins, then
+  // intersect with ext.
+  Extension cur = {value};
+  for (size_t i = path.size(); i-- > 0;) {
+    PropRef back = path[i];
+    back.inverse = !back.inverse;
+    cur = Joins(graph_, cur, back);
+    if (cur.empty()) return {};
+  }
+  Extension out;
+  for (TermId e : ext) {
+    if (cur.count(e)) out.insert(e);
+  }
+  return out;
+}
+
+Extension FacetComputer::RestrictByRange(const Extension& ext,
+                                         const std::vector<PropRef>& path,
+                                         std::optional<double> min,
+                                         std::optional<double> max) const {
+  Extension out;
+  for (TermId e : ext) {
+    // Does e reach any in-range value through the path?
+    Extension frontier = {e};
+    for (const PropRef& p : path) {
+      frontier = Joins(graph_, frontier, p);
+      if (frontier.empty()) break;
+    }
+    for (TermId v : frontier) {
+      auto num =
+          sparql::Value::FromTerm(graph_.terms().Get(v)).AsNumeric();
+      if (!num.has_value()) continue;
+      if (min.has_value() && *num < *min) continue;
+      if (max.has_value() && *num > *max) continue;
+      out.insert(e);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<ValueBucket> BucketNumericFacet(const rdf::Graph& graph,
+                                            const PropertyFacet& facet,
+                                            size_t n_buckets) {
+  if (n_buckets == 0) return {};
+  std::vector<std::pair<double, size_t>> numeric;
+  for (const ValueCount& vc : facet.values) {
+    auto n = sparql::Value::FromTerm(graph.terms().Get(vc.value)).AsNumeric();
+    if (n.has_value()) numeric.push_back({*n, vc.count});
+  }
+  if (numeric.empty()) return {};
+  double lo = numeric[0].first, hi = numeric[0].first;
+  for (const auto& [v, _] : numeric) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::vector<ValueBucket> buckets(n_buckets);
+  double width = (hi - lo) / static_cast<double>(n_buckets);
+  if (width == 0) width = 1;  // all values equal: everything in bucket 0
+  for (size_t b = 0; b < n_buckets; ++b) {
+    buckets[b].lo = lo + width * static_cast<double>(b);
+    buckets[b].hi = lo + width * static_cast<double>(b + 1);
+  }
+  for (const auto& [v, count] : numeric) {
+    size_t b = static_cast<size_t>((v - lo) / width);
+    if (b >= n_buckets) b = n_buckets - 1;  // hi lands in the last bucket
+    buckets[b].count += count;
+  }
+  return buckets;
+}
+
+void SortFacetValues(const rdf::Graph& graph, FacetOrder order,
+                     PropertyFacet* facet) {
+  auto value_key = [&](const ValueCount& vc) {
+    return graph.terms().Get(vc.value);
+  };
+  std::stable_sort(
+      facet->values.begin(), facet->values.end(),
+      [&](const ValueCount& a, const ValueCount& b) {
+        if (order == FacetOrder::kCountDescending) {
+          if (a.count != b.count) return a.count > b.count;
+        }
+        // Tie-break (and kValueAscending): numeric when both parse,
+        // otherwise lexical on the display form.
+        const rdf::Term& ta = value_key(a);
+        const rdf::Term& tb = value_key(b);
+        auto na = sparql::Value::FromTerm(ta).AsNumeric();
+        auto nb = sparql::Value::FromTerm(tb).AsNumeric();
+        if (na.has_value() && nb.has_value()) return *na < *nb;
+        return ta.lexical() < tb.lexical();
+      });
+}
+
+size_t TruncateFacetValues(const rdf::Graph& graph, FacetOrder order,
+                           size_t k, PropertyFacet* facet) {
+  SortFacetValues(graph, order, facet);
+  if (facet->values.size() <= k) return 0;
+  size_t cut = facet->values.size() - k;
+  facet->values.resize(k);
+  return cut;
+}
+
+std::map<int, size_t> BucketDateFacetByYear(const rdf::Graph& graph,
+                                            const PropertyFacet& facet) {
+  std::map<int, size_t> out;
+  for (const ValueCount& vc : facet.values) {
+    const rdf::Term& t = graph.terms().Get(vc.value);
+    if (!t.is_literal()) continue;
+    auto year = sparql::DateTimeComponent(t.lexical(), 0);
+    if (year.has_value()) out[*year] += vc.count;
+  }
+  return out;
+}
+
+}  // namespace rdfa::fs

@@ -1,0 +1,92 @@
+#include "fs/hierarchy.h"
+
+#include <functional>
+#include <map>
+
+namespace rdfa::fs {
+
+using rdf::TermId;
+
+namespace {
+
+/// Generic forest builder over a strict-ancestor closure function.
+std::vector<HierarchyNode> BuildForest(
+    const std::set<TermId>& applicable,
+    const std::function<std::set<TermId>(TermId)>& strict_ancestors) {
+  // For each applicable term, its nearest applicable strict ancestor: the
+  // applicable ancestor that has no other applicable ancestor strictly
+  // between. Equivalently: ancestor A of X such that no other applicable
+  // ancestor B of X has A as ancestor of B... computed by depth filtering.
+  std::map<TermId, std::set<TermId>> anc;
+  for (TermId t : applicable) {
+    std::set<TermId> all = strict_ancestors(t);
+    std::set<TermId> filtered;
+    for (TermId a : all) {
+      if (a != t && applicable.count(a)) filtered.insert(a);
+    }
+    anc[t] = std::move(filtered);
+  }
+  // Parent of t: an applicable ancestor a with no applicable ancestor c of t
+  // such that a is a strict ancestor of c (transitive reduction).
+  std::map<TermId, std::vector<TermId>> children;
+  std::set<TermId> roots;
+  for (TermId t : applicable) {
+    const std::set<TermId>& as = anc[t];
+    if (as.empty()) {
+      roots.insert(t);
+      continue;
+    }
+    bool has_parent = false;
+    for (TermId a : as) {
+      bool minimal = true;
+      for (TermId c : as) {
+        if (c == a) continue;
+        std::set<TermId> c_anc = strict_ancestors(c);
+        if (c_anc.count(a)) {
+          minimal = false;  // a is above c: not the nearest
+          break;
+        }
+      }
+      if (minimal) {
+        children[a].push_back(t);
+        has_parent = true;
+      }
+    }
+    if (!has_parent) roots.insert(t);
+  }
+
+  std::function<HierarchyNode(TermId)> build = [&](TermId t) {
+    HierarchyNode node;
+    node.term = t;
+    auto it = children.find(t);
+    if (it != children.end()) {
+      for (TermId c : it->second) node.children.push_back(build(c));
+    }
+    return node;
+  };
+  std::vector<HierarchyNode> forest;
+  for (TermId r : roots) forest.push_back(build(r));
+  return forest;
+}
+
+}  // namespace
+
+std::vector<HierarchyNode> BuildClassForest(
+    const rdf::SchemaView& schema, const std::set<TermId>& applicable) {
+  return BuildForest(applicable, [&](TermId t) {
+    std::set<TermId> s = schema.Superclasses(t);
+    s.erase(t);
+    return s;
+  });
+}
+
+std::vector<HierarchyNode> BuildPropertyForest(
+    const rdf::SchemaView& schema, const std::set<TermId>& applicable) {
+  return BuildForest(applicable, [&](TermId t) {
+    std::set<TermId> s = schema.Superproperties(t);
+    s.erase(t);
+    return s;
+  });
+}
+
+}  // namespace rdfa::fs

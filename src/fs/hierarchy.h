@@ -1,0 +1,32 @@
+#ifndef RDFA_FS_HIERARCHY_H_
+#define RDFA_FS_HIERARCHY_H_
+
+#include <set>
+#include <vector>
+
+#include "rdf/rdfs.h"
+
+namespace rdfa::fs {
+
+/// A node of a facet hierarchy display tree: a class (or property) with its
+/// children per the reflexive-and-transitive reduction of the subclass
+/// (subproperty) order restricted to the applicable markers (§5.3.2).
+struct HierarchyNode {
+  rdf::TermId term = rdf::kNoTermId;
+  std::vector<HierarchyNode> children;
+};
+
+/// Builds the class hierarchy forest over `applicable` classes: roots are
+/// classes with no applicable strict superclass; each node's children are
+/// the applicable classes whose *nearest* applicable strict ancestor is that
+/// node (i.e. the transitive reduction of <=cl restricted to `applicable`).
+std::vector<HierarchyNode> BuildClassForest(
+    const rdf::SchemaView& schema, const std::set<rdf::TermId>& applicable);
+
+/// Same construction over the subproperty order.
+std::vector<HierarchyNode> BuildPropertyForest(
+    const rdf::SchemaView& schema, const std::set<rdf::TermId>& applicable);
+
+}  // namespace rdfa::fs
+
+#endif  // RDFA_FS_HIERARCHY_H_

@@ -1,0 +1,172 @@
+#include "fs/replay.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "rdf/ntriples.h"
+
+namespace rdfa::fs {
+
+Status SessionRecorder::ClickClass(const std::string& class_iri) {
+  RDFA_RETURN_NOT_OK(session_->ClickClass(class_iri));
+  Action a;
+  a.kind = Action::Kind::kClickClass;
+  a.class_iri = class_iri;
+  script_.push_back(std::move(a));
+  return Status::OK();
+}
+
+Status SessionRecorder::ClickValue(const std::vector<PropRef>& path,
+                                   const rdf::Term& value) {
+  RDFA_RETURN_NOT_OK(session_->ClickValue(path, value));
+  Action a;
+  a.kind = Action::Kind::kClickValue;
+  a.path = path;
+  a.value = value;
+  script_.push_back(std::move(a));
+  return Status::OK();
+}
+
+Status SessionRecorder::ClickRange(const std::vector<PropRef>& path,
+                                   std::optional<double> min,
+                                   std::optional<double> max) {
+  RDFA_RETURN_NOT_OK(session_->ClickRange(path, min, max));
+  Action a;
+  a.kind = Action::Kind::kClickRange;
+  a.path = path;
+  a.min = min;
+  a.max = max;
+  script_.push_back(std::move(a));
+  return Status::OK();
+}
+
+Status SessionRecorder::Back() {
+  RDFA_RETURN_NOT_OK(session_->Back());
+  Action a;
+  a.kind = Action::Kind::kBack;
+  script_.push_back(std::move(a));
+  return Status::OK();
+}
+
+namespace {
+
+std::string PathToString(const std::vector<PropRef>& path) {
+  std::string out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += ";";
+    if (path[i].inverse) out += "^";
+    out += path[i].iri;
+  }
+  return out;
+}
+
+Result<std::vector<PropRef>> PathFromString(const std::string& text) {
+  std::vector<PropRef> out;
+  for (const std::string& part : SplitString(text, ';')) {
+    if (part.empty()) {
+      return Status::ParseError("empty path segment in script");
+    }
+    if (part[0] == '^') {
+      out.push_back({part.substr(1), true});
+    } else {
+      out.push_back({part, false});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SessionRecorder::Serialize() const {
+  std::string out;
+  for (const Action& a : script_) {
+    switch (a.kind) {
+      case Action::Kind::kClickClass:
+        out += "class " + a.class_iri + "\n";
+        break;
+      case Action::Kind::kClickValue:
+        out += "value " + PathToString(a.path) + " " + a.value.ToNTriples() +
+               "\n";
+        break;
+      case Action::Kind::kClickRange:
+        out += "range " + PathToString(a.path) + " " +
+               (a.min.has_value() ? FormatNumber(*a.min) : "-") + " " +
+               (a.max.has_value() ? FormatNumber(*a.max) : "-") + "\n";
+        break;
+      case Action::Kind::kBack:
+        out += "back\n";
+        break;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Action>> ParseScript(std::string_view text) {
+  std::vector<Action> out;
+  int line_no = 0;
+  for (const std::string& raw : SplitString(text, '\n')) {
+    ++line_no;
+    std::string_view line = TrimWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto err = [&](const std::string& msg) {
+      return Status::ParseError("script line " + std::to_string(line_no) +
+                                ": " + msg);
+    };
+    size_t sp = line.find(' ');
+    std::string cmd(line.substr(0, sp));
+    std::string rest(sp == std::string_view::npos
+                         ? std::string_view()
+                         : TrimWhitespace(line.substr(sp + 1)));
+    Action a;
+    if (cmd == "back") {
+      a.kind = Action::Kind::kBack;
+    } else if (cmd == "class") {
+      if (rest.empty()) return err("class needs an IRI");
+      a.kind = Action::Kind::kClickClass;
+      a.class_iri = rest;
+    } else if (cmd == "value") {
+      size_t sp2 = rest.find(' ');
+      if (sp2 == std::string::npos) return err("value needs a path and term");
+      a.kind = Action::Kind::kClickValue;
+      RDFA_ASSIGN_OR_RETURN(a.path, PathFromString(rest.substr(0, sp2)));
+      RDFA_ASSIGN_OR_RETURN(
+          a.value, rdf::ParseNTriplesTerm(rest.substr(sp2 + 1)));
+    } else if (cmd == "range") {
+      std::vector<std::string> parts;
+      for (const std::string& p : SplitString(rest, ' ')) {
+        if (!p.empty()) parts.push_back(p);
+      }
+      if (parts.size() != 3) return err("range needs path min max");
+      a.kind = Action::Kind::kClickRange;
+      RDFA_ASSIGN_OR_RETURN(a.path, PathFromString(parts[0]));
+      if (parts[1] != "-") a.min = std::strtod(parts[1].c_str(), nullptr);
+      if (parts[2] != "-") a.max = std::strtod(parts[2].c_str(), nullptr);
+    } else {
+      return err("unknown action '" + cmd + "'");
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+Status ReplayScript(const std::vector<Action>& script, Session* session) {
+  for (const Action& a : script) {
+    switch (a.kind) {
+      case Action::Kind::kClickClass:
+        RDFA_RETURN_NOT_OK(session->ClickClass(a.class_iri));
+        break;
+      case Action::Kind::kClickValue:
+        RDFA_RETURN_NOT_OK(session->ClickValue(a.path, a.value));
+        break;
+      case Action::Kind::kClickRange:
+        RDFA_RETURN_NOT_OK(session->ClickRange(a.path, a.min, a.max));
+        break;
+      case Action::Kind::kBack:
+        RDFA_RETURN_NOT_OK(session->Back());
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rdfa::fs

@@ -1,0 +1,63 @@
+#ifndef RDFA_FS_REPLAY_H_
+#define RDFA_FS_REPLAY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "fs/session.h"
+
+namespace rdfa::fs {
+
+/// One recorded interaction-model action. Sessions are *iterative* (the
+/// dissertation stresses "repeated and refining steps"); recording lets a
+/// user save an exploration and replay it later — also against a refreshed
+/// copy of the KG.
+struct Action {
+  enum class Kind { kClickClass, kClickValue, kClickRange, kBack };
+  Kind kind = Kind::kBack;
+  std::string class_iri;          // kClickClass
+  std::vector<PropRef> path;      // kClickValue / kClickRange
+  rdf::Term value;                // kClickValue
+  std::optional<double> min;      // kClickRange
+  std::optional<double> max;
+};
+
+/// Records every action it forwards to the wrapped session.
+class SessionRecorder {
+ public:
+  /// `session` must outlive the recorder.
+  explicit SessionRecorder(Session* session) : session_(session) {}
+
+  Status ClickClass(const std::string& class_iri);
+  Status ClickValue(const std::vector<PropRef>& path, const rdf::Term& value);
+  Status ClickRange(const std::vector<PropRef>& path,
+                    std::optional<double> min, std::optional<double> max);
+  Status Back();
+
+  const std::vector<Action>& script() const { return script_; }
+
+  /// Line-based textual form:
+  ///   class <iri>
+  ///   value p1;^p2;... <term in N-Triples syntax>
+  ///   range p1;...     <min|-> <max|->
+  ///   back
+  std::string Serialize() const;
+
+ private:
+  Session* session_;
+  std::vector<Action> script_;
+};
+
+/// Parses the Serialize() format back into actions.
+Result<std::vector<Action>> ParseScript(std::string_view text);
+
+/// Applies `script` to `session` in order; stops at the first failing
+/// action and returns its status (earlier actions remain applied).
+Status ReplayScript(const std::vector<Action>& script, Session* session);
+
+}  // namespace rdfa::fs
+
+#endif  // RDFA_FS_REPLAY_H_

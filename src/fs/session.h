@@ -1,0 +1,94 @@
+#ifndef RDFA_FS_SESSION_H_
+#define RDFA_FS_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fs/facets.h"
+#include "fs/state.h"
+#include "rdf/rdfs.h"
+
+namespace rdfa::fs {
+
+/// How a session computes the extension after each transition — the two
+/// implementation strategies the dissertation contrasts (Table 5.1 native
+/// notation vs Table 5.2 "SPARQL-only evaluation approach", Fig 8.3):
+enum class EvalMode {
+  kNative,      ///< set operations on the in-memory extension
+  kSparqlOnly,  ///< re-evaluate the state's intention as a SPARQL query
+};
+
+/// An interactive faceted-search session over one RDF graph: a current
+/// state, its transition markers, the click actions that move between
+/// states, and a history for Back(). This is the core FS-over-RDF model
+/// (§5.2.1, [114]) that the analytics layer extends.
+class Session {
+ public:
+  /// The graph must outlive the session and is taken mutably because
+  /// SPARQL-only evaluation may intern computed literals.
+  explicit Session(rdf::Graph* graph, EvalMode mode = EvalMode::kNative);
+
+  const State& current() const { return history_.back(); }
+  const rdf::Graph& graph() const { return *graph_; }
+  const rdf::SchemaView& schema() const { return schema_; }
+  size_t depth() const { return history_.size(); }
+
+  /// Starting point (i): the artificial initial state s0 whose extension is
+  /// every individual (§5.3.2).
+  void Start();
+  /// Starting point (ii): explore a result set from an external access
+  /// method (e.g. keyword search).
+  void StartFromResults(const Extension& results);
+
+  /// Click a class-based transition marker: new state with extension
+  /// Restrict(E, c).
+  Status ClickClass(const std::string& class_iri);
+
+  /// Click a value at the end of a property path (length 1 = plain
+  /// property-based transition; longer = path expansion, Eq. 5.1).
+  Status ClickValue(const std::vector<PropRef>& path, const rdf::Term& value);
+
+  /// Apply a numeric range filter at the end of a path (the range button of
+  /// Example 3, §5.1).
+  Status ClickRange(const std::vector<PropRef>& path,
+                    std::optional<double> min, std::optional<double> max);
+
+  /// Pops the current state; error at the initial state.
+  Status Back();
+
+  // --- transition markers of the current state ---
+  /// Both facet computations memoize their result per state (the GUI
+  /// re-renders facets many times between clicks; the dissertation's system
+  /// (3) iteration emphasizes such efficiency improvements). Transitions
+  /// and Back() invalidate the memo.
+  std::vector<ClassFacet> ClassFacets() const;
+  std::vector<PropertyFacet> PropertyFacets(bool include_inverse = false) const;
+  PropertyFacet ExpandPath(const std::vector<PropRef>& path) const;
+
+  /// Renders the two-frame GUI of Fig 5.1/5.4 as text (facets with counts on
+  /// the left, focus objects on the right).
+  std::string RenderText(size_t max_objects = 10) const;
+
+ private:
+  Status Push(State next);
+  void InvalidateFacetMemos() const;
+  /// Recomputes `state->ext` from its intention via SPARQL (kSparqlOnly).
+  Status EvalIntentionSparql(State* state);
+
+  rdf::Graph* graph_;
+  EvalMode mode_;
+  rdf::Vocab vocab_;
+  rdf::SchemaView schema_;
+  FacetComputer facets_;
+  std::vector<State> history_;
+  // Per-current-state memos (invalidated on every state change).
+  mutable std::optional<std::vector<ClassFacet>> class_facet_memo_;
+  mutable std::optional<std::vector<PropertyFacet>> property_facet_memo_;
+};
+
+}  // namespace rdfa::fs
+
+#endif  // RDFA_FS_SESSION_H_

@@ -1,0 +1,77 @@
+#ifndef RDFA_FS_STATE_H_
+#define RDFA_FS_STATE_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rdfa::fs {
+
+/// A property reference with direction: `inverse` follows the property from
+/// object to subject (p^-1 of §5.3.1).
+struct PropRef {
+  std::string iri;
+  bool inverse = false;
+
+  friend bool operator==(const PropRef& a, const PropRef& b) {
+    return a.iri == b.iri && a.inverse == b.inverse;
+  }
+};
+
+/// The formal restriction/join operations of the FS model (§5.3.1).
+/// Extensions are sets of interned term ids.
+using Extension = std::set<rdf::TermId>;
+
+/// Restrict(E, p : v) = { e in E | (e, p, v) in inst(p) }.
+Extension Restrict(const rdf::Graph& graph, const Extension& ext,
+                   const PropRef& p, rdf::TermId v);
+
+/// Restrict(E, p : vset).
+Extension RestrictSet(const rdf::Graph& graph, const Extension& ext,
+                      const PropRef& p, const Extension& vset);
+
+/// Restrict(E, c) = { e in E | e in inst(c) } (rdf:type match; assumes the
+/// RDFS closure has been materialized if subclass semantics are wanted).
+Extension RestrictClass(const rdf::Graph& graph, const Extension& ext,
+                        rdf::TermId cls);
+
+/// Joins(E, p) = { v | exists e in E with (e, p, v) in inst(p) }.
+Extension Joins(const rdf::Graph& graph, const Extension& ext,
+                const PropRef& p);
+
+/// One accumulated filter of a state's intention: a property path from the
+/// focus ending in either a concrete value or a numeric range.
+struct Condition {
+  enum class Kind { kValue, kRange };
+  Kind kind = Kind::kValue;
+  std::vector<PropRef> path;  ///< length >= 1
+  rdf::Term value;            ///< kValue
+  std::optional<double> min;  ///< kRange (inclusive)
+  std::optional<double> max;  ///< kRange (inclusive)
+
+  std::string ToString() const;
+};
+
+/// The intention of a state: a query whose answer is the extension
+/// (§5.2.1). Expressible in SPARQL per Table 5.1.
+struct Intention {
+  std::string root_class;  ///< IRI; empty in the initial state s0
+  std::vector<Condition> conditions;
+
+  /// SPARQL SELECT computing the extension (Table 5.1 / 5.2 style).
+  std::string ToSparql() const;
+  std::string ToString() const;
+};
+
+/// One state of the interaction: extension + intention (§5.2.1).
+struct State {
+  Extension ext;
+  Intention intent;
+};
+
+}  // namespace rdfa::fs
+
+#endif  // RDFA_FS_STATE_H_

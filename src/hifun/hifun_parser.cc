@@ -1,0 +1,317 @@
+#include "hifun/hifun_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace rdfa::hifun {
+
+namespace {
+
+using rdf::Term;
+
+struct Tok {
+  enum Kind { kName, kNumber, kString, kPunct, kEnd } kind = kEnd;
+  std::string text;
+};
+
+Result<std::vector<Tok>> Lex(std::string_view text) {
+  std::vector<Tok> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      size_t j = i + 1;
+      std::string s;
+      while (j < text.size() && text[j] != '"') s += text[j++];
+      if (j >= text.size()) {
+        return Status::ParseError("hifun: unterminated string");
+      }
+      out.push_back({Tok::kString, s});
+      i = j + 1;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t j = i + 1;
+      while (j < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[j])) ||
+              text[j] == '.')) {
+        ++j;
+      }
+      out.push_back({Tok::kNumber, std::string(text.substr(i, j - i))});
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_' || text[j] == '-' || text[j] == ':')) {
+        ++j;
+      }
+      out.push_back({Tok::kName, std::string(text.substr(i, j - i))});
+      i = j;
+      continue;
+    }
+    // Multi-char comparison operators.
+    if ((c == '<' || c == '>' || c == '!' || c == '=') &&
+        i + 1 < text.size() && text[i + 1] == '=') {
+      out.push_back({Tok::kPunct, std::string(text.substr(i, 2))});
+      i += 2;
+      continue;
+    }
+    static const std::string kSingles = "(),/+.=<>x";
+    if (kSingles.find(c) != std::string::npos) {
+      out.push_back({Tok::kPunct, std::string(1, c)});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("hifun: unexpected character '") +
+                              c + "'");
+  }
+  out.push_back({Tok::kEnd, ""});
+  return out;
+}
+
+const char* const kDerivedFns[] = {"YEAR", "MONTH",  "DAY",  "HOURS",
+                                   "STR",  "UCASE",  "LCASE"};
+
+class HifunParser {
+ public:
+  HifunParser(std::vector<Tok> toks, const rdf::PrefixMap& prefixes,
+              std::string default_ns)
+      : toks_(std::move(toks)),
+        prefixes_(prefixes),
+        default_ns_(std::move(default_ns)) {}
+
+  Result<Query> Parse() {
+    Query q;
+    RDFA_RETURN_NOT_OK(Expect("("));
+    // gpart
+    if (PeekName("eps")) {
+      Consume();
+    } else {
+      RDFA_ASSIGN_OR_RETURN(q.grouping, ParseAttr());
+      while (PeekPunct("/")) {
+        Consume();
+        RDFA_ASSIGN_OR_RETURN(Restriction r, ParseRestriction());
+        q.group_restrictions.push_back(std::move(r));
+      }
+    }
+    RDFA_RETURN_NOT_OK(Expect(","));
+    // mpart
+    if (PeekName("ID")) {
+      Consume();
+      q.measuring = AttrExpr::Identity();
+    } else {
+      RDFA_ASSIGN_OR_RETURN(q.measuring, ParseAttr());
+    }
+    while (PeekPunct("/")) {
+      Consume();
+      RDFA_ASSIGN_OR_RETURN(Restriction r, ParseRestriction());
+      q.measure_restrictions.push_back(std::move(r));
+    }
+    RDFA_RETURN_NOT_OK(Expect(","));
+    // ops
+    while (true) {
+      if (Peek().kind != Tok::kName) return Err("expected aggregate op");
+      RDFA_ASSIGN_OR_RETURN(AggOp op, ParseOp(Consume().text));
+      q.ops.push_back(op);
+      if (PeekPunct("+")) {
+        Consume();
+        continue;
+      }
+      break;
+    }
+    if (PeekPunct("/")) {
+      Consume();
+      ResultRestriction rr;
+      if (Peek().kind != Tok::kPunct) return Err("expected comparison op");
+      rr.op = Consume().text;
+      if (Peek().kind != Tok::kNumber) return Err("expected number");
+      rr.value = std::strtod(Consume().text.c_str(), nullptr);
+      q.result_restriction = rr;
+    }
+    RDFA_RETURN_NOT_OK(Expect(")"));
+    if (PeekName("over")) {
+      Consume();
+      if (Peek().kind != Tok::kName) return Err("expected class after 'over'");
+      RDFA_ASSIGN_OR_RETURN(q.root_class, ResolveName(Consume().text));
+    }
+    if (Peek().kind != Tok::kEnd) return Err("trailing input");
+    return q;
+  }
+
+ private:
+  const Tok& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  Tok Consume() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool PeekPunct(std::string_view p) const {
+    return Peek().kind == Tok::kPunct && Peek().text == p;
+  }
+  bool PeekName(std::string_view n) const {
+    return Peek().kind == Tok::kName && Peek().text == n;
+  }
+  Status Expect(std::string_view p) {
+    if (!PeekPunct(p)) {
+      return Err("expected '" + std::string(p) + "', got '" + Peek().text +
+                 "'");
+    }
+    Consume();
+    return Status::OK();
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("hifun: " + msg);
+  }
+
+  Result<std::string> ResolveName(const std::string& name) {
+    if (name.find(':') != std::string::npos) {
+      auto iri = prefixes_.Expand(name);
+      if (!iri.has_value()) return Err("unknown prefix in '" + name + "'");
+      return *iri;
+    }
+    return default_ns_ + name;
+  }
+
+  Result<AggOp> ParseOp(const std::string& name) {
+    std::string u = ToUpperAscii(name);
+    if (u == "SUM") return AggOp::kSum;
+    if (u == "AVG") return AggOp::kAvg;
+    if (u == "COUNT") return AggOp::kCount;
+    if (u == "MIN") return AggOp::kMin;
+    if (u == "MAX") return AggOp::kMax;
+    return Err("unknown aggregate op '" + name + "'");
+  }
+
+  bool IsDerivedFn(const std::string& name) const {
+    std::string u = ToUpperAscii(name);
+    for (const char* f : kDerivedFns) {
+      if (u == f) return true;
+    }
+    return false;
+  }
+
+  // attr := comp ('x' comp)*
+  Result<AttrExprPtr> ParseAttr() {
+    std::vector<AttrExprPtr> components;
+    RDFA_ASSIGN_OR_RETURN(AttrExprPtr first, ParseComp());
+    components.push_back(std::move(first));
+    while (PeekPunct("x") || PeekName("x")) {
+      Consume();
+      RDFA_ASSIGN_OR_RETURN(AttrExprPtr next, ParseComp());
+      components.push_back(std::move(next));
+    }
+    return AttrExpr::Pair(std::move(components));
+  }
+
+  // comp := atom ('o' atom)*  -- written outermost-first.
+  Result<AttrExprPtr> ParseComp() {
+    std::vector<AttrExprPtr> written;
+    RDFA_ASSIGN_OR_RETURN(AttrExprPtr first, ParseAtom());
+    written.push_back(std::move(first));
+    while (PeekName("o")) {
+      Consume();
+      RDFA_ASSIGN_OR_RETURN(AttrExprPtr next, ParseAtom());
+      written.push_back(std::move(next));
+    }
+    // "f2 o f1" applies f1 first: reverse into application order.
+    std::vector<AttrExprPtr> application(written.rbegin(), written.rend());
+    return AttrExpr::Compose(std::move(application));
+  }
+
+  Result<AttrExprPtr> ParseAtom() {
+    if (PeekPunct("(")) {
+      Consume();
+      RDFA_ASSIGN_OR_RETURN(AttrExprPtr inner, ParseAttr());
+      RDFA_RETURN_NOT_OK(Expect(")"));
+      return inner;
+    }
+    if (Peek().kind != Tok::kName) return Err("expected attribute name");
+    std::string name = Consume().text;
+    if (IsDerivedFn(name) && PeekPunct("(")) {
+      Consume();
+      RDFA_ASSIGN_OR_RETURN(AttrExprPtr arg, ParseAttr());
+      RDFA_RETURN_NOT_OK(Expect(")"));
+      return AttrExpr::Derived(ToUpperAscii(name), std::move(arg));
+    }
+    RDFA_ASSIGN_OR_RETURN(std::string iri, ResolveName(name));
+    return AttrExpr::Property(std::move(iri));
+  }
+
+  // restr := (FN '(' path ')' | path)? cmp value
+  Result<Restriction> ParseRestriction() {
+    Restriction r;
+    bool expect_close = false;
+    if (Peek().kind == Tok::kName && IsDerivedFn(Peek().text) &&
+        Peek(1).kind == Tok::kPunct && Peek(1).text == "(") {
+      r.derived_function = ToUpperAscii(Consume().text);
+      Consume();  // '('
+      expect_close = true;
+    }
+    if (Peek().kind == Tok::kName) {
+      // path: name ('.' name)*
+      RDFA_ASSIGN_OR_RETURN(std::string first, ResolveName(Consume().text));
+      r.path.push_back(std::move(first));
+      while (PeekPunct(".")) {
+        Consume();
+        if (Peek().kind != Tok::kName) return Err("expected path segment");
+        RDFA_ASSIGN_OR_RETURN(std::string seg, ResolveName(Consume().text));
+        r.path.push_back(std::move(seg));
+      }
+    }
+    if (expect_close) RDFA_RETURN_NOT_OK(Expect(")"));
+    if (Peek().kind != Tok::kPunct) return Err("expected comparison operator");
+    r.op = Consume().text;
+    if (r.op != "=" && r.op != "!=" && r.op != "<" && r.op != "<=" &&
+        r.op != ">" && r.op != ">=") {
+      return Err("bad comparison operator '" + r.op + "'");
+    }
+    // value
+    const Tok& v = Peek();
+    if (v.kind == Tok::kNumber) {
+      std::string num = Consume().text;
+      if (num.find('.') != std::string::npos) {
+        r.value = Term::TypedLiteral(num, rdf::xsd::kDouble);
+      } else {
+        r.value = Term::TypedLiteral(num, rdf::xsd::kInteger);
+      }
+      return r;
+    }
+    if (v.kind == Tok::kString) {
+      r.value = Term::Literal(Consume().text);
+      return r;
+    }
+    if (v.kind == Tok::kName) {
+      RDFA_ASSIGN_OR_RETURN(std::string iri, ResolveName(Consume().text));
+      r.value = Term::Iri(std::move(iri));
+      return r;
+    }
+    return Err("expected restriction value");
+  }
+
+  std::vector<Tok> toks_;
+  const rdf::PrefixMap& prefixes_;
+  std::string default_ns_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseHifun(std::string_view text, const rdf::PrefixMap& prefixes,
+                         const std::string& default_ns) {
+  RDFA_ASSIGN_OR_RETURN(std::vector<Tok> toks, Lex(text));
+  HifunParser parser(std::move(toks), prefixes, default_ns);
+  return parser.Parse();
+}
+
+}  // namespace rdfa::hifun

@@ -1,0 +1,42 @@
+#ifndef RDFA_HIFUN_HIFUN_PARSER_H_
+#define RDFA_HIFUN_HIFUN_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "hifun/query.h"
+#include "rdf/namespaces.h"
+
+namespace rdfa::hifun {
+
+/// Parses the textual HIFUN notation used throughout the dissertation.
+///
+/// Grammar (whitespace-separated tokens; `o` is composition written
+/// outermost-first as in the paper, `x` is pairing):
+///
+///   query   := '(' gpart ',' mpart ',' oppart ')' ('over' name)?
+///   gpart   := 'eps' | attr restr*
+///   mpart   := 'ID' | attr restr*
+///   attr    := comp ('x' comp)*
+///   comp    := atom ('o' atom)*          # "brand o delivers" = brand∘delivers
+///   atom    := name | FUNC '(' attr ')' | '(' attr ')'
+///   restr   := '/' (path)? cmp value     # "/ manufacturer.origin = ex:USA"
+///   path    := name ('.' name)*          #   or "/ >= 2" (empty path)
+///   oppart  := OP ('+' OP)* ('/' cmp number)?   # "SUM+AVG / > 1000"
+///   cmp     := '=' | '!=' | '<' | '<=' | '>' | '>='
+///   value   := number | '"'string'"' | name (resolved to an IRI)
+///
+/// Names resolve through `prefixes` when they contain ':', otherwise
+/// against `default_ns`. Examples from the paper:
+///   "(takesPlaceAt, inQuantity, SUM)"
+///   "(brand o delivers, inQuantity, SUM)"
+///   "((takesPlaceAt x delivers), inQuantity, SUM)"
+///   "(takesPlaceAt / = ex:branch1, inQuantity, SUM)"
+///   "(takesPlaceAt, inQuantity / >= 2, SUM / > 1000)"
+///   "(MONTH(hasDate), inQuantity, SUM) over ex:Invoice"
+Result<Query> ParseHifun(std::string_view text, const rdf::PrefixMap& prefixes,
+                         const std::string& default_ns);
+
+}  // namespace rdfa::hifun
+
+#endif  // RDFA_HIFUN_HIFUN_PARSER_H_

@@ -1,0 +1,36 @@
+#include "hifun/query.h"
+
+#include "common/string_util.h"
+
+namespace rdfa::hifun {
+
+std::string Query::ToString() const {
+  std::string out = "(";
+  out += grouping == nullptr ? "eps" : grouping->ToString();
+  for (const Restriction& r : group_restrictions) {
+    out += " / " + r.ToString();
+  }
+  out += ", ";
+  out += measuring == nullptr ? "ID" : measuring->ToString();
+  for (const Restriction& r : measure_restrictions) {
+    out += " / " + r.ToString();
+  }
+  out += ", ";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) out += "+";
+    out += AggOpName(ops[i]);
+  }
+  if (result_restriction.has_value()) {
+    out += " / " + result_restriction->op + " " +
+           FormatNumber(result_restriction->value);
+  }
+  out += ")";
+  if (!root_class.empty()) {
+    size_t pos = root_class.find_last_of("#/");
+    out += " over " +
+           (pos == std::string::npos ? root_class : root_class.substr(pos + 1));
+  }
+  return out;
+}
+
+}  // namespace rdfa::hifun

@@ -1,0 +1,48 @@
+#ifndef RDFA_HIFUN_QUERY_H_
+#define RDFA_HIFUN_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hifun/attr_expr.h"
+
+namespace rdfa::hifun {
+
+/// A restriction `/ro` on the final (reduced) answer — the HAVING clause of
+/// §4.2.3. Applies to the aggregate value of the op at `op_index`.
+struct ResultRestriction {
+  std::string op = ">";  ///< comparison operator
+  double value = 0;      ///< numeric threshold
+  size_t op_index = 0;   ///< which aggregate column it constrains
+};
+
+/// A HIFUN analytic query Q = (gE/rg, mE/rm, opE/ro) — dissertation §4.2.5.
+///
+/// `grouping` may be null for aggregate-only queries (Example 1 of §5.1, an
+/// AVG with no GROUP BY). Multiple aggregate ops are allowed because the GUI
+/// lets the user tick several functions at once (Fig 6.2: "Average, sum and
+/// max price ... group by manufacturer").
+struct Query {
+  /// Root of the analysis context: instances of this class form D. Empty
+  /// means every subject in the graph.
+  std::string root_class;
+  /// §4.1.2: "any set of classes can be selected as the roots of a
+  /// context". Instances of these classes are unioned into D alongside
+  /// `root_class`.
+  std::vector<std::string> extra_root_classes;
+
+  AttrExprPtr grouping;                        ///< gE (nullable)
+  std::vector<Restriction> group_restrictions; ///< rg
+  AttrExprPtr measuring;                       ///< mE (Identity for COUNT)
+  std::vector<Restriction> measure_restrictions;  ///< rm
+  std::vector<AggOp> ops;                      ///< opE (>=1)
+  std::optional<ResultRestriction> result_restriction;  ///< ro
+
+  /// Paper-style rendering, e.g. "(takesPlaceAt, inQuantity, SUM)".
+  std::string ToString() const;
+};
+
+}  // namespace rdfa::hifun
+
+#endif  // RDFA_HIFUN_QUERY_H_

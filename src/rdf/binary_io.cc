@@ -1,0 +1,172 @@
+#include "rdf/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace rdfa::rdf {
+
+namespace {
+
+constexpr char kMagic[] = "RDFA1\n";
+constexpr size_t kMagicLen = 6;
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ >= data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool ReadString(std::string* s) {
+    uint64_t len = 0;
+    if (!ReadU64(&len) || pos_ + len > data_.size()) return false;
+    s->assign(data_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SaveBinary(const Graph& graph) {
+  std::string out(kMagic, kMagicLen);
+  const TermTable& terms = graph.terms();
+  PutU64(&out, terms.size());
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const Term& t = terms.Get(static_cast<TermId>(i));
+    out.push_back(static_cast<char>(t.kind()));
+    PutString(&out, t.lexical());
+    PutString(&out, t.datatype());
+    PutString(&out, t.lang());
+  }
+  PutU64(&out, graph.triples().size());
+  for (const TripleId& t : graph.triples()) {
+    PutU32(&out, t.s);
+    PutU32(&out, t.p);
+    PutU32(&out, t.o);
+  }
+  return out;
+}
+
+Status LoadBinary(std::string_view data, Graph* graph) {
+  if (graph->size() != 0 || graph->terms().size() != 0) {
+    return Status::InvalidArgument("LoadBinary requires an empty graph");
+  }
+  if (data.size() < kMagicLen ||
+      std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
+    return Status::ParseError("bad magic: not an rdfa binary snapshot");
+  }
+  Reader r(data.substr(kMagicLen));
+  uint64_t n_terms = 0;
+  if (!r.ReadU64(&n_terms)) return Status::ParseError("truncated term count");
+  for (uint64_t i = 0; i < n_terms; ++i) {
+    uint8_t kind = 0;
+    std::string lexical, datatype, lang;
+    if (!r.ReadU8(&kind) || !r.ReadString(&lexical) ||
+        !r.ReadString(&datatype) || !r.ReadString(&lang)) {
+      return Status::ParseError("truncated term " + std::to_string(i));
+    }
+    Term term;
+    switch (static_cast<TermKind>(kind)) {
+      case TermKind::kIri:
+        term = Term::Iri(std::move(lexical));
+        break;
+      case TermKind::kBlankNode:
+        term = Term::Blank(std::move(lexical));
+        break;
+      case TermKind::kLiteral:
+        if (!lang.empty()) {
+          term = Term::LangLiteral(std::move(lexical), std::move(lang));
+        } else if (!datatype.empty()) {
+          term = Term::TypedLiteral(std::move(lexical), std::move(datatype));
+        } else {
+          term = Term::Literal(std::move(lexical));
+        }
+        break;
+      default:
+        return Status::ParseError("bad term kind");
+    }
+    TermId id = graph->terms().Intern(term);
+    if (id != i) {
+      return Status::ParseError("duplicate term in snapshot (id drift)");
+    }
+  }
+  uint64_t n_triples = 0;
+  if (!r.ReadU64(&n_triples)) {
+    return Status::ParseError("truncated triple count");
+  }
+  for (uint64_t i = 0; i < n_triples; ++i) {
+    TripleId t;
+    if (!r.ReadU32(&t.s) || !r.ReadU32(&t.p) || !r.ReadU32(&t.o)) {
+      return Status::ParseError("truncated triple " + std::to_string(i));
+    }
+    if (t.s >= n_terms || t.p >= n_terms || t.o >= n_terms) {
+      return Status::ParseError("triple references unknown term");
+    }
+    graph->AddIds(t);
+  }
+  return Status::OK();
+}
+
+Status SaveBinaryFile(const Graph& graph, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::InvalidArgument("cannot open " + path);
+  std::string data = SaveBinary(graph);
+  file.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!file.good()) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadBinaryFile(const std::string& path, Graph* graph) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::InvalidArgument("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  return LoadBinary(data, graph);
+}
+
+}  // namespace rdfa::rdf

@@ -1,0 +1,30 @@
+#ifndef RDFA_RDF_BINARY_IO_H_
+#define RDFA_RDF_BINARY_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+
+namespace rdfa::rdf {
+
+/// Compact binary snapshot of a graph: the interned term table followed by
+/// the triple id list (so a reload preserves term ids, which keeps saved
+/// extensions/sessions valid). Format:
+///   magic "RDFA1\n", u64 term count, per term: u8 kind + 3 length-prefixed
+///   strings (lexical, datatype, lang), u64 triple count, per triple 3xu32.
+/// All integers little-endian.
+std::string SaveBinary(const Graph& graph);
+
+/// Restores a snapshot into an *empty* graph. Term ids are preserved
+/// exactly as saved.
+Status LoadBinary(std::string_view data, Graph* graph);
+
+/// File convenience wrappers.
+Status SaveBinaryFile(const Graph& graph, const std::string& path);
+Status LoadBinaryFile(const std::string& path, Graph* graph);
+
+}  // namespace rdfa::rdf
+
+#endif  // RDFA_RDF_BINARY_IO_H_

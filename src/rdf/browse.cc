@@ -1,0 +1,116 @@
+#include "rdf/browse.h"
+
+#include <map>
+#include <set>
+
+#include "rdf/namespaces.h"
+
+namespace rdfa::rdf {
+
+namespace {
+
+std::string LocalName(const std::string& iri) {
+  size_t pos = iri.find_last_of("#/");
+  return pos == std::string::npos ? iri : iri.substr(pos + 1);
+}
+
+std::vector<PropertyGroup> GroupByProperty(
+    const std::map<TermId, std::set<TermId>>& index) {
+  std::vector<PropertyGroup> out;
+  out.reserve(index.size());
+  for (const auto& [p, values] : index) {
+    PropertyGroup group;
+    group.property = p;
+    group.values.assign(values.begin(), values.end());
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+}  // namespace
+
+ResourceCard DescribeResource(const Graph& graph, TermId resource) {
+  ResourceCard card;
+  card.subject = resource;
+  TermId type = graph.terms().FindIri(rdfns::kType);
+
+  std::map<TermId, std::set<TermId>> outgoing;
+  graph.ForEachMatch(resource, kNoTermId, kNoTermId,
+                     [&](const TripleId& t) {
+                       if (t.p == type) {
+                         card.types.push_back(t.o);
+                       } else {
+                         outgoing[t.p].insert(t.o);
+                       }
+                     });
+  std::map<TermId, std::set<TermId>> incoming;
+  graph.ForEachMatch(kNoTermId, kNoTermId, resource,
+                     [&](const TripleId& t) {
+                       if (t.p != type) incoming[t.p].insert(t.s);
+                     });
+  card.outgoing = GroupByProperty(outgoing);
+  card.incoming = GroupByProperty(incoming);
+  return card;
+}
+
+size_t ConciseBoundedDescription(const Graph& graph, TermId resource,
+                                 Graph* out) {
+  size_t added = 0;
+  std::set<TermId> visited;
+  std::vector<TermId> work = {resource};
+  while (!work.empty()) {
+    TermId cur = work.back();
+    work.pop_back();
+    if (!visited.insert(cur).second) continue;
+    graph.ForEachMatch(cur, kNoTermId, kNoTermId, [&](const TripleId& t) {
+      if (out->Add(graph.terms().Get(t.s), graph.terms().Get(t.p),
+                   graph.terms().Get(t.o))) {
+        ++added;
+      }
+      // Recurse through blank node values (the CBD rule).
+      if (graph.terms().Get(t.o).is_blank()) work.push_back(t.o);
+    });
+  }
+  return added;
+}
+
+std::string RenderResourceCard(const Graph& graph, const ResourceCard& card,
+                               size_t max_values_per_property) {
+  const TermTable& terms = graph.terms();
+  auto show = [&](TermId id) {
+    const Term& t = terms.Get(id);
+    if (t.is_literal()) return t.lexical();
+    if (t.is_blank()) return "_:" + t.lexical();
+    return LocalName(t.lexical());
+  };
+  std::string out = "== " + show(card.subject);
+  if (!card.types.empty()) {
+    out += " (";
+    for (size_t i = 0; i < card.types.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += show(card.types[i]);
+    }
+    out += ")";
+  }
+  out += " ==\n";
+  auto render_groups = [&](const std::vector<PropertyGroup>& groups,
+                           const char* arrow) {
+    for (const PropertyGroup& g : groups) {
+      out += std::string(arrow) + " " + show(g.property) + ": ";
+      for (size_t i = 0; i < g.values.size(); ++i) {
+        if (i >= max_values_per_property) {
+          out += ", ...";
+          break;
+        }
+        if (i > 0) out += ", ";
+        out += show(g.values[i]);
+      }
+      out += "\n";
+    }
+  };
+  render_groups(card.outgoing, "->");
+  render_groups(card.incoming, "<-");
+  return out;
+}
+
+}  // namespace rdfa::rdf

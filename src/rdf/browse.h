@@ -1,0 +1,46 @@
+#ifndef RDFA_RDF_BROWSE_H_
+#define RDFA_RDF_BROWSE_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rdfa::rdf {
+
+/// One property group of a resource card: a predicate with the values it
+/// links the resource to (outgoing) or the subjects linking in (incoming).
+struct PropertyGroup {
+  TermId property = kNoTermId;
+  std::vector<TermId> values;
+};
+
+/// The browsing view of one resource — what the paper calls *plain graph
+/// browsing* (§1.2 "start from a resource, inspect its values and move to a
+/// connected resource"): its types, outgoing property/value groups, and
+/// incoming links.
+struct ResourceCard {
+  TermId subject = kNoTermId;
+  std::vector<TermId> types;
+  std::vector<PropertyGroup> outgoing;  ///< excludes rdf:type
+  std::vector<PropertyGroup> incoming;  ///< p such that (x, p, subject)
+};
+
+/// Builds the card for `resource`. Values within a group are in term-id
+/// order (deterministic).
+ResourceCard DescribeResource(const Graph& graph, TermId resource);
+
+/// The Concise Bounded Description of `resource` (the DESCRIBE query form):
+/// every triple with the resource as subject, plus, recursively, the full
+/// description of any blank node value. Triples are added to `*out`;
+/// returns how many.
+size_t ConciseBoundedDescription(const Graph& graph, TermId resource,
+                                 Graph* out);
+
+/// Renders a card as text (local names, literals verbatim).
+std::string RenderResourceCard(const Graph& graph, const ResourceCard& card,
+                               size_t max_values_per_property = 8);
+
+}  // namespace rdfa::rdf
+
+#endif  // RDFA_RDF_BROWSE_H_

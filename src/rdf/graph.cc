@@ -1,0 +1,110 @@
+#include "rdf/graph.h"
+
+namespace rdfa::rdf {
+
+bool Graph::Add(const Term& s, const Term& p, const Term& o) {
+  TripleId t{terms_.Intern(s), terms_.Intern(p), terms_.Intern(o)};
+  return AddIds(t);
+}
+
+bool Graph::AddIds(TripleId t) {
+  if (!triple_set_.insert(t).second) return false;
+  triples_.push_back(t);
+  dirty_ = true;
+  return true;
+}
+
+bool Graph::Contains(TermId s, TermId p, TermId o) const {
+  return triple_set_.count(TripleId{s, p, o}) > 0;
+}
+
+size_t Graph::RemoveMatching(TermId s, TermId p, TermId o) {
+  size_t before = triples_.size();
+  std::vector<TripleId> kept;
+  kept.reserve(triples_.size());
+  for (const TripleId& t : triples_) {
+    bool matches = (s == kNoTermId || t.s == s) &&
+                   (p == kNoTermId || t.p == p) &&
+                   (o == kNoTermId || t.o == o);
+    if (matches) {
+      triple_set_.erase(t);
+    } else {
+      kept.push_back(t);
+    }
+  }
+  triples_ = std::move(kept);
+  dirty_ = true;
+  return before - triples_.size();
+}
+
+std::vector<TripleId> Graph::Match(TermId s, TermId p, TermId o) const {
+  std::vector<TripleId> out;
+  ForEachMatch(s, p, o, [&](const TripleId& t) { out.push_back(t); });
+  return out;
+}
+
+size_t Graph::CountMatch(TermId s, TermId p, TermId o) const {
+  size_t n = 0;
+  ForEachMatch(s, p, o, [&](const TripleId&) { ++n; });
+  return n;
+}
+
+size_t Graph::EstimateMatch(TermId s, TermId p, TermId o) const {
+  if (s == kNoTermId && p == kNoTermId && o == kNoTermId) {
+    return triples_.size();
+  }
+  EnsureIndexes();
+  if (s != kNoTermId) {
+    auto [lo, hi] = Range(spo_, {s, p, o});
+    return hi - lo;
+  }
+  if (p != kNoTermId) {
+    auto [lo, hi] = Range(pos_, {p, o, s});
+    return hi - lo;
+  }
+  auto [lo, hi] = Range(osp_, {o, s, p});
+  return hi - lo;
+}
+
+std::pair<size_t, size_t> Graph::Range(const std::vector<Key>& index,
+                                       const Key& key) {
+  // Build lower/upper probe keys: bound prefix lanes stay, the first
+  // wildcard lane (and everything after) goes to 0 / MAX.
+  Key lo_key = key, hi_key = key;
+  bool wildcard = false;
+  TermId* lo_lanes[3] = {&lo_key.a, &lo_key.b, &lo_key.c};
+  TermId* hi_lanes[3] = {&hi_key.a, &hi_key.b, &hi_key.c};
+  const TermId lanes[3] = {key.a, key.b, key.c};
+  for (int i = 0; i < 3; ++i) {
+    if (wildcard || lanes[i] == kNoTermId) {
+      wildcard = true;
+      *lo_lanes[i] = 0;
+      *hi_lanes[i] = kNoTermId;  // MAX value; never a real id.
+    }
+  }
+  auto lo = std::lower_bound(index.begin(), index.end(), lo_key);
+  auto hi = std::upper_bound(index.begin(), index.end(), hi_key);
+  return {static_cast<size_t>(lo - index.begin()),
+          static_cast<size_t>(hi - index.begin())};
+}
+
+void Graph::EnsureIndexes() const {
+  if (!dirty_) return;
+  spo_.clear();
+  pos_.clear();
+  osp_.clear();
+  spo_.reserve(triples_.size());
+  pos_.reserve(triples_.size());
+  osp_.reserve(triples_.size());
+  for (const TripleId& t : triples_) {
+    spo_.push_back({t.s, t.p, t.o});
+    pos_.push_back({t.p, t.o, t.s});
+    osp_.push_back({t.o, t.s, t.p});
+  }
+  std::sort(spo_.begin(), spo_.end());
+  std::sort(pos_.begin(), pos_.end());
+  std::sort(osp_.begin(), osp_.end());
+  dirty_ = false;
+}
+
+}  // namespace rdfa::rdf

@@ -1,0 +1,143 @@
+#ifndef RDFA_RDF_GRAPH_H_
+#define RDFA_RDF_GRAPH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "rdf/term.h"
+#include "rdf/term_table.h"
+
+namespace rdfa::rdf {
+
+/// An in-memory RDF graph with set semantics over interned triples.
+///
+/// Three sorted permutation indexes (SPO, POS, OSP) are maintained lazily;
+/// any triple pattern with 0-3 bound positions is answered by a binary-search
+/// range scan over the best-fitting index. This is the storage substrate the
+/// SPARQL engine, the RDFS reasoner and the faceted-search model all share.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  TermTable& terms() { return terms_; }
+  const TermTable& terms() const { return terms_; }
+
+  /// Adds a triple of terms (interning them); returns false if the triple
+  /// was already present.
+  bool Add(const Term& s, const Term& p, const Term& o);
+
+  /// Adds a triple of already-interned ids; returns false on duplicates.
+  bool AddIds(TripleId t);
+
+  bool Contains(TermId s, TermId p, TermId o) const;
+
+  /// Removes every triple matching the pattern (kNoTermId = wildcard) in
+  /// one pass; returns how many were removed. Terms stay interned — ids
+  /// remain valid.
+  size_t RemoveMatching(TermId s, TermId p, TermId o);
+
+  size_t size() const { return triples_.size(); }
+  const std::vector<TripleId>& triples() const { return triples_; }
+
+  /// Calls `fn(const TripleId&)` for every triple matching the pattern;
+  /// kNoTermId positions are wildcards.
+  template <typename Fn>
+  void ForEachMatch(TermId s, TermId p, TermId o, Fn&& fn) const {
+    EnsureIndexes();
+    if (s == kNoTermId && p == kNoTermId && o == kNoTermId) {
+      for (const TripleId& t : triples_) fn(t);
+      return;
+    }
+    // Each index stores permuted keys; pick one whose first lane is bound.
+    if (s != kNoTermId) {
+      ScanIndex(spo_, {s, p, o}, kPermSPO, fn);
+    } else if (p != kNoTermId) {
+      ScanIndex(pos_, {p, o, s}, kPermPOS, fn);
+    } else {
+      ScanIndex(osp_, {o, s, p}, kPermOSP, fn);
+    }
+  }
+
+  /// Collects matches into a vector.
+  std::vector<TripleId> Match(TermId s, TermId p, TermId o) const;
+
+  /// Number of matches (scans the narrowed range).
+  size_t CountMatch(TermId s, TermId p, TermId o) const;
+
+  /// Estimated result size used by the BGP join reorderer: the width of the
+  /// narrowed index range, without filtering. Cheap upper bound on
+  /// CountMatch.
+  size_t EstimateMatch(TermId s, TermId p, TermId o) const;
+
+ private:
+  // A permuted triple used as an index entry; lexicographic order.
+  struct Key {
+    TermId a, b, c;
+    friend bool operator<(const Key& x, const Key& y) {
+      if (x.a != y.a) return x.a < y.a;
+      if (x.b != y.b) return x.b < y.b;
+      return x.c < y.c;
+    }
+  };
+
+  enum Perm { kPermSPO, kPermPOS, kPermOSP };
+
+  static TripleId Unpermute(const Key& k, Perm perm) {
+    switch (perm) {
+      case kPermSPO: return {k.a, k.b, k.c};
+      case kPermPOS: return {k.c, k.a, k.b};
+      case kPermOSP: return {k.b, k.c, k.a};
+    }
+    return {};
+  }
+
+  struct TripleHash {
+    size_t operator()(const TripleId& t) const {
+      uint64_t h = static_cast<uint64_t>(t.s) * 0x9E3779B97F4A7C15ull;
+      h ^= static_cast<uint64_t>(t.p) * 0xC2B2AE3D27D4EB4Full + (h << 6);
+      h ^= static_cast<uint64_t>(t.o) * 0x165667B19E3779F9ull + (h >> 3);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  // [lo, hi) range of entries in `index` whose bound prefix lanes match
+  // `key`. Lanes with kNoTermId in `key` are wildcards; only the leading run
+  // of bound lanes narrows the binary search.
+  static std::pair<size_t, size_t> Range(const std::vector<Key>& index,
+                                         const Key& key);
+
+  template <typename Fn>
+  void ScanIndex(const std::vector<Key>& index, Key key, Perm perm,
+                 Fn&& fn) const {
+    auto [lo, hi] = Range(index, key);
+    for (size_t i = lo; i < hi; ++i) {
+      const Key& k = index[i];
+      if ((key.b == kNoTermId || k.b == key.b) &&
+          (key.c == kNoTermId || k.c == key.c)) {
+        fn(Unpermute(k, perm));
+      }
+    }
+  }
+
+  void EnsureIndexes() const;
+
+  TermTable terms_;
+  std::vector<TripleId> triples_;
+  std::unordered_set<TripleId, TripleHash> triple_set_;
+
+  mutable bool dirty_ = true;
+  mutable std::vector<Key> spo_;
+  mutable std::vector<Key> pos_;
+  mutable std::vector<Key> osp_;
+};
+
+}  // namespace rdfa::rdf
+
+#endif  // RDFA_RDF_GRAPH_H_

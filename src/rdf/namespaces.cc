@@ -1,0 +1,53 @@
+#include "rdf/namespaces.h"
+
+#include <cctype>
+
+namespace rdfa::rdf {
+
+PrefixMap::PrefixMap() {
+  Register("rdf", rdfns::kPrefix);
+  Register("rdfs", rdfsns::kPrefix);
+  Register("xsd", xsd::kPrefix);
+}
+
+void PrefixMap::Register(std::string prefix, std::string iri_base) {
+  prefixes_[std::move(prefix)] = std::move(iri_base);
+}
+
+std::optional<std::string> PrefixMap::Expand(std::string_view qname) const {
+  size_t colon = qname.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  std::string prefix(qname.substr(0, colon));
+  auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return std::nullopt;
+  return it->second + std::string(qname.substr(colon + 1));
+}
+
+std::string PrefixMap::ShrinkOrWrap(std::string_view iri) const {
+  const std::string* best_base = nullptr;
+  const std::string* best_prefix = nullptr;
+  for (const auto& [prefix, base] : prefixes_) {
+    if (iri.size() > base.size() && iri.substr(0, base.size()) == base) {
+      if (best_base == nullptr || base.size() > best_base->size()) {
+        best_base = &base;
+        best_prefix = &prefix;
+      }
+    }
+  }
+  if (best_base != nullptr) {
+    std::string local(iri.substr(best_base->size()));
+    // Only shrink if the local part looks like a safe name.
+    bool safe = !local.empty();
+    for (char c : local) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '-' || c == '.')) {
+        safe = false;
+        break;
+      }
+    }
+    if (safe) return *best_prefix + ":" + local;
+  }
+  return "<" + std::string(iri) + ">";
+}
+
+}  // namespace rdfa::rdf

@@ -1,0 +1,73 @@
+#ifndef RDFA_RDF_NAMESPACES_H_
+#define RDFA_RDF_NAMESPACES_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rdfa::rdf {
+
+/// Well-known vocabulary IRIs. Kept as plain char arrays so they can be
+/// concatenated cheaply and used in constant expressions.
+namespace rdfns {
+inline constexpr char kType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr char kProperty[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+inline constexpr char kPrefix[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+}  // namespace rdfns
+
+namespace rdfsns {
+inline constexpr char kClass[] = "http://www.w3.org/2000/01/rdf-schema#Class";
+inline constexpr char kSubClassOf[] = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr char kSubPropertyOf[] = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+inline constexpr char kDomain[] = "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr char kRange[] = "http://www.w3.org/2000/01/rdf-schema#range";
+inline constexpr char kLabel[] = "http://www.w3.org/2000/01/rdf-schema#label";
+inline constexpr char kResource[] = "http://www.w3.org/2000/01/rdf-schema#Resource";
+inline constexpr char kLiteralClass[] = "http://www.w3.org/2000/01/rdf-schema#Literal";
+inline constexpr char kPrefix[] = "http://www.w3.org/2000/01/rdf-schema#";
+}  // namespace rdfsns
+
+namespace xsd {
+inline constexpr char kString[] = "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr char kInteger[] = "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr char kInt[] = "http://www.w3.org/2001/XMLSchema#int";
+inline constexpr char kLong[] = "http://www.w3.org/2001/XMLSchema#long";
+inline constexpr char kDecimal[] = "http://www.w3.org/2001/XMLSchema#decimal";
+inline constexpr char kDouble[] = "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr char kFloat[] = "http://www.w3.org/2001/XMLSchema#float";
+inline constexpr char kBoolean[] = "http://www.w3.org/2001/XMLSchema#boolean";
+inline constexpr char kDate[] = "http://www.w3.org/2001/XMLSchema#date";
+inline constexpr char kDateTime[] = "http://www.w3.org/2001/XMLSchema#dateTime";
+inline constexpr char kPrefix[] = "http://www.w3.org/2001/XMLSchema#";
+}  // namespace xsd
+
+/// Bidirectional prefix <-> namespace mapping, used by the Turtle parser,
+/// serializers and pretty-printers. Comes pre-loaded with rdf/rdfs/xsd.
+class PrefixMap {
+ public:
+  PrefixMap();
+
+  /// Registers (or overwrites) `prefix` -> `iri_base`. `prefix` excludes the
+  /// trailing colon ("ex", not "ex:").
+  void Register(std::string prefix, std::string iri_base);
+
+  /// Expands "ex:Laptop" to the full IRI; returns nullopt for unknown
+  /// prefixes or inputs without a colon.
+  std::optional<std::string> Expand(std::string_view qname) const;
+
+  /// Shrinks a full IRI to "prefix:local" if a registered namespace is a
+  /// prefix of it; otherwise returns the IRI unchanged wrapped in <>.
+  std::string ShrinkOrWrap(std::string_view iri) const;
+
+  const std::map<std::string, std::string>& prefixes() const {
+    return prefixes_;
+  }
+
+ private:
+  std::map<std::string, std::string> prefixes_;  // prefix -> base IRI
+};
+
+}  // namespace rdfa::rdf
+
+#endif  // RDFA_RDF_NAMESPACES_H_

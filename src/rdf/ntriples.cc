@@ -1,0 +1,161 @@
+#include "rdf/ntriples.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "rdf/namespaces.h"
+
+namespace rdfa::rdf {
+
+namespace {
+
+// Cursor over one N-Triples line.
+struct Cursor {
+  std::string_view s;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
+  }
+  bool AtEnd() const { return pos >= s.size(); }
+  char Peek() const { return pos < s.size() ? s[pos] : '\0'; }
+};
+
+Result<Term> ParseTerm(Cursor* c, int line) {
+  c->SkipSpace();
+  if (c->AtEnd()) {
+    return Status::ParseError("line " + std::to_string(line) +
+                              ": unexpected end of triple");
+  }
+  char ch = c->Peek();
+  if (ch == '<') {
+    size_t close = c->s.find('>', c->pos);
+    if (close == std::string_view::npos) {
+      return Status::ParseError("line " + std::to_string(line) +
+                                ": unterminated IRI");
+    }
+    std::string iri(c->s.substr(c->pos + 1, close - c->pos - 1));
+    c->pos = close + 1;
+    return Term::Iri(std::move(iri));
+  }
+  if (ch == '_') {
+    if (c->pos + 1 >= c->s.size() || c->s[c->pos + 1] != ':') {
+      return Status::ParseError("line " + std::to_string(line) +
+                                ": bad blank node");
+    }
+    size_t start = c->pos + 2;
+    size_t end = start;
+    while (end < c->s.size() &&
+           (std::isalnum(static_cast<unsigned char>(c->s[end])) ||
+            c->s[end] == '_' || c->s[end] == '-')) {
+      ++end;
+    }
+    std::string label(c->s.substr(start, end - start));
+    c->pos = end;
+    return Term::Blank(std::move(label));
+  }
+  if (ch == '"') {
+    // Find the closing quote, honoring backslash escapes.
+    size_t i = c->pos + 1;
+    while (i < c->s.size()) {
+      if (c->s[i] == '\\') {
+        i += 2;
+        continue;
+      }
+      if (c->s[i] == '"') break;
+      ++i;
+    }
+    if (i >= c->s.size()) {
+      return Status::ParseError("line " + std::to_string(line) +
+                                ": unterminated literal");
+    }
+    std::string lexical = UnescapeLiteral(c->s.substr(c->pos + 1, i - c->pos - 1));
+    c->pos = i + 1;
+    if (c->Peek() == '@') {
+      size_t start = ++c->pos;
+      while (c->pos < c->s.size() &&
+             (std::isalnum(static_cast<unsigned char>(c->s[c->pos])) ||
+              c->s[c->pos] == '-')) {
+        ++c->pos;
+      }
+      return Term::LangLiteral(std::move(lexical),
+                               std::string(c->s.substr(start, c->pos - start)));
+    }
+    if (c->Peek() == '^') {
+      if (c->pos + 2 >= c->s.size() || c->s[c->pos + 1] != '^' ||
+          c->s[c->pos + 2] != '<') {
+        return Status::ParseError("line " + std::to_string(line) +
+                                  ": bad datatype suffix");
+      }
+      size_t close = c->s.find('>', c->pos + 2);
+      if (close == std::string_view::npos) {
+        return Status::ParseError("line " + std::to_string(line) +
+                                  ": unterminated datatype IRI");
+      }
+      std::string dt(c->s.substr(c->pos + 3, close - c->pos - 3));
+      c->pos = close + 1;
+      return Term::TypedLiteral(std::move(lexical), std::move(dt));
+    }
+    return Term::Literal(std::move(lexical));
+  }
+  return Status::ParseError("line " + std::to_string(line) +
+                            ": unexpected character '" + std::string(1, ch) +
+                            "'");
+}
+
+}  // namespace
+
+Status ParseNTriples(std::string_view text, Graph* graph) {
+  int line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line = (nl == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    ++line_no;
+    start = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+
+    Cursor c{trimmed, 0};
+    RDFA_ASSIGN_OR_RETURN(Term s, ParseTerm(&c, line_no));
+    RDFA_ASSIGN_OR_RETURN(Term p, ParseTerm(&c, line_no));
+    RDFA_ASSIGN_OR_RETURN(Term o, ParseTerm(&c, line_no));
+    c.SkipSpace();
+    if (c.Peek() != '.') {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": missing terminating '.'");
+    }
+    graph->Add(s, p, o);
+  }
+  return Status::OK();
+}
+
+Result<Term> ParseNTriplesTerm(std::string_view text) {
+  Cursor c{TrimWhitespace(text), 0};
+  RDFA_ASSIGN_OR_RETURN(Term term, ParseTerm(&c, 1));
+  c.SkipSpace();
+  if (!c.AtEnd()) {
+    return Status::ParseError("trailing input after term: '" +
+                              std::string(text) + "'");
+  }
+  return term;
+}
+
+std::string WriteNTriples(const Graph& graph) {
+  std::string out;
+  const TermTable& terms = graph.terms();
+  for (const TripleId& t : graph.triples()) {
+    out += terms.Get(t.s).ToNTriples();
+    out += ' ';
+    out += terms.Get(t.p).ToNTriples();
+    out += ' ';
+    out += terms.Get(t.o).ToNTriples();
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace rdfa::rdf

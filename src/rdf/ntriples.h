@@ -1,0 +1,26 @@
+#ifndef RDFA_RDF_NTRIPLES_H_
+#define RDFA_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+
+namespace rdfa::rdf {
+
+/// Parses N-Triples text into `graph`. Lines that are empty or start with
+/// '#' are skipped. Returns ParseError with a line number on bad input.
+Status ParseNTriples(std::string_view text, Graph* graph);
+
+/// Serializes the whole graph in N-Triples, one triple per line, in
+/// insertion order.
+std::string WriteNTriples(const Graph& graph);
+
+/// Parses one N-Triples-syntax term ("<iri>", "_:b", "\"lit\"",
+/// "\"lit\"@en", "\"5\"^^<dt>"). Inverse of Term::ToNTriples.
+Result<Term> ParseNTriplesTerm(std::string_view text);
+
+}  // namespace rdfa::rdf
+
+#endif  // RDFA_RDF_NTRIPLES_H_

@@ -1,0 +1,88 @@
+#ifndef RDFA_RDF_RDFS_H_
+#define RDFA_RDF_RDFS_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rdfa::rdf {
+
+/// Interned ids of the RDF/RDFS vocabulary terms inside one graph.
+/// Missing terms are interned on construction so ids are always valid.
+struct Vocab {
+  explicit Vocab(Graph* graph);
+
+  TermId type;
+  TermId rdfs_class;
+  TermId rdf_property;
+  TermId sub_class_of;
+  TermId sub_property_of;
+  TermId domain;
+  TermId range;
+  TermId label;
+};
+
+/// A read-only schema view over a graph: which terms are classes /
+/// properties, the subclass & subproperty orders, domains and ranges.
+///
+/// The view is computed once from the current graph contents; rebuild after
+/// mutating the graph. The subclass/subproperty maps hold *direct* edges; the
+/// transitive queries walk them on demand (schemas are small relative to
+/// data, per the paper's assumption).
+class SchemaView {
+ public:
+  explicit SchemaView(const Graph& graph, const Vocab& vocab);
+
+  const std::set<TermId>& classes() const { return classes_; }
+  const std::set<TermId>& properties() const { return properties_; }
+
+  /// Direct super/subclasses (empty set if unknown class).
+  std::set<TermId> DirectSuperclasses(TermId c) const;
+  std::set<TermId> DirectSubclasses(TermId c) const;
+  /// Reflexive-transitive closure upward / downward.
+  std::set<TermId> Superclasses(TermId c) const;
+  std::set<TermId> Subclasses(TermId c) const;
+  /// Classes with no superclass — the top-level facet roots (paper §5.3.2,
+  /// maximal_{<=cl}(C)).
+  std::vector<TermId> MaximalClasses() const;
+
+  std::set<TermId> DirectSuperproperties(TermId p) const;
+  std::set<TermId> DirectSubproperties(TermId p) const;
+  std::set<TermId> Superproperties(TermId p) const;
+  std::set<TermId> Subproperties(TermId p) const;
+  /// Properties with no superproperty (maximal_{<=pr}(Pr)).
+  std::vector<TermId> MaximalProperties() const;
+
+  /// Declared domain/range classes of `p` (may be empty).
+  std::set<TermId> Domains(TermId p) const;
+  std::set<TermId> Ranges(TermId p) const;
+
+ private:
+  static std::set<TermId> Closure(
+      const std::map<TermId, std::set<TermId>>& edges, TermId start);
+
+  std::set<TermId> classes_;
+  std::set<TermId> properties_;
+  std::map<TermId, std::set<TermId>> super_class_;   // c -> direct supers
+  std::map<TermId, std::set<TermId>> sub_class_;     // c -> direct subs
+  std::map<TermId, std::set<TermId>> super_prop_;
+  std::map<TermId, std::set<TermId>> sub_prop_;
+  std::map<TermId, std::set<TermId>> domain_;
+  std::map<TermId, std::set<TermId>> range_;
+};
+
+/// Forward-chains the RDFS entailment rules the paper relies on
+/// (dissertation §2.1, §4.1):
+///   rdfs9/rdfs11: type propagation through transitive subClassOf
+///   rdfs5/rdfs7:  property-instance propagation through subPropertyOf
+///   rdfs2/rdfs3:  domain / range typing
+/// Returns the number of triples added. Single pass in dependency order
+/// (subproperty -> domain/range -> subclass), which reaches the fixpoint for
+/// these rules.
+size_t MaterializeRdfsClosure(Graph* graph);
+
+}  // namespace rdfa::rdf
+
+#endif  // RDFA_RDF_RDFS_H_

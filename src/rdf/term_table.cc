@@ -1,0 +1,35 @@
+#include "rdf/term_table.h"
+
+namespace rdfa::rdf {
+
+TermId TermTable::Intern(const Term& term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(term, id);
+  return id;
+}
+
+TermId TermTable::Find(const Term& term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? kNoTermId : it->second;
+}
+
+TermId TermTable::InternIri(std::string_view iri) {
+  return Intern(Term::Iri(std::string(iri)));
+}
+
+TermId TermTable::FindIri(std::string_view iri) const {
+  return Find(Term::Iri(std::string(iri)));
+}
+
+TermId TermTable::MintBlank() {
+  while (true) {
+    std::string label = "b" + std::to_string(blank_counter_++);
+    Term t = Term::Blank(label);
+    if (index_.find(t) == index_.end()) return Intern(t);
+  }
+}
+
+}  // namespace rdfa::rdf

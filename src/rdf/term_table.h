@@ -1,0 +1,54 @@
+#ifndef RDFA_RDF_TERM_TABLE_H_
+#define RDFA_RDF_TERM_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rdfa::rdf {
+
+/// Interns terms to dense 32-bit ids. All engine data structures (graph
+/// indexes, bindings, extensions) operate on TermIds; the table is the only
+/// place term strings live.
+class TermTable {
+ public:
+  TermTable() = default;
+  TermTable(const TermTable&) = delete;
+  TermTable& operator=(const TermTable&) = delete;
+  TermTable(TermTable&&) = default;
+  TermTable& operator=(TermTable&&) = default;
+
+  /// Interns `term`, returning its id (existing id if already present).
+  TermId Intern(const Term& term);
+
+  /// Looks up an already-interned term; kNoTermId if absent.
+  TermId Find(const Term& term) const;
+
+  /// The term for `id`. Precondition: id < size().
+  const Term& Get(TermId id) const { return terms_[id]; }
+
+  /// Convenience: intern an IRI / plain literal directly.
+  TermId InternIri(std::string_view iri);
+  TermId FindIri(std::string_view iri) const;
+
+  size_t size() const { return terms_.size(); }
+
+  /// Mints a blank node with a fresh label ("_:b<N>") guaranteed unique
+  /// within this table.
+  TermId MintBlank();
+
+ private:
+  struct TermHash {
+    size_t operator()(const Term& t) const { return t.Hash(); }
+  };
+  std::vector<Term> terms_;
+  std::unordered_map<Term, TermId, TermHash> index_;
+  uint64_t blank_counter_ = 0;
+};
+
+}  // namespace rdfa::rdf
+
+#endif  // RDFA_RDF_TERM_TABLE_H_

@@ -1,0 +1,379 @@
+#include "rdf/turtle.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace rdfa::rdf {
+
+namespace {
+
+// Character-level scanner over the whole document.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        if (c == '\n') ++line_;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpaceAndComments();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipSpaceAndComments();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  char Next() { return text_[pos_++]; }
+  void Advance(size_t n) { pos_ += n; }
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  std::string_view text() const { return text_; }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    SkipSpaceAndComments();
+    if (text_.size() - pos_ < kw.size()) return false;
+    if (!EqualsIgnoreCase(text_.substr(pos_, kw.size()), kw)) return false;
+    size_t after = pos_ + kw.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class TurtleParser {
+ public:
+  TurtleParser(std::string_view text, Graph* graph, PrefixMap* prefixes)
+      : scan_(text), graph_(graph), external_prefixes_(prefixes) {}
+
+  Status Run() {
+    while (!scan_.AtEnd()) {
+      if (scan_.Peek() == '@') {
+        RDFA_RETURN_NOT_OK(ParsePrefixDirective(/*at_style=*/true));
+        continue;
+      }
+      if (scan_.ConsumeKeyword("PREFIX")) {
+        RDFA_RETURN_NOT_OK(ParsePrefixDirective(/*at_style=*/false));
+        continue;
+      }
+      if (scan_.ConsumeKeyword("BASE") || scan_.ConsumeKeyword("@base")) {
+        return Err("@base is not supported");
+      }
+      RDFA_RETURN_NOT_OK(ParseTriplesBlock());
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Err(const std::string& msg) {
+    return Status::ParseError("turtle line " + std::to_string(scan_.line()) +
+                              ": " + msg);
+  }
+
+  Status ParsePrefixDirective(bool at_style) {
+    if (at_style) {
+      // consume "@prefix"
+      if (!scan_.ConsumeKeyword("@prefix")) return Err("expected @prefix");
+    }
+    // prefix name up to ':'
+    scan_.SkipSpaceAndComments();
+    std::string prefix;
+    while (scan_.Peek() != ':' && !scan_.AtEnd()) {
+      char c = scan_.Next();
+      if (std::isspace(static_cast<unsigned char>(c))) break;
+      prefix += c;
+    }
+    if (scan_.Peek() != ':') return Err("expected ':' in prefix directive");
+    scan_.Next();
+    scan_.SkipSpaceAndComments();
+    if (scan_.Peek() != '<') return Err("expected <iri> in prefix directive");
+    scan_.Next();
+    std::string iri;
+    // Raw character reads: '#' inside an IRI is not a comment.
+    while (scan_.pos() < scan_.text().size() &&
+           scan_.text()[scan_.pos()] != '>') {
+      iri += scan_.Next();
+    }
+    if (scan_.pos() >= scan_.text().size()) {
+      return Err("unterminated prefix IRI");
+    }
+    scan_.Next();  // '>'
+    if (at_style) {
+      scan_.SkipSpaceAndComments();
+      if (scan_.Peek() == '.') scan_.Next();
+    }
+    prefixes_.Register(prefix, iri);
+    if (external_prefixes_ != nullptr) {
+      external_prefixes_->Register(prefix, iri);
+    }
+    return Status::OK();
+  }
+
+  Status ParseTriplesBlock() {
+    RDFA_ASSIGN_OR_RETURN(Term subject, ParseTerm());
+    while (true) {
+      RDFA_ASSIGN_OR_RETURN(Term predicate, ParsePredicate());
+      while (true) {
+        RDFA_ASSIGN_OR_RETURN(Term object, ParseTerm());
+        graph_->Add(subject, predicate, object);
+        if (scan_.Peek() == ',') {
+          scan_.Next();
+          continue;
+        }
+        break;
+      }
+      char c = scan_.Peek();
+      if (c == ';') {
+        scan_.Next();
+        // Allow trailing ';' before '.'.
+        if (scan_.Peek() == '.') {
+          scan_.Next();
+          return Status::OK();
+        }
+        continue;
+      }
+      if (c == '.') {
+        scan_.Next();
+        return Status::OK();
+      }
+      return Err("expected ';' or '.' after object");
+    }
+  }
+
+  Result<Term> ParsePredicate() {
+    if (scan_.Peek() == 'a') {
+      // Lookahead: 'a' followed by whitespace is rdf:type.
+      size_t p = scan_.pos();
+      if (p + 1 < scan_.text().size() &&
+          std::isspace(static_cast<unsigned char>(scan_.text()[p + 1]))) {
+        scan_.Next();
+        return Term::Iri(rdfns::kType);
+      }
+    }
+    return ParseTerm();
+  }
+
+  Result<Term> ParseTerm() {
+    char c = scan_.Peek();
+    if (c == '\0') return Err("unexpected end of input");
+    if (c == '<') return ParseIriRef();
+    if (c == '"') return ParseQuotedLiteral();
+    if (c == '_' ) return ParseBlank();
+    if (c == '(' || c == '[') {
+      return Err("collections and blank node property lists are unsupported");
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '+' || c == '-') {
+      return ParseNumber();
+    }
+    if (scan_.ConsumeKeyword("true")) return Term::Boolean(true);
+    if (scan_.ConsumeKeyword("false")) return Term::Boolean(false);
+    return ParsePrefixedName();
+  }
+
+  Result<Term> ParseIriRef() {
+    scan_.Next();  // '<'
+    std::string iri;
+    while (scan_.pos() < scan_.text().size() &&
+           scan_.text()[scan_.pos()] != '>') {
+      iri += scan_.Next();
+    }
+    if (scan_.pos() >= scan_.text().size()) return Err("unterminated IRI");
+    scan_.Next();
+    return Term::Iri(std::move(iri));
+  }
+
+  Result<Term> ParseBlank() {
+    scan_.Next();  // '_'
+    if (scan_.pos() >= scan_.text().size() ||
+        scan_.text()[scan_.pos()] != ':') {
+      return Err("bad blank node");
+    }
+    scan_.Next();
+    std::string label;
+    while (scan_.pos() < scan_.text().size()) {
+      char c = scan_.text()[scan_.pos()];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-') {
+        label += scan_.Next();
+      } else {
+        break;
+      }
+    }
+    return Term::Blank(std::move(label));
+  }
+
+  Result<Term> ParseQuotedLiteral() {
+    scan_.Next();  // '"'
+    std::string raw;
+    while (scan_.pos() < scan_.text().size()) {
+      char c = scan_.text()[scan_.pos()];
+      if (c == '\\') {
+        raw += scan_.Next();
+        if (scan_.pos() < scan_.text().size()) raw += scan_.Next();
+        continue;
+      }
+      if (c == '"') break;
+      if (c == '\n') return Err("multiline literals are unsupported");
+      raw += scan_.Next();
+    }
+    if (scan_.pos() >= scan_.text().size()) return Err("unterminated literal");
+    scan_.Next();  // closing '"'
+    std::string lexical = UnescapeLiteral(raw);
+    // Suffixes.
+    if (scan_.pos() < scan_.text().size() &&
+        scan_.text()[scan_.pos()] == '@') {
+      scan_.Next();
+      std::string lang;
+      while (scan_.pos() < scan_.text().size()) {
+        char c = scan_.text()[scan_.pos()];
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '-') {
+          lang += scan_.Next();
+        } else {
+          break;
+        }
+      }
+      return Term::LangLiteral(std::move(lexical), std::move(lang));
+    }
+    if (scan_.pos() + 1 < scan_.text().size() &&
+        scan_.text()[scan_.pos()] == '^' &&
+        scan_.text()[scan_.pos() + 1] == '^') {
+      scan_.Advance(2);
+      RDFA_ASSIGN_OR_RETURN(Term dt, ParseTerm());
+      if (!dt.is_iri()) return Err("datatype must be an IRI");
+      return Term::TypedLiteral(std::move(lexical), dt.lexical());
+    }
+    return Term::Literal(std::move(lexical));
+  }
+
+  Result<Term> ParseNumber() {
+    std::string num;
+    bool has_dot = false;
+    num += scan_.Next();
+    while (scan_.pos() < scan_.text().size()) {
+      char c = scan_.text()[scan_.pos()];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        num += scan_.Next();
+      } else if (c == '.' && !has_dot) {
+        // A '.' followed by a digit is a decimal point; otherwise it is the
+        // statement terminator.
+        if (scan_.pos() + 1 < scan_.text().size() &&
+            std::isdigit(
+                static_cast<unsigned char>(scan_.text()[scan_.pos() + 1]))) {
+          has_dot = true;
+          num += scan_.Next();
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    if (has_dot) return Term::TypedLiteral(num, xsd::kDecimal);
+    return Term::TypedLiteral(num, xsd::kInteger);
+  }
+
+  Result<Term> ParsePrefixedName() {
+    std::string name;
+    while (scan_.pos() < scan_.text().size()) {
+      char c = scan_.text()[scan_.pos()];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == ':') {
+        name += scan_.Next();
+      } else if (c == '.') {
+        // A '.' inside a local name only if followed by a name character;
+        // otherwise it terminates the statement.
+        if (scan_.pos() + 1 < scan_.text().size() &&
+            (std::isalnum(static_cast<unsigned char>(
+                 scan_.text()[scan_.pos() + 1])) ||
+             scan_.text()[scan_.pos() + 1] == '_')) {
+          name += scan_.Next();
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    if (name.empty()) return Err("expected a term");
+    auto iri = prefixes_.Expand(name);
+    if (!iri.has_value()) {
+      return Err("unknown prefix in '" + name + "'");
+    }
+    return Term::Iri(*iri);
+  }
+
+  Scanner scan_;
+  Graph* graph_;
+  PrefixMap prefixes_;
+  PrefixMap* external_prefixes_;
+};
+
+}  // namespace
+
+Status ParseTurtle(std::string_view text, Graph* graph, PrefixMap* prefixes) {
+  TurtleParser parser(text, graph, prefixes);
+  return parser.Run();
+}
+
+std::string WriteTurtle(const Graph& graph, const PrefixMap& prefixes) {
+  std::string out;
+  for (const auto& [prefix, base] : prefixes.prefixes()) {
+    out += "@prefix " + prefix + ": <" + base + "> .\n";
+  }
+  out += "\n";
+  // Group by subject, preserving first-appearance order.
+  std::vector<TermId> order;
+  std::map<TermId, std::vector<TripleId>> by_subject;
+  for (const TripleId& t : graph.triples()) {
+    auto [it, inserted] = by_subject.try_emplace(t.s);
+    if (inserted) order.push_back(t.s);
+    it->second.push_back(t);
+  }
+  const TermTable& terms = graph.terms();
+  auto render = [&](TermId id) {
+    const Term& t = terms.Get(id);
+    if (t.is_iri()) return prefixes.ShrinkOrWrap(t.lexical());
+    return t.ToNTriples();
+  };
+  for (TermId subj : order) {
+    const auto& ts = by_subject[subj];
+    out += render(subj);
+    for (size_t i = 0; i < ts.size(); ++i) {
+      out += (i == 0) ? " " : " ;\n    ";
+      const Term& p = terms.Get(ts[i].p);
+      if (p.is_iri() && p.lexical() == rdfns::kType) {
+        out += "a";
+      } else {
+        out += render(ts[i].p);
+      }
+      out += " " + render(ts[i].o);
+    }
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace rdfa::rdf

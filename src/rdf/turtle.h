@@ -1,0 +1,34 @@
+#ifndef RDFA_RDF_TURTLE_H_
+#define RDFA_RDF_TURTLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+#include "rdf/namespaces.h"
+
+namespace rdfa::rdf {
+
+/// Parses a practical Turtle subset into `graph`:
+///   - `@prefix p: <iri> .` and SPARQL-style `PREFIX p: <iri>`
+///   - prefixed names, full IRIs, blank node labels (`_:x`)
+///   - the keyword `a` for rdf:type
+///   - predicate lists (`;`) and object lists (`,`)
+///   - literals with escapes, `@lang`, `^^datatype`, and the numeric /
+///     boolean abbreviations (42, 3.14, true, false)
+/// Unsupported (returns ParseError): collections `( )`, anonymous blank
+/// node property lists `[ ]`, multiline literals.
+///
+/// Prefixes discovered while parsing are registered into `*prefixes` when it
+/// is non-null, so callers can reuse them for pretty printing.
+Status ParseTurtle(std::string_view text, Graph* graph,
+                   PrefixMap* prefixes = nullptr);
+
+/// Serializes the graph in Turtle using `prefixes` for compaction, grouping
+/// triples by subject.
+std::string WriteTurtle(const Graph& graph, const PrefixMap& prefixes);
+
+}  // namespace rdfa::rdf
+
+#endif  // RDFA_RDF_TURTLE_H_

@@ -1,0 +1,53 @@
+#ifndef RDFA_SEARCH_KEYWORD_H_
+#define RDFA_SEARCH_KEYWORD_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fs/state.h"
+#include "rdf/graph.h"
+
+namespace rdfa::search {
+
+/// One ranked keyword hit: a subject resource and its score.
+struct Hit {
+  rdf::TermId subject = rdf::kNoTermId;
+  double score = 0;
+};
+
+/// A minimal keyword-search access method over an RDF graph — the paper's
+/// starting point (ii) for a session (§5.3.2: "the result of a keyword
+/// query"). Indexes the tokens of literal objects and of IRI local names,
+/// attributing each token to the triple's subject. Scoring is
+/// matched-token count weighted by inverse document frequency.
+class KeywordIndex {
+ public:
+  /// Builds the index over the current graph contents.
+  explicit KeywordIndex(const rdf::Graph& graph);
+
+  /// Ranked subjects matching any query token (OR semantics), best first.
+  /// Multi-token queries rank subjects matching more tokens higher.
+  std::vector<Hit> Search(std::string_view query, size_t limit = 50) const;
+
+  /// The hits as a faceted-search extension (feed to
+  /// Session::StartFromResults).
+  fs::Extension SearchAsExtension(std::string_view query,
+                                  size_t limit = 50) const;
+
+  size_t num_tokens() const { return index_.size(); }
+
+ private:
+  std::map<std::string, std::set<rdf::TermId>> index_;
+  size_t num_subjects_ = 0;
+};
+
+/// Lower-cased alphanumeric tokens of `text` (splitting camelCase and
+/// punctuation), as used by the index.
+std::vector<std::string> TokenizeText(std::string_view text);
+
+}  // namespace rdfa::search
+
+#endif  // RDFA_SEARCH_KEYWORD_H_

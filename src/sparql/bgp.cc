@@ -1,0 +1,126 @@
+#include "sparql/bgp.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rdfa::sparql {
+
+using rdf::kNoTermId;
+using rdf::TermId;
+
+CompiledPattern CompileTriple(const TriplePattern& tp, VarTable* vars,
+                              const rdf::Graph& graph) {
+  CompiledPattern cp;
+  auto resolve = [&](const NodePattern& n, int* var, TermId* id) {
+    if (n.is_var) {
+      *var = vars->IdOf(n.var);
+    } else {
+      *id = graph.terms().Find(n.term);
+      if (*id == kNoTermId) cp.impossible = true;
+    }
+  };
+  resolve(tp.s, &cp.s_var, &cp.s_id);
+  resolve(tp.p, &cp.p_var, &cp.p_id);
+  resolve(tp.o, &cp.o_var, &cp.o_id);
+  return cp;
+}
+
+namespace {
+
+// Selectivity score of a pattern given the set of already-bound slots.
+// Constants narrow via the index estimate; bound variables narrow too but
+// their value is row-dependent, so they get a flat discount.
+double Score(const rdf::Graph& graph, const CompiledPattern& p,
+             const std::set<int>& bound) {
+  TermId s = p.s_var < 0 ? p.s_id : kNoTermId;
+  TermId pp = p.p_var < 0 ? p.p_id : kNoTermId;
+  TermId o = p.o_var < 0 ? p.o_id : kNoTermId;
+  double est = static_cast<double>(graph.EstimateMatch(s, pp, o)) + 1.0;
+  int bound_vars = 0;
+  if (p.s_var >= 0 && bound.count(p.s_var)) ++bound_vars;
+  if (p.p_var >= 0 && bound.count(p.p_var)) ++bound_vars;
+  if (p.o_var >= 0 && bound.count(p.o_var)) ++bound_vars;
+  for (int i = 0; i < bound_vars; ++i) est /= 16.0;
+  return est;
+}
+
+void MarkBound(const CompiledPattern& p, std::set<int>* bound) {
+  if (p.s_var >= 0) bound->insert(p.s_var);
+  if (p.p_var >= 0) bound->insert(p.p_var);
+  if (p.o_var >= 0) bound->insert(p.o_var);
+}
+
+}  // namespace
+
+void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
+             size_t slot_count, bool reorder, std::vector<Binding>* rows) {
+  for (const CompiledPattern& p : patterns) {
+    if (p.impossible) {
+      rows->clear();
+      return;
+    }
+  }
+  for (Binding& b : *rows) {
+    if (b.size() < slot_count) b.resize(slot_count, kNoTermId);
+  }
+
+  if (reorder && patterns.size() > 1) {
+    // Seed "bound" with slots already bound in the incoming rows.
+    std::set<int> bound;
+    if (!rows->empty()) {
+      const Binding& first = rows->front();
+      for (size_t i = 0; i < first.size(); ++i) {
+        if (first[i] != kNoTermId) bound.insert(static_cast<int>(i));
+      }
+    }
+    std::vector<CompiledPattern> ordered;
+    std::vector<bool> used(patterns.size(), false);
+    for (size_t step = 0; step < patterns.size(); ++step) {
+      double best = -1;
+      size_t best_i = 0;
+      for (size_t i = 0; i < patterns.size(); ++i) {
+        if (used[i]) continue;
+        double s = Score(graph, patterns[i], bound);
+        if (best < 0 || s < best) {
+          best = s;
+          best_i = i;
+        }
+      }
+      used[best_i] = true;
+      ordered.push_back(patterns[best_i]);
+      MarkBound(patterns[best_i], &bound);
+    }
+    patterns = std::move(ordered);
+  }
+
+  for (const CompiledPattern& p : patterns) {
+    std::vector<Binding> next;
+    next.reserve(rows->size());
+    for (const Binding& row : *rows) {
+      TermId s = p.s_var < 0 ? p.s_id : row[p.s_var];
+      TermId pp = p.p_var < 0 ? p.p_id : row[p.p_var];
+      TermId o = p.o_var < 0 ? p.o_id : row[p.o_var];
+      graph.ForEachMatch(s, pp, o, [&](const rdf::TripleId& t) {
+        // Re-check same-variable positions (e.g. ?x p ?x).
+        Binding extended = row;
+        bool ok = true;
+        auto bind = [&](int var, TermId value) {
+          if (var < 0) return;
+          if (extended[var] != kNoTermId && extended[var] != value) {
+            ok = false;
+            return;
+          }
+          extended[var] = value;
+        };
+        bind(p.s_var, t.s);
+        if (ok) bind(p.p_var, t.p);
+        if (ok) bind(p.o_var, t.o);
+        if (ok) next.push_back(std::move(extended));
+      });
+    }
+    *rows = std::move(next);
+    if (rows->empty()) return;
+  }
+}
+
+}  // namespace rdfa::sparql

@@ -1,0 +1,39 @@
+#ifndef RDFA_SPARQL_BGP_H_
+#define RDFA_SPARQL_BGP_H_
+
+#include <vector>
+
+#include "rdf/graph.h"
+#include "sparql/ast.h"
+#include "sparql/expr_eval.h"
+
+namespace rdfa::sparql {
+
+/// A triple pattern with variables resolved to binding slots and constants
+/// interned against a graph.
+struct CompiledPattern {
+  int s_var = -1, p_var = -1, o_var = -1;  // -1: constant position
+  rdf::TermId s_id = rdf::kNoTermId;
+  rdf::TermId p_id = rdf::kNoTermId;
+  rdf::TermId o_id = rdf::kNoTermId;
+  /// A constant term that does not occur in the graph: the pattern can never
+  /// match, the whole BGP is empty.
+  bool impossible = false;
+};
+
+/// Resolves variables through `vars` (allocating slots) and constants
+/// through the graph's term table (without interning — absent terms mark the
+/// pattern impossible).
+CompiledPattern CompileTriple(const TriplePattern& tp, VarTable* vars,
+                              const rdf::Graph& graph);
+
+/// Extends every binding in `*rows` through all `patterns` by index
+/// nested-loop joins. When `reorder` is set, patterns are greedily ordered
+/// by estimated selectivity given the variables bound so far (the ablation
+/// benchmark toggles this). `rows` bindings are grown to `slot_count`.
+void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
+             size_t slot_count, bool reorder, std::vector<Binding>* rows);
+
+}  // namespace rdfa::sparql
+
+#endif  // RDFA_SPARQL_BGP_H_

@@ -1,0 +1,80 @@
+#ifndef RDFA_SPARQL_EXECUTOR_H_
+#define RDFA_SPARQL_EXECUTOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+#include "rdf/namespaces.h"
+#include "sparql/ast.h"
+#include "sparql/expr_eval.h"
+#include "sparql/result_table.h"
+
+namespace rdfa::sparql {
+
+/// Evaluates parsed queries against one graph.
+///
+/// The graph is held mutably because evaluation may intern freshly computed
+/// literals (BIND, aggregates, projection expressions) into its term table;
+/// no triples are ever added by SELECT/ASK evaluation.
+class Executor {
+ public:
+  /// `reorder_joins` toggles the greedy selectivity-based BGP reordering;
+  /// `push_filters` toggles early filter application once a filter's
+  /// variables are certainly bound. Both are ablation knobs (defaults on).
+  explicit Executor(rdf::Graph* graph, bool reorder_joins = true,
+                    bool push_filters = true)
+      : graph_(graph),
+        reorder_joins_(reorder_joins),
+        push_filters_(push_filters) {}
+
+  Result<ResultTable> Select(const SelectQuery& query);
+  Result<bool> Ask(const AskQuery& query);
+  /// Instantiates the CONSTRUCT template into `*out`; returns the number of
+  /// triples added.
+  Result<size_t> Construct(const ConstructQuery& query, rdf::Graph* out);
+
+  /// DESCRIBE: writes the Concise Bounded Description of every named
+  /// resource (and every binding of the DESCRIBE variables) into `*out`;
+  /// returns the number of triples added.
+  Result<size_t> Describe(const DescribeQuery& query, rdf::Graph* out);
+
+  /// Dispatches on the query form. ASK yields a 1x1 table with column "ask".
+  Result<ResultTable> Execute(const ParsedQuery& query);
+
+  /// Triples added/removed by an update.
+  struct UpdateStats {
+    size_t inserted = 0;
+    size_t deleted = 0;
+  };
+
+  /// Applies a SPARQL Update request to the graph. For DELETE WHERE /
+  /// DELETE-INSERT-WHERE, all bindings are computed first, then deletes
+  /// apply before inserts (SPARQL 1.1 semantics). Templates instantiated
+  /// with unbound variables are skipped.
+  Result<UpdateStats> Update(const UpdateRequest& request);
+
+ private:
+  Result<std::vector<Binding>> EvalPattern(const GraphPattern& pattern,
+                                           VarTable* vars,
+                                           std::vector<Binding> seed);
+
+  rdf::Graph* graph_;
+  bool reorder_joins_;
+  bool push_filters_;
+};
+
+/// Parses and executes `text` in one call.
+Result<ResultTable> ExecuteQueryString(
+    rdf::Graph* graph, std::string_view text,
+    const rdf::PrefixMap* prefixes = nullptr);
+
+/// Parses and applies an update request in one call.
+Result<Executor::UpdateStats> ExecuteUpdateString(
+    rdf::Graph* graph, std::string_view text,
+    const rdf::PrefixMap* prefixes = nullptr);
+
+}  // namespace rdfa::sparql
+
+#endif  // RDFA_SPARQL_EXECUTOR_H_

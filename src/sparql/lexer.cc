@@ -1,0 +1,202 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace rdfa::sparql {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  auto err = [&](const std::string& msg) {
+    return Status::ParseError("sparql line " + std::to_string(line) + ": " +
+                              msg);
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '<') {
+      // Either an IRI ref or a comparison operator. IRI refs contain no
+      // spaces and close with '>'; "<=" and "< " are operators.
+      if (i + 1 < text.size() && (text[i + 1] == '=')) {
+        out.push_back({TokenKind::kPunct, "<=", line});
+        i += 2;
+        continue;
+      }
+      size_t close = text.find('>', i + 1);
+      size_t space = text.find_first_of(" \t\n", i + 1);
+      if (close != std::string_view::npos &&
+          (space == std::string_view::npos || close < space)) {
+        out.push_back(
+            {TokenKind::kIriRef, std::string(text.substr(i + 1, close - i - 1)),
+             line});
+        i = close + 1;
+        continue;
+      }
+      out.push_back({TokenKind::kPunct, "<", line});
+      ++i;
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < text.size() && text[i + 1] == '=') {
+        out.push_back({TokenKind::kPunct, ">=", line});
+        i += 2;
+      } else {
+        out.push_back({TokenKind::kPunct, ">", line});
+        ++i;
+      }
+      continue;
+    }
+    if (c == '!') {
+      if (i + 1 < text.size() && text[i + 1] == '=') {
+        out.push_back({TokenKind::kPunct, "!=", line});
+        i += 2;
+      } else {
+        out.push_back({TokenKind::kPunct, "!", line});
+        ++i;
+      }
+      continue;
+    }
+    if (c == '&' || c == '|') {
+      if (i + 1 < text.size() && text[i + 1] == c) {
+        out.push_back({TokenKind::kPunct, std::string(2, c), line});
+        i += 2;
+        continue;
+      }
+      return err(std::string("stray '") + c + "'");
+    }
+    if (c == '^') {
+      if (i + 1 < text.size() && text[i + 1] == '^') {
+        out.push_back({TokenKind::kPunct, "^^", line});
+        i += 2;
+      } else {
+        out.push_back({TokenKind::kPunct, "^", line});
+        ++i;
+      }
+      continue;
+    }
+    if (c == '?' || c == '$') {
+      size_t start = ++i;
+      while (i < text.size() && IsNameChar(text[i])) ++i;
+      if (i == start) return err("empty variable name");
+      out.push_back(
+          {TokenKind::kVar, std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t j = i + 1;
+      std::string raw;
+      while (j < text.size() && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < text.size()) {
+          raw += text[j];
+          raw += text[j + 1];
+          j += 2;
+          continue;
+        }
+        if (text[j] == '\n') return err("newline inside string literal");
+        raw += text[j];
+        ++j;
+      }
+      if (j >= text.size()) return err("unterminated string literal");
+      out.push_back({TokenKind::kString, UnescapeLiteral(raw), line});
+      i = j + 1;
+      continue;
+    }
+    if (c == '@') {
+      size_t start = ++i;
+      while (i < text.size() && (IsNameChar(text[i]))) ++i;
+      out.push_back({TokenKind::kLangTag,
+                     std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    if (c == '_' && i + 1 < text.size() && text[i + 1] == ':') {
+      size_t start = i + 2;
+      size_t j = start;
+      while (j < text.size() && IsNameChar(text[j])) ++j;
+      out.push_back(
+          {TokenKind::kBlank, std::string(text.substr(start, j - start)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool has_dot = false;
+      while (j < text.size()) {
+        if (std::isdigit(static_cast<unsigned char>(text[j]))) {
+          ++j;
+        } else if (text[j] == '.' && !has_dot && j + 1 < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[j + 1]))) {
+          has_dot = true;
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.push_back({has_dot ? TokenKind::kDecimal : TokenKind::kInteger,
+                     std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      // Identifier / keyword / prefixed name. May contain one ':' plus a
+      // local part with dots (e.g. ex:v1.2 is rare; keep simple names).
+      size_t j = i;
+      while (j < text.size() && IsNameChar(text[j])) ++j;
+      std::string name(text.substr(i, j - i));
+      if (j < text.size() && text[j] == ':') {
+        // prefixed name: consume ':' and local part.
+        ++j;
+        size_t local_start = j;
+        while (j < text.size() && IsNameChar(text[j])) ++j;
+        name += ":" + std::string(text.substr(local_start, j - local_start));
+      }
+      out.push_back({TokenKind::kPName, std::move(name), line});
+      i = j;
+      continue;
+    }
+    if (c == ':') {
+      // Default-prefix name ":local".
+      size_t j = i + 1;
+      while (j < text.size() && IsNameChar(text[j])) ++j;
+      out.push_back(
+          {TokenKind::kPName, std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    static const std::string kSingles = "{}().;,*/+-=";
+    if (kSingles.find(c) != std::string::npos) {
+      out.push_back({TokenKind::kPunct, std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    return err(std::string("unexpected character '") + c + "'");
+  }
+  out.push_back({TokenKind::kEof, "", line});
+  return out;
+}
+
+}  // namespace rdfa::sparql

@@ -1,0 +1,38 @@
+#ifndef RDFA_SPARQL_LEXER_H_
+#define RDFA_SPARQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rdfa::sparql {
+
+enum class TokenKind {
+  kEof,
+  kIriRef,     ///< <...> with brackets stripped
+  kPName,      ///< prefixed name "ex:Laptop" or bare keyword-ish identifier
+  kVar,        ///< ?x / $x, with sigil stripped
+  kString,     ///< quoted literal, unescaped
+  kLangTag,    ///< @en (tag only)
+  kInteger,
+  kDecimal,
+  kBlank,      ///< _:b1 (label only)
+  kPunct,      ///< one of { } ( ) . ; , * / + - = ! < > & | ^ and digraphs
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int line = 0;
+};
+
+/// Tokenizes SPARQL text. Keywords are returned as kPName tokens; the
+/// parser matches them case-insensitively. Digraph punctuation (<=, >=,
+/// !=, &&, ||, ^^) is merged into single kPunct tokens.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace rdfa::sparql
+
+#endif  // RDFA_SPARQL_LEXER_H_

@@ -1,0 +1,36 @@
+#ifndef RDFA_SPARQL_PARSER_H_
+#define RDFA_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/namespaces.h"
+#include "sparql/ast.h"
+
+namespace rdfa::sparql {
+
+/// Parses a SPARQL query (SELECT / CONSTRUCT / ASK subset):
+///   - PREFIX prologue
+///   - SELECT [DISTINCT] * | vars | (expr AS ?alias)
+///   - WHERE with basic graph patterns, predicate `a`, `;` / `,` lists,
+///     property path sequences `p1/p2/p3` and inverse `^p` (desugared to
+///     fresh variables), FILTER, OPTIONAL, UNION, BIND, VALUES (single var),
+///     nested `{ SELECT ... }` subqueries
+///   - GROUP BY (vars / expressions), aggregates COUNT, SUM, AVG, MIN, MAX,
+///     GROUP_CONCAT(... ; SEPARATOR="..."), SAMPLE, HAVING
+///   - ORDER BY [ASC|DESC], LIMIT, OFFSET
+///
+/// `extra_prefixes`, when non-null, seeds additional prefixes beyond the
+/// built-in rdf/rdfs/xsd set.
+Result<ParsedQuery> ParseQuery(std::string_view text,
+                               const rdf::PrefixMap* extra_prefixes = nullptr);
+
+/// Parses a SPARQL 1.1 Update request (INSERT DATA / DELETE DATA /
+/// DELETE WHERE / DELETE-INSERT-WHERE), with the same PREFIX prologue
+/// handling as ParseQuery.
+Result<UpdateRequest> ParseUpdate(
+    std::string_view text, const rdf::PrefixMap* extra_prefixes = nullptr);
+
+}  // namespace rdfa::sparql
+
+#endif  // RDFA_SPARQL_PARSER_H_

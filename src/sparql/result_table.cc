@@ -1,0 +1,29 @@
+#include "sparql/result_table.h"
+
+namespace rdfa::sparql {
+
+int ResultTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string ResultTable::ToTsv() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += '\t';
+    out += '?' + columns_[i];
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += '\t';
+      out += IsUnbound(row[i]) ? "" : row[i].ToNTriples();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rdfa::sparql

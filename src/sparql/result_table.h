@@ -1,0 +1,46 @@
+#ifndef RDFA_SPARQL_RESULT_TABLE_H_
+#define RDFA_SPARQL_RESULT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rdfa::sparql {
+
+/// A materialized SELECT result: named columns over rows of RDF terms.
+/// Unbound cells hold a default-constructed Term with empty lexical form and
+/// are reported by `IsUnbound`.
+class ResultTable {
+ public:
+  ResultTable() = default;
+  explicit ResultTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Index of column `name`, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  void AddRow(std::vector<rdf::Term> row) { rows_.push_back(std::move(row)); }
+  const std::vector<rdf::Term>& row(size_t r) const { return rows_[r]; }
+  const rdf::Term& at(size_t r, size_t c) const { return rows_[r][c]; }
+
+  /// An unbound cell: an IRI term with empty lexical form.
+  static bool IsUnbound(const rdf::Term& t) {
+    return t.is_iri() && t.lexical().empty();
+  }
+
+  /// Tab-separated rendering with a header line (terms in N-Triples form).
+  std::string ToTsv() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<rdf::Term>> rows_;
+};
+
+}  // namespace rdfa::sparql
+
+#endif  // RDFA_SPARQL_RESULT_TABLE_H_

@@ -1,0 +1,155 @@
+#include "sparql/results_io.h"
+
+#include "common/string_util.h"
+#include "rdf/namespaces.h"
+
+namespace rdfa::sparql {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string XmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonCell(const rdf::Term& t) {
+  std::string out = "{";
+  if (t.is_iri()) {
+    out += "\"type\":\"uri\",\"value\":\"" + JsonEscape(t.lexical()) + "\"";
+  } else if (t.is_blank()) {
+    out += "\"type\":\"bnode\",\"value\":\"" + JsonEscape(t.lexical()) + "\"";
+  } else {
+    out += "\"type\":\"literal\",\"value\":\"" + JsonEscape(t.lexical()) + "\"";
+    if (!t.lang().empty()) {
+      out += ",\"xml:lang\":\"" + JsonEscape(t.lang()) + "\"";
+    } else if (!t.datatype().empty()) {
+      out += ",\"datatype\":\"" + JsonEscape(t.datatype()) + "\"";
+    }
+  }
+  return out + "}";
+}
+
+std::string CsvCell(const rdf::Term& t) {
+  if (ResultTable::IsUnbound(t)) return "";
+  const std::string& v = t.lexical();
+  if (v.find_first_of(",\"\n\r") == std::string::npos) return v;
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+std::string WriteResultsJson(const ResultTable& table) {
+  std::string out = "{\"head\":{\"vars\":[";
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += ",";
+    out += "\"" + JsonEscape(table.columns()[c]) + "\"";
+  }
+  out += "]},\"results\":{\"bindings\":[";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (r > 0) out += ",";
+    out += "{";
+    bool first = true;
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const rdf::Term& t = table.at(r, c);
+      if (ResultTable::IsUnbound(t)) continue;  // omitted, per spec
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + JsonEscape(table.columns()[c]) + "\":" + JsonCell(t);
+    }
+    out += "}";
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string WriteResultsCsv(const ResultTable& table) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += ",";
+    out += table.columns()[c];
+  }
+  out += "\r\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += ",";
+      out += CsvCell(table.at(r, c));
+    }
+    out += "\r\n";
+  }
+  return out;
+}
+
+std::string WriteResultsXml(const ResultTable& table) {
+  std::string out =
+      "<?xml version=\"1.0\"?>\n"
+      "<sparql xmlns=\"http://www.w3.org/2005/sparql-results#\">\n  <head>\n";
+  for (const std::string& col : table.columns()) {
+    out += "    <variable name=\"" + XmlEscape(col) + "\"/>\n";
+  }
+  out += "  </head>\n  <results>\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    out += "    <result>\n";
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const rdf::Term& t = table.at(r, c);
+      if (ResultTable::IsUnbound(t)) continue;
+      out += "      <binding name=\"" + XmlEscape(table.columns()[c]) + "\">";
+      if (t.is_iri()) {
+        out += "<uri>" + XmlEscape(t.lexical()) + "</uri>";
+      } else if (t.is_blank()) {
+        out += "<bnode>" + XmlEscape(t.lexical()) + "</bnode>";
+      } else if (!t.lang().empty()) {
+        out += "<literal xml:lang=\"" + XmlEscape(t.lang()) + "\">" +
+               XmlEscape(t.lexical()) + "</literal>";
+      } else if (!t.datatype().empty()) {
+        out += "<literal datatype=\"" + XmlEscape(t.datatype()) + "\">" +
+               XmlEscape(t.lexical()) + "</literal>";
+      } else {
+        out += "<literal>" + XmlEscape(t.lexical()) + "</literal>";
+      }
+      out += "</binding>\n";
+    }
+    out += "    </result>\n";
+  }
+  out += "  </results>\n</sparql>\n";
+  return out;
+}
+
+}  // namespace rdfa::sparql

@@ -1,0 +1,26 @@
+#ifndef RDFA_SPARQL_RESULTS_IO_H_
+#define RDFA_SPARQL_RESULTS_IO_H_
+
+#include <string>
+
+#include "sparql/result_table.h"
+
+namespace rdfa::sparql {
+
+/// Serializes a result table in the W3C "SPARQL 1.1 Query Results JSON
+/// Format": {"head": {"vars": [...]}, "results": {"bindings": [...]}} with
+/// per-cell type/datatype/xml:lang annotations. Unbound cells are omitted
+/// from their binding object, per the spec.
+std::string WriteResultsJson(const ResultTable& table);
+
+/// Serializes in the W3C "SPARQL 1.1 Query Results CSV Format": a header of
+/// variable names, then one row per solution; values are the lexical forms,
+/// quoted when they contain comma/quote/newline.
+std::string WriteResultsCsv(const ResultTable& table);
+
+/// Serializes in the W3C "SPARQL Query Results XML Format".
+std::string WriteResultsXml(const ResultTable& table);
+
+}  // namespace rdfa::sparql
+
+#endif  // RDFA_SPARQL_RESULTS_IO_H_

@@ -1,0 +1,33 @@
+#ifndef RDFA_TRANSLATOR_TRANSLATOR_H_
+#define RDFA_TRANSLATOR_TRANSLATOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "hifun/query.h"
+
+namespace rdfa::translator {
+
+/// Translates a HIFUN query to a SPARQL SELECT query, implementing the
+/// dissertation's Algorithms 1-4 (§4.2.5):
+///
+///  * the grouping expression yields triple patterns in WHERE plus the
+///    returned variables in SELECT and GROUP BY (Alg. 1);
+///  * compositions chain fresh variables (?x1 f1 ?x2 . ?x2 f2 ?x3), pairings
+///    fan out from the root variable, pairings-over-compositions combine
+///    both (Alg. 2);
+///  * derived attributes become SPARQL built-in calls wrapped around the
+///    inner variable in SELECT/GROUP BY, producing no triple pattern
+///    (Alg. 3);
+///  * URI restrictions become triple patterns ending at the URI, literal
+///    restrictions become FILTERs, restriction *paths* extend the pattern
+///    chain first (Alg. 4 general case);
+///  * the result restriction becomes a HAVING clause (§4.2.3).
+///
+/// The root of the analysis context binds to ?x1; a non-empty
+/// `query.root_class` adds `?x1 rdf:type <root>`.
+Result<std::string> TranslateToSparql(const hifun::Query& query);
+
+}  // namespace rdfa::translator
+
+#endif  // RDFA_TRANSLATOR_TRANSLATOR_H_

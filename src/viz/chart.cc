@@ -1,0 +1,111 @@
+#include "viz/chart.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "sparql/value.h"
+#include "viz/table_render.h"
+
+namespace rdfa::viz {
+
+Result<std::vector<ChartPoint>> SeriesFromTable(
+    const sparql::ResultTable& table, const std::string& label_col,
+    const std::string& value_col) {
+  int lc = table.ColumnIndex(label_col);
+  int vc = table.ColumnIndex(value_col);
+  if (lc < 0) return Status::NotFound("no column " + label_col);
+  if (vc < 0) return Status::NotFound("no column " + value_col);
+  std::vector<ChartPoint> out;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    auto num = sparql::Value::FromTerm(table.at(r, vc)).AsNumeric();
+    if (!num.has_value()) continue;
+    out.push_back(ChartPoint{DisplayTerm(table.at(r, lc)), *num});
+  }
+  return out;
+}
+
+std::string RenderBarChart(const std::vector<ChartPoint>& series,
+                           size_t width) {
+  if (series.empty()) return "(empty series)\n";
+  double max_v = 0;
+  size_t max_label = 0;
+  for (const ChartPoint& p : series) {
+    max_v = std::max(max_v, std::fabs(p.value));
+    max_label = std::max(max_label, p.label.size());
+  }
+  if (max_v == 0) max_v = 1;
+  std::string out;
+  for (const ChartPoint& p : series) {
+    size_t bar = static_cast<size_t>(
+        std::round(std::fabs(p.value) / max_v * static_cast<double>(width)));
+    out += p.label + std::string(max_label - p.label.size(), ' ') + " | " +
+           std::string(bar, '#') + " " + FormatNumber(p.value) + "\n";
+  }
+  return out;
+}
+
+std::string RenderPieLegend(const std::vector<ChartPoint>& series) {
+  double total = 0;
+  for (const ChartPoint& p : series) total += std::fabs(p.value);
+  if (total == 0) return "(empty series)\n";
+  std::string out;
+  for (const ChartPoint& p : series) {
+    double pct = std::fabs(p.value) / total * 100.0;
+    out += p.label + ": " + FormatNumber(p.value) + " (" + FormatNumber(pct) +
+           "%)\n";
+  }
+  return out;
+}
+
+std::string RenderColumnChart(const std::vector<ChartPoint>& series,
+                              size_t height) {
+  if (series.empty() || height == 0) return "(empty series)\n";
+  double max_v = 0;
+  for (const ChartPoint& p : series) max_v = std::max(max_v, std::fabs(p.value));
+  if (max_v == 0) max_v = 1;
+  // Each column is 3 characters wide: " # ".
+  std::string out;
+  for (size_t row = 0; row < height; ++row) {
+    double threshold =
+        (static_cast<double>(height - row)) / static_cast<double>(height);
+    for (const ChartPoint& p : series) {
+      bool filled = std::fabs(p.value) / max_v >= threshold - 1e-12;
+      out += filled ? " # " : "   ";
+    }
+    out += "\n";
+  }
+  for (size_t i = 0; i < series.size(); ++i) out += "---";
+  out += "\n";
+  for (const ChartPoint& p : series) {
+    out += " ";
+    out += p.label.empty() ? '?' : p.label[0];
+    out += " ";
+  }
+  out += "\n";
+  // Legend, since one letter is rarely unique.
+  for (size_t i = 0; i < series.size(); ++i) {
+    out += (series[i].label.empty() ? std::string("?")
+                                    : series[i].label.substr(0, 1)) +
+           ": " + series[i].label + " = " + FormatNumber(series[i].value) +
+           "\n";
+  }
+  return out;
+}
+
+std::string RenderHistogram(const std::vector<HistogramBin>& bins,
+                            size_t width) {
+  if (bins.empty()) return "(empty histogram)\n";
+  size_t max_count = 0;
+  for (const HistogramBin& b : bins) max_count = std::max(max_count, b.count);
+  if (max_count == 0) max_count = 1;
+  std::string out;
+  for (const HistogramBin& b : bins) {
+    size_t bar = b.count * width / max_count;
+    out += "[" + FormatNumber(b.lo) + ", " + FormatNumber(b.hi) + ") " +
+           std::string(bar, '#') + " " + std::to_string(b.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace rdfa::viz

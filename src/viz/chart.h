@@ -1,0 +1,52 @@
+#ifndef RDFA_VIZ_CHART_H_
+#define RDFA_VIZ_CHART_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sparql/result_table.h"
+
+namespace rdfa::viz {
+
+/// One (label, value) pair of a 2D chart series.
+struct ChartPoint {
+  std::string label;
+  double value = 0;
+};
+
+/// Extracts a chart series from an analytic result: `label_col` supplies
+/// category labels, `value_col` the numeric measure. Non-numeric rows are
+/// skipped.
+Result<std::vector<ChartPoint>> SeriesFromTable(
+    const sparql::ResultTable& table, const std::string& label_col,
+    const std::string& value_col);
+
+/// Renders a horizontal ASCII bar chart (the 2D plot of Fig 6.4) with bars
+/// scaled to `width` characters.
+std::string RenderBarChart(const std::vector<ChartPoint>& series,
+                           size_t width = 40);
+
+/// Renders a pie-chart legend with percentages (no graphics, but the same
+/// aggregation the pie of Fig 6.4 shows).
+std::string RenderPieLegend(const std::vector<ChartPoint>& series);
+
+/// Renders a vertical ASCII column chart of height `height` rows (the
+/// column chart of Fig 3.4 a / Fig 6.4), labels printed vertically under
+/// their columns by first letter and index.
+std::string RenderColumnChart(const std::vector<ChartPoint>& series,
+                              size_t height = 12);
+
+/// Renders a histogram from bucket edges/counts (pairs of (lo, count)); the
+/// companion of fs::BucketNumericFacet.
+struct HistogramBin {
+  double lo = 0;
+  double hi = 0;
+  size_t count = 0;
+};
+std::string RenderHistogram(const std::vector<HistogramBin>& bins,
+                            size_t width = 40);
+
+}  // namespace rdfa::viz
+
+#endif  // RDFA_VIZ_CHART_H_

@@ -1,0 +1,98 @@
+#include "viz/cubes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "sparql/value.h"
+#include "viz/table_render.h"
+
+namespace rdfa::viz {
+
+Result<std::vector<CityCube>> BuildCubeCity(const sparql::ResultTable& table,
+                                            const std::string& label_col) {
+  int lc = table.ColumnIndex(label_col);
+  if (lc < 0) return Status::NotFound("no column " + label_col);
+
+  // Numeric feature columns.
+  std::vector<int> feature_cols;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (static_cast<int>(c) == lc) continue;
+    bool numeric = table.num_rows() > 0;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (!sparql::Value::FromTerm(table.at(r, c)).AsNumeric().has_value()) {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric) feature_cols.push_back(static_cast<int>(c));
+  }
+  if (feature_cols.empty()) {
+    return Status::InvalidArgument("no numeric feature columns");
+  }
+
+  std::vector<CityCube> city;
+  double max_total = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    CityCube cube;
+    cube.label = DisplayTerm(table.at(r, lc));
+    double total = 0;
+    for (int c : feature_cols) {
+      CubeSegment seg;
+      seg.feature = table.columns()[c];
+      seg.value = *sparql::Value::FromTerm(table.at(r, c)).AsNumeric();
+      total += std::fabs(seg.value);
+      cube.segments.push_back(std::move(seg));
+    }
+    max_total = std::max(max_total, total);
+    city.push_back(std::move(cube));
+  }
+  if (max_total == 0) max_total = 1;
+
+  // Normalize segment heights and order towers tallest-first.
+  auto total_of = [](const CityCube& c) {
+    double t = 0;
+    for (const CubeSegment& s : c.segments) t += std::fabs(s.value);
+    return t;
+  };
+  for (CityCube& cube : city) {
+    for (CubeSegment& s : cube.segments) {
+      s.height = std::fabs(s.value) / max_total;
+    }
+  }
+  std::stable_sort(city.begin(), city.end(),
+                   [&](const CityCube& a, const CityCube& b) {
+                     return total_of(a) > total_of(b);
+                   });
+
+  // Near-square grid, row-major.
+  int side = static_cast<int>(std::ceil(std::sqrt(
+      static_cast<double>(std::max<size_t>(city.size(), 1)))));
+  for (size_t i = 0; i < city.size(); ++i) {
+    city[i].grid_x = static_cast<int>(i) % side;
+    city[i].grid_z = static_cast<int>(i) / side;
+  }
+  return city;
+}
+
+std::string CubeCityToJson(const std::vector<CityCube>& city) {
+  std::string out = "{\"cubes\":[";
+  for (size_t i = 0; i < city.size(); ++i) {
+    const CityCube& c = city[i];
+    if (i > 0) out += ",";
+    out += "{\"label\":\"" + EscapeLiteral(c.label) + "\",\"x\":" +
+           std::to_string(c.grid_x) + ",\"z\":" + std::to_string(c.grid_z) +
+           ",\"segments\":[";
+    for (size_t s = 0; s < c.segments.size(); ++s) {
+      if (s > 0) out += ",";
+      out += "{\"feature\":\"" + EscapeLiteral(c.segments[s].feature) +
+             "\",\"value\":" + FormatNumber(c.segments[s].value) +
+             ",\"height\":" + FormatNumber(c.segments[s].height) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rdfa::viz

@@ -1,0 +1,43 @@
+#ifndef RDFA_VIZ_CUBES_H_
+#define RDFA_VIZ_CUBES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sparql/result_table.h"
+
+namespace rdfa::viz {
+
+/// One storey of a multi-storey cube: a named feature and its height
+/// (volume proportional to the feature's value).
+struct CubeSegment {
+  std::string feature;
+  double value = 0;
+  double height = 0;  ///< normalized so the tallest entity has height 1
+};
+
+/// One entity of the 3D "urban area" visualization (dissertation §6.3 and
+/// systems 1a/1b): a cube placed on a grid whose stacked segments encode
+/// the entity's feature values.
+struct CityCube {
+  std::string label;
+  int grid_x = 0;
+  int grid_z = 0;
+  std::vector<CubeSegment> segments;
+};
+
+/// Builds the cube-city scene from an analytic result: `label_col` names
+/// the entities (one cube each); every other numeric column becomes a
+/// segment. Cubes are laid out row-major on a near-square grid, ordered by
+/// total value descending (tallest towers in front).
+Result<std::vector<CityCube>> BuildCubeCity(const sparql::ResultTable& table,
+                                            const std::string& label_col);
+
+/// Serializes the scene as a small JSON document a 3D front end could load
+/// (positions, segment heights, labels).
+std::string CubeCityToJson(const std::vector<CityCube>& city);
+
+}  // namespace rdfa::viz
+
+#endif  // RDFA_VIZ_CUBES_H_

@@ -1,0 +1,100 @@
+#include "viz/spiral.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdfa::viz {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+bool Overlaps(const SpiralPlacement& a, const SpiralPlacement& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  double d2 = dx * dx + dy * dy;
+  double r = a.radius + b.radius;
+  return d2 < r * r * 0.999;  // small tolerance
+}
+}  // namespace
+
+std::vector<SpiralPlacement> SpiralLayout(
+    std::vector<std::pair<std::string, double>> values) {
+  std::stable_sort(values.begin(), values.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  std::vector<SpiralPlacement> placed;
+  placed.reserve(values.size());
+  if (values.empty()) return placed;
+
+  // Disc radius: area proportional to value (minimum radius for zeros).
+  auto radius_of = [](double v) { return std::sqrt(std::max(v, 1e-9) / kPi); };
+
+  double theta = 0;
+  // Spiral pitch scaled to the largest disc so consecutive turns clear it.
+  double pitch = radius_of(values.front().second) * 0.6 + 1e-6;
+  for (size_t i = 0; i < values.size(); ++i) {
+    SpiralPlacement p;
+    p.label = values[i].first;
+    p.value = values[i].second;
+    p.radius = radius_of(values[i].second);
+    if (i == 0) {
+      placed.push_back(p);
+      continue;
+    }
+    // Walk the Archimedean spiral r = pitch * theta outward until the disc
+    // fits.
+    while (true) {
+      double r = pitch * theta;
+      p.x = r * std::cos(theta);
+      p.y = r * std::sin(theta);
+      bool ok = true;
+      for (const SpiralPlacement& q : placed) {
+        if (Overlaps(p, q)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) break;
+      // Step size shrinks with radius so the walk stays near-constant in
+      // arc length.
+      theta += 0.2 / (1.0 + theta * 0.1);
+    }
+    placed.push_back(p);
+  }
+  return placed;
+}
+
+std::string RenderSpiral(const std::vector<SpiralPlacement>& layout,
+                         size_t cols, size_t rows) {
+  if (layout.empty()) return "(empty layout)\n";
+  double min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+  for (const SpiralPlacement& p : layout) {
+    min_x = std::min(min_x, p.x - p.radius);
+    max_x = std::max(max_x, p.x + p.radius);
+    min_y = std::min(min_y, p.y - p.radius);
+    max_y = std::max(max_y, p.y + p.radius);
+  }
+  double sx = (max_x - min_x) / static_cast<double>(cols - 1);
+  double sy = (max_y - min_y) / static_cast<double>(rows - 1);
+  if (sx <= 0) sx = 1;
+  if (sy <= 0) sy = 1;
+  std::vector<std::string> grid(rows, std::string(cols, ' '));
+  for (const SpiralPlacement& p : layout) {
+    char mark = p.label.empty() ? '*' : p.label[0];
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        double x = min_x + static_cast<double>(c) * sx;
+        double y = min_y + static_cast<double>(r) * sy;
+        double dx = x - p.x;
+        double dy = y - p.y;
+        if (dx * dx + dy * dy <= p.radius * p.radius) grid[r][c] = mark;
+      }
+    }
+  }
+  std::string out;
+  for (const std::string& line : grid) out += line + "\n";
+  return out;
+}
+
+}  // namespace rdfa::viz

@@ -1,0 +1,39 @@
+#ifndef RDFA_VIZ_SPIRAL_H_
+#define RDFA_VIZ_SPIRAL_H_
+
+#include <string>
+#include <vector>
+
+namespace rdfa::viz {
+
+/// One placed value of a spiral layout: a disc of radius `radius` centered
+/// at (x, y).
+struct SpiralPlacement {
+  std::string label;
+  double value = 0;
+  double x = 0;
+  double y = 0;
+  double radius = 0;
+};
+
+/// The spiral-like placement algorithm of the companion paper (Tzitzikas,
+/// Papadaki & Chatzakis, JIIS 2022), used by the system for facets with too
+/// many values: values are sorted descending, the biggest is placed at the
+/// center, and the rest walk outward along an Archimedean spiral, each
+/// advanced until it no longer overlaps anything already placed. Properties
+/// (tested as invariants):
+///   * disc areas are proportional to the values;
+///   * no two discs overlap;
+///   * distance from the center is non-decreasing in placement order;
+///   * the layout is bounded: max distance = O(sqrt(sum of areas)).
+std::vector<SpiralPlacement> SpiralLayout(
+    std::vector<std::pair<std::string, double>> values);
+
+/// Coarse ASCII rendering of a spiral layout on a `cols` x `rows` grid
+/// (each disc prints the first letter of its label).
+std::string RenderSpiral(const std::vector<SpiralPlacement>& layout,
+                         size_t cols = 60, size_t rows = 30);
+
+}  // namespace rdfa::viz
+
+#endif  // RDFA_VIZ_SPIRAL_H_

@@ -1,0 +1,58 @@
+#include "viz/table_render.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace rdfa::viz {
+
+std::string LocalName(const std::string& iri) {
+  size_t pos = iri.find_last_of("#/");
+  return pos == std::string::npos ? iri : iri.substr(pos + 1);
+}
+
+std::string DisplayTerm(const rdf::Term& term) {
+  if (sparql::ResultTable::IsUnbound(term)) return "";
+  if (term.is_iri()) return LocalName(term.lexical());
+  if (term.is_blank()) return "_:" + term.lexical();
+  return term.lexical();
+}
+
+std::string RenderTable(const sparql::ResultTable& table, size_t max_rows) {
+  size_t rows = std::min(table.num_rows(), max_rows);
+  size_t cols = table.num_columns();
+  std::vector<size_t> width(cols);
+  std::vector<std::vector<std::string>> cells(rows,
+                                              std::vector<std::string>(cols));
+  for (size_t c = 0; c < cols; ++c) width[c] = table.columns()[c].size();
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      cells[r][c] = DisplayTerm(table.at(r, c));
+      width[c] = std::max(width[c], cells[r][c].size());
+    }
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+  std::string out = "|";
+  for (size_t c = 0; c < cols; ++c) {
+    out += " " + pad(table.columns()[c], width[c]) + " |";
+  }
+  out += "\n|";
+  for (size_t c = 0; c < cols; ++c) {
+    out += std::string(width[c] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (size_t r = 0; r < rows; ++r) {
+    out += "|";
+    for (size_t c = 0; c < cols; ++c) {
+      out += " " + pad(cells[r][c], width[c]) + " |";
+    }
+    out += "\n";
+  }
+  if (table.num_rows() > rows) {
+    out += "... (" + std::to_string(table.num_rows() - rows) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace rdfa::viz

@@ -1,0 +1,24 @@
+#ifndef RDFA_VIZ_TABLE_RENDER_H_
+#define RDFA_VIZ_TABLE_RENDER_H_
+
+#include <string>
+
+#include "sparql/result_table.h"
+
+namespace rdfa::viz {
+
+/// Renders a result table as an aligned ASCII table (the tabular answer
+/// frame of Fig 6.3a). IRIs are shortened to their local names; literals
+/// print their lexical form.
+std::string RenderTable(const sparql::ResultTable& table,
+                        size_t max_rows = 50);
+
+/// Shortens an IRI to its local name (after the last '#' or '/').
+std::string LocalName(const std::string& iri);
+
+/// Display form of a term: local name for IRIs, lexical form for literals.
+std::string DisplayTerm(const rdf::Term& term);
+
+}  // namespace rdfa::viz
+
+#endif  // RDFA_VIZ_TABLE_RENDER_H_

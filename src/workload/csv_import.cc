@@ -1,0 +1,107 @@
+#include "workload/csv_import.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "rdf/namespaces.h"
+
+namespace rdfa::workload {
+
+using rdf::Term;
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else if (c == '\n') {
+        return Status::ParseError("csv: newline inside quoted field");
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        break;
+      case '\r':
+        break;
+      case '\n':
+        row.push_back(std::move(field));
+        field.clear();
+        rows.push_back(std::move(row));
+        row.clear();
+        break;
+      default:
+        field += c;
+    }
+  }
+  if (in_quotes) return Status::ParseError("csv: unterminated quote");
+  if (!field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+namespace {
+
+Term CellToTerm(const std::string& cell) {
+  if (cell.empty()) return Term::Literal("");
+  char* end = nullptr;
+  long long i = std::strtoll(cell.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0') return Term::Integer(i);
+  end = nullptr;
+  double d = std::strtod(cell.c_str(), &end);
+  if (end != nullptr && *end == '\0') return Term::Double(d);
+  return Term::Literal(cell);
+}
+
+}  // namespace
+
+Result<size_t> ImportCsv(std::string_view text, const std::string& ns,
+                         rdf::Graph* graph) {
+  RDFA_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  if (rows.size() < 2) {
+    return Status::InvalidArgument("csv needs a header and >=1 data row");
+  }
+  const std::vector<std::string>& header = rows[0];
+  Term row_class = Term::Iri(ns + "Row");
+  Term type = Term::Iri(rdf::rdfns::kType);
+  size_t added = 0;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != header.size()) {
+      return Status::ParseError("csv row " + std::to_string(r + 1) +
+                                " has wrong arity");
+    }
+    Term entity = Term::Iri(ns + "row" + std::to_string(r));
+    if (graph->Add(entity, type, row_class)) ++added;
+    for (size_t c = 0; c < header.size(); ++c) {
+      std::string name(TrimWhitespace(header[c]));
+      if (name.empty()) continue;
+      if (rows[r][c].empty()) continue;
+      if (graph->Add(entity, Term::Iri(ns + name), CellToTerm(rows[r][c]))) {
+        ++added;
+      }
+    }
+  }
+  return added;
+}
+
+}  // namespace rdfa::workload

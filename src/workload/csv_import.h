@@ -1,0 +1,27 @@
+#ifndef RDFA_WORKLOAD_CSV_IMPORT_H_
+#define RDFA_WORKLOAD_CSV_IMPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+
+namespace rdfa::workload {
+
+/// Parses simple CSV (comma separator, optional double-quoting with ""
+/// escapes, no embedded newlines). Returns rows including the header.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+/// Imports statistical CSV data as RDF, the way system (1b) of the
+/// dissertation lets users upload .csv files: the header names become
+/// properties `<ns><header>`, each data row becomes an entity
+/// `<ns>row<i>` typed `<ns>Row`, and cells become literals (numeric cells
+/// typed xsd:integer/xsd:double). Returns the number of triples added.
+Result<size_t> ImportCsv(std::string_view text, const std::string& ns,
+                         rdf::Graph* graph);
+
+}  // namespace rdfa::workload
+
+#endif  // RDFA_WORKLOAD_CSV_IMPORT_H_

@@ -1,0 +1,130 @@
+#include "workload/invoices.h"
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "rdf/namespaces.h"
+
+namespace rdfa::workload {
+
+using rdf::Term;
+
+namespace {
+
+const std::string kNs = kInvoiceNs;
+
+Term Inv(const std::string& local) { return Term::Iri(kNs + local); }
+Term Type() { return Term::Iri(rdf::rdfns::kType); }
+
+void AddSchema(rdf::Graph* g) {
+  Term rdfs_class = Term::Iri(rdf::rdfsns::kClass);
+  Term rdf_property = Term::Iri(rdf::rdfns::kProperty);
+  Term domain = Term::Iri(rdf::rdfsns::kDomain);
+  Term range = Term::Iri(rdf::rdfsns::kRange);
+  for (const char* c : {"Invoice", "Branch", "Product", "Brand"}) {
+    g->Add(Inv(c), Type(), rdfs_class);
+  }
+  struct P {
+    const char* name;
+    const char* dom;
+    const char* rng;
+  };
+  const P props[] = {
+      {"hasDate", "Invoice", nullptr},
+      {"takesPlaceAt", "Invoice", "Branch"},
+      {"delivers", "Invoice", "Product"},
+      {"inQuantity", "Invoice", nullptr},
+      {"brand", "Product", "Brand"},
+  };
+  for (const P& p : props) {
+    g->Add(Inv(p.name), Type(), rdf_property);
+    if (p.dom != nullptr) g->Add(Inv(p.name), domain, Inv(p.dom));
+    if (p.rng != nullptr) g->Add(Inv(p.name), range, Inv(p.rng));
+  }
+}
+
+}  // namespace
+
+void BuildInvoicesExample(rdf::Graph* g) {
+  AddSchema(g);
+  for (const char* b : {"b1", "b2", "b3"}) g->Add(Inv(b), Type(), Inv("Branch"));
+  for (const char* br : {"BrandA", "BrandB"}) {
+    g->Add(Inv(br), Type(), Inv("Brand"));
+  }
+  g->Add(Inv("p1"), Type(), Inv("Product"));
+  g->Add(Inv("p2"), Type(), Inv("Product"));
+  g->Add(Inv("p1"), Inv("brand"), Inv("BrandA"));
+  g->Add(Inv("p2"), Inv("brand"), Inv("BrandB"));
+
+  struct Row {
+    const char* id;
+    const char* branch;
+    int qty;
+    const char* product;
+    const char* date;
+  };
+  // Quantities per §2.5: b1 = 200+100, b2 = 200+400, b3 = 100+400+100.
+  const Row rows[] = {
+      {"d1", "b1", 200, "p1", "2021-01-05T00:00:00"},
+      {"d2", "b1", 100, "p2", "2021-01-12T00:00:00"},
+      {"d3", "b2", 200, "p1", "2021-01-20T00:00:00"},
+      {"d4", "b2", 400, "p2", "2021-02-03T00:00:00"},
+      {"d5", "b3", 100, "p1", "2021-02-10T00:00:00"},
+      {"d6", "b3", 400, "p2", "2021-02-17T00:00:00"},
+      {"d7", "b3", 100, "p1", "2021-03-02T00:00:00"},
+  };
+  for (const Row& r : rows) {
+    g->Add(Inv(r.id), Type(), Inv("Invoice"));
+    g->Add(Inv(r.id), Inv("takesPlaceAt"), Inv(r.branch));
+    g->Add(Inv(r.id), Inv("inQuantity"), Term::Integer(r.qty));
+    g->Add(Inv(r.id), Inv("delivers"), Inv(r.product));
+    g->Add(Inv(r.id), Inv("hasDate"), Term::DateTime(r.date));
+  }
+}
+
+size_t GenerateInvoices(rdf::Graph* g, const InvoicesOptions& opt) {
+  size_t before = g->size();
+  AddSchema(g);
+  std::mt19937_64 rng(opt.seed);
+  auto uniform = [&](size_t n) {
+    return static_cast<size_t>(rng() % std::max<size_t>(n, 1));
+  };
+
+  std::vector<std::string> brands;
+  for (size_t i = 0; i < opt.brands; ++i) {
+    std::string name = "brand" + std::to_string(i);
+    brands.push_back(name);
+    g->Add(Inv(name), Type(), Inv("Brand"));
+  }
+  std::vector<std::string> products;
+  for (size_t i = 0; i < opt.products; ++i) {
+    std::string name = "product" + std::to_string(i);
+    products.push_back(name);
+    g->Add(Inv(name), Type(), Inv("Product"));
+    g->Add(Inv(name), Inv("brand"), Inv(brands[uniform(brands.size())]));
+  }
+  std::vector<std::string> branches;
+  for (size_t i = 0; i < opt.branches; ++i) {
+    std::string name = "branch" + std::to_string(i);
+    branches.push_back(name);
+    g->Add(Inv(name), Type(), Inv("Branch"));
+  }
+  for (size_t i = 0; i < opt.invoices; ++i) {
+    std::string name = "inv" + std::to_string(i);
+    g->Add(Inv(name), Type(), Inv("Invoice"));
+    g->Add(Inv(name), Inv("takesPlaceAt"),
+           Inv(branches[uniform(branches.size())]));
+    g->Add(Inv(name), Inv("delivers"), Inv(products[uniform(products.size())]));
+    g->Add(Inv(name), Inv("inQuantity"),
+           Term::Integer(1 + static_cast<int64_t>(uniform(500))));
+    int month = 1 + static_cast<int>(uniform(12));
+    int day = 1 + static_cast<int>(uniform(28));
+    char date[32];
+    std::snprintf(date, sizeof(date), "2021-%02d-%02dT00:00:00", month, day);
+    g->Add(Inv(name), Inv("hasDate"), Term::DateTime(date));
+  }
+  return g->size() - before;
+}
+
+}  // namespace rdfa::workload

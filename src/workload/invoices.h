@@ -1,0 +1,35 @@
+#ifndef RDFA_WORKLOAD_INVOICES_H_
+#define RDFA_WORKLOAD_INVOICES_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+
+namespace rdfa::workload {
+
+/// Namespace of the invoices example (Fig 2.7 / 4.1).
+inline constexpr char kInvoiceNs[] = "http://www.ics.forth.gr/invoices#";
+
+/// Builds the seven-invoice dataset of §2.5 exactly: branches b1..b3,
+/// quantities (200, 100, 200, 400, 100, 400, 100), products with brands and
+/// dates — the expected totals per branch are b1: 300, b2: 600, b3: 600
+/// (Fig 2.8).
+void BuildInvoicesExample(rdf::Graph* graph);
+
+/// Options for the scalable invoices generator (the distribution-center
+/// scenario of §2.5).
+struct InvoicesOptions {
+  size_t invoices = 10000;
+  size_t branches = 20;
+  size_t products = 100;
+  size_t brands = 12;
+  uint64_t seed = 7;
+};
+
+/// Generates invoices with hasDate, takesPlaceAt, delivers (a product with a
+/// brand) and inQuantity. Deterministic per seed. Returns triples added.
+size_t GenerateInvoices(rdf::Graph* graph, const InvoicesOptions& options);
+
+}  // namespace rdfa::workload
+
+#endif  // RDFA_WORKLOAD_INVOICES_H_

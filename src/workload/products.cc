@@ -1,0 +1,217 @@
+#include "workload/products.h"
+
+#include <random>
+#include <vector>
+
+#include "rdf/namespaces.h"
+
+namespace rdfa::workload {
+
+using rdf::Term;
+
+namespace {
+
+const std::string kNs = kExampleNs;
+
+Term Ex(const std::string& local) { return Term::Iri(kNs + local); }
+Term Type() { return Term::Iri(rdf::rdfns::kType); }
+Term SubClassOf() { return Term::Iri(rdf::rdfsns::kSubClassOf); }
+Term Domain() { return Term::Iri(rdf::rdfsns::kDomain); }
+Term Range() { return Term::Iri(rdf::rdfsns::kRange); }
+Term RdfsClass() { return Term::Iri(rdf::rdfsns::kClass); }
+Term RdfProperty() { return Term::Iri(rdf::rdfns::kProperty); }
+
+void AddSchema(rdf::Graph* g) {
+  // Classes of Fig 1.2 / 5.4.
+  for (const char* c : {"Product", "Laptop", "HDType", "SSD", "NVMe", "HDD",
+                        "Company", "Person", "Location", "Country",
+                        "Continent"}) {
+    g->Add(Ex(c), Type(), RdfsClass());
+  }
+  g->Add(Ex("Laptop"), SubClassOf(), Ex("Product"));
+  g->Add(Ex("HDType"), SubClassOf(), Ex("Product"));
+  g->Add(Ex("SSD"), SubClassOf(), Ex("HDType"));
+  g->Add(Ex("NVMe"), SubClassOf(), Ex("HDType"));
+  g->Add(Ex("HDD"), SubClassOf(), Ex("HDType"));
+  g->Add(Ex("Country"), SubClassOf(), Ex("Location"));
+  g->Add(Ex("Continent"), SubClassOf(), Ex("Location"));
+
+  struct Prop {
+    const char* name;
+    const char* domain;
+    const char* range;
+  };
+  const Prop props[] = {
+      {"manufacturer", "Product", "Company"},
+      {"hardDrive", "Laptop", "HDType"},
+      {"price", "Product", nullptr},
+      {"USBPorts", "Laptop", nullptr},
+      {"releaseDate", "Product", nullptr},
+      {"origin", "Company", "Country"},
+      {"founder", "Company", "Person"},
+      {"birthplace", "Person", "Country"},
+      {"locatedAt", "Country", "Continent"},
+      {"size", "Country", nullptr},
+      {"GDPPerCapita", "Country", nullptr},
+  };
+  for (const Prop& p : props) {
+    g->Add(Ex(p.name), Type(), RdfProperty());
+    if (p.domain != nullptr) g->Add(Ex(p.name), Domain(), Ex(p.domain));
+    if (p.range != nullptr) g->Add(Ex(p.name), Range(), Ex(p.range));
+  }
+}
+
+}  // namespace
+
+void BuildRunningExample(rdf::Graph* g) {
+  AddSchema(g);
+
+  // Continents / countries (Fig 5.4: Location (5) = 2 continents + 3
+  // countries).
+  g->Add(Ex("NorthAmerica"), Type(), Ex("Continent"));
+  g->Add(Ex("Asia"), Type(), Ex("Continent"));
+  for (const char* c : {"USA", "China", "Singapore"}) {
+    g->Add(Ex(c), Type(), Ex("Country"));
+  }
+  g->Add(Ex("USA"), Ex("locatedAt"), Ex("NorthAmerica"));
+  g->Add(Ex("China"), Ex("locatedAt"), Ex("Asia"));
+  g->Add(Ex("Singapore"), Ex("locatedAt"), Ex("Asia"));
+  g->Add(Ex("USA"), Ex("GDPPerCapita"), Term::Integer(76399));
+  g->Add(Ex("China"), Ex("GDPPerCapita"), Term::Integer(12720));
+  g->Add(Ex("Singapore"), Ex("GDPPerCapita"), Term::Integer(82808));
+
+  // Companies (Fig 5.4: Company (4)).
+  g->Add(Ex("DELL"), Type(), Ex("Company"));
+  g->Add(Ex("Lenovo"), Type(), Ex("Company"));
+  g->Add(Ex("Maxtor"), Type(), Ex("Company"));
+  g->Add(Ex("AVDElectronics"), Type(), Ex("Company"));
+  g->Add(Ex("DELL"), Ex("origin"), Ex("USA"));
+  g->Add(Ex("Lenovo"), Ex("origin"), Ex("China"));
+  g->Add(Ex("Maxtor"), Ex("origin"), Ex("Singapore"));
+  g->Add(Ex("AVDElectronics"), Ex("origin"), Ex("USA"));
+
+  // Founders (Person (3)).
+  g->Add(Ex("MichaelDell"), Type(), Ex("Person"));
+  g->Add(Ex("LiuChuanzhi"), Type(), Ex("Person"));
+  g->Add(Ex("JamesMcCoy"), Type(), Ex("Person"));
+  g->Add(Ex("DELL"), Ex("founder"), Ex("MichaelDell"));
+  g->Add(Ex("Lenovo"), Ex("founder"), Ex("LiuChuanzhi"));
+  g->Add(Ex("Maxtor"), Ex("founder"), Ex("JamesMcCoy"));
+  g->Add(Ex("MichaelDell"), Ex("birthplace"), Ex("USA"));
+  g->Add(Ex("LiuChuanzhi"), Ex("birthplace"), Ex("China"));
+  g->Add(Ex("JamesMcCoy"), Ex("birthplace"), Ex("USA"));
+
+  // Hard drives (HDType (3): SSD (2), NVMe (1)).
+  g->Add(Ex("SSD1"), Type(), Ex("SSD"));
+  g->Add(Ex("SSD2"), Type(), Ex("SSD"));
+  g->Add(Ex("NVMe1"), Type(), Ex("NVMe"));
+  g->Add(Ex("SSD1"), Ex("manufacturer"), Ex("Maxtor"));
+  g->Add(Ex("SSD2"), Ex("manufacturer"), Ex("AVDElectronics"));
+  g->Add(Ex("NVMe1"), Ex("manufacturer"), Ex("Maxtor"));
+
+  // Laptops (Fig 5.4: Laptop (3), by manufacturer DELL (2) / Lenovo (1);
+  // release dates and USB ports as in Fig 5.4c).
+  g->Add(Ex("laptop1"), Type(), Ex("Laptop"));
+  g->Add(Ex("laptop2"), Type(), Ex("Laptop"));
+  g->Add(Ex("laptop3"), Type(), Ex("Laptop"));
+  g->Add(Ex("laptop1"), Ex("manufacturer"), Ex("DELL"));
+  g->Add(Ex("laptop2"), Ex("manufacturer"), Ex("DELL"));
+  g->Add(Ex("laptop3"), Ex("manufacturer"), Ex("Lenovo"));
+  g->Add(Ex("laptop1"), Ex("releaseDate"),
+         Term::DateTime("2021-06-10T00:00:00"));
+  g->Add(Ex("laptop2"), Ex("releaseDate"),
+         Term::DateTime("2021-09-03T00:00:00"));
+  g->Add(Ex("laptop3"), Ex("releaseDate"),
+         Term::DateTime("2021-10-10T00:00:00"));
+  g->Add(Ex("laptop1"), Ex("USBPorts"), Term::Integer(2));
+  g->Add(Ex("laptop2"), Ex("USBPorts"), Term::Integer(2));
+  g->Add(Ex("laptop3"), Ex("USBPorts"), Term::Integer(4));
+  g->Add(Ex("laptop1"), Ex("hardDrive"), Ex("SSD1"));
+  g->Add(Ex("laptop2"), Ex("hardDrive"), Ex("SSD2"));
+  g->Add(Ex("laptop3"), Ex("hardDrive"), Ex("NVMe1"));
+  g->Add(Ex("laptop1"), Ex("price"), Term::Integer(900));
+  g->Add(Ex("laptop2"), Ex("price"), Term::Integer(1000));
+  g->Add(Ex("laptop3"), Ex("price"), Term::Integer(820));
+}
+
+size_t GenerateProductKg(rdf::Graph* g, const ProductKgOptions& opt) {
+  size_t before = g->size();
+  AddSchema(g);
+  std::mt19937_64 rng(opt.seed);
+  auto uniform = [&](size_t n) {
+    return static_cast<size_t>(rng() % std::max<size_t>(n, 1));
+  };
+  auto chance = [&](double p) {
+    return static_cast<double>(rng() % 1000000) / 1000000.0 < p;
+  };
+
+  const char* continents[] = {"NorthAmerica", "Asia", "Europe"};
+  for (const char* c : continents) g->Add(Ex(c), Type(), Ex("Continent"));
+
+  std::vector<std::string> countries;
+  for (size_t i = 0; i < opt.countries; ++i) {
+    std::string name = "country" + std::to_string(i);
+    countries.push_back(name);
+    g->Add(Ex(name), Type(), Ex("Country"));
+    g->Add(Ex(name), Ex("locatedAt"), Ex(continents[i % 3]));
+    g->Add(Ex(name), Ex("GDPPerCapita"),
+           Term::Integer(5000 + static_cast<int64_t>(uniform(80000))));
+  }
+
+  std::vector<std::string> persons;
+  for (size_t i = 0; i < opt.persons; ++i) {
+    std::string name = "person" + std::to_string(i);
+    persons.push_back(name);
+    g->Add(Ex(name), Type(), Ex("Person"));
+    g->Add(Ex(name), Ex("birthplace"), Ex(countries[uniform(countries.size())]));
+  }
+
+  std::vector<std::string> companies;
+  for (size_t i = 0; i < opt.companies; ++i) {
+    std::string name = "company" + std::to_string(i);
+    companies.push_back(name);
+    g->Add(Ex(name), Type(), Ex("Company"));
+    g->Add(Ex(name), Ex("origin"), Ex(countries[uniform(countries.size())]));
+    g->Add(Ex(name), Ex("founder"), Ex(persons[uniform(persons.size())]));
+    if (chance(opt.multi_founder_rate)) {
+      g->Add(Ex(name), Ex("founder"), Ex(persons[uniform(persons.size())]));
+    }
+  }
+
+  const char* hd_classes[] = {"SSD", "NVMe", "HDD"};
+  size_t n_drives = std::max<size_t>(opt.laptops / 4, 1);
+  std::vector<std::string> drives;
+  for (size_t i = 0; i < n_drives; ++i) {
+    std::string name = "hd" + std::to_string(i);
+    drives.push_back(name);
+    g->Add(Ex(name), Type(), Ex(hd_classes[i % 3]));
+    g->Add(Ex(name), Ex("manufacturer"),
+           Ex(companies[uniform(companies.size())]));
+  }
+
+  for (size_t i = 0; i < opt.laptops; ++i) {
+    // "laptopg" prefix: never collides with the fixed running example's
+    // laptop1..laptop3 so both datasets can coexist in one graph.
+    std::string name = "laptopg" + std::to_string(i);
+    g->Add(Ex(name), Type(), Ex("Laptop"));
+    g->Add(Ex(name), Ex("manufacturer"),
+           Ex(companies[uniform(companies.size())]));
+    g->Add(Ex(name), Ex("hardDrive"), Ex(drives[uniform(drives.size())]));
+    if (!chance(opt.missing_price_rate)) {
+      g->Add(Ex(name), Ex("price"),
+             Term::Integer(300 + static_cast<int64_t>(uniform(2700))));
+    }
+    g->Add(Ex(name), Ex("USBPorts"),
+           Term::Integer(1 + static_cast<int64_t>(uniform(5))));
+    int year = 2018 + static_cast<int>(uniform(6));
+    int month = 1 + static_cast<int>(uniform(12));
+    int day = 1 + static_cast<int>(uniform(28));
+    char date[32];
+    std::snprintf(date, sizeof(date), "%04d-%02d-%02dT00:00:00", year, month,
+                  day);
+    g->Add(Ex(name), Ex("releaseDate"), Term::DateTime(date));
+  }
+  return g->size() - before;
+}
+
+}  // namespace rdfa::workload

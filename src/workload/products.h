@@ -1,0 +1,43 @@
+#ifndef RDFA_WORKLOAD_PRODUCTS_H_
+#define RDFA_WORKLOAD_PRODUCTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/graph.h"
+
+namespace rdfa::workload {
+
+/// Namespace of the running example (Fig 1.2 uses ics.forth.gr/example#).
+inline constexpr char kExampleNs[] = "http://www.ics.forth.gr/example#";
+
+/// Builds the small fixed dataset of the dissertation's running example
+/// (Figs 1.2, 5.3-5.5): 3 laptops (2 DELL, 1 Lenovo) with prices, release
+/// dates, USB ports and hard drives (SSD1, SSD2, NVMe1), companies with
+/// origins (USA, China, Singapore), founders, countries and continents,
+/// plus the RDFS schema (Product/Laptop/HDType/SSD/NVMe, Company, Person,
+/// Location/Country/Continent and the property declarations).
+void BuildRunningExample(rdf::Graph* graph);
+
+/// Options for the scalable product-KG generator used by the benchmarks.
+struct ProductKgOptions {
+  size_t laptops = 1000;
+  size_t companies = 20;
+  size_t persons = 40;
+  size_t countries = 12;
+  uint64_t seed = 42;
+  /// Fraction of laptops with a missing price (exercises FCO handling);
+  /// 0 keeps every attribute total.
+  double missing_price_rate = 0.0;
+  /// Fraction of companies with two founders (multi-valued property).
+  double multi_founder_rate = 0.0;
+};
+
+/// Generates a product knowledge graph following the running-example schema
+/// at the requested scale. Deterministic for a given seed. Returns the
+/// number of triples added.
+size_t GenerateProductKg(rdf::Graph* graph, const ProductKgOptions& options);
+
+}  // namespace rdfa::workload
+
+#endif  // RDFA_WORKLOAD_PRODUCTS_H_

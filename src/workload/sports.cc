@@ -1,0 +1,113 @@
+#include "workload/sports.h"
+
+#include <random>
+#include <vector>
+
+#include "rdf/namespaces.h"
+
+namespace rdfa::workload {
+
+using rdf::Term;
+
+namespace {
+
+const std::string kNs = kSportsNs;
+
+Term Sp(const std::string& local) { return Term::Iri(kNs + local); }
+Term Type() { return Term::Iri(rdf::rdfns::kType); }
+
+void AddSchema(rdf::Graph* g) {
+  Term rdfs_class = Term::Iri(rdf::rdfsns::kClass);
+  Term rdf_property = Term::Iri(rdf::rdfns::kProperty);
+  Term domain = Term::Iri(rdf::rdfsns::kDomain);
+  Term range = Term::Iri(rdf::rdfsns::kRange);
+  for (const char* c : {"Player", "Team", "League", "Country", "Season",
+                        "Position"}) {
+    g->Add(Sp(c), Type(), rdfs_class);
+  }
+  struct P {
+    const char* name;
+    const char* dom;
+    const char* rng;
+  };
+  const P props[] = {
+      {"playsFor", "Player", "Team"},
+      {"position", "Player", "Position"},
+      {"goals", "Player", nullptr},
+      {"cleanSheets", "Player", nullptr},
+      {"appearances", "Player", nullptr},
+      {"season", "Player", "Season"},
+      {"inLeague", "Team", "League"},
+      {"leagueCountry", "League", "Country"},
+  };
+  for (const P& p : props) {
+    g->Add(Sp(p.name), Type(), rdf_property);
+    if (p.dom != nullptr) g->Add(Sp(p.name), domain, Sp(p.dom));
+    if (p.rng != nullptr) g->Add(Sp(p.name), range, Sp(p.rng));
+  }
+}
+
+}  // namespace
+
+size_t GenerateSportsKg(rdf::Graph* g, const SportsOptions& opt) {
+  size_t before = g->size();
+  AddSchema(g);
+  std::mt19937_64 rng(opt.seed);
+  auto uniform = [&](size_t n) {
+    return static_cast<size_t>(rng() % std::max<size_t>(n, 1));
+  };
+
+  struct LeagueDef {
+    const char* league;
+    const char* country;
+  };
+  const LeagueDef leagues[] = {
+      {"LaLiga", "Spain"},
+      {"PremierLeague", "England"},
+      {"SerieA", "Italy"},
+      {"Bundesliga", "Germany"},
+  };
+  for (const LeagueDef& l : leagues) {
+    g->Add(Sp(l.league), Type(), Sp("League"));
+    g->Add(Sp(l.country), Type(), Sp("Country"));
+    g->Add(Sp(l.league), Sp("leagueCountry"), Sp(l.country));
+  }
+  const char* seasons[] = {"season2020", "season2021", "season2022"};
+  for (const char* s : seasons) g->Add(Sp(s), Type(), Sp("Season"));
+  const char* positions[] = {"Goalkeeper", "Defender", "Midfielder",
+                             "Forward"};
+  for (const char* p : positions) g->Add(Sp(p), Type(), Sp("Position"));
+
+  std::vector<std::string> teams;
+  for (size_t i = 0; i < opt.teams; ++i) {
+    std::string name = "team" + std::to_string(i);
+    teams.push_back(name);
+    g->Add(Sp(name), Type(), Sp("Team"));
+    g->Add(Sp(name), Sp("inLeague"), Sp(leagues[i % 4].league));
+  }
+
+  // A "player" here is one player-season observation (how football stats
+  // datasets publish them) — functional attributes, as HIFUN needs.
+  for (size_t i = 0; i < opt.players; ++i) {
+    std::string name = "playerSeason" + std::to_string(i);
+    g->Add(Sp(name), Type(), Sp("Player"));
+    g->Add(Sp(name), Sp("playsFor"), Sp(teams[uniform(teams.size())]));
+    size_t pos = uniform(4);
+    g->Add(Sp(name), Sp("position"), Sp(positions[pos]));
+    g->Add(Sp(name), Sp("season"), Sp(seasons[uniform(3)]));
+    // Forwards score more, goalkeepers keep clean sheets.
+    int64_t goals = pos == 3   ? static_cast<int64_t>(uniform(30))
+                    : pos == 2 ? static_cast<int64_t>(uniform(12))
+                    : pos == 1 ? static_cast<int64_t>(uniform(5))
+                               : 0;
+    int64_t clean_sheets =
+        pos == 0 ? static_cast<int64_t>(uniform(20)) : 0;
+    g->Add(Sp(name), Sp("goals"), Term::Integer(goals));
+    g->Add(Sp(name), Sp("cleanSheets"), Term::Integer(clean_sheets));
+    g->Add(Sp(name), Sp("appearances"),
+           Term::Integer(1 + static_cast<int64_t>(uniform(38))));
+  }
+  return g->size() - before;
+}
+
+}  // namespace rdfa::workload

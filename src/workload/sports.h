@@ -1,0 +1,32 @@
+#ifndef RDFA_WORKLOAD_SPORTS_H_
+#define RDFA_WORKLOAD_SPORTS_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+
+namespace rdfa::workload {
+
+/// Namespace of the sports example (§3.2.3: "total goals and clean sheets
+/// of players of Spanish and England UEFA Champions League teams from 2021
+/// to 2022").
+inline constexpr char kSportsNs[] = "http://www.ics.forth.gr/sports#";
+
+/// Options for the football knowledge graph generator: players belong to
+/// teams, teams play in leagues of countries, players have per-season
+/// goals, cleanSheets, appearances and a position.
+struct SportsOptions {
+  size_t players = 500;
+  size_t teams = 20;
+  uint64_t seed = 99;
+};
+
+/// Generates the football KG. Leagues: LaLiga (Spain), PremierLeague
+/// (England), SerieA (Italy), Bundesliga (Germany); seasons 2020-2022;
+/// positions Goalkeeper/Defender/Midfielder/Forward. Deterministic per
+/// seed. Returns triples added.
+size_t GenerateSportsKg(rdf::Graph* graph, const SportsOptions& options);
+
+}  // namespace rdfa::workload
+
+#endif  // RDFA_WORKLOAD_SPORTS_H_

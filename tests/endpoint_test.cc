@@ -1,0 +1,88 @@
+#include "endpoint/endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/invoices.h"
+
+namespace rdfa::endpoint {
+namespace {
+
+constexpr char kQuery[] =
+    "PREFIX inv: <http://www.ics.forth.gr/invoices#>\n"
+    "SELECT ?b (SUM(?q) AS ?tot) WHERE { ?i inv:takesPlaceAt ?b . ?i "
+    "inv:inQuantity ?q . } GROUP BY ?b";
+
+class EndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { workload::BuildInvoicesExample(&g_); }
+  rdf::Graph g_;
+};
+
+TEST_F(EndpointTest, LocalProfileHasNoModeledOverhead) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local());
+  auto resp = ep.Query(kQuery);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp.value().network_ms, 0);
+  EXPECT_EQ(resp.value().table.num_rows(), 3u);
+  EXPECT_NEAR(resp.value().total_ms, resp.value().exec_ms, 1e-9);
+}
+
+TEST_F(EndpointTest, PeakSlowerThanOffPeak) {
+  SimulatedEndpoint peak(&g_, LatencyProfile::Peak());
+  SimulatedEndpoint off(&g_, LatencyProfile::OffPeak());
+  auto rp = peak.Query(kQuery);
+  auto ro = off.Query(kQuery);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(ro.ok());
+  // Same answer either way.
+  EXPECT_EQ(rp.value().table.num_rows(), ro.value().table.num_rows());
+  // Peak network floor alone exceeds off-peak base + jitter.
+  EXPECT_GT(rp.value().network_ms, ro.value().network_ms);
+  EXPECT_GT(rp.value().total_ms, ro.value().total_ms);
+}
+
+TEST_F(EndpointTest, NetworkJitterIsDeterministic) {
+  SimulatedEndpoint a(&g_, LatencyProfile::Peak());
+  SimulatedEndpoint b(&g_, LatencyProfile::Peak());
+  auto ra1 = a.Query(kQuery);
+  auto ra2 = a.Query(kQuery);
+  auto rb1 = b.Query(kQuery);
+  auto rb2 = b.Query(kQuery);
+  ASSERT_TRUE(ra1.ok() && ra2.ok() && rb1.ok() && rb2.ok());
+  EXPECT_EQ(ra1.value().network_ms, rb1.value().network_ms);
+  EXPECT_EQ(ra2.value().network_ms, rb2.value().network_ms);
+}
+
+TEST_F(EndpointTest, CacheHitsSkipExecution) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::OffPeak(), /*enable_cache=*/true);
+  auto first = ep.Query(kQuery);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().cache_hit);
+  auto second = ep.Query(kQuery);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().cache_hit);
+  EXPECT_EQ(second.value().exec_ms, 0);
+  EXPECT_EQ(ep.cache_hits(), 1u);
+  EXPECT_EQ(ep.queries_served(), 2u);
+  ep.ClearCache();
+  auto third = ep.Query(kQuery);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third.value().cache_hit);
+}
+
+TEST_F(EndpointTest, ParseErrorsPropagate) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local());
+  auto resp = ep.Query("SELECT FROM NOWHERE");
+  EXPECT_EQ(resp.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(EndpointTest, CachedAnswerEqualsFreshAnswer) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local(), /*enable_cache=*/true);
+  auto first = ep.Query(kQuery);
+  auto second = ep.Query(kQuery);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first.value().table.ToTsv(), second.value().table.ToTsv());
+}
+
+}  // namespace
+}  // namespace rdfa::endpoint

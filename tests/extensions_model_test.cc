@@ -1,0 +1,219 @@
+// Tests for the model-layer extensions: facet value bucketing (Fig 5.4 d),
+// the Chapter 7.1 expressiveness checker, and the keyword-search starting
+// point (§5.3.2 (ii)).
+
+#include <gtest/gtest.h>
+
+#include "analytics/expressiveness.h"
+#include "fs/facets.h"
+#include "fs/session.h"
+#include "hifun/hifun_parser.h"
+#include "rdf/rdfs.h"
+#include "search/keyword.h"
+#include "viz/table_render.h"
+#include "workload/products.h"
+
+namespace rdfa {
+namespace {
+
+const std::string kEx = workload::kExampleNs;
+
+// ---------------- bucketing ----------------
+
+class BucketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::ProductKgOptions opt;
+    opt.laptops = 200;
+    workload::GenerateProductKg(&g_, opt);
+    session_ = std::make_unique<fs::Session>(&g_);
+    ASSERT_TRUE(session_->ClickClass(kEx + "Laptop").ok());
+  }
+  rdf::Graph g_;
+  std::unique_ptr<fs::Session> session_;
+};
+
+TEST_F(BucketTest, BucketsPartitionTheRange) {
+  fs::PropertyFacet facet = session_->ExpandPath({{kEx + "price"}});
+  auto buckets = fs::BucketNumericFacet(g_, facet, 5);
+  ASSERT_EQ(buckets.size(), 5u);
+  // Contiguous intervals.
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(buckets[i].lo, buckets[i - 1].hi);
+  }
+  // Counts sum to the facet's total count.
+  size_t facet_total = 0;
+  for (const auto& vc : facet.values) facet_total += vc.count;
+  size_t bucket_total = 0;
+  for (const auto& b : buckets) bucket_total += b.count;
+  EXPECT_EQ(bucket_total, facet_total);
+}
+
+TEST_F(BucketTest, SingleValueDataAllInFirstBucket) {
+  fs::PropertyFacet facet;
+  facet.values.push_back(
+      {g_.terms().Intern(rdf::Term::Integer(7)), 13});
+  auto buckets = fs::BucketNumericFacet(g_, facet, 4);
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0].count, 13u);
+  EXPECT_EQ(buckets[1].count + buckets[2].count + buckets[3].count, 0u);
+}
+
+TEST_F(BucketTest, NonNumericValuesIgnored) {
+  fs::PropertyFacet facet;
+  facet.values.push_back(
+      {g_.terms().Intern(rdf::Term::Literal("not-a-number")), 3});
+  EXPECT_TRUE(fs::BucketNumericFacet(g_, facet, 3).empty());
+  EXPECT_TRUE(fs::BucketNumericFacet(g_, facet, 0).empty());
+}
+
+TEST_F(BucketTest, DateBucketsByYear) {
+  fs::PropertyFacet facet = session_->ExpandPath({{kEx + "releaseDate"}});
+  auto years = fs::BucketDateFacetByYear(g_, facet);
+  ASSERT_FALSE(years.empty());
+  size_t total = 0;
+  for (const auto& [year, count] : years) {
+    EXPECT_GE(year, 2018);
+    EXPECT_LE(year, 2023);
+    total += count;
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+// ---------------- expressiveness (§7.1) ----------------
+
+class ExpressivenessTest : public ::testing::Test {
+ protected:
+  hifun::Query Parse(const std::string& text) {
+    rdf::PrefixMap prefixes;
+    auto q = hifun::ParseHifun(text, prefixes, kEx);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value_or(hifun::Query{});
+  }
+};
+
+TEST_F(ExpressivenessTest, SimpleQueriesExpressible) {
+  auto rep = analytics::CheckExpressible(
+      Parse("(manufacturer, price, AVG) over Laptop"));
+  EXPECT_TRUE(rep.expressible);
+  EXPECT_TRUE(rep.reasons.empty());
+  EXPECT_GE(rep.estimated_actions, 3);
+}
+
+TEST_F(ExpressivenessTest, PathsPairingsDerivedExpressible) {
+  auto rep = analytics::CheckExpressible(Parse(
+      "((origin o manufacturer x YEAR(releaseDate)), price, AVG+MAX) over "
+      "Laptop"));
+  EXPECT_TRUE(rep.expressible) << (rep.reasons.empty() ? "" : rep.reasons[0]);
+}
+
+TEST_F(ExpressivenessTest, HavingExpressibleViaAfReload) {
+  auto rep = analytics::CheckExpressible(
+      Parse("(manufacturer, price, AVG / > 900) over Laptop"));
+  EXPECT_TRUE(rep.expressible);
+  // The AF reload costs extra actions.
+  auto plain = analytics::CheckExpressible(
+      Parse("(manufacturer, price, AVG) over Laptop"));
+  EXPECT_GT(rep.estimated_actions, plain.estimated_actions);
+}
+
+TEST_F(ExpressivenessTest, DerivedInsideCompositionNotExpressible) {
+  // YEAR applied mid-path: the UI only offers a transform on the final
+  // facet.
+  hifun::Query q;
+  q.root_class = kEx + "Laptop";
+  q.grouping = hifun::AttrExpr::Compose(
+      {hifun::AttrExpr::Derived("YEAR",
+                                hifun::AttrExpr::Property(kEx + "releaseDate")),
+       hifun::AttrExpr::Property(kEx + "somethingElse")});
+  q.measuring = hifun::AttrExpr::Identity();
+  q.ops = {hifun::AggOp::kCount};
+  auto rep = analytics::CheckExpressible(q);
+  EXPECT_FALSE(rep.expressible);
+  ASSERT_FALSE(rep.reasons.empty());
+}
+
+TEST_F(ExpressivenessTest, PairMeasureNotExpressible) {
+  hifun::Query q;
+  q.measuring = hifun::AttrExpr::Pair({hifun::AttrExpr::Property(kEx + "a"),
+                                       hifun::AttrExpr::Property(kEx + "b")});
+  q.ops = {hifun::AggOp::kSum};
+  auto rep = analytics::CheckExpressible(q);
+  EXPECT_FALSE(rep.expressible);
+}
+
+TEST_F(ExpressivenessTest, NestedPairingNotExpressible) {
+  hifun::Query q;
+  auto inner = hifun::AttrExpr::Pair({hifun::AttrExpr::Property(kEx + "a"),
+                                      hifun::AttrExpr::Property(kEx + "b")});
+  auto outer = std::make_shared<hifun::AttrExpr>();
+  outer->kind = hifun::AttrExpr::Kind::kPair;
+  outer->args = {inner, hifun::AttrExpr::Property(kEx + "c")};
+  q.grouping = outer;
+  q.measuring = hifun::AttrExpr::Identity();
+  q.ops = {hifun::AggOp::kCount};
+  auto rep = analytics::CheckExpressible(q);
+  EXPECT_FALSE(rep.expressible);
+}
+
+// ---------------- keyword search ----------------
+
+class KeywordTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::BuildRunningExample(&g_);
+    rdf::MaterializeRdfsClosure(&g_);
+    index_ = std::make_unique<search::KeywordIndex>(g_);
+  }
+  rdf::Graph g_;
+  std::unique_ptr<search::KeywordIndex> index_;
+};
+
+TEST(TokenizeTest, SplitsPunctuationAndCamelCase) {
+  auto toks = search::TokenizeText("releaseDate of laptop-1!");
+  EXPECT_EQ(toks, (std::vector<std::string>{"release", "date", "of", "laptop",
+                                            "1"}));
+}
+
+TEST_F(KeywordTest, FindsByLocalName) {
+  auto hits = index_->Search("dell");
+  ASSERT_FALSE(hits.empty());
+  // laptop1/laptop2 (objects mention DELL) and DELL itself rank.
+  bool found_dell_subject = false;
+  for (const auto& h : hits) {
+    if (g_.terms().Get(h.subject).lexical() == kEx + "DELL") {
+      found_dell_subject = true;
+    }
+  }
+  EXPECT_TRUE(found_dell_subject);
+}
+
+TEST_F(KeywordTest, MultiTokenRanksIntersectionHigher) {
+  auto hits = index_->Search("laptop1 dell");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(viz::LocalName(g_.terms().Get(hits[0].subject).lexical()),
+            "laptop1");
+}
+
+TEST_F(KeywordTest, NoHitsForUnknownToken) {
+  EXPECT_TRUE(index_->Search("zzzzunknown").empty());
+}
+
+TEST_F(KeywordTest, LimitRespected) {
+  auto hits = index_->Search("laptop", 2);
+  EXPECT_LE(hits.size(), 2u);
+}
+
+TEST_F(KeywordTest, FeedsFacetedSessionAsStartingPoint) {
+  // §5.3.2 starting point (ii): explore the results of a keyword query.
+  fs::Extension ext = index_->SearchAsExtension("laptop");
+  ASSERT_FALSE(ext.empty());
+  fs::Session session(&g_);
+  session.StartFromResults(ext);
+  EXPECT_EQ(session.current().ext, ext);
+  auto facets = session.PropertyFacets();
+  EXPECT_FALSE(facets.empty());
+}
+
+}  // namespace
+}  // namespace rdfa

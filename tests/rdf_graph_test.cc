@@ -1,0 +1,132 @@
+#include "rdf/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace rdfa::rdf {
+namespace {
+
+Term Iri(const std::string& s) { return Term::Iri("urn:" + s); }
+
+class GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_.Add(Iri("s1"), Iri("p1"), Iri("o1"));
+    g_.Add(Iri("s1"), Iri("p1"), Iri("o2"));
+    g_.Add(Iri("s1"), Iri("p2"), Iri("o1"));
+    g_.Add(Iri("s2"), Iri("p1"), Iri("o1"));
+    g_.Add(Iri("s2"), Iri("p2"), Term::Integer(5));
+  }
+  TermId Id(const std::string& s) { return g_.terms().Find(Iri(s)); }
+  Graph g_;
+};
+
+TEST_F(GraphTest, SizeAndDeduplication) {
+  EXPECT_EQ(g_.size(), 5u);
+  EXPECT_FALSE(g_.Add(Iri("s1"), Iri("p1"), Iri("o1")));
+  EXPECT_EQ(g_.size(), 5u);
+}
+
+TEST_F(GraphTest, ContainsExactTriple) {
+  EXPECT_TRUE(g_.Contains(Id("s1"), Id("p1"), Id("o1")));
+  EXPECT_FALSE(g_.Contains(Id("s1"), Id("p2"), Id("o2")));
+}
+
+TEST_F(GraphTest, MatchFullyBound) {
+  EXPECT_EQ(g_.Match(Id("s1"), Id("p1"), Id("o1")).size(), 1u);
+}
+
+TEST_F(GraphTest, MatchSubjectWildcardRest) {
+  auto out = g_.Match(Id("s1"), kNoTermId, kNoTermId);
+  EXPECT_EQ(out.size(), 3u);
+  for (const TripleId& t : out) EXPECT_EQ(t.s, Id("s1"));
+}
+
+TEST_F(GraphTest, MatchPredicateBound) {
+  EXPECT_EQ(g_.Match(kNoTermId, Id("p1"), kNoTermId).size(), 3u);
+}
+
+TEST_F(GraphTest, MatchObjectBound) {
+  EXPECT_EQ(g_.Match(kNoTermId, kNoTermId, Id("o1")).size(), 3u);
+}
+
+TEST_F(GraphTest, MatchSubjectObjectBoundPredicateFree) {
+  auto out = g_.Match(Id("s1"), kNoTermId, Id("o1"));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(GraphTest, MatchPredicateObjectBound) {
+  EXPECT_EQ(g_.Match(kNoTermId, Id("p1"), Id("o1")).size(), 2u);
+}
+
+TEST_F(GraphTest, MatchAllWildcards) {
+  EXPECT_EQ(g_.Match(kNoTermId, kNoTermId, kNoTermId).size(), 5u);
+}
+
+TEST_F(GraphTest, CountMatchAgreesWithMatch) {
+  EXPECT_EQ(g_.CountMatch(Id("s1"), kNoTermId, kNoTermId), 3u);
+  EXPECT_EQ(g_.CountMatch(kNoTermId, Id("p2"), kNoTermId), 2u);
+}
+
+TEST_F(GraphTest, EstimateIsUpperBound) {
+  EXPECT_GE(g_.EstimateMatch(Id("s1"), kNoTermId, Id("o1")),
+            g_.CountMatch(Id("s1"), kNoTermId, Id("o1")));
+}
+
+TEST_F(GraphTest, MatchAbsentTermYieldsNothing) {
+  // An interned term that occurs in no triple matches nothing. (A term that
+  // was never interned has no id; kNoTermId is the wildcard, by contract.)
+  TermId lonely = g_.terms().Intern(Iri("nothere"));
+  EXPECT_TRUE(g_.Match(lonely, kNoTermId, kNoTermId).empty());
+  EXPECT_EQ(g_.terms().Find(Iri("neverseen")), kNoTermId);
+}
+
+TEST_F(GraphTest, IndexesStayCorrectAfterIncrementalAdds) {
+  // Force index build, then add more and re-query.
+  EXPECT_EQ(g_.Match(Id("s1"), kNoTermId, kNoTermId).size(), 3u);
+  g_.Add(Iri("s1"), Iri("p3"), Iri("o3"));
+  EXPECT_EQ(g_.Match(Id("s1"), kNoTermId, kNoTermId).size(), 4u);
+}
+
+// Property-style randomized check: every pattern type returns exactly the
+// triples a brute-force filter returns.
+TEST(GraphPropertyTest, RandomizedPatternsMatchBruteForce) {
+  std::mt19937_64 rng(123);
+  Graph g;
+  const int kTerms = 12;
+  for (int i = 0; i < 300; ++i) {
+    Term s = Term::Iri("urn:t" + std::to_string(rng() % kTerms));
+    Term p = Term::Iri("urn:t" + std::to_string(rng() % kTerms));
+    Term o = Term::Iri("urn:t" + std::to_string(rng() % kTerms));
+    g.Add(s, p, o);
+  }
+  auto brute = [&](TermId s, TermId p, TermId o) {
+    std::multiset<std::string> out;
+    for (const TripleId& t : g.triples()) {
+      if ((s == kNoTermId || t.s == s) && (p == kNoTermId || t.p == p) &&
+          (o == kNoTermId || t.o == o)) {
+        out.insert(std::to_string(t.s) + "," + std::to_string(t.p) + "," +
+                   std::to_string(t.o));
+      }
+    }
+    return out;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    auto pick = [&]() -> TermId {
+      if (rng() % 3 == 0) return kNoTermId;
+      return g.terms().Find(Term::Iri("urn:t" + std::to_string(rng() % kTerms)));
+    };
+    TermId s = pick(), p = pick(), o = pick();
+    std::multiset<std::string> got;
+    g.ForEachMatch(s, p, o, [&](const TripleId& t) {
+      got.insert(std::to_string(t.s) + "," + std::to_string(t.p) + "," +
+                 std::to_string(t.o));
+    });
+    EXPECT_EQ(got, brute(s, p, o)) << "pattern " << s << " " << p << " " << o;
+  }
+}
+
+}  // namespace
+}  // namespace rdfa::rdf

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "rdf/graph.h"
+#include "rdf/namespaces.h"
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+
+namespace rdfa::rdf {
+namespace {
+
+TEST(NTriplesTest, ParsesBasicTriples) {
+  Graph g;
+  Status st = ParseNTriples(
+      "<urn:s> <urn:p> <urn:o> .\n"
+      "<urn:s> <urn:p> \"lit\" .\n"
+      "<urn:s> <urn:p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "<urn:s> <urn:p> \"hi\"@en .\n"
+      "_:b1 <urn:p> <urn:o> .\n",
+      &g);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(g.size(), 5u);
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlankLines) {
+  Graph g;
+  ASSERT_TRUE(ParseNTriples("# comment\n\n<urn:s> <urn:p> <urn:o> .\n", &g).ok());
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(NTriplesTest, RejectsMissingDot) {
+  Graph g;
+  Status st = ParseNTriples("<urn:s> <urn:p> <urn:o>\n", &g);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(NTriplesTest, RejectsUnterminatedLiteral) {
+  Graph g;
+  Status st = ParseNTriples("<urn:s> <urn:p> \"oops .\n", &g);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("line 1"), std::string::npos);
+}
+
+TEST(NTriplesTest, EscapedLiteralRoundTrip) {
+  Graph g;
+  ASSERT_TRUE(
+      ParseNTriples("<urn:s> <urn:p> \"a\\\"b\\nc\" .\n", &g).ok());
+  const Term& o = g.terms().Get(g.triples()[0].o);
+  EXPECT_EQ(o.lexical(), "a\"b\nc");
+}
+
+TEST(NTriplesTest, WriteReadRoundTrip) {
+  Graph g;
+  g.Add(Term::Iri("urn:s"), Term::Iri("urn:p"), Term::Integer(7));
+  g.Add(Term::Iri("urn:s"), Term::Iri("urn:q"), Term::LangLiteral("x", "en"));
+  g.Add(Term::Blank("b1"), Term::Iri("urn:p"), Term::Literal("plain\n"));
+  std::string text = WriteNTriples(g);
+  Graph g2;
+  ASSERT_TRUE(ParseNTriples(text, &g2).ok());
+  EXPECT_EQ(g2.size(), g.size());
+  // Same triples by term content.
+  for (const TripleId& t : g.triples()) {
+    TermId s = g2.terms().Find(g.terms().Get(t.s));
+    TermId p = g2.terms().Find(g.terms().Get(t.p));
+    TermId o = g2.terms().Find(g.terms().Get(t.o));
+    EXPECT_TRUE(g2.Contains(s, p, o));
+  }
+}
+
+TEST(TurtleTest, PrefixAndLists) {
+  Graph g;
+  PrefixMap prefixes;
+  Status st = ParseTurtle(
+      "@prefix ex: <http://e.org/> .\n"
+      "ex:s a ex:C ;\n"
+      "  ex:p ex:o1 , ex:o2 ;\n"
+      "  ex:q \"v\" .\n",
+      &g, &prefixes);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(g.size(), 4u);
+  TermId s = g.terms().FindIri("http://e.org/s");
+  TermId type = g.terms().FindIri(rdfns::kType);
+  TermId c = g.terms().FindIri("http://e.org/C");
+  EXPECT_TRUE(g.Contains(s, type, c));
+}
+
+TEST(TurtleTest, SparqlStylePrefix) {
+  Graph g;
+  Status st = ParseTurtle("PREFIX ex: <http://e.org/>\nex:s ex:p ex:o .\n", &g);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(TurtleTest, NumericAndBooleanAbbreviations) {
+  Graph g;
+  Status st = ParseTurtle(
+      "@prefix ex: <http://e.org/> .\n"
+      "ex:s ex:i 42 ; ex:d 3.5 ; ex:b true .\n",
+      &g);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  TermId i = g.terms().Find(Term::TypedLiteral("42", xsd::kInteger));
+  TermId d = g.terms().Find(Term::TypedLiteral("3.5", xsd::kDecimal));
+  TermId b = g.terms().Find(Term::Boolean(true));
+  EXPECT_NE(i, kNoTermId);
+  EXPECT_NE(d, kNoTermId);
+  EXPECT_NE(b, kNoTermId);
+}
+
+TEST(TurtleTest, TypedAndLangLiterals) {
+  Graph g;
+  Status st = ParseTurtle(
+      "@prefix ex: <http://e.org/> .\n"
+      "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+      "ex:s ex:p \"2021-01-01T00:00:00\"^^xsd:dateTime ; ex:q \"hi\"@en .\n",
+      &g);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_NE(g.terms().Find(Term::DateTime("2021-01-01T00:00:00")), kNoTermId);
+  EXPECT_NE(g.terms().Find(Term::LangLiteral("hi", "en")), kNoTermId);
+}
+
+TEST(TurtleTest, UnknownPrefixErrors) {
+  Graph g;
+  Status st = ParseTurtle("nope:s nope:p nope:o .\n", &g);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(TurtleTest, UnsupportedConstructsReportError) {
+  Graph g;
+  EXPECT_EQ(ParseTurtle("@prefix ex: <http://e.org/> .\nex:s ex:p ( 1 2 ) .",
+                        &g)
+                .code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(
+      ParseTurtle("@prefix ex: <http://e.org/> .\nex:s ex:p [ ex:q 1 ] .", &g)
+          .code(),
+      StatusCode::kParseError);
+}
+
+TEST(TurtleTest, WriteTurtleRoundTrip) {
+  Graph g;
+  PrefixMap prefixes;
+  prefixes.Register("ex", "http://e.org/");
+  ASSERT_TRUE(ParseTurtle("@prefix ex: <http://e.org/> .\n"
+                          "ex:s a ex:C ; ex:p ex:o , 42 .\n",
+                          &g, &prefixes)
+                  .ok());
+  std::string text = WriteTurtle(g, prefixes);
+  Graph g2;
+  ASSERT_TRUE(ParseTurtle(text, &g2).ok()) << text;
+  EXPECT_EQ(g2.size(), g.size());
+}
+
+TEST(PrefixMapTest, ExpandAndShrink) {
+  PrefixMap p;
+  p.Register("ex", "http://e.org/");
+  EXPECT_EQ(p.Expand("ex:Laptop").value(), "http://e.org/Laptop");
+  EXPECT_FALSE(p.Expand("zz:x").has_value());
+  EXPECT_FALSE(p.Expand("nocolon").has_value());
+  EXPECT_EQ(p.ShrinkOrWrap("http://e.org/Laptop"), "ex:Laptop");
+  EXPECT_EQ(p.ShrinkOrWrap("http://other.org/x"), "<http://other.org/x>");
+}
+
+TEST(PrefixMapTest, BuiltinPrefixesPresent) {
+  PrefixMap p;
+  EXPECT_TRUE(p.Expand("rdf:type").has_value());
+  EXPECT_TRUE(p.Expand("rdfs:subClassOf").has_value());
+  EXPECT_TRUE(p.Expand("xsd:integer").has_value());
+}
+
+}  // namespace
+}  // namespace rdfa::rdf

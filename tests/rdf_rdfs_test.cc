@@ -1,0 +1,150 @@
+#include "rdf/rdfs.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/namespaces.h"
+#include "workload/products.h"
+
+namespace rdfa::rdf {
+namespace {
+
+constexpr char kNs[] = "http://www.ics.forth.gr/example#";
+
+class RdfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { workload::BuildRunningExample(&g_); }
+  TermId Id(const std::string& local) {
+    return g_.terms().FindIri(std::string(kNs) + local);
+  }
+  Graph g_;
+};
+
+TEST_F(RdfsTest, SchemaViewFindsClassesAndProperties) {
+  Vocab v(&g_);
+  SchemaView schema(g_, v);
+  EXPECT_TRUE(schema.classes().count(Id("Laptop")));
+  EXPECT_TRUE(schema.classes().count(Id("Product")));
+  EXPECT_TRUE(schema.properties().count(Id("manufacturer")));
+  EXPECT_TRUE(schema.properties().count(Id("price")));
+}
+
+TEST_F(RdfsTest, DirectAndTransitiveSubclasses) {
+  Vocab v(&g_);
+  SchemaView schema(g_, v);
+  auto direct = schema.DirectSubclasses(Id("Product"));
+  EXPECT_TRUE(direct.count(Id("Laptop")));
+  EXPECT_TRUE(direct.count(Id("HDType")));
+  EXPECT_FALSE(direct.count(Id("SSD")));  // two levels down
+  auto all = schema.Subclasses(Id("Product"));
+  EXPECT_TRUE(all.count(Id("SSD")));
+  EXPECT_TRUE(all.count(Id("NVMe")));
+}
+
+TEST_F(RdfsTest, SuperclassesAreReflexiveTransitive) {
+  Vocab v(&g_);
+  SchemaView schema(g_, v);
+  auto supers = schema.Superclasses(Id("SSD"));
+  EXPECT_TRUE(supers.count(Id("SSD")));
+  EXPECT_TRUE(supers.count(Id("HDType")));
+  EXPECT_TRUE(supers.count(Id("Product")));
+}
+
+TEST_F(RdfsTest, MaximalClasses) {
+  Vocab v(&g_);
+  SchemaView schema(g_, v);
+  auto maximal = schema.MaximalClasses();
+  std::set<TermId> max_set(maximal.begin(), maximal.end());
+  EXPECT_TRUE(max_set.count(Id("Product")));
+  EXPECT_TRUE(max_set.count(Id("Company")));
+  EXPECT_TRUE(max_set.count(Id("Location")));
+  EXPECT_FALSE(max_set.count(Id("Laptop")));
+  EXPECT_FALSE(max_set.count(Id("Country")));
+}
+
+TEST_F(RdfsTest, DomainsAndRanges) {
+  Vocab v(&g_);
+  SchemaView schema(g_, v);
+  EXPECT_TRUE(schema.Domains(Id("manufacturer")).count(Id("Product")));
+  EXPECT_TRUE(schema.Ranges(Id("manufacturer")).count(Id("Company")));
+  EXPECT_TRUE(schema.Ranges(Id("origin")).count(Id("Country")));
+}
+
+TEST_F(RdfsTest, ClosureAddsTypePropagation) {
+  TermId laptop1 = Id("laptop1");
+  TermId type = g_.terms().FindIri(rdfns::kType);
+  TermId product = Id("Product");
+  EXPECT_FALSE(g_.Contains(laptop1, type, product));
+  size_t added = MaterializeRdfsClosure(&g_);
+  EXPECT_GT(added, 0u);
+  EXPECT_TRUE(g_.Contains(laptop1, type, product));
+  // Two-level: SSD1 is SSD -> HDType -> Product.
+  EXPECT_TRUE(g_.Contains(Id("SSD1"), type, Id("HDType")));
+  EXPECT_TRUE(g_.Contains(Id("SSD1"), type, Id("Product")));
+}
+
+TEST_F(RdfsTest, ClosureIsIdempotent) {
+  MaterializeRdfsClosure(&g_);
+  size_t again = MaterializeRdfsClosure(&g_);
+  EXPECT_EQ(again, 0u);
+}
+
+TEST(RdfsRulesTest, SubPropertyPropagation) {
+  Graph g;
+  Term type = Term::Iri(rdfns::kType);
+  Term subprop = Term::Iri(rdfsns::kSubPropertyOf);
+  g.Add(Term::Iri("urn:manufacturer"), subprop, Term::Iri("urn:producer"));
+  g.Add(Term::Iri("urn:l1"), Term::Iri("urn:manufacturer"),
+        Term::Iri("urn:dell"));
+  MaterializeRdfsClosure(&g);
+  TermId l1 = g.terms().FindIri("urn:l1");
+  TermId producer = g.terms().FindIri("urn:producer");
+  TermId dell = g.terms().FindIri("urn:dell");
+  EXPECT_TRUE(g.Contains(l1, producer, dell));
+  (void)type;
+}
+
+TEST(RdfsRulesTest, DomainRangeTyping) {
+  Graph g;
+  Term type = Term::Iri(rdfns::kType);
+  g.Add(Term::Iri("urn:p"), Term::Iri(rdfsns::kDomain), Term::Iri("urn:D"));
+  g.Add(Term::Iri("urn:p"), Term::Iri(rdfsns::kRange), Term::Iri("urn:R"));
+  g.Add(Term::Iri("urn:a"), Term::Iri("urn:p"), Term::Iri("urn:b"));
+  g.Add(Term::Iri("urn:a"), Term::Iri("urn:p"), Term::Literal("lit"));
+  MaterializeRdfsClosure(&g);
+  TermId a = g.terms().FindIri("urn:a");
+  TermId b = g.terms().FindIri("urn:b");
+  TermId t = g.terms().Find(type);
+  EXPECT_TRUE(g.Contains(a, t, g.terms().FindIri("urn:D")));
+  EXPECT_TRUE(g.Contains(b, t, g.terms().FindIri("urn:R")));
+  // Literals never get typed.
+  TermId lit = g.terms().Find(Term::Literal("lit"));
+  EXPECT_FALSE(g.Contains(lit, t, g.terms().FindIri("urn:R")));
+}
+
+TEST(RdfsRulesTest, ChainedSubPropertyThroughDomain) {
+  // p1 subPropertyOf p2, p2 has domain C: users of p1 get typed C
+  // (requires subproperty propagation to run before domain typing).
+  Graph g;
+  g.Add(Term::Iri("urn:p1"), Term::Iri(rdfsns::kSubPropertyOf),
+        Term::Iri("urn:p2"));
+  g.Add(Term::Iri("urn:p2"), Term::Iri(rdfsns::kDomain), Term::Iri("urn:C"));
+  g.Add(Term::Iri("urn:x"), Term::Iri("urn:p1"), Term::Iri("urn:y"));
+  MaterializeRdfsClosure(&g);
+  TermId x = g.terms().FindIri("urn:x");
+  TermId type = g.terms().FindIri(rdfns::kType);
+  TermId c = g.terms().FindIri("urn:C");
+  EXPECT_TRUE(g.Contains(x, type, c));
+}
+
+TEST(RdfsRulesTest, TransitiveSubClassOfMaterialized) {
+  Graph g;
+  Term sub = Term::Iri(rdfsns::kSubClassOf);
+  g.Add(Term::Iri("urn:A"), sub, Term::Iri("urn:B"));
+  g.Add(Term::Iri("urn:B"), sub, Term::Iri("urn:C"));
+  MaterializeRdfsClosure(&g);
+  EXPECT_TRUE(g.Contains(g.terms().FindIri("urn:A"), g.terms().Find(sub),
+                         g.terms().FindIri("urn:C")));
+}
+
+}  // namespace
+}  // namespace rdfa::rdf

@@ -1,0 +1,137 @@
+#include "rdf/term.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/namespaces.h"
+#include "rdf/term_table.h"
+
+namespace rdfa::rdf {
+namespace {
+
+TEST(TermTest, IriConstruction) {
+  Term t = Term::Iri("http://example.org/a");
+  EXPECT_TRUE(t.is_iri());
+  EXPECT_FALSE(t.is_literal());
+  EXPECT_EQ(t.lexical(), "http://example.org/a");
+  EXPECT_EQ(t.ToNTriples(), "<http://example.org/a>");
+}
+
+TEST(TermTest, BlankNode) {
+  Term t = Term::Blank("b1");
+  EXPECT_TRUE(t.is_blank());
+  EXPECT_EQ(t.ToNTriples(), "_:b1");
+}
+
+TEST(TermTest, PlainLiteral) {
+  Term t = Term::Literal("hello");
+  EXPECT_TRUE(t.is_literal());
+  EXPECT_EQ(t.datatype(), "");
+  EXPECT_EQ(t.ToNTriples(), "\"hello\"");
+}
+
+TEST(TermTest, TypedLiteral) {
+  Term t = Term::Integer(42);
+  EXPECT_EQ(t.lexical(), "42");
+  EXPECT_EQ(t.datatype(), xsd::kInteger);
+  EXPECT_TRUE(t.IsNumericLiteral());
+}
+
+TEST(TermTest, LangLiteral) {
+  Term t = Term::LangLiteral("bonjour", "fr");
+  EXPECT_EQ(t.lang(), "fr");
+  EXPECT_EQ(t.ToNTriples(), "\"bonjour\"@fr");
+}
+
+TEST(TermTest, LiteralEscaping) {
+  Term t = Term::Literal("line1\nline2 \"quoted\"");
+  EXPECT_EQ(t.ToNTriples(), "\"line1\\nline2 \\\"quoted\\\"\"");
+}
+
+TEST(TermTest, DoubleFormatting) {
+  EXPECT_EQ(Term::Double(2.5).lexical(), "2.5");
+  EXPECT_EQ(Term::Double(3.0).lexical(), "3");
+}
+
+TEST(TermTest, BooleanLiteral) {
+  EXPECT_EQ(Term::Boolean(true).lexical(), "true");
+  EXPECT_EQ(Term::Boolean(false).lexical(), "false");
+  EXPECT_EQ(Term::Boolean(true).datatype(), xsd::kBoolean);
+}
+
+TEST(TermTest, EqualityDistinguishesKind) {
+  EXPECT_NE(Term::Iri("a"), Term::Literal("a"));
+  EXPECT_NE(Term::Blank("a"), Term::Literal("a"));
+  EXPECT_EQ(Term::Iri("a"), Term::Iri("a"));
+}
+
+TEST(TermTest, EqualityDistinguishesDatatypeAndLang) {
+  EXPECT_NE(Term::Literal("1"), Term::Integer(1));
+  EXPECT_NE(Term::LangLiteral("a", "en"), Term::LangLiteral("a", "fr"));
+}
+
+TEST(TermTest, NumericLiteralDetection) {
+  EXPECT_TRUE(Term::TypedLiteral("2.5", xsd::kDouble).IsNumericLiteral());
+  EXPECT_TRUE(Term::Literal("123").IsNumericLiteral());
+  EXPECT_FALSE(Term::Literal("12a").IsNumericLiteral());
+  EXPECT_FALSE(Term::Iri("123").IsNumericLiteral());
+}
+
+TEST(TermTableTest, InternIsIdempotent) {
+  TermTable table;
+  TermId a = table.Intern(Term::Iri("x"));
+  TermId b = table.Intern(Term::Iri("x"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(TermTableTest, DistinctTermsGetDistinctIds) {
+  TermTable table;
+  TermId a = table.Intern(Term::Iri("x"));
+  TermId b = table.Intern(Term::Literal("x"));
+  TermId c = table.Intern(Term::Integer(1));
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(TermTableTest, FindAbsentReturnsNoTermId) {
+  TermTable table;
+  EXPECT_EQ(table.Find(Term::Iri("missing")), kNoTermId);
+  EXPECT_EQ(table.FindIri("missing"), kNoTermId);
+}
+
+TEST(TermTableTest, GetRoundTrips) {
+  TermTable table;
+  Term original = Term::LangLiteral("hi", "en");
+  TermId id = table.Intern(original);
+  EXPECT_EQ(table.Get(id), original);
+}
+
+TEST(TermTableTest, MintBlankIsFresh) {
+  TermTable table;
+  table.Intern(Term::Blank("b0"));
+  TermId fresh = table.MintBlank();
+  EXPECT_NE(table.Get(fresh), Term::Blank("b0"));
+  TermId fresh2 = table.MintBlank();
+  EXPECT_NE(fresh, fresh2);
+}
+
+class TermRoundTripTest : public ::testing::TestWithParam<Term> {};
+
+TEST_P(TermRoundTripTest, InternFindRoundTrip) {
+  TermTable table;
+  TermId id = table.Intern(GetParam());
+  EXPECT_EQ(table.Find(GetParam()), id);
+  EXPECT_EQ(table.Get(id), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Terms, TermRoundTripTest,
+    ::testing::Values(Term::Iri("http://e.org/x"), Term::Blank("n1"),
+                      Term::Literal("plain"), Term::Integer(-5),
+                      Term::Double(2.25), Term::Boolean(true),
+                      Term::DateTime("2021-06-10T00:00:00"),
+                      Term::LangLiteral("x", "el")));
+
+}  // namespace
+}  // namespace rdfa::rdf

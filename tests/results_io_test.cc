@@ -1,0 +1,83 @@
+#include "sparql/results_io.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/namespaces.h"
+
+namespace rdfa::sparql {
+namespace {
+
+ResultTable SampleTable() {
+  ResultTable t({"s", "label", "n"});
+  t.AddRow({rdf::Term::Iri("http://e.org/a"),
+            rdf::Term::LangLiteral("alpha", "en"), rdf::Term::Integer(1)});
+  std::vector<rdf::Term> row2 = {rdf::Term::Blank("b0"),
+                                 rdf::Term::Literal("say \"hi\"\n"),
+                                 rdf::Term()};  // unbound third cell
+  t.AddRow(row2);
+  return t;
+}
+
+TEST(ResultsJsonTest, HeadAndBindings) {
+  std::string json = WriteResultsJson(SampleTable());
+  EXPECT_NE(json.find("\"head\":{\"vars\":[\"s\",\"label\",\"n\"]}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"type\":\"uri\",\"value\":\"http://e.org/a\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"xml:lang\":\"en\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"bnode\",\"value\":\"b0\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"datatype\":\"" + std::string(rdf::xsd::kInteger) +
+                      "\""),
+            std::string::npos);
+}
+
+TEST(ResultsJsonTest, UnboundCellsOmitted) {
+  std::string json = WriteResultsJson(SampleTable());
+  // The second binding object must not contain key "n".
+  size_t second = json.find("bnode");
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_EQ(json.find("\"n\":", second), std::string::npos);
+}
+
+TEST(ResultsJsonTest, StringsEscaped) {
+  std::string json = WriteResultsJson(SampleTable());
+  EXPECT_NE(json.find("say \\\"hi\\\"\\n"), std::string::npos) << json;
+}
+
+TEST(ResultsCsvTest, HeaderRowsAndQuoting) {
+  std::string csv = WriteResultsCsv(SampleTable());
+  EXPECT_NE(csv.find("s,label,n\r\n"), std::string::npos);
+  EXPECT_NE(csv.find("http://e.org/a,alpha,1\r\n"), std::string::npos);
+  // Quotes doubled, newline kept inside the quoted field.
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\n\""), std::string::npos) << csv;
+}
+
+TEST(ResultsCsvTest, UnboundIsEmptyField) {
+  std::string csv = WriteResultsCsv(SampleTable());
+  // Second data row ends with an empty field before CRLF.
+  EXPECT_NE(csv.find(",\r\n"), std::string::npos);
+}
+
+TEST(ResultsXmlTest, StructureAndEscaping) {
+  std::string xml = WriteResultsXml(SampleTable());
+  EXPECT_NE(xml.find("<variable name=\"label\"/>"), std::string::npos);
+  EXPECT_NE(xml.find("<uri>http://e.org/a</uri>"), std::string::npos);
+  EXPECT_NE(xml.find("<literal xml:lang=\"en\">alpha</literal>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<bnode>b0</bnode>"), std::string::npos);
+  EXPECT_NE(xml.find("&quot;hi&quot;"), std::string::npos);
+  // Unbound binding omitted entirely.
+  EXPECT_EQ(xml.find("<binding name=\"n\"></binding>"), std::string::npos);
+}
+
+TEST(ResultsIoTest, EmptyTable) {
+  ResultTable t({"x"});
+  EXPECT_NE(WriteResultsJson(t).find("\"bindings\":[]"), std::string::npos);
+  EXPECT_EQ(WriteResultsCsv(t), "x\r\n");
+  EXPECT_NE(WriteResultsXml(t).find("<results>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfa::sparql

@@ -1,0 +1,160 @@
+// Tests for materialized-answer roll-up reuse: re-aggregating a cached
+// answer frame must equal re-querying the base KG at the coarser grouping.
+
+#include "analytics/rollup_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analytics/session.h"
+#include "sparql/value.h"
+#include "viz/table_render.h"
+#include "workload/invoices.h"
+
+namespace rdfa::analytics {
+namespace {
+
+const std::string kInv = workload::kInvoiceNs;
+
+class RollupCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::InvoicesOptions opt;
+    opt.invoices = 500;
+    opt.branches = 6;
+    opt.products = 30;
+    workload::GenerateInvoices(&g_, opt);
+  }
+
+  /// Runs (group by `paths`, op(inQuantity)) against the base KG.
+  AnswerFrame Direct(const std::vector<std::vector<std::string>>& paths,
+                     std::vector<hifun::AggOp> ops) {
+    AnalyticsSession s(&g_);
+    EXPECT_TRUE(s.fs().ClickClass(kInv + "Invoice").ok());
+    for (const auto& p : paths) {
+      GroupingSpec grp;
+      grp.path = p;
+      EXPECT_TRUE(s.ClickGroupBy(grp).ok());
+    }
+    MeasureSpec m;
+    m.path = {kInv + "inQuantity"};
+    m.ops = std::move(ops);
+    EXPECT_TRUE(s.ClickAggregate(m).ok());
+    auto af = s.Execute();
+    EXPECT_TRUE(af.ok()) << af.status().ToString();
+    return std::move(af).value_or(AnswerFrame{});
+  }
+
+  std::map<std::string, double> Canon(const sparql::ResultTable& t,
+                                      const std::string& key_col,
+                                      const std::string& val_col) {
+    std::map<std::string, double> out;
+    int kc = t.ColumnIndex(key_col);
+    int vc = t.ColumnIndex(val_col);
+    EXPECT_GE(kc, 0);
+    EXPECT_GE(vc, 0);
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      out[viz::DisplayTerm(t.at(r, kc))] =
+          *sparql::Value::FromTerm(t.at(r, vc)).AsNumeric();
+    }
+    return out;
+  }
+
+  rdf::Graph g_;
+};
+
+TEST_F(RollupCacheTest, SumRollUpMatchesDirectQuery) {
+  // Fine cube: (branch, product) -> SUM; roll up to (branch).
+  AnswerFrame fine = Direct(
+      {{kInv + "takesPlaceAt"}, {kInv + "delivers"}}, {hifun::AggOp::kSum});
+  // Columns: x2 (branch), x3 (product), agg1.
+  auto rolled = RollUpAnswer(fine, {fine.table().columns()[0]}, "agg1",
+                             hifun::AggOp::kSum);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+
+  AnswerFrame coarse = Direct({{kInv + "takesPlaceAt"}}, {hifun::AggOp::kSum});
+  auto a = Canon(rolled.value().table(), rolled.value().table().columns()[0],
+                 "agg1");
+  auto b = Canon(coarse.table(), coarse.table().columns()[0], "agg1");
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(RollupCacheTest, CountRollUpSumsPartialCounts) {
+  AnswerFrame fine = Direct(
+      {{kInv + "takesPlaceAt"}, {kInv + "delivers"}}, {hifun::AggOp::kCount});
+  auto rolled = RollUpAnswer(fine, {fine.table().columns()[0]}, "agg1",
+                             hifun::AggOp::kCount);
+  ASSERT_TRUE(rolled.ok());
+  AnswerFrame coarse =
+      Direct({{kInv + "takesPlaceAt"}}, {hifun::AggOp::kCount});
+  EXPECT_EQ(Canon(rolled.value().table(),
+                  rolled.value().table().columns()[0], "agg1"),
+            Canon(coarse.table(), coarse.table().columns()[0], "agg1"));
+}
+
+TEST_F(RollupCacheTest, MinMaxRollUp) {
+  AnswerFrame fine = Direct({{kInv + "takesPlaceAt"}, {kInv + "delivers"}},
+                            {hifun::AggOp::kMax});
+  auto rolled = RollUpAnswer(fine, {fine.table().columns()[0]}, "agg1",
+                             hifun::AggOp::kMax);
+  ASSERT_TRUE(rolled.ok());
+  AnswerFrame coarse = Direct({{kInv + "takesPlaceAt"}}, {hifun::AggOp::kMax});
+  EXPECT_EQ(Canon(rolled.value().table(),
+                  rolled.value().table().columns()[0], "agg1"),
+            Canon(coarse.table(), coarse.table().columns()[0], "agg1"));
+}
+
+TEST_F(RollupCacheTest, AverageRollsUpFromSumCountPair) {
+  AnswerFrame fine = Direct({{kInv + "takesPlaceAt"}, {kInv + "delivers"}},
+                            {hifun::AggOp::kSum, hifun::AggOp::kCount});
+  // Columns: branch, product, agg1 (sum), agg2 (count).
+  auto rolled = RollUpAverage(fine, {fine.table().columns()[0]}, "agg1",
+                              "agg2");
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+  AnswerFrame coarse = Direct({{kInv + "takesPlaceAt"}}, {hifun::AggOp::kAvg});
+  auto a = Canon(rolled.value().table(), rolled.value().table().columns()[0],
+                 "avg");
+  auto b = Canon(coarse.table(), coarse.table().columns()[0], "agg1");
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [k, v] : a) EXPECT_NEAR(v, b.at(k), 1e-6) << k;
+}
+
+TEST_F(RollupCacheTest, AvgOpRejectedAsNonDistributive) {
+  AnswerFrame fine = Direct({{kInv + "takesPlaceAt"}, {kInv + "delivers"}},
+                            {hifun::AggOp::kAvg});
+  EXPECT_EQ(RollUpAnswer(fine, {fine.table().columns()[0]}, "agg1",
+                         hifun::AggOp::kAvg)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RollupCacheTest, UnknownColumnsRejected) {
+  AnswerFrame fine =
+      Direct({{kInv + "takesPlaceAt"}}, {hifun::AggOp::kSum});
+  EXPECT_EQ(
+      RollUpAnswer(fine, {"nope"}, "agg1", hifun::AggOp::kSum).status().code(),
+      StatusCode::kNotFound);
+  EXPECT_EQ(RollUpAnswer(fine, {fine.table().columns()[0]}, "nope",
+                         hifun::AggOp::kSum)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RollupCacheTest, RollUpToGrandTotal) {
+  AnswerFrame fine =
+      Direct({{kInv + "takesPlaceAt"}}, {hifun::AggOp::kSum});
+  auto rolled = RollUpAnswer(fine, {}, "agg1", hifun::AggOp::kSum);
+  ASSERT_TRUE(rolled.ok());
+  ASSERT_EQ(rolled.value().table().num_rows(), 1u);
+  AnswerFrame total = Direct({}, {hifun::AggOp::kSum});
+  EXPECT_NEAR(*sparql::Value::FromTerm(rolled.value().table().at(0, 0))
+                   .AsNumeric(),
+              *sparql::Value::FromTerm(total.table().at(0, 0)).AsNumeric(),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace rdfa::analytics

@@ -1,0 +1,190 @@
+// Tests for the SPARQL 1.1 extensions: EXISTS / NOT EXISTS, MINUS, IN /
+// NOT IN, transitive property paths (+ / *), and the extra built-ins.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rdf/rdfs.h"
+#include "rdf/turtle.h"
+#include "sparql/executor.h"
+#include "viz/table_render.h"
+
+namespace rdfa::sparql {
+namespace {
+
+class SparqlExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Status st = rdf::ParseTurtle(R"(
+      @prefix ex: <http://e.org/> .
+      ex:l1 a ex:Laptop ; ex:man ex:DELL ; ex:price 900 ; ex:ssd true .
+      ex:l2 a ex:Laptop ; ex:man ex:DELL ; ex:price 1000 .
+      ex:l3 a ex:Laptop ; ex:man ex:Lenovo ; ex:price 820 ; ex:ssd true .
+      ex:A rdfs:subClassOf ex:B .
+      ex:B rdfs:subClassOf ex:C .
+      ex:C rdfs:subClassOf ex:D .
+    )",
+                                 &g_);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  std::multiset<std::string> Col0(const std::string& q) {
+    auto res = ExecuteQueryString(&g_, q);
+    EXPECT_TRUE(res.ok()) << res.status().ToString() << "\n" << q;
+    std::multiset<std::string> out;
+    if (!res.ok()) return out;
+    for (size_t r = 0; r < res.value().num_rows(); ++r) {
+      out.insert(viz::DisplayTerm(res.value().at(r, 0)));
+    }
+    return out;
+  }
+
+  rdf::Graph g_;
+};
+
+TEST_F(SparqlExtensionsTest, FilterExists) {
+  auto names = Col0(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?x WHERE { ?x a ex:Laptop . FILTER EXISTS { ?x ex:ssd true . } "
+      "}");
+  EXPECT_EQ(names, (std::multiset<std::string>{"l1", "l3"}));
+}
+
+TEST_F(SparqlExtensionsTest, FilterNotExists) {
+  auto names = Col0(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?x WHERE { ?x a ex:Laptop . FILTER NOT EXISTS { ?x ex:ssd true "
+      ". } }");
+  EXPECT_EQ(names, (std::multiset<std::string>{"l2"}));
+}
+
+TEST_F(SparqlExtensionsTest, ExistsInsideBooleanExpression) {
+  auto names = Col0(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?x WHERE { ?x ex:price ?p . FILTER(EXISTS { ?x ex:ssd true . } "
+      "&& ?p > 850) }");
+  EXPECT_EQ(names, (std::multiset<std::string>{"l1"}));
+}
+
+TEST_F(SparqlExtensionsTest, Minus) {
+  auto names = Col0(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?x WHERE { ?x a ex:Laptop . MINUS { ?x ex:man ex:DELL . } }");
+  EXPECT_EQ(names, (std::multiset<std::string>{"l3"}));
+}
+
+TEST_F(SparqlExtensionsTest, InAndNotIn) {
+  auto in = Col0(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?x WHERE { ?x ex:price ?p . FILTER(?p IN (900, 820)) }");
+  EXPECT_EQ(in, (std::multiset<std::string>{"l1", "l3"}));
+  auto not_in = Col0(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?x WHERE { ?x ex:price ?p . FILTER(?p NOT IN (900, 820)) }");
+  EXPECT_EQ(not_in, (std::multiset<std::string>{"l2"}));
+}
+
+TEST_F(SparqlExtensionsTest, TransitivePathPlus) {
+  auto supers = Col0(
+      "SELECT ?c WHERE { <http://e.org/A> "
+      "<http://www.w3.org/2000/01/rdf-schema#subClassOf>+ ?c . }");
+  EXPECT_EQ(supers, (std::multiset<std::string>{"B", "C", "D"}));
+}
+
+TEST_F(SparqlExtensionsTest, TransitivePathStarIncludesSelf) {
+  auto supers = Col0(
+      "SELECT ?c WHERE { <http://e.org/A> "
+      "<http://www.w3.org/2000/01/rdf-schema#subClassOf>* ?c . }");
+  EXPECT_EQ(supers, (std::multiset<std::string>{"A", "B", "C", "D"}));
+}
+
+TEST_F(SparqlExtensionsTest, TransitivePathBackward) {
+  auto subs = Col0(
+      "SELECT ?c WHERE { ?c "
+      "<http://www.w3.org/2000/01/rdf-schema#subClassOf>+ <http://e.org/D> . "
+      "}");
+  EXPECT_EQ(subs, (std::multiset<std::string>{"A", "B", "C"}));
+}
+
+TEST_F(SparqlExtensionsTest, TransitivePathBothBoundChecks) {
+  auto res = ExecuteQueryString(
+      &g_,
+      "ASK { <http://e.org/A> "
+      "<http://www.w3.org/2000/01/rdf-schema#subClassOf>+ <http://e.org/D> . "
+      "}");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().at(0, 0).lexical(), "true");
+}
+
+TEST_F(SparqlExtensionsTest, TransitivePathCycleTerminates) {
+  g_.Add(rdf::Term::Iri("http://e.org/D"),
+         rdf::Term::Iri("http://www.w3.org/2000/01/rdf-schema#subClassOf"),
+         rdf::Term::Iri("http://e.org/A"));
+  auto supers = Col0(
+      "SELECT ?c WHERE { <http://e.org/A> "
+      "<http://www.w3.org/2000/01/rdf-schema#subClassOf>+ ?c . }");
+  // Cycle: A reaches everything including itself.
+  EXPECT_EQ(supers, (std::multiset<std::string>{"A", "B", "C", "D"}));
+}
+
+TEST_F(SparqlExtensionsTest, SubstrStrBeforeAfter) {
+  auto res = ExecuteQueryString(
+      &g_,
+      "SELECT (SUBSTR(\"hello world\", 7) AS ?a) "
+      "(SUBSTR(\"hello\", 1, 2) AS ?b) "
+      "(STRBEFORE(\"a-b\", \"-\") AS ?c) (STRAFTER(\"a-b\", \"-\") AS ?d) "
+      "WHERE { }");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().at(0, 0).lexical(), "world");
+  EXPECT_EQ(res.value().at(0, 1).lexical(), "he");
+  EXPECT_EQ(res.value().at(0, 2).lexical(), "a");
+  EXPECT_EQ(res.value().at(0, 3).lexical(), "b");
+}
+
+TEST_F(SparqlExtensionsTest, ReplaceAndLangMatches) {
+  auto res = ExecuteQueryString(
+      &g_,
+      "SELECT (REPLACE(\"aaa\", \"a\", \"b\") AS ?r) "
+      "(LANGMATCHES(\"en-US\", \"en\") AS ?l) "
+      "(LANGMATCHES(\"fr\", \"en\") AS ?n) WHERE { }");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().at(0, 0).lexical(), "bbb");
+  EXPECT_EQ(res.value().at(0, 1).lexical(), "true");
+  EXPECT_EQ(res.value().at(0, 2).lexical(), "false");
+}
+
+TEST_F(SparqlExtensionsTest, IriConstructor) {
+  auto res = ExecuteQueryString(
+      &g_, "SELECT (IRI(CONCAT(\"http://e.org/\", \"x\")) AS ?i) WHERE { }");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res.value().at(0, 0).is_iri());
+  EXPECT_EQ(res.value().at(0, 0).lexical(), "http://e.org/x");
+}
+
+TEST_F(SparqlExtensionsTest, MinusVersusNotExistsAgree) {
+  // For correlated patterns the two forms coincide in this engine.
+  auto a = Col0(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?x WHERE { ?x a ex:Laptop . MINUS { ?x ex:ssd true . } }");
+  auto b = Col0(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?x WHERE { ?x a ex:Laptop . FILTER NOT EXISTS { ?x ex:ssd true "
+      ". } }");
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SparqlExtensionsTest, SubclassReachabilityQueryUsesStar) {
+  // The FS-model use case: all classes an instance belongs to, without
+  // materializing the closure.
+  g_.Add(rdf::Term::Iri("http://e.org/i1"),
+         rdf::Term::Iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+         rdf::Term::Iri("http://e.org/A"));
+  auto classes = Col0(
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+      "SELECT ?c WHERE { <http://e.org/i1> a ?d . ?d rdfs:subClassOf* ?c . }");
+  EXPECT_EQ(classes, (std::multiset<std::string>{"A", "B", "C", "D"}));
+}
+
+}  // namespace
+}  // namespace rdfa::sparql

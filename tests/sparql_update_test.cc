@@ -1,0 +1,174 @@
+// Tests for the SPARQL 1.1 Update subset: INSERT DATA, DELETE DATA,
+// DELETE WHERE, DELETE-INSERT-WHERE.
+
+#include <gtest/gtest.h>
+
+#include "rdf/turtle.h"
+#include "sparql/executor.h"
+#include "sparql/parser.h"
+
+namespace rdfa::sparql {
+namespace {
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Status st = rdf::ParseTurtle(R"(
+      @prefix ex: <http://e.org/> .
+      ex:l1 a ex:Laptop ; ex:price 900 ; ex:status ex:InStock .
+      ex:l2 a ex:Laptop ; ex:price 1000 ; ex:status ex:InStock .
+      ex:l3 a ex:Laptop ; ex:price 400 ; ex:status ex:InStock .
+    )",
+                                 &g_);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  size_t Count(const std::string& ask_pattern) {
+    auto res = ExecuteQueryString(
+        &g_, "PREFIX ex: <http://e.org/>\nSELECT ?x WHERE { " + ask_pattern +
+                 " }");
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res.ok() ? res.value().num_rows() : 0;
+  }
+
+  rdf::Graph g_;
+};
+
+TEST_F(UpdateTest, InsertData) {
+  auto stats = ExecuteUpdateString(
+      &g_,
+      "PREFIX ex: <http://e.org/>\n"
+      "INSERT DATA { ex:l4 a ex:Laptop ; ex:price 700 . }");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().inserted, 2u);
+  EXPECT_EQ(Count("?x a ex:Laptop ."), 4u);
+  // Re-inserting is a no-op (set semantics).
+  auto again = ExecuteUpdateString(
+      &g_,
+      "PREFIX ex: <http://e.org/>\nINSERT DATA { ex:l4 a ex:Laptop . }");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().inserted, 0u);
+}
+
+TEST_F(UpdateTest, DeleteData) {
+  auto stats = ExecuteUpdateString(
+      &g_,
+      "PREFIX ex: <http://e.org/>\n"
+      "DELETE DATA { ex:l1 ex:status ex:InStock . }");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().deleted, 1u);
+  EXPECT_EQ(Count("?x ex:status ex:InStock ."), 2u);
+  // Deleting an absent triple deletes nothing.
+  auto again = ExecuteUpdateString(
+      &g_,
+      "PREFIX ex: <http://e.org/>\n"
+      "DELETE DATA { ex:l1 ex:status ex:InStock . }");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().deleted, 0u);
+}
+
+TEST_F(UpdateTest, GroundTemplatesRequired) {
+  EXPECT_EQ(ExecuteUpdateString(
+                &g_, "INSERT DATA { ?x <http://e.org/p> <http://e.org/o> . }")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(UpdateTest, DeleteWhere) {
+  auto stats = ExecuteUpdateString(
+      &g_,
+      "PREFIX ex: <http://e.org/>\n"
+      "DELETE WHERE { ?x ex:status ex:InStock . }");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().deleted, 3u);
+  EXPECT_EQ(Count("?x ex:status ex:InStock ."), 0u);
+  // The other triples survive.
+  EXPECT_EQ(Count("?x a ex:Laptop ."), 3u);
+}
+
+TEST_F(UpdateTest, DeleteInsertWhereRewritesValues) {
+  // Mark cheap laptops as discounted: delete the old status, insert a new
+  // one, driven by a FILTER.
+  auto stats = ExecuteUpdateString(
+      &g_,
+      "PREFIX ex: <http://e.org/>\n"
+      "DELETE { ?x ex:status ex:InStock . }\n"
+      "INSERT { ?x ex:status ex:Discounted . ?x ex:tag \"cheap\" . }\n"
+      "WHERE { ?x ex:price ?p . FILTER(?p < 500) }");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().deleted, 1u);   // only l3
+  EXPECT_EQ(stats.value().inserted, 2u);  // status + tag
+  EXPECT_EQ(Count("?x ex:status ex:Discounted ."), 1u);
+  EXPECT_EQ(Count("?x ex:status ex:InStock ."), 2u);
+  EXPECT_EQ(Count("?x ex:tag \"cheap\" ."), 1u);
+}
+
+TEST_F(UpdateTest, InsertWhereDerivesTriples) {
+  auto stats = ExecuteUpdateString(
+      &g_,
+      "PREFIX ex: <http://e.org/>\n"
+      "INSERT { ?x ex:priceBand ex:High . }\n"
+      "WHERE { ?x ex:price ?p . FILTER(?p >= 900) }");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().inserted, 2u);
+  EXPECT_EQ(Count("?x ex:priceBand ex:High ."), 2u);
+}
+
+TEST_F(UpdateTest, WhereSeesPreUpdateGraph) {
+  // A modify whose insert would match its own where: bindings come from the
+  // pre-update graph, so exactly the original 3 get the tag.
+  auto stats = ExecuteUpdateString(
+      &g_,
+      "PREFIX ex: <http://e.org/>\n"
+      "INSERT { ?x ex:seen true . }\n"
+      "WHERE { ?x a ex:Laptop . }");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().inserted, 3u);
+}
+
+TEST_F(UpdateTest, ParseErrors) {
+  EXPECT_FALSE(ParseUpdate("FROB { }").ok());
+  EXPECT_FALSE(ParseUpdate("DELETE { <urn:a> <urn:b> <urn:c> . }").ok());
+  EXPECT_FALSE(
+      ParseUpdate("INSERT DATA { <urn:a> <urn:b> <urn:c> . } extra").ok());
+  EXPECT_FALSE(
+      ParseUpdate("DELETE WHERE { FILTER(?x > 1) }").ok());  // triples only
+}
+
+TEST_F(UpdateTest, DescribeNamedResource) {
+  auto q = ParseQuery("DESCRIBE <http://e.org/l1>");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().form, ParsedQuery::Form::kDescribe);
+  Executor exec(&g_);
+  rdf::Graph out;
+  auto added = exec.Describe(q.value().describe, &out);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(added.value(), 3u);  // type + price + status
+}
+
+TEST_F(UpdateTest, DescribeVariableWithWhere) {
+  auto q = ParseQuery(
+      "PREFIX ex: <http://e.org/>\n"
+      "DESCRIBE ?x WHERE { ?x ex:price ?p . FILTER(?p >= 900) }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  Executor exec(&g_);
+  rdf::Graph out;
+  auto added = exec.Describe(q.value().describe, &out);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  // l1 and l2, 3 triples each.
+  EXPECT_EQ(added.value(), 6u);
+}
+
+TEST_F(UpdateTest, DescribeParseErrors) {
+  EXPECT_FALSE(ParseQuery("DESCRIBE").ok());
+  EXPECT_FALSE(ParseQuery("DESCRIBE ?x").ok());  // var needs WHERE
+  EXPECT_FALSE(ParseQuery("DESCRIBE \"literal\"").ok());
+}
+
+TEST_F(UpdateTest, SelectParserRejectsUpdates) {
+  EXPECT_FALSE(ParseQuery("INSERT DATA { <urn:a> <urn:b> <urn:c> . }").ok());
+}
+
+}  // namespace
+}  // namespace rdfa::sparql

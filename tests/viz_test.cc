@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparql/executor.h"
+#include "viz/chart.h"
+#include "viz/cubes.h"
+#include "viz/spiral.h"
+#include "viz/table_render.h"
+#include "workload/invoices.h"
+
+namespace rdfa::viz {
+namespace {
+
+sparql::ResultTable SampleTable() {
+  sparql::ResultTable t({"b", "tot"});
+  t.AddRow({rdf::Term::Iri("urn:x#b1"), rdf::Term::Integer(300)});
+  t.AddRow({rdf::Term::Iri("urn:x#b2"), rdf::Term::Integer(600)});
+  t.AddRow({rdf::Term::Iri("urn:x#b3"), rdf::Term::Integer(600)});
+  return t;
+}
+
+TEST(TableRenderTest, AlignedColumnsAndLocalNames) {
+  std::string out = RenderTable(SampleTable());
+  EXPECT_NE(out.find("| b "), std::string::npos);
+  EXPECT_NE(out.find("b1"), std::string::npos);
+  EXPECT_EQ(out.find("urn:x"), std::string::npos);  // IRIs shortened
+}
+
+TEST(TableRenderTest, TruncatesLongTables) {
+  sparql::ResultTable t({"n"});
+  for (int i = 0; i < 100; ++i) t.AddRow({rdf::Term::Integer(i)});
+  std::string out = RenderTable(t, 10);
+  EXPECT_NE(out.find("90 more rows"), std::string::npos);
+}
+
+TEST(ChartTest, SeriesFromTable) {
+  auto series = SeriesFromTable(SampleTable(), "b", "tot");
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series.value().size(), 3u);
+  EXPECT_EQ(series.value()[0].label, "b1");
+  EXPECT_EQ(series.value()[0].value, 300);
+}
+
+TEST(ChartTest, SeriesErrorsOnMissingColumn) {
+  EXPECT_EQ(SeriesFromTable(SampleTable(), "nope", "tot").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ChartTest, BarChartScalesToMax) {
+  auto series = SeriesFromTable(SampleTable(), "b", "tot");
+  ASSERT_TRUE(series.ok());
+  std::string chart = RenderBarChart(series.value(), 20);
+  // The 600 bars are 20 chars, the 300 bar 10.
+  EXPECT_NE(chart.find("b1 | ##########"), std::string::npos) << chart;
+  EXPECT_NE(chart.find("b2 | ####################"), std::string::npos);
+}
+
+TEST(ChartTest, PieLegendPercentagesSumTo100) {
+  auto series = SeriesFromTable(SampleTable(), "b", "tot");
+  ASSERT_TRUE(series.ok());
+  std::string legend = RenderPieLegend(series.value());
+  EXPECT_NE(legend.find("b1: 300 (20%)"), std::string::npos) << legend;
+  EXPECT_NE(legend.find("b2: 600 (40%)"), std::string::npos);
+}
+
+TEST(SpiralTest, BiggestAtCenter) {
+  auto layout = SpiralLayout({{"a", 100}, {"b", 10}, {"c", 50}, {"d", 1}});
+  ASSERT_EQ(layout.size(), 4u);
+  EXPECT_EQ(layout[0].label, "a");
+  EXPECT_EQ(layout[0].x, 0);
+  EXPECT_EQ(layout[0].y, 0);
+}
+
+TEST(SpiralTest, NoOverlaps) {
+  std::vector<std::pair<std::string, double>> values;
+  for (int i = 0; i < 60; ++i) {
+    values.push_back({"v" + std::to_string(i), 1.0 + (i * 37) % 100});
+  }
+  auto layout = SpiralLayout(values);
+  for (size_t i = 0; i < layout.size(); ++i) {
+    for (size_t j = i + 1; j < layout.size(); ++j) {
+      double dx = layout[i].x - layout[j].x;
+      double dy = layout[i].y - layout[j].y;
+      double d = std::sqrt(dx * dx + dy * dy);
+      EXPECT_GE(d + 1e-6, (layout[i].radius + layout[j].radius) * 0.99)
+          << i << " overlaps " << j;
+    }
+  }
+}
+
+TEST(SpiralTest, AreasProportionalToValues) {
+  auto layout = SpiralLayout({{"a", 400}, {"b", 100}});
+  // Radius ratio = sqrt(value ratio) = 2.
+  EXPECT_NEAR(layout[0].radius / layout[1].radius, 2.0, 1e-9);
+}
+
+TEST(SpiralTest, DistanceNonDecreasingInOrder) {
+  std::vector<std::pair<std::string, double>> values;
+  for (int i = 0; i < 40; ++i) values.push_back({"v" + std::to_string(i), 100.0 - i});
+  auto layout = SpiralLayout(values);
+  double prev = 0;
+  for (const auto& p : layout) {
+    double d = std::sqrt(p.x * p.x + p.y * p.y);
+    // Allow slack: the walk is monotone in angle, distance grows with it.
+    EXPECT_GE(d + p.radius * 2 + 1e-6, prev) << p.label;
+    prev = std::max(prev, d);
+  }
+}
+
+TEST(SpiralTest, BoundedLayout) {
+  std::vector<std::pair<std::string, double>> values;
+  double total_area = 0;
+  for (int i = 0; i < 100; ++i) {
+    double v = 1.0 + (i * 13) % 50;
+    values.push_back({"v" + std::to_string(i), v});
+    total_area += v;
+  }
+  auto layout = SpiralLayout(values);
+  double bound = 8.0 * std::sqrt(total_area);
+  for (const auto& p : layout) {
+    EXPECT_LE(std::sqrt(p.x * p.x + p.y * p.y), bound);
+  }
+}
+
+TEST(SpiralTest, RenderProducesGrid) {
+  auto layout = SpiralLayout({{"a", 10}, {"b", 5}});
+  std::string out = RenderSpiral(layout, 20, 10);
+  EXPECT_NE(out.find('a'), std::string::npos);
+}
+
+TEST(CubesTest, BuildsGridWithNormalizedHeights) {
+  sparql::ResultTable t({"country", "cases", "deaths"});
+  t.AddRow({rdf::Term::Iri("urn:c#GR"), rdf::Term::Integer(100),
+            rdf::Term::Integer(10)});
+  t.AddRow({rdf::Term::Iri("urn:c#IT"), rdf::Term::Integer(200),
+            rdf::Term::Integer(40)});
+  t.AddRow({rdf::Term::Iri("urn:c#FR"), rdf::Term::Integer(50),
+            rdf::Term::Integer(5)});
+  auto city = BuildCubeCity(t, "country");
+  ASSERT_TRUE(city.ok()) << city.status().ToString();
+  ASSERT_EQ(city.value().size(), 3u);
+  // Tallest first: IT.
+  EXPECT_EQ(city.value()[0].label, "IT");
+  ASSERT_EQ(city.value()[0].segments.size(), 2u);
+  EXPECT_NEAR(city.value()[0].segments[0].height, 200.0 / 240.0, 1e-9);
+  // Grid positions distinct.
+  EXPECT_FALSE(city.value()[0].grid_x == city.value()[1].grid_x &&
+               city.value()[0].grid_z == city.value()[1].grid_z);
+}
+
+TEST(CubesTest, JsonSerialization) {
+  sparql::ResultTable t({"c", "v"});
+  t.AddRow({rdf::Term::Iri("urn:c#GR"), rdf::Term::Integer(7)});
+  auto city = BuildCubeCity(t, "c");
+  ASSERT_TRUE(city.ok());
+  std::string json = CubeCityToJson(city.value());
+  EXPECT_NE(json.find("\"label\":\"GR\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+}
+
+TEST(CubesTest, NoNumericColumnsError) {
+  sparql::ResultTable t({"a", "b"});
+  t.AddRow({rdf::Term::Iri("urn:x"), rdf::Term::Iri("urn:y")});
+  EXPECT_EQ(BuildCubeCity(t, "a").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rdfa::viz

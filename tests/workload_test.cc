@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "hifun/context.h"
+#include "rdf/ntriples.h"
+#include "sparql/executor.h"
+#include "workload/csv_import.h"
+#include "workload/invoices.h"
+#include "workload/products.h"
+
+namespace rdfa::workload {
+namespace {
+
+TEST(ProductsTest, RunningExampleCounts) {
+  rdf::Graph g;
+  BuildRunningExample(&g);
+  // Fig 5.4 headline counts (before closure): 3 laptops, 4 companies,
+  // 3 persons, 3 drives, 5 locations.
+  rdf::TermId type = g.terms().FindIri(rdf::rdfns::kType);
+  auto count = [&](const char* cls) {
+    return g.CountMatch(rdf::kNoTermId, type,
+                        g.terms().FindIri(std::string(kExampleNs) + cls));
+  };
+  EXPECT_EQ(count("Laptop"), 3u);
+  EXPECT_EQ(count("Company"), 4u);
+  EXPECT_EQ(count("Person"), 3u);
+  EXPECT_EQ(count("Country"), 3u);
+  EXPECT_EQ(count("Continent"), 2u);
+}
+
+TEST(ProductsTest, GeneratorIsDeterministic) {
+  rdf::Graph a, b;
+  ProductKgOptions opt;
+  opt.laptops = 100;
+  GenerateProductKg(&a, opt);
+  GenerateProductKg(&b, opt);
+  EXPECT_EQ(rdf::WriteNTriples(a), rdf::WriteNTriples(b));
+}
+
+TEST(ProductsTest, GeneratorScales) {
+  rdf::Graph g;
+  ProductKgOptions opt;
+  opt.laptops = 500;
+  size_t added = GenerateProductKg(&g, opt);
+  // At least 5 triples per laptop plus companies/persons/countries.
+  EXPECT_GT(added, opt.laptops * 5);
+}
+
+TEST(ProductsTest, GeneratedAttributesAreFunctional) {
+  rdf::Graph g;
+  ProductKgOptions opt;
+  opt.laptops = 200;
+  GenerateProductKg(&g, opt);
+  hifun::AnalysisContext ctx(g, std::string(kExampleNs) + "Laptop");
+  for (const char* attr : {"price", "USBPorts", "releaseDate", "manufacturer",
+                           "hardDrive"}) {
+    auto rep = ctx.Check(g, std::string(kExampleNs) + attr);
+    EXPECT_TRUE(rep.functional()) << attr;
+  }
+}
+
+TEST(InvoicesTest, PaperTotalsHold) {
+  rdf::Graph g;
+  BuildInvoicesExample(&g);
+  auto res = sparql::ExecuteQueryString(
+      &g,
+      "PREFIX inv: <http://www.ics.forth.gr/invoices#>\n"
+      "SELECT (SUM(?q) AS ?tot) WHERE { ?i inv:inQuantity ?q . }");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().at(0, 0).lexical(), "1500");
+}
+
+TEST(InvoicesTest, GeneratorRespectsOptions) {
+  rdf::Graph g;
+  InvoicesOptions opt;
+  opt.invoices = 100;
+  opt.branches = 4;
+  GenerateInvoices(&g, opt);
+  rdf::TermId type = g.terms().FindIri(rdf::rdfns::kType);
+  EXPECT_EQ(g.CountMatch(rdf::kNoTermId, type,
+                         g.terms().FindIri(std::string(kInvoiceNs) + "Invoice")),
+            100u);
+  EXPECT_EQ(g.CountMatch(rdf::kNoTermId, type,
+                         g.terms().FindIri(std::string(kInvoiceNs) + "Branch")),
+            4u);
+}
+
+TEST(CsvTest, ParseBasic) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n4,\"x,y\",6\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 3u);
+  EXPECT_EQ(rows.value()[2][1], "x,y");
+}
+
+TEST(CsvTest, QuotedQuotes) {
+  auto rows = ParseCsv("h\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[1][0], "say \"hi\"");
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_FALSE(ParseCsv("a\n\"unterminated\n").ok());
+  rdf::Graph g;
+  EXPECT_EQ(ImportCsv("onlyheader\n", "urn:x#", &g).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ImportCsv("a,b\n1\n", "urn:x#", &g).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(CsvTest, ImportTypesCells) {
+  rdf::Graph g;
+  auto added = ImportCsv(
+      "country,cases,rate,name\nGR,100,1.5,Greece\nIT,200,2.5,Italy\n",
+      "urn:covid#", &g);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  // 2 rows x (1 type + 4 cells) = 10.
+  EXPECT_EQ(added.value(), 10u);
+  EXPECT_NE(g.terms().Find(rdf::Term::Integer(100)), rdf::kNoTermId);
+  EXPECT_NE(g.terms().Find(rdf::Term::Double(1.5)), rdf::kNoTermId);
+  EXPECT_NE(g.terms().Find(rdf::Term::Literal("Greece")), rdf::kNoTermId);
+}
+
+TEST(CsvTest, ImportedDataIsQueryable) {
+  rdf::Graph g;
+  ASSERT_TRUE(
+      ImportCsv("country,cases\nGR,100\nIT,200\nFR,150\n", "urn:covid#", &g)
+          .ok());
+  auto res = sparql::ExecuteQueryString(
+      &g,
+      "SELECT (SUM(?c) AS ?total) WHERE { ?r <urn:covid#cases> ?c . }");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().at(0, 0).lexical(), "450");
+}
+
+}  // namespace
+}  // namespace rdfa::workload
