@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_impl_variants.dir/bench_impl_variants.cc.o"
+  "CMakeFiles/bench_impl_variants.dir/bench_impl_variants.cc.o.d"
+  "bench_impl_variants"
+  "bench_impl_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_impl_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_olap.dir/bench_olap.cc.o"
+  "CMakeFiles/bench_olap.dir/bench_olap.cc.o.d"
+  "bench_olap"
+  "bench_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_user_tasks.dir/bench_user_tasks.cc.o"
+  "CMakeFiles/bench_user_tasks.dir/bench_user_tasks.cc.o.d"
+  "bench_user_tasks"
+  "bench_user_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_user_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

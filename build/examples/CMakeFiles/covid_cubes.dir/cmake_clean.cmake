@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covid_cubes.dir/covid_cubes.cpp.o"
+  "CMakeFiles/covid_cubes.dir/covid_cubes.cpp.o.d"
+  "covid_cubes"
+  "covid_cubes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covid_cubes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

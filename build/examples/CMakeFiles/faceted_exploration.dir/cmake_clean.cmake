@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faceted_exploration.dir/faceted_exploration.cpp.o"
+  "CMakeFiles/faceted_exploration.dir/faceted_exploration.cpp.o.d"
+  "faceted_exploration"
+  "faceted_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faceted_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

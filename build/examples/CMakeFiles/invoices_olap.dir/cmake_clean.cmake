@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invoices_olap.dir/invoices_olap.cpp.o"
+  "CMakeFiles/invoices_olap.dir/invoices_olap.cpp.o.d"
+  "invoices_olap"
+  "invoices_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invoices_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

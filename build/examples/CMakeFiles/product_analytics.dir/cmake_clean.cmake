@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_analytics.dir/product_analytics.cpp.o"
+  "CMakeFiles/product_analytics.dir/product_analytics.cpp.o.d"
+  "product_analytics"
+  "product_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

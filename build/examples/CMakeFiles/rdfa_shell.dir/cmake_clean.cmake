@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfa_shell.dir/rdfa_shell.cpp.o"
+  "CMakeFiles/rdfa_shell.dir/rdfa_shell.cpp.o.d"
+  "rdfa_shell"
+  "rdfa_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfa_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

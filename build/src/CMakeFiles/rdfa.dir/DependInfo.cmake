@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/answer_frame.cc" "src/CMakeFiles/rdfa.dir/analytics/answer_frame.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/analytics/answer_frame.cc.o.d"
+  "/root/repo/src/analytics/expressiveness.cc" "src/CMakeFiles/rdfa.dir/analytics/expressiveness.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/analytics/expressiveness.cc.o.d"
+  "/root/repo/src/analytics/fco.cc" "src/CMakeFiles/rdfa.dir/analytics/fco.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/analytics/fco.cc.o.d"
+  "/root/repo/src/analytics/olap.cc" "src/CMakeFiles/rdfa.dir/analytics/olap.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/analytics/olap.cc.o.d"
+  "/root/repo/src/analytics/rollup_cache.cc" "src/CMakeFiles/rdfa.dir/analytics/rollup_cache.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/analytics/rollup_cache.cc.o.d"
+  "/root/repo/src/analytics/session.cc" "src/CMakeFiles/rdfa.dir/analytics/session.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/analytics/session.cc.o.d"
+  "/root/repo/src/baseline/simple_builder.cc" "src/CMakeFiles/rdfa.dir/baseline/simple_builder.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/baseline/simple_builder.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rdfa.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/rdfa.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/common/string_util.cc.o.d"
+  "/root/repo/src/endpoint/endpoint.cc" "src/CMakeFiles/rdfa.dir/endpoint/endpoint.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/endpoint/endpoint.cc.o.d"
+  "/root/repo/src/fs/facets.cc" "src/CMakeFiles/rdfa.dir/fs/facets.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/fs/facets.cc.o.d"
+  "/root/repo/src/fs/hierarchy.cc" "src/CMakeFiles/rdfa.dir/fs/hierarchy.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/fs/hierarchy.cc.o.d"
+  "/root/repo/src/fs/notations.cc" "src/CMakeFiles/rdfa.dir/fs/notations.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/fs/notations.cc.o.d"
+  "/root/repo/src/fs/replay.cc" "src/CMakeFiles/rdfa.dir/fs/replay.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/fs/replay.cc.o.d"
+  "/root/repo/src/fs/session.cc" "src/CMakeFiles/rdfa.dir/fs/session.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/fs/session.cc.o.d"
+  "/root/repo/src/fs/state.cc" "src/CMakeFiles/rdfa.dir/fs/state.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/fs/state.cc.o.d"
+  "/root/repo/src/hifun/attr_expr.cc" "src/CMakeFiles/rdfa.dir/hifun/attr_expr.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/hifun/attr_expr.cc.o.d"
+  "/root/repo/src/hifun/context.cc" "src/CMakeFiles/rdfa.dir/hifun/context.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/hifun/context.cc.o.d"
+  "/root/repo/src/hifun/evaluator.cc" "src/CMakeFiles/rdfa.dir/hifun/evaluator.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/hifun/evaluator.cc.o.d"
+  "/root/repo/src/hifun/hifun_parser.cc" "src/CMakeFiles/rdfa.dir/hifun/hifun_parser.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/hifun/hifun_parser.cc.o.d"
+  "/root/repo/src/hifun/query.cc" "src/CMakeFiles/rdfa.dir/hifun/query.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/hifun/query.cc.o.d"
+  "/root/repo/src/rdf/binary_io.cc" "src/CMakeFiles/rdfa.dir/rdf/binary_io.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/rdf/binary_io.cc.o.d"
+  "/root/repo/src/rdf/browse.cc" "src/CMakeFiles/rdfa.dir/rdf/browse.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/rdf/browse.cc.o.d"
+  "/root/repo/src/rdf/graph.cc" "src/CMakeFiles/rdfa.dir/rdf/graph.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/rdf/graph.cc.o.d"
+  "/root/repo/src/rdf/namespaces.cc" "src/CMakeFiles/rdfa.dir/rdf/namespaces.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/rdf/namespaces.cc.o.d"
+  "/root/repo/src/rdf/ntriples.cc" "src/CMakeFiles/rdfa.dir/rdf/ntriples.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/rdf/ntriples.cc.o.d"
+  "/root/repo/src/rdf/rdfs.cc" "src/CMakeFiles/rdfa.dir/rdf/rdfs.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/rdf/rdfs.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/CMakeFiles/rdfa.dir/rdf/term.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/rdf/term.cc.o.d"
+  "/root/repo/src/rdf/term_table.cc" "src/CMakeFiles/rdfa.dir/rdf/term_table.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/rdf/term_table.cc.o.d"
+  "/root/repo/src/rdf/turtle.cc" "src/CMakeFiles/rdfa.dir/rdf/turtle.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/rdf/turtle.cc.o.d"
+  "/root/repo/src/search/keyword.cc" "src/CMakeFiles/rdfa.dir/search/keyword.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/search/keyword.cc.o.d"
+  "/root/repo/src/sparql/ast.cc" "src/CMakeFiles/rdfa.dir/sparql/ast.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/sparql/ast.cc.o.d"
+  "/root/repo/src/sparql/bgp.cc" "src/CMakeFiles/rdfa.dir/sparql/bgp.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/sparql/bgp.cc.o.d"
+  "/root/repo/src/sparql/executor.cc" "src/CMakeFiles/rdfa.dir/sparql/executor.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/sparql/executor.cc.o.d"
+  "/root/repo/src/sparql/expr_eval.cc" "src/CMakeFiles/rdfa.dir/sparql/expr_eval.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/sparql/expr_eval.cc.o.d"
+  "/root/repo/src/sparql/lexer.cc" "src/CMakeFiles/rdfa.dir/sparql/lexer.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/sparql/lexer.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/CMakeFiles/rdfa.dir/sparql/parser.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/sparql/parser.cc.o.d"
+  "/root/repo/src/sparql/result_table.cc" "src/CMakeFiles/rdfa.dir/sparql/result_table.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/sparql/result_table.cc.o.d"
+  "/root/repo/src/sparql/results_io.cc" "src/CMakeFiles/rdfa.dir/sparql/results_io.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/sparql/results_io.cc.o.d"
+  "/root/repo/src/sparql/value.cc" "src/CMakeFiles/rdfa.dir/sparql/value.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/sparql/value.cc.o.d"
+  "/root/repo/src/translator/translator.cc" "src/CMakeFiles/rdfa.dir/translator/translator.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/translator/translator.cc.o.d"
+  "/root/repo/src/viz/chart.cc" "src/CMakeFiles/rdfa.dir/viz/chart.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/viz/chart.cc.o.d"
+  "/root/repo/src/viz/cubes.cc" "src/CMakeFiles/rdfa.dir/viz/cubes.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/viz/cubes.cc.o.d"
+  "/root/repo/src/viz/spiral.cc" "src/CMakeFiles/rdfa.dir/viz/spiral.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/viz/spiral.cc.o.d"
+  "/root/repo/src/viz/table_render.cc" "src/CMakeFiles/rdfa.dir/viz/table_render.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/viz/table_render.cc.o.d"
+  "/root/repo/src/workload/csv_import.cc" "src/CMakeFiles/rdfa.dir/workload/csv_import.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/workload/csv_import.cc.o.d"
+  "/root/repo/src/workload/invoices.cc" "src/CMakeFiles/rdfa.dir/workload/invoices.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/workload/invoices.cc.o.d"
+  "/root/repo/src/workload/products.cc" "src/CMakeFiles/rdfa.dir/workload/products.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/workload/products.cc.o.d"
+  "/root/repo/src/workload/sports.cc" "src/CMakeFiles/rdfa.dir/workload/sports.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/workload/sports.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytics_test.cc" "tests/CMakeFiles/rdfa_tests.dir/analytics_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/analytics_test.cc.o.d"
+  "/root/repo/tests/baseline_fuzz_test.cc" "tests/CMakeFiles/rdfa_tests.dir/baseline_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/baseline_fuzz_test.cc.o.d"
+  "/root/repo/tests/browse_persist_test.cc" "tests/CMakeFiles/rdfa_tests.dir/browse_persist_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/browse_persist_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/rdfa_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/endpoint_test.cc" "tests/CMakeFiles/rdfa_tests.dir/endpoint_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/endpoint_test.cc.o.d"
+  "/root/repo/tests/equivalence_test.cc" "tests/CMakeFiles/rdfa_tests.dir/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/equivalence_test.cc.o.d"
+  "/root/repo/tests/extensions_model_test.cc" "tests/CMakeFiles/rdfa_tests.dir/extensions_model_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/extensions_model_test.cc.o.d"
+  "/root/repo/tests/fco_test.cc" "tests/CMakeFiles/rdfa_tests.dir/fco_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/fco_test.cc.o.d"
+  "/root/repo/tests/fs_model_test.cc" "tests/CMakeFiles/rdfa_tests.dir/fs_model_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/fs_model_test.cc.o.d"
+  "/root/repo/tests/hifun_test.cc" "tests/CMakeFiles/rdfa_tests.dir/hifun_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/hifun_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/rdfa_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/notations_multiroot_test.cc" "tests/CMakeFiles/rdfa_tests.dir/notations_multiroot_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/notations_multiroot_test.cc.o.d"
+  "/root/repo/tests/olap_test.cc" "tests/CMakeFiles/rdfa_tests.dir/olap_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/olap_test.cc.o.d"
+  "/root/repo/tests/property_sweeps_test.cc" "tests/CMakeFiles/rdfa_tests.dir/property_sweeps_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/property_sweeps_test.cc.o.d"
+  "/root/repo/tests/rdf_graph_test.cc" "tests/CMakeFiles/rdfa_tests.dir/rdf_graph_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/rdf_graph_test.cc.o.d"
+  "/root/repo/tests/rdf_parsers_test.cc" "tests/CMakeFiles/rdfa_tests.dir/rdf_parsers_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/rdf_parsers_test.cc.o.d"
+  "/root/repo/tests/rdf_rdfs_test.cc" "tests/CMakeFiles/rdfa_tests.dir/rdf_rdfs_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/rdf_rdfs_test.cc.o.d"
+  "/root/repo/tests/rdf_term_test.cc" "tests/CMakeFiles/rdfa_tests.dir/rdf_term_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/rdf_term_test.cc.o.d"
+  "/root/repo/tests/results_io_test.cc" "tests/CMakeFiles/rdfa_tests.dir/results_io_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/results_io_test.cc.o.d"
+  "/root/repo/tests/rollup_cache_test.cc" "tests/CMakeFiles/rdfa_tests.dir/rollup_cache_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/rollup_cache_test.cc.o.d"
+  "/root/repo/tests/sparql_aggregates_test.cc" "tests/CMakeFiles/rdfa_tests.dir/sparql_aggregates_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/sparql_aggregates_test.cc.o.d"
+  "/root/repo/tests/sparql_executor_test.cc" "tests/CMakeFiles/rdfa_tests.dir/sparql_executor_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/sparql_executor_test.cc.o.d"
+  "/root/repo/tests/sparql_extensions_test.cc" "tests/CMakeFiles/rdfa_tests.dir/sparql_extensions_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/sparql_extensions_test.cc.o.d"
+  "/root/repo/tests/sparql_lexer_parser_test.cc" "tests/CMakeFiles/rdfa_tests.dir/sparql_lexer_parser_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/sparql_lexer_parser_test.cc.o.d"
+  "/root/repo/tests/sparql_update_test.cc" "tests/CMakeFiles/rdfa_tests.dir/sparql_update_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/sparql_update_test.cc.o.d"
+  "/root/repo/tests/translator_test.cc" "tests/CMakeFiles/rdfa_tests.dir/translator_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/translator_test.cc.o.d"
+  "/root/repo/tests/viz_test.cc" "tests/CMakeFiles/rdfa_tests.dir/viz_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/viz_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/rdfa_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/rdfa_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
