@@ -90,5 +90,53 @@ int main() {
       "\nshape check vs paper: roll-up shrinks the cube monotonically, "
       "drill-down restores the finer cube,\nslice removes a dimension; every "
       "operator is a constant number of interaction-model actions.\n");
-  return 0;
+
+  // --- serial vs morsel-parallel materialization --------------------------
+  // The parallel cube must be byte-identical to the serial one; thread
+  // count is purely a performance knob (DESIGN.md threading model).
+  std::printf("\n== serial vs parallel cube materialization ==\n\n");
+  rdfa::analytics::AnalyticsSession serial_session(&g);
+  rdfa::analytics::AnalyticsSession parallel_session(&g);
+  if (!serial_session.fs().ClickClass(kInv + "Invoice").ok()) return 1;
+  if (!parallel_session.fs().ClickClass(kInv + "Invoice").ok()) return 1;
+  rdfa::analytics::OlapView serial_cube(&serial_session, {time, product},
+                                        measure);
+  rdfa::analytics::OlapView parallel_cube(&parallel_session, {time, product},
+                                          measure);
+  parallel_cube.set_thread_count(4);
+
+  bool identical = true;
+  double serial_total = 0, parallel_total = 0;
+  std::printf("%-30s %12s %12s %10s\n", "cube", "serial", "4 threads",
+              "identical");
+  for (int step = 0; step < 3; ++step) {
+    auto s_start = std::chrono::steady_clock::now();
+    auto s_af = serial_cube.Materialize();
+    double s_ms = MsSince(s_start);
+    auto p_start = std::chrono::steady_clock::now();
+    auto p_af = parallel_cube.Materialize();
+    double p_ms = MsSince(p_start);
+    if (!s_af.ok() || !p_af.ok()) {
+      std::printf("materialization failed at step %d\n", step);
+      return 1;
+    }
+    bool same =
+        s_af.value().table().ToTsv() == p_af.value().table().ToTsv();
+    identical = identical && same;
+    serial_total += s_ms;
+    parallel_total += p_ms;
+    std::printf("%-30s %10.2fms %10.2fms %10s\n",
+                step == 0 ? "base (date x product)" : "after roll-up",
+                s_ms, p_ms, same ? "yes" : "NO");
+    std::printf("  stats: %s\n",
+                parallel_cube.last_exec_stats().Summary().c_str());
+    (void)serial_cube.RollUp("time");
+    (void)parallel_cube.RollUp("time");
+  }
+  std::printf("\ntotals: serial %.2fms, 4 threads %.2fms (speedup %.2fx), "
+              "results %s\n",
+              serial_total, parallel_total,
+              parallel_total > 0 ? serial_total / parallel_total : 0.0,
+              identical ? "byte-identical" : "DIVERGED");
+  return identical ? 0 : 1;
 }

@@ -188,7 +188,9 @@ bench/CMakeFiles/bench_ablation.dir/bench_ablation.cc.o: \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/rdf/graph.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/rdf/graph.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdf/term.h \
@@ -227,9 +229,10 @@ bench/CMakeFiles/bench_ablation.dir/bench_ablation.cc.o: \
  /root/repo/src/analytics/session.h /root/repo/src/fs/session.h \
  /root/repo/src/fs/facets.h /root/repo/src/fs/hierarchy.h \
  /root/repo/src/rdf/rdfs.h /root/repo/src/fs/state.h \
- /root/repo/src/hifun/query.h /root/repo/src/endpoint/endpoint.h \
- /root/repo/src/sparql/executor.h /root/repo/src/rdf/namespaces.h \
- /root/repo/src/sparql/ast.h /root/repo/src/sparql/expr_eval.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /root/repo/src/sparql/value.h \
- /root/repo/src/sparql/parser.h /root/repo/src/workload/products.h
+ /root/repo/src/hifun/query.h /root/repo/src/sparql/exec_stats.h \
+ /root/repo/src/endpoint/endpoint.h /root/repo/src/sparql/executor.h \
+ /root/repo/src/rdf/namespaces.h /root/repo/src/sparql/ast.h \
+ /root/repo/src/sparql/expr_eval.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /root/repo/src/sparql/value.h /root/repo/src/sparql/parser.h \
+ /root/repo/src/workload/products.h

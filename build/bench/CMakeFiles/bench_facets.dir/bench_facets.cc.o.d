@@ -185,6 +185,9 @@ bench/CMakeFiles/bench_facets.dir/bench_facets.cc.o: \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/fs/facets.h /root/repo/src/fs/hierarchy.h \
  /root/repo/src/rdf/rdfs.h /root/repo/src/rdf/graph.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -222,5 +225,4 @@ bench/CMakeFiles/bench_facets.dir/bench_facets.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/common/status.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/workload/products.h

@@ -216,7 +216,9 @@ bench/CMakeFiles/bench_impl_variants.dir/bench_impl_variants.cc.o: \
  /root/repo/src/common/status.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/fs/facets.h \
  /root/repo/src/fs/hierarchy.h /root/repo/src/rdf/rdfs.h \
- /root/repo/src/rdf/graph.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/rdf/graph.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdf/term.h \

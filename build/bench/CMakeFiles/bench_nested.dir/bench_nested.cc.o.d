@@ -187,7 +187,9 @@ bench/CMakeFiles/bench_nested.dir/bench_nested.cc.o: \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/rdf/graph.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/rdf/graph.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdf/term.h \
@@ -226,4 +228,4 @@ bench/CMakeFiles/bench_nested.dir/bench_nested.cc.o: \
  /root/repo/src/fs/facets.h /root/repo/src/fs/hierarchy.h \
  /root/repo/src/rdf/rdfs.h /root/repo/src/fs/state.h \
  /root/repo/src/hifun/query.h /root/repo/src/hifun/attr_expr.h \
- /root/repo/src/workload/products.h
+ /root/repo/src/sparql/exec_stats.h /root/repo/src/workload/products.h

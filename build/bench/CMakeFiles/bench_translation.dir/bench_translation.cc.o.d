@@ -217,7 +217,9 @@ bench/CMakeFiles/bench_translation.dir/bench_translation.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/rdf/term.h \
- /root/repo/src/rdf/graph.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/rdf/graph.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdf/term_table.h \
@@ -225,8 +227,9 @@ bench/CMakeFiles/bench_translation.dir/bench_translation.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/sparql/result_table.h /root/repo/src/hifun/hifun_parser.h \
  /root/repo/src/rdf/namespaces.h /root/repo/src/sparql/executor.h \
- /root/repo/src/sparql/ast.h /root/repo/src/sparql/expr_eval.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /root/repo/src/sparql/value.h \
- /root/repo/src/sparql/parser.h /root/repo/src/translator/translator.h \
+ /root/repo/src/sparql/ast.h /root/repo/src/sparql/exec_stats.h \
+ /root/repo/src/sparql/expr_eval.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /root/repo/src/sparql/value.h /root/repo/src/sparql/parser.h \
+ /root/repo/src/translator/translator.h \
  /root/repo/src/workload/invoices.h

@@ -210,6 +210,9 @@ examples/CMakeFiles/invoices_olap.dir/invoices_olap.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -224,5 +227,6 @@ examples/CMakeFiles/invoices_olap.dir/invoices_olap.cpp.o: \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/rdf/rdfs.h \
  /root/repo/src/fs/state.h /root/repo/src/hifun/query.h \
- /root/repo/src/hifun/attr_expr.h /root/repo/src/viz/table_render.h \
+ /root/repo/src/hifun/attr_expr.h /root/repo/src/sparql/exec_stats.h \
+ /usr/include/c++/12/cstddef /root/repo/src/viz/table_render.h \
  /root/repo/src/workload/invoices.h

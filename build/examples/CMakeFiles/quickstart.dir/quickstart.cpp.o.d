@@ -216,6 +216,9 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdf/term_table.h \
@@ -224,6 +227,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/sparql/executor.h /root/repo/src/sparql/ast.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
+ /root/repo/src/sparql/exec_stats.h /usr/include/c++/12/cstddef \
  /root/repo/src/sparql/expr_eval.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /root/repo/src/sparql/value.h /root/repo/src/sparql/result_table.h \

@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/baseline/simple_builder.cc" "src/CMakeFiles/rdfa.dir/baseline/simple_builder.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/baseline/simple_builder.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/rdfa.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/common/status.cc.o.d"
   "/root/repo/src/common/string_util.cc" "src/CMakeFiles/rdfa.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/rdfa.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/common/thread_pool.cc.o.d"
   "/root/repo/src/endpoint/endpoint.cc" "src/CMakeFiles/rdfa.dir/endpoint/endpoint.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/endpoint/endpoint.cc.o.d"
   "/root/repo/src/fs/facets.cc" "src/CMakeFiles/rdfa.dir/fs/facets.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/fs/facets.cc.o.d"
   "/root/repo/src/fs/hierarchy.cc" "src/CMakeFiles/rdfa.dir/fs/hierarchy.cc.o" "gcc" "src/CMakeFiles/rdfa.dir/fs/hierarchy.cc.o.d"

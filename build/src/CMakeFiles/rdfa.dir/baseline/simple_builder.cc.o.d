@@ -212,6 +212,9 @@ src/CMakeFiles/rdfa.dir/baseline/simple_builder.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -225,6 +228,7 @@ src/CMakeFiles/rdfa.dir/baseline/simple_builder.cc.o: \
  /root/repo/src/common/string_util.h /root/repo/src/rdf/namespaces.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sparql/executor.h \
- /root/repo/src/sparql/ast.h /root/repo/src/sparql/expr_eval.h \
+ /root/repo/src/sparql/ast.h /root/repo/src/sparql/exec_stats.h \
+ /usr/include/c++/12/cstddef /root/repo/src/sparql/expr_eval.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/array /root/repo/src/sparql/value.h

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfa_sanitize_tests.dir/graph_stress_test.cc.o"
+  "CMakeFiles/rdfa_sanitize_tests.dir/graph_stress_test.cc.o.d"
+  "CMakeFiles/rdfa_sanitize_tests.dir/parallel_equivalence_test.cc.o"
+  "CMakeFiles/rdfa_sanitize_tests.dir/parallel_equivalence_test.cc.o.d"
+  "rdfa_sanitize_tests"
+  "rdfa_sanitize_tests.pdb"
+  "rdfa_sanitize_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfa_sanitize_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

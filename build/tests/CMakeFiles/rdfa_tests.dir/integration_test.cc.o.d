@@ -298,7 +298,8 @@ tests/CMakeFiles/rdfa_tests.dir/integration_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdf/term.h \
  /root/repo/src/rdf/term_table.h /root/repo/src/analytics/session.h \
  /root/repo/src/analytics/answer_frame.h \
@@ -306,6 +307,6 @@ tests/CMakeFiles/rdfa_tests.dir/integration_test.cc.o: \
  /root/repo/src/fs/facets.h /root/repo/src/fs/hierarchy.h \
  /root/repo/src/rdf/rdfs.h /root/repo/src/fs/state.h \
  /root/repo/src/hifun/query.h /root/repo/src/hifun/attr_expr.h \
- /root/repo/src/endpoint/endpoint.h /root/repo/src/sparql/value.h \
- /root/repo/src/viz/chart.h /root/repo/src/viz/table_render.h \
- /root/repo/src/workload/products.h
+ /root/repo/src/sparql/exec_stats.h /root/repo/src/endpoint/endpoint.h \
+ /root/repo/src/sparql/value.h /root/repo/src/viz/chart.h \
+ /root/repo/src/viz/table_render.h /root/repo/src/workload/products.h

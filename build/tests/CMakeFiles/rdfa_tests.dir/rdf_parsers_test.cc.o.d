@@ -297,7 +297,8 @@ tests/CMakeFiles/rdfa_tests.dir/rdf_parsers_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdf/term.h \
  /root/repo/src/rdf/term_table.h /root/repo/src/rdf/namespaces.h \
  /root/repo/src/rdf/ntriples.h /root/repo/src/common/status.h \

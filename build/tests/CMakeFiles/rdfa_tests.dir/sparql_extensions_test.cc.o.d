@@ -297,10 +297,12 @@ tests/CMakeFiles/rdfa_tests.dir/sparql_extensions_test.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdf/term.h \
  /root/repo/src/rdf/term_table.h /root/repo/src/rdf/turtle.h \
  /root/repo/src/common/status.h /root/repo/src/rdf/namespaces.h \
  /root/repo/src/sparql/executor.h /root/repo/src/sparql/ast.h \
- /root/repo/src/sparql/expr_eval.h /root/repo/src/sparql/value.h \
- /root/repo/src/sparql/result_table.h /root/repo/src/viz/table_render.h
+ /root/repo/src/sparql/exec_stats.h /root/repo/src/sparql/expr_eval.h \
+ /root/repo/src/sparql/value.h /root/repo/src/sparql/result_table.h \
+ /root/repo/src/viz/table_render.h

@@ -8,6 +8,7 @@
 // Type `help` for the command list.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -36,6 +37,7 @@ struct Shell {
   std::vector<std::unique_ptr<rdfa::rdf::Graph>> graphs;
   std::vector<std::unique_ptr<rdfa::analytics::AnalyticsSession>> sessions;
   std::string default_ns;
+  int threads = 1;  ///< morsel-parallelism budget for exec
 
   rdfa::analytics::AnalyticsSession& session() { return *sessions.back(); }
   rdfa::rdf::Graph& graph() { return *graphs.back(); }
@@ -73,6 +75,7 @@ struct Shell {
     graphs.push_back(std::move(g));
     sessions.push_back(
         std::make_unique<rdfa::analytics::AnalyticsSession>(graphs[0].get()));
+    sessions.back()->set_thread_count(threads);
   }
 };
 
@@ -96,6 +99,8 @@ void PrintHelp() {
   check                         expressiveness report for the current query
   sparql                        show the translated SPARQL
   exec                          run the analytic query (fills the AF)
+  threads <n>                   parallelism for exec (results identical)
+  stats                         execution statistics of the last exec
   chart                         bar-chart the answer frame
   json | csv                    export the answer frame (W3C formats)
   explore                       load the AF as a new dataset (nesting)
@@ -255,6 +260,15 @@ bool HandleLine(Shell& shell, const std::string& line) {
     } else {
       report(af.status());
     }
+  } else if (cmd == "threads") {
+    int n = 1;
+    in >> n;
+    shell.threads = n < 1 ? 1 : n;
+    for (auto& s : shell.sessions) s->set_thread_count(shell.threads);
+    std::printf("exec will use %d thread%s\n", shell.threads,
+                shell.threads == 1 ? "" : "s");
+  } else if (cmd == "stats") {
+    std::printf("%s\n", shell.session().last_exec_stats().Summary().c_str());
   } else if (cmd == "chart") {
     const auto& t = shell.session().answer().table();
     if (t.num_columns() < 2) {
@@ -282,6 +296,7 @@ bool HandleLine(Shell& shell, const std::string& line) {
     if (nested.ok()) {
       shell.graphs.push_back(std::move(g));
       shell.sessions.push_back(std::move(nested).value());
+      shell.sessions.back()->set_thread_count(shell.threads);
       std::printf("exploring the answer as a dataset (level %zu)\n",
                   shell.sessions.size() - 1);
     } else {
@@ -331,8 +346,18 @@ int RunDemo(Shell& shell) {
 
 int main(int argc, char** argv) {
   Shell shell;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      int n = std::atoi(arg.c_str() + 10);
+      shell.threads = n < 1 ? 1 : n;
+    }
+  }
   shell.Reset(std::make_unique<rdfa::rdf::Graph>());
-  if (argc > 1 && std::string(argv[1]) == "--demo") return RunDemo(shell);
+  if (demo) return RunDemo(shell);
 
   std::printf("RDF-ANALYTICS shell — type 'help' for commands, "
               "'example products' to begin.\n");

@@ -89,6 +89,14 @@ void OlapView::Pivot() {
   }
 }
 
+void OlapView::set_thread_count(int threads) {
+  session_->set_thread_count(threads);
+}
+
+const sparql::ExecStats& OlapView::last_exec_stats() const {
+  return session_->last_exec_stats();
+}
+
 int OlapView::LevelOf(const std::string& dim) const {
   for (const DimState& d : dims_) {
     if (d.dim.name == dim) return d.active ? static_cast<int>(d.level) : -1;

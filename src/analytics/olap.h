@@ -56,6 +56,13 @@ class OlapView {
   /// Current level index of `dim`; -1 if sliced away or unknown.
   int LevelOf(const std::string& dim) const;
 
+  /// Morsel-parallelism budget for Materialize (forwarded to the session's
+  /// executor; parallel cubes are byte-identical to serial ones).
+  void set_thread_count(int threads);
+
+  /// Execution statistics of the most recent Materialize().
+  const sparql::ExecStats& last_exec_stats() const;
+
   /// Programs the session (groupings per active dimension at its current
   /// level, plus the measure) and executes the analytic query.
   Result<AnswerFrame> Materialize();

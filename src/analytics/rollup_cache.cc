@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "common/thread_pool.h"
 #include "sparql/value.h"
 
 namespace rdfa::analytics {
@@ -31,12 +32,53 @@ std::string GroupKey(const sparql::ResultTable& table, size_t row,
   return key;
 }
 
+/// Scans rows [0, n) into a keyed accumulator map. With `threads` > 1 the
+/// scan runs in parallel morsels building per-thread partial tables, folded
+/// back in morsel order with `merge` — the same distributive-merge shape
+/// the roll-up itself relies on. `scan(row, &map)` must be safe to call
+/// concurrently on disjoint maps; errors propagate from the earliest row.
+template <typename Acc, typename ScanFn, typename MergeFn>
+Status AccumulateRows(size_t n, int threads, const ScanFn& scan,
+                      const MergeFn& merge,
+                      std::map<std::string, Acc>* groups) {
+  constexpr size_t kMinRowsParallel = 128;
+  if (threads <= 1 || n < kMinRowsParallel) {
+    for (size_t r = 0; r < n; ++r) RDFA_RETURN_NOT_OK(scan(r, groups));
+    return Status::OK();
+  }
+  auto morsels = Morsels(n, static_cast<size_t>(threads) * 4, 64);
+  std::vector<std::map<std::string, Acc>> parts(morsels.size());
+  std::vector<Status> statuses(morsels.size(), Status::OK());
+  ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+    auto [lo, hi] = morsels[m];
+    for (size_t r = lo; r < hi; ++r) {
+      Status st = scan(r, &parts[m]);
+      if (!st.ok()) {
+        statuses[m] = st;
+        return;
+      }
+    }
+  });
+  for (const Status& st : statuses) RDFA_RETURN_NOT_OK(st);
+  for (std::map<std::string, Acc>& part : parts) {
+    for (auto& [key, acc] : part) {
+      auto it = groups->find(key);
+      if (it == groups->end()) {
+        groups->emplace(key, std::move(acc));
+      } else {
+        merge(acc, &it->second);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<AnswerFrame> RollUpAnswer(const AnswerFrame& answer,
                                  const std::vector<std::string>& keep_columns,
                                  const std::string& agg_column,
-                                 AggOp op) {
+                                 AggOp op, int threads) {
   if (op == AggOp::kAvg) {
     return Status::InvalidArgument(
         "AVG is not distributive; roll it up from its (sum, count) pair "
@@ -55,13 +97,13 @@ Result<AnswerFrame> RollUpAnswer(const AnswerFrame& answer,
     double best = 0;
   };
   std::map<std::string, Acc> groups;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
+  auto scan = [&](size_t r, std::map<std::string, Acc>* out) -> Status {
     auto v = Value::FromTerm(table.at(r, agg_idx)).AsNumeric();
     if (!v.has_value()) {
       return Status::TypeError("non-numeric aggregate cell in row " +
                                std::to_string(r));
     }
-    Acc& acc = groups[GroupKey(table, r, keep)];
+    Acc& acc = (*out)[GroupKey(table, r, keep)];
     if (acc.key_terms.empty()) {
       for (int c : keep) acc.key_terms.push_back(table.at(r, c));
     }
@@ -74,7 +116,18 @@ Result<AnswerFrame> RollUpAnswer(const AnswerFrame& answer,
     } else if (op == AggOp::kMax) {
       acc.best = std::max(acc.best, *v);
     }
-  }
+    return Status::OK();
+  };
+  auto merge = [&](const Acc& src, Acc* dst) {
+    dst->sum += src.sum;
+    if (op == AggOp::kMin) {
+      dst->best = std::min(dst->best, src.best);
+    } else if (op == AggOp::kMax) {
+      dst->best = std::max(dst->best, src.best);
+    }
+  };
+  RDFA_RETURN_NOT_OK(
+      AccumulateRows<Acc>(table.num_rows(), threads, scan, merge, &groups));
 
   std::vector<std::string> columns = keep_columns;
   columns.push_back(agg_column);
@@ -96,7 +149,8 @@ Result<AnswerFrame> RollUpAnswer(const AnswerFrame& answer,
 Result<AnswerFrame> RollUpAverage(const AnswerFrame& answer,
                                   const std::vector<std::string>& keep_columns,
                                   const std::string& sum_column,
-                                  const std::string& count_column) {
+                                  const std::string& count_column,
+                                  int threads) {
   const sparql::ResultTable& table = answer.table();
   RDFA_ASSIGN_OR_RETURN(std::vector<int> keep,
                         ResolveColumns(table, keep_columns));
@@ -111,20 +165,27 @@ Result<AnswerFrame> RollUpAverage(const AnswerFrame& answer,
     double count = 0;
   };
   std::map<std::string, Acc> groups;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
+  auto scan = [&](size_t r, std::map<std::string, Acc>* out) -> Status {
     auto s = Value::FromTerm(table.at(r, sum_idx)).AsNumeric();
     auto n = Value::FromTerm(table.at(r, count_idx)).AsNumeric();
     if (!s.has_value() || !n.has_value()) {
       return Status::TypeError("non-numeric sum/count cell in row " +
                                std::to_string(r));
     }
-    Acc& acc = groups[GroupKey(table, r, keep)];
+    Acc& acc = (*out)[GroupKey(table, r, keep)];
     if (acc.key_terms.empty()) {
       for (int c : keep) acc.key_terms.push_back(table.at(r, c));
     }
     acc.sum += *s;
     acc.count += *n;
-  }
+    return Status::OK();
+  };
+  auto merge = [&](const Acc& src, Acc* dst) {
+    dst->sum += src.sum;
+    dst->count += src.count;
+  };
+  RDFA_RETURN_NOT_OK(
+      AccumulateRows<Acc>(table.num_rows(), threads, scan, merge, &groups));
 
   std::vector<std::string> columns = keep_columns;
   columns.push_back("sum");

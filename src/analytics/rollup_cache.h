@@ -20,17 +20,25 @@ namespace rdfa::analytics {
 /// `op`. Only *distributive* aggregates are valid here: SUM, COUNT (sums of
 /// partial counts), MIN, MAX. AVG is algebraic — use RollUpAverage with the
 /// (sum, count) pair.
+///
+/// `threads` > 1 scans the answer in parallel morsels with per-thread
+/// partial accumulator tables, merged with the same distributive logic
+/// (sum of sums, min of mins, ...). Integer-valued cells merge exactly;
+/// for fractional doubles the partial-sum association may differ from the
+/// serial left fold in the last ulp.
 Result<AnswerFrame> RollUpAnswer(const AnswerFrame& answer,
                                  const std::vector<std::string>& keep_columns,
                                  const std::string& agg_column,
-                                 hifun::AggOp op);
+                                 hifun::AggOp op, int threads = 1);
 
 /// Rolls up an average from its (sum, count) decomposition: the result has
 /// the kept grouping columns plus columns "sum", "count", "avg".
+/// `threads` as in RollUpAnswer.
 Result<AnswerFrame> RollUpAverage(const AnswerFrame& answer,
                                   const std::vector<std::string>& keep_columns,
                                   const std::string& sum_column,
-                                  const std::string& count_column);
+                                  const std::string& count_column,
+                                  int threads = 1);
 
 }  // namespace rdfa::analytics
 

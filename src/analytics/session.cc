@@ -150,14 +150,17 @@ Result<AnswerFrame> AnalyticsSession::Execute() {
   RDFA_ASSIGN_OR_RETURN(sparql::ParsedQuery parsed,
                         sparql::ParseQuery(sparql));
   sparql::Executor exec(graph_);
-  RDFA_ASSIGN_OR_RETURN(sparql::ResultTable table, exec.Execute(parsed));
-  answer_ = AnswerFrame(std::move(table));
+  exec.set_thread_count(thread_count_);
+  Result<sparql::ResultTable> table = exec.Execute(parsed);
+  exec_stats_ = exec.stats();
+  RDFA_RETURN_NOT_OK(table.status());
+  answer_ = AnswerFrame(std::move(table).value());
   return answer_;
 }
 
 Result<AnswerFrame> AnalyticsSession::ExecuteDirect() const {
   RDFA_ASSIGN_OR_RETURN(hifun::Query q, BuildHifunQuery());
-  hifun::Evaluator eval(*graph_);
+  hifun::Evaluator eval(*graph_, thread_count_);
   RDFA_ASSIGN_OR_RETURN(sparql::ResultTable table, eval.Evaluate(q));
   return AnswerFrame(std::move(table));
 }

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "fs/session.h"
 #include "hifun/query.h"
+#include "sparql/exec_stats.h"
 
 namespace rdfa::analytics {
 
@@ -43,6 +44,16 @@ class AnalyticsSession {
   /// The embedded faceted-search session (clicks, facets, Back, ...).
   fs::Session& fs() { return fs_; }
   const fs::Session& fs() const { return fs_; }
+
+  /// Morsel-parallelism budget for Execute/ExecuteDirect (<=1 = serial;
+  /// parallel answers are byte-identical to serial).
+  void set_thread_count(int threads) {
+    thread_count_ = threads < 1 ? 1 : threads;
+  }
+  int thread_count() const { return thread_count_; }
+
+  /// Execution statistics of the most recent Execute() (SPARQL path).
+  const sparql::ExecStats& last_exec_stats() const { return exec_stats_; }
 
   // --- the analytics buttons -------------------------------------------
   /// G button on the facet reached by `spec.path` (§5.2.2: gE' = gE + f).
@@ -105,6 +116,8 @@ class AnalyticsSession {
   std::optional<MeasureSpec> measure_;
   std::optional<hifun::ResultRestriction> result_restriction_;
   AnswerFrame answer_;
+  int thread_count_ = 1;
+  sparql::ExecStats exec_stats_;
 };
 
 }  // namespace rdfa::analytics

@@ -1,0 +1,62 @@
+#ifndef RDFA_COMMON_THREAD_POOL_H_
+#define RDFA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rdfa {
+
+/// A small fixed-size worker pool for data-parallel loops. ParallelFor is
+/// the intended entry point: work items are claimed from a shared counter,
+/// the submitting thread always participates, and the call returns only
+/// when every item finished. Because the caller participates, a pool with
+/// zero workers degenerates to serial execution and nested ParallelFor
+/// calls cannot deadlock (a starved region is simply drained by its own
+/// caller).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t worker_count() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for every i in [0, n); `fn` must be safe to call
+  /// concurrently. At most `worker_count()` pool threads help; the caller
+  /// runs items too. Item completion order is unspecified — callers that
+  /// need determinism write into pre-sized per-item slots and combine in
+  /// item order afterwards.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// The process-wide pool. Sized to at least 3 workers even on small
+  /// machines so a `threads=4` run exercises real concurrency everywhere.
+  static ThreadPool& Shared();
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Splits [0, n) into at most `max_morsels` contiguous ranges of at least
+/// `min_grain` items each, returned in order. The deterministic unit of
+/// parallel work: results produced per morsel and concatenated in morsel
+/// order reproduce the serial output exactly.
+std::vector<std::pair<size_t, size_t>> Morsels(size_t n, size_t max_morsels,
+                                               size_t min_grain);
+
+}  // namespace rdfa
+
+#endif  // RDFA_COMMON_THREAD_POOL_H_

@@ -86,7 +86,11 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql) {
   auto start = std::chrono::steady_clock::now();
   RDFA_ASSIGN_OR_RETURN(sparql::ParsedQuery parsed, sparql::ParseQuery(sparql));
   sparql::Executor exec(graph_);
-  RDFA_ASSIGN_OR_RETURN(resp.table, exec.Execute(parsed));
+  exec.set_thread_count(thread_count_);
+  Result<sparql::ResultTable> table = exec.Execute(parsed);
+  resp.exec_stats = exec.stats();
+  RDFA_RETURN_NOT_OK(table.status());
+  resp.table = std::move(table).value();
   auto end = std::chrono::steady_clock::now();
   resp.exec_ms =
       std::chrono::duration<double, std::milli>(end - start).count();

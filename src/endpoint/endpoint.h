@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "rdf/graph.h"
+#include "sparql/exec_stats.h"
 #include "sparql/result_table.h"
 
 namespace rdfa::endpoint {
@@ -39,6 +40,9 @@ struct QueryResponse {
   double network_ms = 0;   ///< modeled round-trip
   double total_ms = 0;     ///< exec * load_multiplier + network
   bool cache_hit = false;
+  /// Engine-side execution statistics (join order, rows scanned, morsel
+  /// count, per-stage wall time). Zeroed on cache hits — nothing executed.
+  sparql::ExecStats exec_stats;
 };
 
 /// One served query, as kept in the endpoint's log.
@@ -68,6 +72,12 @@ class SimulatedEndpoint {
 
   Result<QueryResponse> Query(const std::string& sparql);
 
+  /// Morsel-parallelism budget for served queries (default 1 = serial).
+  /// Parallel answers are byte-identical to serial ones, so the cache and
+  /// the latency model are unaffected by this knob.
+  void set_thread_count(int threads) { thread_count_ = threads < 1 ? 1 : threads; }
+  int thread_count() const { return thread_count_; }
+
   const LatencyProfile& profile() const { return profile_; }
   size_t queries_served() const { return queries_served_; }
   size_t cache_hits() const { return cache_hits_; }
@@ -84,6 +94,7 @@ class SimulatedEndpoint {
   rdf::Graph* graph_;
   LatencyProfile profile_;
   bool enable_cache_;
+  int thread_count_ = 1;
   std::map<std::string, sparql::ResultTable> cache_;
   std::vector<QueryLogEntry> log_;
   size_t queries_served_ = 0;

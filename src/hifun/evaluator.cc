@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "hifun/context.h"
 #include "rdf/namespaces.h"
 #include "sparql/value.h"
@@ -203,54 +204,92 @@ Result<sparql::ResultTable> Evaluator::Evaluate(const Query& query) const {
   AttrExprPtr measure =
       query.measuring != nullptr ? query.measuring : AttrExpr::Identity();
 
-  // Grouping + measuring.
-  std::map<std::vector<std::string>, std::vector<Term>> groups;
-  std::map<std::vector<std::string>, std::vector<Term>> group_keys;
-  for (TermId item : context.items()) {
+  // Grouping + measuring. Evaluating one item touches only const graph
+  // state, so items are processed in parallel morsels; each morsel's
+  // results are merged back in item order, which keeps the per-group
+  // measure sequences (and thus SUM/AVG rounding) byte-identical to a
+  // serial run. Errors are reported from the earliest item, as serial would.
+  struct ItemOut {
+    bool has = false;  ///< survived restrictions and has key + measure
+    std::vector<std::string> key;
+    std::vector<Term> key_terms;
+    Term value;
+  };
+  auto eval_item = [&](TermId item, ItemOut* out) -> Status {
     // Restrictions on both sides restrict the item set E.
-    bool pass = true;
     for (const Restriction& r : query.group_restrictions) {
       RDFA_ASSIGN_OR_RETURN(bool ok,
                             CheckRestriction(graph_, item, query.grouping, r));
-      if (!ok) {
-        pass = false;
-        break;
-      }
+      if (!ok) return Status::OK();
     }
-    if (!pass) continue;
     for (const Restriction& r : query.measure_restrictions) {
       RDFA_ASSIGN_OR_RETURN(bool ok,
                             CheckRestriction(graph_, item, measure, r));
-      if (!ok) {
-        pass = false;
-        break;
-      }
+      if (!ok) return Status::OK();
     }
-    if (!pass) continue;
 
     // Group key.
-    std::vector<std::string> key;
-    std::vector<Term> key_terms;
-    bool skip = false;
     for (const AttrExprPtr& g : group_components) {
-      EvalOutcome out = EvalScalar(graph_, item, *g);
-      RDFA_RETURN_NOT_OK(out.status);
-      if (out.missing) {
-        skip = true;
-        break;
-      }
-      key.push_back(out.value->ToNTriples());
-      key_terms.push_back(*out.value);
+      EvalOutcome o = EvalScalar(graph_, item, *g);
+      RDFA_RETURN_NOT_OK(o.status);
+      if (o.missing) return Status::OK();
+      out->key.push_back(o.value->ToNTriples());
+      out->key_terms.push_back(*o.value);
     }
-    if (skip) continue;
 
     // Measure.
     EvalOutcome m = EvalScalar(graph_, item, *measure);
     RDFA_RETURN_NOT_OK(m.status);
-    if (m.missing) continue;
+    if (m.missing) return Status::OK();
+    out->value = *m.value;
+    out->has = true;
+    return Status::OK();
+  };
 
-    groups[key].push_back(*m.value);
-    group_keys.emplace(key, std::move(key_terms));
+  const std::vector<TermId>& items = context.items();
+  std::map<std::vector<std::string>, std::vector<Term>> groups;
+  std::map<std::vector<std::string>, std::vector<Term>> group_keys;
+  auto merge = [&](ItemOut& out) {
+    if (!out.has) return;
+    groups[out.key].push_back(std::move(out.value));
+    group_keys.emplace(std::move(out.key), std::move(out.key_terms));
+  };
+
+  constexpr size_t kMinItemsParallel = 128;
+  if (threads_ > 1 && items.size() >= kMinItemsParallel) {
+    graph_.Freeze();  // one first-touch build, not a per-worker race to it
+    auto morsels = Morsels(items.size(), static_cast<size_t>(threads_) * 4,
+                           /*min_grain=*/64);
+    struct MorselOut {
+      std::vector<ItemOut> outs;
+      Status status = Status::OK();
+    };
+    std::vector<MorselOut> parts(morsels.size());
+    ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+      auto [lo, hi] = morsels[m];
+      parts[m].outs.resize(hi - lo);
+      for (size_t i = lo; i < hi; ++i) {
+        Status st = eval_item(items[i], &parts[m].outs[i - lo]);
+        if (!st.ok()) {
+          parts[m].status = st;  // stop at the morsel's first error
+          return;
+        }
+      }
+    });
+    // Items are contiguous per morsel, so the first failing morsel holds
+    // the globally earliest error — the one a serial run would return.
+    for (const MorselOut& part : parts) {
+      RDFA_RETURN_NOT_OK(part.status);
+    }
+    for (MorselOut& part : parts) {
+      for (ItemOut& out : part.outs) merge(out);
+    }
+  } else {
+    for (TermId item : items) {
+      ItemOut out;
+      RDFA_RETURN_NOT_OK(eval_item(item, &out));
+      merge(out);
+    }
   }
 
   // Reduction.

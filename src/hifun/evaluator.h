@@ -20,7 +20,15 @@ namespace rdfa::hifun {
 /// (e.g. manufacturer.origin = ex:US).
 class Evaluator {
  public:
-  explicit Evaluator(const rdf::Graph& graph) : graph_(graph) {}
+  /// `threads` is the morsel-parallelism budget for the grouping/measuring
+  /// pass (<=1 = serial). Parallel results are byte-identical to serial:
+  /// items are split into contiguous morsels whose per-thread partial group
+  /// tables are merged back in item order.
+  explicit Evaluator(const rdf::Graph& graph, int threads = 1)
+      : graph_(graph), threads_(threads < 1 ? 1 : threads) {}
+
+  void set_thread_count(int threads) { threads_ = threads < 1 ? 1 : threads; }
+  int thread_count() const { return threads_; }
 
   /// Evaluates `query`. Returns Precondition when a traversed attribute is
   /// multi-valued on some item (HIFUN prerequisite §4.1.1 — apply an FCO
@@ -30,6 +38,7 @@ class Evaluator {
 
  private:
   const rdf::Graph& graph_;
+  int threads_ = 1;
 };
 
 }  // namespace rdfa::hifun

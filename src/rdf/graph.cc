@@ -1,5 +1,7 @@
 #include "rdf/graph.h"
 
+#include <mutex>
+
 namespace rdfa::rdf {
 
 bool Graph::Add(const Term& s, const Term& p, const Term& o) {
@@ -10,7 +12,7 @@ bool Graph::Add(const Term& s, const Term& p, const Term& o) {
 bool Graph::AddIds(TripleId t) {
   if (!triple_set_.insert(t).second) return false;
   triples_.push_back(t);
-  dirty_ = true;
+  dirty_.store(true, std::memory_order_release);
   return true;
 }
 
@@ -33,7 +35,7 @@ size_t Graph::RemoveMatching(TermId s, TermId p, TermId o) {
     }
   }
   triples_ = std::move(kept);
-  dirty_ = true;
+  dirty_.store(true, std::memory_order_release);
   return before - triples_.size();
 }
 
@@ -89,7 +91,13 @@ std::pair<size_t, size_t> Graph::Range(const std::vector<Key>& index,
 }
 
 void Graph::EnsureIndexes() const {
-  if (!dirty_) return;
+  // Fast path: the acquire load pairs with the release store below, so a
+  // reader that sees dirty_ == false also sees the fully built indexes.
+  if (!dirty_.load(std::memory_order_acquire)) return;
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  // Another reader may have rebuilt while we waited for the lock.
+  if (!dirty_.load(std::memory_order_relaxed)) return;
+  ++index_generation_;
   spo_.clear();
   pos_.clear();
   osp_.clear();
@@ -104,7 +112,7 @@ void Graph::EnsureIndexes() const {
   std::sort(spo_.begin(), spo_.end());
   std::sort(pos_.begin(), pos_.end());
   std::sort(osp_.begin(), osp_.end());
-  dirty_ = false;
+  dirty_.store(false, std::memory_order_release);
 }
 
 }  // namespace rdfa::rdf

@@ -2,7 +2,9 @@
 #define RDFA_RDF_GRAPH_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -18,13 +20,38 @@ namespace rdfa::rdf {
 /// any triple pattern with 0-3 bound positions is answered by a binary-search
 /// range scan over the best-fitting index. This is the storage substrate the
 /// SPARQL engine, the RDFS reasoner and the faceted-search model all share.
+///
+/// Thread-safety contract: all const read paths (ForEachMatch / Match /
+/// CountMatch / EstimateMatch / Contains / Freeze) are safe to call from any
+/// number of threads concurrently, including the first-touch lazy index
+/// rebuild, which is serialized behind an internal mutex with a
+/// generation-counted double-check. Mutation (Add / AddIds / RemoveMatching /
+/// move construction) requires exclusive access: no reader may run
+/// concurrently with a writer. The morsel-parallel executor relies on this —
+/// it shares one const Graph across worker threads and never mutates it
+/// mid-query.
 class Graph {
  public:
   Graph() = default;
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
-  Graph(Graph&&) = default;
-  Graph& operator=(Graph&&) = default;
+  Graph(Graph&& other) noexcept { *this = std::move(other); }
+  Graph& operator=(Graph&& other) noexcept {
+    // Moving requires exclusive access to both graphs (see contract above),
+    // so the index mutexes themselves need not — and cannot — be moved.
+    if (this != &other) {
+      terms_ = std::move(other.terms_);
+      triples_ = std::move(other.triples_);
+      triple_set_ = std::move(other.triple_set_);
+      spo_ = std::move(other.spo_);
+      pos_ = std::move(other.pos_);
+      osp_ = std::move(other.osp_);
+      index_generation_ = other.index_generation_;
+      dirty_.store(other.dirty_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   TermTable& terms() { return terms_; }
   const TermTable& terms() const { return terms_; }
@@ -45,6 +72,18 @@ class Graph {
 
   size_t size() const { return triples_.size(); }
   const std::vector<TripleId>& triples() const { return triples_; }
+
+  /// Eagerly builds the permutation indexes if stale. Safe (and cheap when
+  /// already built) from any thread; the executor calls it once per query so
+  /// the first-touch rebuild cost is attributed to index_build time rather
+  /// than to the first pattern scan.
+  void Freeze() const { EnsureIndexes(); }
+
+  /// Number of index rebuilds performed so far (observability / tests).
+  uint64_t index_generation() const {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    return index_generation_;
+  }
 
   /// Calls `fn(const TripleId&)` for every triple matching the pattern;
   /// kNoTermId positions are wildcards.
@@ -126,13 +165,19 @@ class Graph {
     }
   }
 
+  // Lazily (re)builds the three permutation indexes. Safe under concurrent
+  // const readers: the dirty flag is an atomic fast path, the rebuild runs
+  // exactly once behind `index_mu_` (double-checked), and the release store
+  // of `dirty_` publishes the built indexes to later lock-free readers.
   void EnsureIndexes() const;
 
   TermTable terms_;
   std::vector<TripleId> triples_;
   std::unordered_set<TripleId, TripleHash> triple_set_;
 
-  mutable bool dirty_ = true;
+  mutable std::atomic<bool> dirty_{true};
+  mutable std::shared_mutex index_mu_;
+  mutable uint64_t index_generation_ = 0;
   mutable std::vector<Key> spo_;
   mutable std::vector<Key> pos_;
   mutable std::vector<Key> osp_;

@@ -1,7 +1,11 @@
 #include "sparql/bgp.h"
 
 #include <algorithm>
+#include <atomic>
+#include <numeric>
 #include <set>
+
+#include "common/thread_pool.h"
 
 namespace rdfa::sparql {
 
@@ -27,6 +31,12 @@ CompiledPattern CompileTriple(const TriplePattern& tp, VarTable* vars,
 
 namespace {
 
+// Rows below this threshold are not worth splitting into morsels.
+constexpr size_t kMinMorselRows = 64;
+// Morsels per thread: enough slack for load balancing without drowning the
+// join in scheduling overhead.
+constexpr size_t kMorselsPerThread = 4;
+
 // Selectivity score of a pattern given the set of already-bound slots.
 // Constants narrow via the index estimate; bound variables narrow too but
 // their value is row-dependent, so they get a flat discount.
@@ -50,10 +60,52 @@ void MarkBound(const CompiledPattern& p, std::set<int>* bound) {
   if (p.o_var >= 0) bound->insert(p.o_var);
 }
 
+// Extends `row` with triple `t` under pattern `p` (re-checking
+// same-variable positions, e.g. ?x p ?x); appends to `*out` on success.
+// Returns false only on a conflict.
+inline void ExtendRow(const CompiledPattern& p, const Binding& row,
+                      const rdf::TripleId& t, std::vector<Binding>* out) {
+  Binding extended = row;
+  bool ok = true;
+  auto bind = [&](int var, TermId value) {
+    if (var < 0) return;
+    if (extended[var] != kNoTermId && extended[var] != value) {
+      ok = false;
+      return;
+    }
+    extended[var] = value;
+  };
+  bind(p.s_var, t.s);
+  if (ok) bind(p.p_var, t.p);
+  if (ok) bind(p.o_var, t.o);
+  if (ok) out->push_back(std::move(extended));
+}
+
+// Extends every row in [begin, end) of `rows` through `p`, appending the
+// results (in row order) to `*out`. Returns the number of index rows
+// enumerated.
+size_t ExtendRange(const rdf::Graph& graph, const CompiledPattern& p,
+                   const std::vector<Binding>& rows, size_t begin, size_t end,
+                   std::vector<Binding>* out) {
+  size_t scanned = 0;
+  for (size_t r = begin; r < end; ++r) {
+    const Binding& row = rows[r];
+    TermId s = p.s_var < 0 ? p.s_id : row[p.s_var];
+    TermId pp = p.p_var < 0 ? p.p_id : row[p.p_var];
+    TermId o = p.o_var < 0 ? p.o_id : row[p.o_var];
+    graph.ForEachMatch(s, pp, o, [&](const rdf::TripleId& t) {
+      ++scanned;
+      ExtendRow(p, row, t, out);
+    });
+  }
+  return scanned;
+}
+
 }  // namespace
 
 void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
-             size_t slot_count, bool reorder, std::vector<Binding>* rows) {
+             size_t slot_count, bool reorder, const JoinOptions& opts,
+             std::vector<Binding>* rows) {
   for (const CompiledPattern& p : patterns) {
     if (p.impossible) {
       rows->clear();
@@ -63,6 +115,11 @@ void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
   for (Binding& b : *rows) {
     if (b.size() < slot_count) b.resize(slot_count, kNoTermId);
   }
+
+  // Track each pattern's position in the source BGP so the chosen join
+  // order is reportable.
+  std::vector<int> source_index(patterns.size());
+  std::iota(source_index.begin(), source_index.end(), 0);
 
   if (reorder && patterns.size() > 1) {
     // Seed "bound" with slots already bound in the incoming rows.
@@ -74,6 +131,7 @@ void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
       }
     }
     std::vector<CompiledPattern> ordered;
+    std::vector<int> ordered_source;
     std::vector<bool> used(patterns.size(), false);
     for (size_t step = 0; step < patterns.size(); ++step) {
       double best = -1;
@@ -88,39 +146,84 @@ void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
       }
       used[best_i] = true;
       ordered.push_back(patterns[best_i]);
+      ordered_source.push_back(source_index[best_i]);
       MarkBound(patterns[best_i], &bound);
     }
     patterns = std::move(ordered);
+    source_index = std::move(ordered_source);
   }
 
-  for (const CompiledPattern& p : patterns) {
+  const int threads = std::max(1, opts.threads);
+  for (size_t pi = 0; pi < patterns.size(); ++pi) {
+    const CompiledPattern& p = patterns[pi];
     std::vector<Binding> next;
     next.reserve(rows->size());
-    for (const Binding& row : *rows) {
+    size_t scanned = 0;
+
+    if (threads > 1 && rows->size() == 1) {
+      // Single seed row (the common first pattern): materialize the index
+      // range once and split *it* into morsels.
+      const Binding& row = rows->front();
       TermId s = p.s_var < 0 ? p.s_id : row[p.s_var];
       TermId pp = p.p_var < 0 ? p.p_id : row[p.p_var];
       TermId o = p.o_var < 0 ? p.o_id : row[p.o_var];
-      graph.ForEachMatch(s, pp, o, [&](const rdf::TripleId& t) {
-        // Re-check same-variable positions (e.g. ?x p ?x).
-        Binding extended = row;
-        bool ok = true;
-        auto bind = [&](int var, TermId value) {
-          if (var < 0) return;
-          if (extended[var] != kNoTermId && extended[var] != value) {
-            ok = false;
-            return;
+      std::vector<rdf::TripleId> matches = graph.Match(s, pp, o);
+      scanned = matches.size();
+      auto morsels = Morsels(matches.size(),
+                             static_cast<size_t>(threads) * kMorselsPerThread,
+                             kMinMorselRows);
+      if (morsels.size() <= 1) {
+        for (const rdf::TripleId& t : matches) ExtendRow(p, row, t, &next);
+      } else {
+        std::vector<std::vector<Binding>> parts(morsels.size());
+        ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+          auto [lo, hi] = morsels[m];
+          parts[m].reserve(hi - lo);
+          for (size_t i = lo; i < hi; ++i) {
+            ExtendRow(p, row, matches[i], &parts[m]);
           }
-          extended[var] = value;
-        };
-        bind(p.s_var, t.s);
-        if (ok) bind(p.p_var, t.p);
-        if (ok) bind(p.o_var, t.o);
-        if (ok) next.push_back(std::move(extended));
+        });
+        for (std::vector<Binding>& part : parts) {
+          for (Binding& b : part) next.push_back(std::move(b));
+        }
+        if (opts.stats != nullptr) opts.stats->morsel_count += morsels.size();
+      }
+    } else if (threads > 1 && rows->size() >= 2 * kMinMorselRows) {
+      // Morsel-parallel extension over the incoming rows; concatenation in
+      // morsel order keeps the output byte-identical to the serial join.
+      auto morsels = Morsels(rows->size(),
+                             static_cast<size_t>(threads) * kMorselsPerThread,
+                             kMinMorselRows);
+      std::vector<std::vector<Binding>> parts(morsels.size());
+      std::vector<size_t> part_scanned(morsels.size(), 0);
+      ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+        auto [lo, hi] = morsels[m];
+        part_scanned[m] =
+            ExtendRange(graph, p, *rows, lo, hi, &parts[m]);
       });
+      for (size_t m = 0; m < morsels.size(); ++m) {
+        scanned += part_scanned[m];
+        for (Binding& b : parts[m]) next.push_back(std::move(b));
+      }
+      if (opts.stats != nullptr) opts.stats->morsel_count += morsels.size();
+    } else {
+      scanned = ExtendRange(graph, p, *rows, 0, rows->size(), &next);
+    }
+
+    if (opts.stats != nullptr) {
+      ++opts.stats->bgp_patterns;
+      opts.stats->rows_scanned.push_back(scanned);
+      opts.stats->join_order.push_back(source_index[pi]);
     }
     *rows = std::move(next);
     if (rows->empty()) return;
   }
+}
+
+void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
+             size_t slot_count, bool reorder, std::vector<Binding>* rows) {
+  JoinBgp(graph, std::move(patterns), slot_count, reorder, JoinOptions{},
+          rows);
 }
 
 }  // namespace rdfa::sparql

@@ -5,6 +5,7 @@
 
 #include "rdf/graph.h"
 #include "sparql/ast.h"
+#include "sparql/exec_stats.h"
 #include "sparql/expr_eval.h"
 
 namespace rdfa::sparql {
@@ -27,10 +28,27 @@ struct CompiledPattern {
 CompiledPattern CompileTriple(const TriplePattern& tp, VarTable* vars,
                               const rdf::Graph& graph);
 
+/// Knobs and instrumentation for one JoinBgp call.
+struct JoinOptions {
+  /// Thread budget: <=1 runs the serial path. Parallelism is morsel-based —
+  /// the input rows (or, for a single seed row, the first pattern's
+  /// materialized index range) are split into contiguous morsels, extended
+  /// independently, and concatenated in morsel order, so the result is
+  /// byte-identical to the serial join.
+  int threads = 1;
+  /// When set, join order / rows-scanned / morsel counters are appended.
+  ExecStats* stats = nullptr;
+};
+
 /// Extends every binding in `*rows` through all `patterns` by index
 /// nested-loop joins. When `reorder` is set, patterns are greedily ordered
 /// by estimated selectivity given the variables bound so far (the ablation
 /// benchmark toggles this). `rows` bindings are grown to `slot_count`.
+void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
+             size_t slot_count, bool reorder, const JoinOptions& opts,
+             std::vector<Binding>* rows);
+
+/// Serial convenience overload (threads = 1, no stats).
 void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
              size_t slot_count, bool reorder, std::vector<Binding>* rows);
 

@@ -1,0 +1,68 @@
+#ifndef RDFA_SPARQL_EXEC_STATS_H_
+#define RDFA_SPARQL_EXEC_STATS_H_
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rdfa::sparql {
+
+/// Per-query execution statistics, filled in by the Executor and threaded
+/// through the endpoint and the benchmarks so speedups are observable
+/// rather than asserted. All times are wall-clock milliseconds.
+struct ExecStats {
+  int threads = 1;             ///< thread budget the query ran with
+  double index_build_ms = 0;   ///< Graph::Freeze (non-zero on first touch)
+  double bgp_ms = 0;           ///< total BGP join time across pattern runs
+  double group_agg_ms = 0;     ///< grouping + aggregate computation
+  double total_ms = 0;         ///< whole Execute call
+  size_t morsel_count = 0;     ///< parallel morsels executed, all stages
+  size_t bgp_patterns = 0;     ///< triple patterns joined
+  /// Index rows enumerated per executed pattern, in execution order.
+  std::vector<size_t> rows_scanned;
+  /// The join order chosen by the greedy reorderer: position i holds the
+  /// source-order index (within its BGP run) of the pattern executed i-th.
+  std::vector<int> join_order;
+
+  void Reset() { *this = ExecStats{}; }
+
+  /// One-line human-readable dump for logs and benchmarks.
+  std::string Summary() const {
+    std::string s = "threads=" + std::to_string(threads) +
+                    " total=" + FormatMs(total_ms) +
+                    " index_build=" + FormatMs(index_build_ms) +
+                    " bgp=" + FormatMs(bgp_ms) +
+                    " group_agg=" + FormatMs(group_agg_ms) +
+                    " morsels=" + std::to_string(morsel_count) +
+                    " patterns=" + std::to_string(bgp_patterns);
+    if (!join_order.empty()) {
+      s += " order=[";
+      for (size_t i = 0; i < join_order.size(); ++i) {
+        if (i > 0) s += ",";
+        s += std::to_string(join_order[i]);
+      }
+      s += "]";
+    }
+    if (!rows_scanned.empty()) {
+      s += " scanned=[";
+      for (size_t i = 0; i < rows_scanned.size(); ++i) {
+        if (i > 0) s += ",";
+        s += std::to_string(rows_scanned[i]);
+      }
+      s += "]";
+    }
+    return s;
+  }
+
+ private:
+  static std::string FormatMs(double ms) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fms", ms);
+    return buf;
+  }
+};
+
+}  // namespace rdfa::sparql
+
+#endif  // RDFA_SPARQL_EXEC_STATS_H_

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <set>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "rdf/browse.h"
 #include "sparql/bgp.h"
 #include "sparql/parser.h"
@@ -18,6 +20,17 @@ using rdf::Term;
 using rdf::TermId;
 
 namespace {
+
+// Row counts below this are not worth splitting into morsels.
+constexpr size_t kParallelRowThreshold = 128;
+constexpr size_t kMorselsPerThread = 4;
+constexpr size_t kMinMorselRows = 64;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 bool IsInternalVarName(const std::string& name) {
   return StartsWith(name, "_path") || StartsWith(name, "_agg");
@@ -236,8 +249,15 @@ Result<std::vector<Binding>> Executor::EvalPattern(const GraphPattern& pattern,
           ++i;
         }
         grow_rows();
-        JoinBgp(*graph_, std::move(compiled), vars->size(), reorder_joins_,
-                &rows);
+        {
+          auto start = std::chrono::steady_clock::now();
+          JoinOptions jopts;
+          jopts.threads = threads_;
+          jopts.stats = &stats_;
+          JoinBgp(*graph_, std::move(compiled), vars->size(), reorder_joins_,
+                  jopts, &rows);
+          stats_.bgp_ms += MsSince(start);
+        }
         apply_ready_filters(false);
         continue;
       }
@@ -487,13 +507,19 @@ Result<ResultTable> Executor::Select(const SelectQuery& query) {
   };
   std::vector<OutRow> out_rows;
 
+  auto agg_start = std::chrono::steady_clock::now();
   if (has_aggregate) {
-    // Group rows by the GROUP BY key.
-    std::map<std::vector<std::string>, std::vector<Binding>> groups;
+    // Group rows by the GROUP BY key. With a thread budget, morsels of rows
+    // build per-morsel partial hash tables that are merged in morsel order,
+    // so every group's row list matches the serial order exactly (this is
+    // what keeps non-commutative-looking aggregates like GROUP_CONCAT and
+    // floating-point SUM byte-identical to the serial path).
+    using GroupMap = std::map<std::vector<std::string>, std::vector<Binding>>;
+    GroupMap groups;
     if (rows.empty() && query.group_by.empty()) {
       groups[{}] = {};  // aggregates over the empty solution: one group
     }
-    for (Binding& row : rows) {
+    auto key_of = [&](const Binding& row) {
       std::vector<std::string> key;
       key.reserve(query.group_by.size());
       for (const ExprPtr& g : query.group_by) {
@@ -501,7 +527,30 @@ Result<ResultTable> Executor::Select(const SelectQuery& query) {
         key.push_back(v.is_unbound() ? std::string("\x01unbound")
                                      : v.ToTerm().ToNTriples());
       }
-      groups[std::move(key)].push_back(std::move(row));
+      return key;
+    };
+    if (threads_ > 1 && rows.size() >= kParallelRowThreshold) {
+      auto morsels =
+          Morsels(rows.size(), static_cast<size_t>(threads_) * kMorselsPerThread,
+                  kMinMorselRows);
+      std::vector<GroupMap> parts(morsels.size());
+      ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+        auto [lo, hi] = morsels[m];
+        for (size_t r = lo; r < hi; ++r) {
+          parts[m][key_of(rows[r])].push_back(std::move(rows[r]));
+        }
+      });
+      for (GroupMap& part : parts) {
+        for (auto& [key, part_rows] : part) {
+          std::vector<Binding>& dst = groups[key];
+          for (Binding& b : part_rows) dst.push_back(std::move(b));
+        }
+      }
+      stats_.morsel_count += morsels.size();
+    } else {
+      for (Binding& row : rows) {
+        groups[key_of(row)].push_back(std::move(row));
+      }
     }
 
     // All aggregate nodes used anywhere downstream.
@@ -514,7 +563,19 @@ Result<ResultTable> Executor::Select(const SelectQuery& query) {
       CollectAggregates(*k.expr, &agg_nodes);
     }
 
-    for (auto& [key, group_rows] : groups) {
+    // Aggregate + HAVING + projection per group. Groups are independent, so
+    // morsels of groups run in parallel; results land in pre-sized slots and
+    // survivors are appended in group (map) order — deterministic.
+    std::vector<std::vector<Binding>*> group_rows_list;
+    group_rows_list.reserve(groups.size());
+    for (auto& [key, group_rows] : groups) group_rows_list.push_back(&group_rows);
+    struct GroupOut {
+      OutRow row;
+      bool keep = false;
+    };
+    std::vector<GroupOut> gout(group_rows_list.size());
+    auto compute_group = [&](size_t gi) {
+      std::vector<Binding>& group_rows = *group_rows_list[gi];
       Binding rep = group_rows.empty() ? Binding(vars.size(), kNoTermId)
                                        : group_rows.front();
       std::map<const Expr*, Value> agg_values;
@@ -523,52 +584,78 @@ Result<ResultTable> Executor::Select(const SelectQuery& query) {
       }
       EvalContext gctx{&graph_->terms(), &vars, &agg_values};
       // HAVING.
-      bool keep = true;
       for (const ExprPtr& h : query.having) {
         auto b = EvalExpr(*h, rep, gctx).EffectiveBool();
-        if (!b.has_value() || !*b) {
-          keep = false;
-          break;
-        }
+        if (!b.has_value() || !*b) return;
       }
-      if (!keep) continue;
-      OutRow orow;
-      orow.binding = rep;
-      orow.agg_values = std::move(agg_values);
-      EvalContext rctx{&graph_->terms(), &vars, &orow.agg_values};
+      GroupOut& go = gout[gi];
+      go.keep = true;
+      go.row.binding = rep;
+      go.row.agg_values = std::move(agg_values);
+      EvalContext rctx{&graph_->terms(), &vars, &go.row.agg_values};
       for (const Projection& p : projections) {
         if (p.expr == nullptr) {
           int slot = vars.Find(p.var);
-          orow.cells.push_back(
+          go.row.cells.push_back(
               (slot >= 0 && static_cast<size_t>(slot) < rep.size() &&
                rep[slot] != kNoTermId)
                   ? graph_->terms().Get(rep[slot])
                   : Term());
         } else {
-          orow.cells.push_back(ValueToCell(EvalExpr(*p.expr, rep, rctx)));
+          go.row.cells.push_back(ValueToCell(EvalExpr(*p.expr, rep, rctx)));
         }
       }
-      out_rows.push_back(std::move(orow));
+    };
+    if (threads_ > 1 && group_rows_list.size() >= 2) {
+      auto morsels = Morsels(group_rows_list.size(),
+                             static_cast<size_t>(threads_) * kMorselsPerThread,
+                             /*min_grain=*/1);
+      ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+        auto [lo, hi] = morsels[m];
+        for (size_t gi = lo; gi < hi; ++gi) compute_group(gi);
+      });
+      stats_.morsel_count += morsels.size();
+    } else {
+      for (size_t gi = 0; gi < group_rows_list.size(); ++gi) compute_group(gi);
+    }
+    for (GroupOut& go : gout) {
+      if (go.keep) out_rows.push_back(std::move(go.row));
     }
   } else {
-    for (Binding& row : rows) {
-      OutRow orow;
+    auto project_row = [&](Binding& row, OutRow* orow) {
       for (const Projection& p : projections) {
         if (p.expr == nullptr) {
           int slot = vars.Find(p.var);
-          orow.cells.push_back(
+          orow->cells.push_back(
               (slot >= 0 && static_cast<size_t>(slot) < row.size() &&
                row[slot] != kNoTermId)
                   ? graph_->terms().Get(row[slot])
                   : Term());
         } else {
-          orow.cells.push_back(ValueToCell(EvalExpr(*p.expr, row, ctx)));
+          orow->cells.push_back(ValueToCell(EvalExpr(*p.expr, row, ctx)));
         }
       }
-      orow.binding = std::move(row);
-      out_rows.push_back(std::move(orow));
+      orow->binding = std::move(row);
+    };
+    if (threads_ > 1 && rows.size() >= kParallelRowThreshold) {
+      out_rows.resize(rows.size());
+      auto morsels =
+          Morsels(rows.size(), static_cast<size_t>(threads_) * kMorselsPerThread,
+                  kMinMorselRows);
+      ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+        auto [lo, hi] = morsels[m];
+        for (size_t r = lo; r < hi; ++r) project_row(rows[r], &out_rows[r]);
+      });
+      stats_.morsel_count += morsels.size();
+    } else {
+      for (Binding& row : rows) {
+        OutRow orow;
+        project_row(row, &orow);
+        out_rows.push_back(std::move(orow));
+      }
     }
   }
+  stats_.group_agg_ms += MsSince(agg_start);
 
   // ORDER BY.
   if (!query.order_by.empty()) {
@@ -696,23 +783,37 @@ Result<size_t> Executor::Describe(const DescribeQuery& query,
 }
 
 Result<ResultTable> Executor::Execute(const ParsedQuery& query) {
-  switch (query.form) {
-    case ParsedQuery::Form::kSelect:
-      return Select(query.select);
-    case ParsedQuery::Form::kAsk: {
-      RDFA_ASSIGN_OR_RETURN(bool b, Ask(query.ask));
-      ResultTable t({"ask"});
-      t.AddRow({Term::Boolean(b)});
-      return t;
+  stats_.Reset();
+  stats_.threads = threads_;
+  auto total_start = std::chrono::steady_clock::now();
+  // Eager first-touch index build: done here, once, so (a) its cost shows
+  // up as index_build_ms rather than inside the first pattern scan, and
+  // (b) parallel workers only ever see a clean index.
+  auto freeze_start = std::chrono::steady_clock::now();
+  graph_->Freeze();
+  stats_.index_build_ms = MsSince(freeze_start);
+
+  Result<ResultTable> result = [&]() -> Result<ResultTable> {
+    switch (query.form) {
+      case ParsedQuery::Form::kSelect:
+        return Select(query.select);
+      case ParsedQuery::Form::kAsk: {
+        RDFA_ASSIGN_OR_RETURN(bool b, Ask(query.ask));
+        ResultTable t({"ask"});
+        t.AddRow({Term::Boolean(b)});
+        return t;
+      }
+      case ParsedQuery::Form::kConstruct:
+        return Status::InvalidArgument(
+            "CONSTRUCT queries need an output graph; use Executor::Construct");
+      case ParsedQuery::Form::kDescribe:
+        return Status::InvalidArgument(
+            "DESCRIBE queries need an output graph; use Executor::Describe");
     }
-    case ParsedQuery::Form::kConstruct:
-      return Status::InvalidArgument(
-          "CONSTRUCT queries need an output graph; use Executor::Construct");
-    case ParsedQuery::Form::kDescribe:
-      return Status::InvalidArgument(
-          "DESCRIBE queries need an output graph; use Executor::Describe");
-  }
-  return Status::Internal("unknown query form");
+    return Status::Internal("unknown query form");
+  }();
+  stats_.total_ms = MsSince(total_start);
+  return result;
 }
 
 Result<Executor::UpdateStats> Executor::Update(const UpdateRequest& request) {

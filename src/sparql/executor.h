@@ -8,6 +8,7 @@
 #include "rdf/graph.h"
 #include "rdf/namespaces.h"
 #include "sparql/ast.h"
+#include "sparql/exec_stats.h"
 #include "sparql/expr_eval.h"
 #include "sparql/result_table.h"
 
@@ -23,11 +24,23 @@ class Executor {
   /// `reorder_joins` toggles the greedy selectivity-based BGP reordering;
   /// `push_filters` toggles early filter application once a filter's
   /// variables are certainly bound. Both are ablation knobs (defaults on).
+  /// `threads` is the morsel-parallelism budget (<=1 = serial; parallel
+  /// results are byte-identical to serial, see DESIGN.md threading model).
   explicit Executor(rdf::Graph* graph, bool reorder_joins = true,
-                    bool push_filters = true)
+                    bool push_filters = true, int threads = 1)
       : graph_(graph),
         reorder_joins_(reorder_joins),
-        push_filters_(push_filters) {}
+        push_filters_(push_filters),
+        threads_(threads < 1 ? 1 : threads) {}
+
+  /// Adjusts the thread budget for subsequent queries.
+  void set_thread_count(int threads) { threads_ = threads < 1 ? 1 : threads; }
+  int thread_count() const { return threads_; }
+
+  /// Statistics of the most recent Execute() call (Select/Ask/... called
+  /// directly accumulate into the same struct; Execute resets it first).
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
 
   Result<ResultTable> Select(const SelectQuery& query);
   Result<bool> Ask(const AskQuery& query);
@@ -63,6 +76,8 @@ class Executor {
   rdf::Graph* graph_;
   bool reorder_joins_;
   bool push_filters_;
+  int threads_ = 1;
+  ExecStats stats_;
 };
 
 /// Parses and executes `text` in one call.

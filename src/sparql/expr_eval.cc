@@ -113,6 +113,84 @@ Value EvalBinary(const Expr& e, const Binding& binding,
   return NumericBinary(op, a, b);
 }
 
+/// Translates SPARQL regex flags (17.4.3.14) to std::regex flags. Honored:
+/// `i` (case-insensitive), `m` (multiline anchors), `q` (pattern is a
+/// literal string — implemented by escaping, see CachedRegex). `s`
+/// (dot-matches-newline) has no std::regex equivalent and is explicitly
+/// rejected, as is any unknown letter: the call evaluates to an error
+/// (unbound) instead of silently ignoring the flag.
+std::optional<std::regex::flag_type> TranslateRegexFlags(
+    const std::string& flags, bool* literal) {
+  auto out = std::regex::ECMAScript;
+  *literal = false;
+  for (char f : flags) {
+    switch (f) {
+      case 'i':
+        out |= std::regex::icase;
+        break;
+      case 'm':
+        out |= std::regex::multiline;
+        break;
+      case 'q':
+        *literal = true;
+        break;
+      default:  // 's', 'x', or garbage: unsupported
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+/// Escapes every ECMAScript metacharacter so the pattern matches literally
+/// (the SPARQL `q` flag).
+std::string EscapeRegexLiteral(const std::string& pattern) {
+  static const std::string kMeta = R"(\^$.|?*+()[]{})";
+  std::string out;
+  out.reserve(pattern.size());
+  for (char c : pattern) {
+    if (kMeta.find(c) != std::string::npos) out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Compiles (pattern, flags) to a std::regex, serving repeats from a
+/// per-thread cache — REGEX/REPLACE run once per row, and recompiling a
+/// std::regex per row dominated filter evaluation before this cache.
+/// nullptr means invalid pattern or unsupported flags. The cache is
+/// thread_local so morsel workers never contend or share regex objects
+/// (std::regex matching is const but caching a shared object across threads
+/// would still need lifetime care; per-thread is simpler and contention-free).
+const std::regex* CachedRegex(const std::string& pattern,
+                              const std::string& flags) {
+  struct Entry {
+    bool valid = false;
+    std::regex re;
+  };
+  thread_local std::map<std::pair<std::string, std::string>, Entry> cache;
+  // Bound the cache: patterns are almost always per-expression-node
+  // constants, but a computed pattern could otherwise grow it per row.
+  constexpr size_t kMaxEntries = 256;
+  auto key = std::make_pair(pattern, flags);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    if (cache.size() >= kMaxEntries) cache.clear();
+    Entry entry;
+    bool literal = false;
+    auto f = TranslateRegexFlags(flags, &literal);
+    if (f.has_value()) {
+      try {
+        entry.re.assign(literal ? EscapeRegexLiteral(pattern) : pattern, *f);
+        entry.valid = true;
+      } catch (const std::regex_error&) {
+        entry.valid = false;
+      }
+    }
+    it = cache.emplace(std::move(key), std::move(entry)).first;
+  }
+  return it->second.valid ? &it->second.re : nullptr;
+}
+
 Value EvalDateComponent(const Value& v, int component) {
   std::string lexical;
   if (v.kind() == Value::Kind::kTerm && v.term().is_literal()) {
@@ -225,31 +303,30 @@ Value EvalCall(const Expr& e, const Binding& binding, const EvalContext& ctx) {
   }
   if (name == "REGEX") {
     if (args.size() < 2) return Value::Unbound();
-    try {
-      auto flags = std::regex::ECMAScript;
-      if (args.size() >= 3 &&
-          args[2].AsString().find('i') != std::string::npos) {
-        flags |= std::regex::icase;
-      }
-      std::regex re(args[1].AsString(), flags);
-      return Value::Bool(std::regex_search(args[0].AsString(), re));
-    } catch (const std::regex_error&) {
-      return Value::Unbound();
-    }
+    const std::regex* re = CachedRegex(
+        args[1].AsString(), args.size() >= 3 ? args[2].AsString() : "");
+    if (re == nullptr) return Value::Unbound();
+    return Value::Bool(std::regex_search(args[0].AsString(), *re));
   }
   if (name == "SUBSTR") {
     if (args.size() < 2) return Value::Unbound();
     std::string s = args[0].AsString();
     auto start = args[1].AsNumeric();
-    if (!start.has_value()) return Value::Unbound();
-    // SPARQL SUBSTR is 1-based.
-    size_t begin = *start >= 1 ? static_cast<size_t>(*start) - 1 : 0;
+    if (!start.has_value() || std::isnan(*start)) return Value::Unbound();
+    // SPARQL SUBSTR is 1-based. Clamp start/length into [0, s.size()]
+    // *before* casting: a double outside the target range (SUBSTR(?s, 1e30),
+    // negative, inf) is undefined behavior to convert to size_t. Fractional
+    // arguments keep the historical truncation semantics.
+    const double size_d = static_cast<double>(s.size());
+    size_t begin;
+    if (*start >= size_d + 1) return Value::String("");
+    begin = *start >= 1 ? static_cast<size_t>(*start) - 1 : 0;
     if (begin >= s.size()) return Value::String("");
     size_t len = std::string::npos;
     if (args.size() >= 3) {
       auto n = args[2].AsNumeric();
-      if (!n.has_value() || *n < 0) return Value::Unbound();
-      len = static_cast<size_t>(*n);
+      if (!n.has_value() || std::isnan(*n) || *n < 0) return Value::Unbound();
+      len = *n >= size_d ? std::string::npos : static_cast<size_t>(*n);
     }
     return Value::String(s.substr(begin, len));
   }
@@ -264,13 +341,11 @@ Value EvalCall(const Expr& e, const Binding& binding, const EvalContext& ctx) {
   }
   if (name == "REPLACE") {
     if (args.size() < 3) return Value::Unbound();
-    try {
-      std::regex re(args[1].AsString());
-      return Value::String(
-          std::regex_replace(args[0].AsString(), re, args[2].AsString()));
-    } catch (const std::regex_error&) {
-      return Value::Unbound();
-    }
+    const std::regex* re = CachedRegex(
+        args[1].AsString(), args.size() >= 4 ? args[3].AsString() : "");
+    if (re == nullptr) return Value::Unbound();
+    return Value::String(
+        std::regex_replace(args[0].AsString(), *re, args[2].AsString()));
   }
   if (name == "LANGMATCHES") {
     if (args.size() != 2) return Value::Unbound();

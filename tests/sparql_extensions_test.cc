@@ -186,5 +186,97 @@ TEST_F(SparqlExtensionsTest, SubclassReachabilityQueryUsesStar) {
   EXPECT_EQ(classes, (std::multiset<std::string>{"A", "B", "C", "D"}));
 }
 
+TEST_F(SparqlExtensionsTest, SubstrHugeStartIsEmptyNotUb) {
+  // A double far outside size_t range was previously cast directly (UB);
+  // the argument must be clamped before the cast.
+  auto res = ExecuteQueryString(
+      &g_,
+      "SELECT (SUBSTR(\"hello\", 999999999999999999999999999) AS ?a) "
+      "WHERE { }");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().at(0, 0).lexical(), "");
+}
+
+TEST_F(SparqlExtensionsTest, SubstrNegativeStartClampsToWholeString) {
+  auto res = ExecuteQueryString(
+      &g_,
+      "SELECT (SUBSTR(\"hello\", 0 - 999999999999999999999999999) AS ?a) "
+      "(SUBSTR(\"hello\", 0 - 3) AS ?b) WHERE { }");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().at(0, 0).lexical(), "hello");
+  EXPECT_EQ(res.value().at(0, 1).lexical(), "hello");
+}
+
+TEST_F(SparqlExtensionsTest, SubstrFractionalStartTruncates) {
+  auto res = ExecuteQueryString(
+      &g_, "SELECT (SUBSTR(\"hello\", 2.7) AS ?a) WHERE { }");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().at(0, 0).lexical(), "ello");
+}
+
+TEST_F(SparqlExtensionsTest, SubstrHugeAndNegativeLength) {
+  auto res = ExecuteQueryString(
+      &g_,
+      "SELECT (SUBSTR(\"hello\", 2, 999999999999999999999999999) AS ?a) "
+      "(SUBSTR(\"hello\", 2, 0 - 1) AS ?b) WHERE { }");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().at(0, 0).lexical(), "ello");
+  // Negative length is an error, not a crash: unbound cell.
+  EXPECT_TRUE(ResultTable::IsUnbound(res.value().at(0, 1)));
+}
+
+TEST_F(SparqlExtensionsTest, SubstrStartPastEndIsEmpty) {
+  auto res = ExecuteQueryString(
+      &g_, "SELECT (SUBSTR(\"hello\", 6) AS ?a) WHERE { }");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().at(0, 0).lexical(), "");
+}
+
+TEST_F(SparqlExtensionsTest, RegexFlagsHonored) {
+  auto res = ExecuteQueryString(
+      &g_,
+      "SELECT (REGEX(\"Hello\", \"hel\", \"i\") AS ?i) "
+      "(REGEX(\"a.c\", \"a.c\", \"q\") AS ?q1) "
+      "(REGEX(\"abc\", \"a.c\", \"q\") AS ?q2) WHERE { }");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().at(0, 0).lexical(), "true");
+  EXPECT_EQ(res.value().at(0, 1).lexical(), "true");
+  // Under `q` the dot is a literal character, not a wildcard.
+  EXPECT_EQ(res.value().at(0, 2).lexical(), "false");
+}
+
+TEST_F(SparqlExtensionsTest, RegexUnsupportedFlagIsErrorNotIgnored) {
+  // `s` (dot-all) has no std::regex equivalent; silently dropping it would
+  // change the match semantics, so the call errors (unbound).
+  auto res = ExecuteQueryString(
+      &g_, "SELECT (REGEX(\"abc\", \"a.c\", \"s\") AS ?a) WHERE { }");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(ResultTable::IsUnbound(res.value().at(0, 0)));
+}
+
+TEST_F(SparqlExtensionsTest, ReplaceHonorsFlagsArgument) {
+  auto res = ExecuteQueryString(
+      &g_,
+      "SELECT (REPLACE(\"aAa\", \"a\", \"x\", \"i\") AS ?r) "
+      "(REPLACE(\"abc\", \"b\", \"x\", \"s\") AS ?bad) WHERE { }");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().at(0, 0).lexical(), "xxx");
+  EXPECT_TRUE(ResultTable::IsUnbound(res.value().at(0, 1)));
+}
+
+TEST_F(SparqlExtensionsTest, RegexCacheSurvivesManyRows) {
+  // One pattern evaluated across every row: the per-thread cache must serve
+  // repeats (and an invalid pattern must stay an error on every row).
+  auto names = Col0(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?x WHERE { ?x a ex:Laptop . FILTER(REGEX(STR(?x), \"l[13]$\")) "
+      "}");
+  EXPECT_EQ(names, (std::multiset<std::string>{"l1", "l3"}));
+  auto none = Col0(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?x WHERE { ?x a ex:Laptop . FILTER(REGEX(STR(?x), \"l[\")) }");
+  EXPECT_TRUE(none.empty());
+}
+
 }  // namespace
 }  // namespace rdfa::sparql
