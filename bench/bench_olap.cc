@@ -2,13 +2,20 @@
 // interaction model — roll-up, drill-down, slice, dice, pivot — executed
 // over an invoices cube, with timing and cube sizes at each step.
 //
-// Run: ./build/bench/bench_olap
+// Run: ./build/bench/bench_olap [--scale=1k|20k] [--iters=N]
+//   --scale: invoice count of the generated cube KG (default 20k)
+//   --iters: repetitions per OLAP operator (default 1; the first run is
+//            printed, all runs feed the p50/p99 figures)
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "analytics/olap.h"
+#include "common/query_context.h"
 #include "workload/invoices.h"
 
 namespace {
@@ -21,26 +28,59 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+int g_iters = 1;
+std::vector<double> g_latencies_ms;
+
 void Step(const char* op, rdfa::analytics::OlapView* cube) {
-  auto start = std::chrono::steady_clock::now();
-  auto af = cube->Materialize();
-  double ms = MsSince(start);
-  if (!af.ok()) {
-    std::printf("%-38s FAILED: %s\n", op, af.status().ToString().c_str());
-    return;
+  for (int i = 0; i < g_iters; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    auto af = cube->Materialize();
+    double ms = MsSince(start);
+    if (!af.ok()) {
+      std::printf("%-38s FAILED: %s\n", op, af.status().ToString().c_str());
+      return;
+    }
+    g_latencies_ms.push_back(ms);
+    if (i == 0) {
+      std::printf("%-38s %8zu cells %10.2f ms\n", op,
+                  af.value().table().num_rows(), ms);
+    }
   }
-  std::printf("%-38s %8zu cells %10.2f ms\n", op,
-              af.value().table().num_rows(), ms);
+}
+
+double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[static_cast<size_t>(static_cast<double>(v.size() - 1) * q)];
+}
+
+/// "--scale=20k" / "--scale=2000" -> 20000 / 2000.
+size_t ParseScale(const char* s) {
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end != nullptr && (*end == 'k' || *end == 'K')) v *= 1000;
+  return v < 1 ? 0 : static_cast<size_t>(v);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  size_t scale = 20000;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      size_t s = ParseScale(arg.c_str() + 8);
+      if (s > 0) scale = s;
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      int n = std::atoi(arg.c_str() + 8);
+      g_iters = n < 1 ? 1 : n;
+    }
+  }
   std::printf("== Fig 7.1/7.2 reproduction: OLAP operators over the invoices "
               "cube ==\n\n");
   rdfa::rdf::Graph g;
   rdfa::workload::InvoicesOptions opt;
-  opt.invoices = 20000;
+  opt.invoices = scale;
   opt.branches = 25;
   opt.products = 200;
   opt.brands = 15;
@@ -85,6 +125,25 @@ int main() {
   (void)cube.Slice("product",
                    rdfa::rdf::Term::Iri(kInv + "brand0"));
   Step("slice product=brand0", &cube);
+
+  std::printf("\nmaterialization latency over %zu runs: p50 %.2f ms, "
+              "p99 %.2f ms\n",
+              g_latencies_ms.size(), Percentile(g_latencies_ms, 0.50),
+              Percentile(g_latencies_ms, 0.99));
+
+  // Deadline demonstration: an impossible budget must unwind with a typed
+  // DEADLINE_EXCEEDED (partial stats preserved), not hang or return a cube.
+  cube.set_query_context(rdfa::QueryContext::WithDeadlineMs(0.0));
+  auto tripped = cube.Materialize();
+  if (tripped.ok() ||
+      tripped.status().code() != rdfa::StatusCode::kDeadlineExceeded) {
+    std::printf("FAILED: 0 ms budget did not trip the deadline\n");
+    return 1;
+  }
+  std::printf("0 ms budget: %s (aborted@%s)\n",
+              tripped.status().ToString().c_str(),
+              cube.last_exec_stats().abort_stage.c_str());
+  cube.set_query_context(rdfa::QueryContext());
 
   std::printf(
       "\nshape check vs paper: roll-up shrinks the cube monotonically, "

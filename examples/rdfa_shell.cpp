@@ -19,6 +19,7 @@
 #include "analytics/answer_frame.h"
 #include "analytics/expressiveness.h"
 #include "analytics/session.h"
+#include "common/query_context.h"
 #include "common/string_util.h"
 #include "fs/facets.h"
 #include "rdf/rdfs.h"
@@ -37,7 +38,22 @@ struct Shell {
   std::vector<std::unique_ptr<rdfa::rdf::Graph>> graphs;
   std::vector<std::unique_ptr<rdfa::analytics::AnalyticsSession>> sessions;
   std::string default_ns;
-  int threads = 1;  ///< morsel-parallelism budget for exec
+  int threads = 1;       ///< morsel-parallelism budget for exec
+  double timeout_ms = 0;  ///< per-exec deadline; 0 = none
+  bool pending_cancel = false;  ///< `cancel` arms this for the next exec
+
+  /// Builds the deadline/cancellation context for one exec and installs it
+  /// on the current session.
+  void ArmContext() {
+    rdfa::QueryContext ctx = timeout_ms > 0
+                                 ? rdfa::QueryContext::WithDeadlineMs(timeout_ms)
+                                 : rdfa::QueryContext();
+    if (pending_cancel) {
+      ctx.Cancel();
+      pending_cancel = false;
+    }
+    session().set_query_context(ctx);
+  }
 
   rdfa::analytics::AnalyticsSession& session() { return *sessions.back(); }
   rdfa::rdf::Graph& graph() { return *graphs.back(); }
@@ -100,6 +116,10 @@ void PrintHelp() {
   sparql                        show the translated SPARQL
   exec                          run the analytic query (fills the AF)
   threads <n>                   parallelism for exec (results identical)
+  timeout <ms>                  deadline for each exec (0 = none); a tripped
+                                exec returns DeadlineExceeded, partial stats
+  cancel                        cancel the next exec (it fails fast with
+                                Cancelled — the cooperative-abort path)
   stats                         execution statistics of the last exec
   chart                         bar-chart the answer frame
   json | csv                    export the answer frame (W3C formats)
@@ -253,13 +273,31 @@ bool HandleLine(Shell& shell, const std::string& line) {
     if (s.ok()) std::printf("%s\n", s.value().c_str());
     else report(s.status());
   } else if (cmd == "exec") {
+    shell.ArmContext();
     auto af = shell.session().Execute();
     if (af.ok()) {
       std::printf("%s",
                   rdfa::viz::RenderTable(af.value().table()).c_str());
     } else {
       report(af.status());
+      const auto& stats = shell.session().last_exec_stats();
+      if (stats.aborted) {
+        std::printf("partial work before the trip: %s\n",
+                    stats.Summary().c_str());
+      }
     }
+  } else if (cmd == "timeout") {
+    double ms = 0;
+    in >> ms;
+    shell.timeout_ms = ms < 0 ? 0 : ms;
+    if (shell.timeout_ms > 0) {
+      std::printf("exec deadline set to %g ms\n", shell.timeout_ms);
+    } else {
+      std::printf("exec deadline cleared\n");
+    }
+  } else if (cmd == "cancel") {
+    shell.pending_cancel = true;
+    std::printf("next exec will be cancelled\n");
   } else if (cmd == "threads") {
     int n = 1;
     in >> n;
@@ -354,6 +392,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       int n = std::atoi(arg.c_str() + 10);
       shell.threads = n < 1 ? 1 : n;
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      double ms = std::strtod(arg.c_str() + 13, nullptr);
+      shell.timeout_ms = ms < 0 ? 0 : ms;
     }
   }
   shell.Reset(std::make_unique<rdfa::rdf::Graph>());

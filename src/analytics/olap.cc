@@ -93,6 +93,10 @@ void OlapView::set_thread_count(int threads) {
   session_->set_thread_count(threads);
 }
 
+void OlapView::set_query_context(QueryContext ctx) {
+  session_->set_query_context(std::move(ctx));
+}
+
 const sparql::ExecStats& OlapView::last_exec_stats() const {
   return session_->last_exec_stats();
 }

@@ -60,6 +60,10 @@ class OlapView {
   /// executor; parallel cubes are byte-identical to serial ones).
   void set_thread_count(int threads);
 
+  /// Deadline/cancellation context for Materialize (forwarded to the
+  /// session; a trip unwinds to DeadlineExceeded/Cancelled).
+  void set_query_context(QueryContext ctx);
+
   /// Execution statistics of the most recent Materialize().
   const sparql::ExecStats& last_exec_stats() const;
 

@@ -38,18 +38,28 @@ std::string GroupKey(const sparql::ResultTable& table, size_t row,
 /// the roll-up itself relies on. `scan(row, &map)` must be safe to call
 /// concurrently on disjoint maps; errors propagate from the earliest row.
 template <typename Acc, typename ScanFn, typename MergeFn>
-Status AccumulateRows(size_t n, int threads, const ScanFn& scan,
-                      const MergeFn& merge,
+Status AccumulateRows(size_t n, int threads, const QueryContext& ctx,
+                      const ScanFn& scan, const MergeFn& merge,
                       std::map<std::string, Acc>* groups) {
   constexpr size_t kMinRowsParallel = 128;
   if (threads <= 1 || n < kMinRowsParallel) {
-    for (size_t r = 0; r < n; ++r) RDFA_RETURN_NOT_OK(scan(r, groups));
+    for (size_t r = 0; r < n; ++r) {
+      if (r % kMinRowsParallel == 0) {
+        RDFA_RETURN_NOT_OK(ctx.Check("rollup-merge"));
+      }
+      RDFA_RETURN_NOT_OK(scan(r, groups));
+    }
     return Status::OK();
   }
   auto morsels = Morsels(n, static_cast<size_t>(threads) * 4, 64);
   std::vector<std::map<std::string, Acc>> parts(morsels.size());
   std::vector<Status> statuses(morsels.size(), Status::OK());
   ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+    Status admitted = ctx.Check("rollup-merge");
+    if (!admitted.ok()) {
+      statuses[m] = admitted;
+      return;
+    }
     auto [lo, hi] = morsels[m];
     for (size_t r = lo; r < hi; ++r) {
       Status st = scan(r, &parts[m]);
@@ -59,6 +69,7 @@ Status AccumulateRows(size_t n, int threads, const ScanFn& scan,
       }
     }
   });
+  RDFA_RETURN_NOT_OK(ctx.Check("rollup-merge"));
   for (const Status& st : statuses) RDFA_RETURN_NOT_OK(st);
   for (std::map<std::string, Acc>& part : parts) {
     for (auto& [key, acc] : part) {
@@ -78,7 +89,8 @@ Status AccumulateRows(size_t n, int threads, const ScanFn& scan,
 Result<AnswerFrame> RollUpAnswer(const AnswerFrame& answer,
                                  const std::vector<std::string>& keep_columns,
                                  const std::string& agg_column,
-                                 AggOp op, int threads) {
+                                 AggOp op, int threads,
+                                 const QueryContext& ctx) {
   if (op == AggOp::kAvg) {
     return Status::InvalidArgument(
         "AVG is not distributive; roll it up from its (sum, count) pair "
@@ -126,8 +138,8 @@ Result<AnswerFrame> RollUpAnswer(const AnswerFrame& answer,
       dst->best = std::max(dst->best, src.best);
     }
   };
-  RDFA_RETURN_NOT_OK(
-      AccumulateRows<Acc>(table.num_rows(), threads, scan, merge, &groups));
+  RDFA_RETURN_NOT_OK(AccumulateRows<Acc>(table.num_rows(), threads, ctx, scan,
+                                         merge, &groups));
 
   std::vector<std::string> columns = keep_columns;
   columns.push_back(agg_column);
@@ -150,7 +162,7 @@ Result<AnswerFrame> RollUpAverage(const AnswerFrame& answer,
                                   const std::vector<std::string>& keep_columns,
                                   const std::string& sum_column,
                                   const std::string& count_column,
-                                  int threads) {
+                                  int threads, const QueryContext& ctx) {
   const sparql::ResultTable& table = answer.table();
   RDFA_ASSIGN_OR_RETURN(std::vector<int> keep,
                         ResolveColumns(table, keep_columns));
@@ -184,8 +196,8 @@ Result<AnswerFrame> RollUpAverage(const AnswerFrame& answer,
     dst->sum += src.sum;
     dst->count += src.count;
   };
-  RDFA_RETURN_NOT_OK(
-      AccumulateRows<Acc>(table.num_rows(), threads, scan, merge, &groups));
+  RDFA_RETURN_NOT_OK(AccumulateRows<Acc>(table.num_rows(), threads, ctx, scan,
+                                         merge, &groups));
 
   std::vector<std::string> columns = keep_columns;
   columns.push_back("sum");

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analytics/answer_frame.h"
+#include "common/query_context.h"
 #include "hifun/attr_expr.h"
 
 namespace rdfa::analytics {
@@ -26,10 +27,13 @@ namespace rdfa::analytics {
 /// (sum of sums, min of mins, ...). Integer-valued cells merge exactly;
 /// for fractional doubles the partial-sum association may differ from the
 /// serial left fold in the last ulp.
+/// `ctx` (optional) is the deadline/cancellation context: the merge scan
+/// checks it per morsel and unwinds to DeadlineExceeded/Cancelled.
 Result<AnswerFrame> RollUpAnswer(const AnswerFrame& answer,
                                  const std::vector<std::string>& keep_columns,
                                  const std::string& agg_column,
-                                 hifun::AggOp op, int threads = 1);
+                                 hifun::AggOp op, int threads = 1,
+                                 const QueryContext& ctx = QueryContext());
 
 /// Rolls up an average from its (sum, count) decomposition: the result has
 /// the kept grouping columns plus columns "sum", "count", "avg".
@@ -38,7 +42,8 @@ Result<AnswerFrame> RollUpAverage(const AnswerFrame& answer,
                                   const std::vector<std::string>& keep_columns,
                                   const std::string& sum_column,
                                   const std::string& count_column,
-                                  int threads = 1);
+                                  int threads = 1,
+                                  const QueryContext& ctx = QueryContext());
 
 }  // namespace rdfa::analytics
 

@@ -151,6 +151,7 @@ Result<AnswerFrame> AnalyticsSession::Execute() {
                         sparql::ParseQuery(sparql));
   sparql::Executor exec(graph_);
   exec.set_thread_count(thread_count_);
+  exec.set_query_context(ctx_);
   Result<sparql::ResultTable> table = exec.Execute(parsed);
   exec_stats_ = exec.stats();
   RDFA_RETURN_NOT_OK(table.status());
@@ -161,7 +162,7 @@ Result<AnswerFrame> AnalyticsSession::Execute() {
 Result<AnswerFrame> AnalyticsSession::ExecuteDirect() const {
   RDFA_ASSIGN_OR_RETURN(hifun::Query q, BuildHifunQuery());
   hifun::Evaluator eval(*graph_, thread_count_);
-  RDFA_ASSIGN_OR_RETURN(sparql::ResultTable table, eval.Evaluate(q));
+  RDFA_ASSIGN_OR_RETURN(sparql::ResultTable table, eval.Evaluate(q, ctx_));
   return AnswerFrame(std::move(table));
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analytics/answer_frame.h"
+#include "common/query_context.h"
 #include "common/status.h"
 #include "fs/session.h"
 #include "hifun/query.h"
@@ -51,6 +52,14 @@ class AnalyticsSession {
     thread_count_ = threads < 1 ? 1 : threads;
   }
   int thread_count() const { return thread_count_; }
+
+  /// Deadline/cancellation context for Execute/ExecuteDirect. The default
+  /// context never trips; install one with a deadline (or cancel it from
+  /// another thread) to bound the next executions. Checked at morsel and
+  /// stage boundaries; a trip unwinds to DeadlineExceeded/Cancelled with
+  /// the partial ExecStats preserved in last_exec_stats().
+  void set_query_context(QueryContext ctx) { ctx_ = std::move(ctx); }
+  const QueryContext& query_context() const { return ctx_; }
 
   /// Execution statistics of the most recent Execute() (SPARQL path).
   const sparql::ExecStats& last_exec_stats() const { return exec_stats_; }
@@ -117,6 +126,7 @@ class AnalyticsSession {
   std::optional<hifun::ResultRestriction> result_restriction_;
   AnswerFrame answer_;
   int thread_count_ = 1;
+  QueryContext ctx_;
   sparql::ExecStats exec_stats_;
 };
 

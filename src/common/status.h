@@ -19,6 +19,9 @@ enum class StatusCode {
   kUnsupported,       ///< Feature outside the implemented SPARQL/HIFUN subset.
   kPrecondition,      ///< HIFUN prerequisite violated (e.g. non-functional attr).
   kInternal,          ///< Invariant violation; indicates a library bug.
+  kDeadlineExceeded,  ///< The query's deadline tripped mid-execution.
+  kCancelled,         ///< The query was cooperatively cancelled.
+  kResourceExhausted, ///< Endpoint admission control shed the query.
 };
 
 /// Returns a short human-readable name for `code` (e.g. "ParseError").
@@ -54,6 +57,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

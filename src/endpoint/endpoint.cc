@@ -65,21 +65,149 @@ QueryLogEntry MakeLogEntry(const std::string& sparql,
 }
 }  // namespace
 
-Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql) {
-  ++queries_served_;
-  QueryResponse resp;
-  resp.network_ms = SimulatedNetworkMs(sparql);
+void SimulatedEndpoint::AdmissionSlot::Release() {
+  if (endpoint_ != nullptr) {
+    endpoint_->ReleaseSlot();
+    endpoint_ = nullptr;
+  }
+}
 
-  if (enable_cache_) {
-    auto it = cache_.find(sparql);
-    if (it != cache_.end()) {
-      ++cache_hits_;
-      resp.table = it->second;
-      resp.cache_hit = true;
-      resp.exec_ms = 0;
-      resp.total_ms = resp.network_ms;
-      log_.push_back(MakeLogEntry(sparql, resp));
-      return resp;
+void SimulatedEndpoint::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(adm_mu_);
+    --in_flight_;
+  }
+  adm_cv_.notify_all();
+}
+
+void SimulatedEndpoint::set_admission(AdmissionOptions opts) {
+  std::lock_guard<std::mutex> lock(adm_mu_);
+  admission_ = opts;
+}
+
+AdmissionOptions SimulatedEndpoint::admission() const {
+  std::lock_guard<std::mutex> lock(adm_mu_);
+  return admission_;
+}
+
+double SimulatedEndpoint::effective_timeout_ms() const {
+  AdmissionOptions opts = admission();
+  if (opts.base_timeout_ms <= 0) return 0;
+  double mult = profile_.load_multiplier > 0 ? profile_.load_multiplier : 1.0;
+  return opts.base_timeout_ms / mult;
+}
+
+Result<SimulatedEndpoint::AdmissionSlot> SimulatedEndpoint::Admit(
+    const QueryContext& ctx, size_t* queue_depth) {
+  double queued_ms = 0;
+  std::unique_lock<std::mutex> lock(adm_mu_);
+  if (in_flight_ >= admission_.max_in_flight || !adm_queue_.empty()) {
+    auto entered = std::chrono::steady_clock::now();
+    if (adm_queue_.size() >= admission_.max_queue) {
+      if (queue_depth != nullptr) *queue_depth = adm_queue_.size();
+      return Status::ResourceExhausted(
+          "endpoint at capacity: " + std::to_string(in_flight_) +
+          " in flight, " + std::to_string(adm_queue_.size()) + " queued");
+    }
+    uint64_t ticket = next_ticket_++;
+    adm_queue_.push_back(ticket);
+    // FIFO: run only as the queue head, and only once a slot frees up.
+    // Bounded waits so a deadline/cancel from another thread is observed
+    // even without a notification.
+    while (adm_queue_.front() != ticket ||
+           in_flight_ >= admission_.max_in_flight) {
+      if (ctx.ShouldStop()) {
+        adm_queue_.erase(
+            std::find(adm_queue_.begin(), adm_queue_.end(), ticket));
+        lock.unlock();
+        adm_cv_.notify_all();
+        return ctx.Check("admission-queue");
+      }
+      adm_cv_.wait_for(lock, std::chrono::milliseconds(5));
+    }
+    adm_queue_.pop_front();
+    queued_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - entered)
+                    .count();
+  }
+  ++in_flight_;
+  AdmissionSlot slot;
+  slot.endpoint_ = this;
+  slot.queue_depth_ = adm_queue_.size();
+  slot.queued_ms_ = queued_ms;
+  if (queue_depth != nullptr) *queue_depth = adm_queue_.size();
+  lock.unlock();
+  adm_cv_.notify_all();  // another slot may still be free for the next head
+  return slot;
+}
+
+void SimulatedEndpoint::RecordOutcome(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted: ++shed_count_; break;
+    case StatusCode::kDeadlineExceeded: ++timeout_count_; break;
+    case StatusCode::kCancelled: ++cancelled_count_; break;
+    default: break;
+  }
+}
+
+size_t SimulatedEndpoint::queries_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_served_;
+}
+
+size_t SimulatedEndpoint::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_hits_;
+}
+
+void SimulatedEndpoint::ClearCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql) {
+  return Query(sparql, QueryContext());
+}
+
+Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql,
+                                               QueryContext ctx) {
+  // Per-query budget from the profile: combined (min) with any deadline the
+  // caller already set; cancel state stays shared with the caller's handle.
+  double budget = effective_timeout_ms();
+  if (budget > 0) ctx = ctx.ChildWithDeadlineMs(budget);
+
+  QueryResponse resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++queries_served_;
+  }
+
+  Result<AdmissionSlot> admitted = Admit(ctx, &resp.queue_depth);
+  if (!admitted.ok()) {
+    // Admission outcomes (shed, expired/cancelled while queued) are part of
+    // the service protocol, not transport failures: report them in-band.
+    resp.status = admitted.status();
+    RecordOutcome(resp.status);
+    return resp;
+  }
+  AdmissionSlot slot = std::move(admitted).value();
+  resp.queued_ms = slot.queued_ms();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    resp.network_ms = SimulatedNetworkMs(sparql);
+    if (enable_cache_) {
+      auto it = cache_.find(sparql);
+      if (it != cache_.end()) {
+        ++cache_hits_;
+        resp.table = it->second;
+        resp.cache_hit = true;
+        resp.exec_ms = 0;
+        resp.total_ms = resp.network_ms + resp.queued_ms;
+        log_.push_back(MakeLogEntry(sparql, resp));
+        return resp;
+      }
     }
   }
 
@@ -87,37 +215,68 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql) {
   RDFA_ASSIGN_OR_RETURN(sparql::ParsedQuery parsed, sparql::ParseQuery(sparql));
   sparql::Executor exec(graph_);
   exec.set_thread_count(thread_count_);
+  exec.set_query_context(ctx);
   Result<sparql::ResultTable> table = exec.Execute(parsed);
   resp.exec_stats = exec.stats();
-  RDFA_RETURN_NOT_OK(table.status());
-  resp.table = std::move(table).value();
   auto end = std::chrono::steady_clock::now();
   resp.exec_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
-  resp.total_ms = resp.exec_ms * profile_.load_multiplier + resp.network_ms;
+  resp.total_ms = resp.exec_ms * profile_.load_multiplier + resp.network_ms +
+                  resp.queued_ms;
+  if (!table.ok()) {
+    StatusCode code = table.status().code();
+    if (code != StatusCode::kDeadlineExceeded &&
+        code != StatusCode::kCancelled) {
+      return table.status();  // genuine engine failure
+    }
+    // Budget tripped mid-execution: empty table, partial exec_stats.
+    resp.status = table.status();
+    RecordOutcome(resp.status);
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.push_back(MakeLogEntry(sparql, resp));
+    return resp;
+  }
+  resp.table = std::move(table).value();
+  std::lock_guard<std::mutex> lock(mu_);
   if (enable_cache_) cache_[sparql] = resp.table;
   log_.push_back(MakeLogEntry(sparql, resp));
   return resp;
 }
 
+namespace {
+double Percentile(const std::vector<double>& sorted, double q) {
+  size_t idx =
+      static_cast<size_t>(static_cast<double>(sorted.size() - 1) * q);
+  return sorted[idx];
+}
+}  // namespace
+
 EndpointStats SimulatedEndpoint::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
   EndpointStats stats;
   stats.count = log_.size();
+  stats.shed = shed_count_;
+  stats.timed_out = timeout_count_;
+  stats.cancelled = cancelled_count_;
   if (log_.empty()) return stats;
   std::vector<double> execs;
+  std::vector<double> totals;
   execs.reserve(log_.size());
+  totals.reserve(log_.size());
   for (const QueryLogEntry& e : log_) {
     stats.mean_exec_ms += e.exec_ms;
     stats.mean_total_ms += e.total_ms;
     stats.max_exec_ms = std::max(stats.max_exec_ms, e.exec_ms);
     execs.push_back(e.exec_ms);
+    totals.push_back(e.total_ms);
   }
   stats.mean_exec_ms /= static_cast<double>(log_.size());
   stats.mean_total_ms /= static_cast<double>(log_.size());
   std::sort(execs.begin(), execs.end());
-  size_t idx = static_cast<size_t>(
-      static_cast<double>(execs.size() - 1) * 0.95);
-  stats.p95_exec_ms = execs[idx];
+  std::sort(totals.begin(), totals.end());
+  stats.p95_exec_ms = Percentile(execs, 0.95);
+  stats.p50_total_ms = Percentile(totals, 0.50);
+  stats.p99_total_ms = Percentile(totals, 0.99);
   return stats;
 }
 

@@ -1,10 +1,15 @@
 #ifndef RDFA_ENDPOINT_ENDPOINT_H_
 #define RDFA_ENDPOINT_ENDPOINT_H_
 
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "rdf/graph.h"
 #include "sparql/exec_stats.h"
@@ -33,13 +38,35 @@ struct LatencyProfile {
   static LatencyProfile Local();
 };
 
+/// Admission-control knobs: how many queries the endpoint serves at once,
+/// how many it queues beyond that, and the per-query time budget. The
+/// budget is scaled by the profile's load multiplier (a busy endpoint
+/// gives each query a *tighter* slice), mirroring how public endpoints
+/// enforce stricter limits at peak hours.
+struct AdmissionOptions {
+  size_t max_in_flight = 4;  ///< queries executing concurrently
+  size_t max_queue = 8;      ///< FIFO waiters beyond that; 0 = shed at once
+  /// Per-query budget at load multiplier 1.0; effective timeout =
+  /// base_timeout_ms / load_multiplier. <= 0 disables the derived deadline.
+  double base_timeout_ms = 10'000;
+};
+
 /// Timing breakdown of one endpoint query.
 struct QueryResponse {
   sparql::ResultTable table;
   double exec_ms = 0;      ///< measured local evaluation time
   double network_ms = 0;   ///< modeled round-trip
-  double total_ms = 0;     ///< exec * load_multiplier + network
+  double total_ms = 0;     ///< exec * load_multiplier + network + queued
+  double queued_ms = 0;    ///< time spent waiting for an admission slot
+  size_t queue_depth = 0;  ///< waiters still queued when admitted / shed
   bool cache_hit = false;
+  /// Outcome of the request. OK for a served answer. DeadlineExceeded /
+  /// Cancelled when the query tripped its budget mid-execution — the table
+  /// is empty but exec_stats keeps the partial work (aborted stage, rows
+  /// scanned so far). ResourceExhausted when admission shed the query (the
+  /// message carries the queue depth). Transport-level failures — an
+  /// unparsable query, an engine error — stay in the Result error arm.
+  Status status;
   /// Engine-side execution statistics (join order, rows scanned, morsel
   /// count, per-stage wall time). Zeroed on cache hits — nothing executed.
   sparql::ExecStats exec_stats;
@@ -61,6 +88,11 @@ struct EndpointStats {
   double max_exec_ms = 0;
   double p95_exec_ms = 0;
   double mean_total_ms = 0;
+  double p50_total_ms = 0;
+  double p99_total_ms = 0;
+  size_t shed = 0;       ///< admission rejections (ResourceExhausted)
+  size_t timed_out = 0;  ///< queries that tripped their deadline
+  size_t cancelled = 0;  ///< cooperatively cancelled queries
 };
 
 /// A SPARQL endpoint facade over the local engine with the latency model,
@@ -70,7 +102,61 @@ class SimulatedEndpoint {
   SimulatedEndpoint(rdf::Graph* graph, LatencyProfile profile,
                     bool enable_cache = false);
 
+  /// RAII hold on one in-flight execution slot; releasing (or destroying)
+  /// it wakes the next FIFO waiter. Default-constructed slots hold nothing.
+  class AdmissionSlot {
+   public:
+    AdmissionSlot() = default;
+    AdmissionSlot(const AdmissionSlot&) = delete;
+    AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+    AdmissionSlot(AdmissionSlot&& other) noexcept { *this = std::move(other); }
+    AdmissionSlot& operator=(AdmissionSlot&& other) noexcept {
+      if (this != &other) {
+        Release();
+        endpoint_ = other.endpoint_;
+        queued_ms_ = other.queued_ms_;
+        queue_depth_ = other.queue_depth_;
+        other.endpoint_ = nullptr;
+      }
+      return *this;
+    }
+    ~AdmissionSlot() { Release(); }
+
+    void Release();
+    bool held() const { return endpoint_ != nullptr; }
+    double queued_ms() const { return queued_ms_; }
+    size_t queue_depth() const { return queue_depth_; }
+
+   private:
+    friend class SimulatedEndpoint;
+    SimulatedEndpoint* endpoint_ = nullptr;
+    double queued_ms_ = 0;
+    size_t queue_depth_ = 0;
+  };
+
   Result<QueryResponse> Query(const std::string& sparql);
+
+  /// As above with a caller-supplied deadline/cancellation context. The
+  /// profile-derived per-query timeout is combined in (the tighter deadline
+  /// wins); cancel state is shared, so the caller can abort a query that is
+  /// executing — or still queued — from another thread.
+  Result<QueryResponse> Query(const std::string& sparql, QueryContext ctx);
+
+  /// Acquires an execution slot, waiting FIFO behind earlier arrivals.
+  /// Sheds with ResourceExhausted when the wait queue is full; unwinds with
+  /// DeadlineExceeded/Cancelled if `ctx` trips while queued. Exposed so
+  /// tests (and embedders doing their own execution) can hold slots
+  /// deterministically. `queue_depth` (optional) receives the number of
+  /// waiters at the admit/shed decision.
+  Result<AdmissionSlot> Admit(const QueryContext& ctx = QueryContext(),
+                              size_t* queue_depth = nullptr);
+
+  /// Admission-control knobs (applies to subsequent queries).
+  void set_admission(AdmissionOptions opts);
+  AdmissionOptions admission() const;
+  /// The per-query budget after load scaling:
+  /// base_timeout_ms / load_multiplier (0 = unlimited).
+  double effective_timeout_ms() const;
 
   /// Morsel-parallelism budget for served queries (default 1 = serial).
   /// Parallel answers are byte-identical to serial ones, so the cache and
@@ -79,27 +165,46 @@ class SimulatedEndpoint {
   int thread_count() const { return thread_count_; }
 
   const LatencyProfile& profile() const { return profile_; }
-  size_t queries_served() const { return queries_served_; }
-  size_t cache_hits() const { return cache_hits_; }
-  void ClearCache() { cache_.clear(); }
+  size_t queries_served() const;
+  size_t cache_hits() const;
+  void ClearCache();
 
-  /// Every successfully served query, in order.
+  /// Every successfully served query, in order. Not synchronized — read it
+  /// only once concurrent queries have drained.
   const std::vector<QueryLogEntry>& log() const { return log_; }
-  /// Aggregates over the log (empty log -> zeroed stats).
+  /// Aggregates over the log and the shed/timeout/cancel counters (empty
+  /// log -> zeroed latency fields).
   EndpointStats Stats() const;
 
  private:
-  double SimulatedNetworkMs(const std::string& sparql);
+  double SimulatedNetworkMs(const std::string& sparql);  // callers hold mu_
+  void ReleaseSlot();
+  void RecordOutcome(const Status& status);
 
   rdf::Graph* graph_;
   LatencyProfile profile_;
   bool enable_cache_;
   int thread_count_ = 1;
+
+  /// Guards the service state: cache, log, counters, jitter stream. Never
+  /// held together with adm_mu_.
+  mutable std::mutex mu_;
   std::map<std::string, sparql::ResultTable> cache_;
   std::vector<QueryLogEntry> log_;
   size_t queries_served_ = 0;
   size_t cache_hits_ = 0;
+  size_t shed_count_ = 0;
+  size_t timeout_count_ = 0;
+  size_t cancelled_count_ = 0;
   uint64_t jitter_state_ = 0x9E3779B97F4A7C15ull;
+
+  /// Admission state: bounded in-flight count plus a FIFO ticket queue.
+  mutable std::mutex adm_mu_;
+  std::condition_variable adm_cv_;
+  AdmissionOptions admission_;
+  size_t in_flight_ = 0;
+  std::deque<uint64_t> adm_queue_;
+  uint64_t next_ticket_ = 0;
 };
 
 }  // namespace rdfa::endpoint

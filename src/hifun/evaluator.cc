@@ -187,10 +187,12 @@ Result<bool> CheckRestriction(const rdf::Graph& graph, TermId item,
 
 }  // namespace
 
-Result<sparql::ResultTable> Evaluator::Evaluate(const Query& query) const {
+Result<sparql::ResultTable> Evaluator::Evaluate(const Query& query,
+                                                const QueryContext& ctx) const {
   if (query.ops.empty()) {
     return Status::InvalidArgument("a HIFUN query needs >=1 aggregate op");
   }
+  RDFA_RETURN_NOT_OK(ctx.Check("hifun-admission"));
   std::vector<std::string> roots = {query.root_class};
   for (const std::string& extra : query.extra_root_classes) {
     roots.push_back(extra);
@@ -266,6 +268,12 @@ Result<sparql::ResultTable> Evaluator::Evaluate(const Query& query) const {
     };
     std::vector<MorselOut> parts(morsels.size());
     ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+      // Cooperative checkpoint per morsel of the group-measure pass.
+      Status admitted = ctx.Check("hifun-group-measure");
+      if (!admitted.ok()) {
+        parts[m].status = admitted;
+        return;
+      }
       auto [lo, hi] = morsels[m];
       parts[m].outs.resize(hi - lo);
       for (size_t i = lo; i < hi; ++i) {
@@ -276,6 +284,7 @@ Result<sparql::ResultTable> Evaluator::Evaluate(const Query& query) const {
         }
       }
     });
+    RDFA_RETURN_NOT_OK(ctx.Check("hifun-group-measure"));
     // Items are contiguous per morsel, so the first failing morsel holds
     // the globally earliest error — the one a serial run would return.
     for (const MorselOut& part : parts) {
@@ -285,7 +294,11 @@ Result<sparql::ResultTable> Evaluator::Evaluate(const Query& query) const {
       for (ItemOut& out : part.outs) merge(out);
     }
   } else {
+    size_t since_check = 0;
     for (TermId item : items) {
+      if (since_check++ % 256 == 0) {
+        RDFA_RETURN_NOT_OK(ctx.Check("hifun-group-measure"));
+      }
       ItemOut out;
       RDFA_RETURN_NOT_OK(eval_item(item, &out));
       merge(out);
@@ -300,7 +313,11 @@ Result<sparql::ResultTable> Evaluator::Evaluate(const Query& query) const {
   for (AggOp op : query.ops) columns.push_back(AggOpName(op));
   sparql::ResultTable table(std::move(columns));
 
+  size_t groups_since_check = 0;
   for (const auto& [key, values] : groups) {
+    if (groups_since_check++ % 64 == 0) {
+      RDFA_RETURN_NOT_OK(ctx.Check("hifun-reduction"));
+    }
     std::vector<Term> row = group_keys[key];
     std::vector<double> agg_values;
     bool numeric_ok = true;

@@ -1,6 +1,7 @@
 #ifndef RDFA_HIFUN_EVALUATOR_H_
 #define RDFA_HIFUN_EVALUATOR_H_
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "hifun/query.h"
 #include "rdf/graph.h"
@@ -34,7 +35,15 @@ class Evaluator {
   /// multi-valued on some item (HIFUN prerequisite §4.1.1 — apply an FCO
   /// transformation first). Items with missing values are skipped, matching
   /// the BGP join semantics of the SPARQL translation.
-  Result<sparql::ResultTable> Evaluate(const Query& query) const;
+  Result<sparql::ResultTable> Evaluate(const Query& query) const {
+    return Evaluate(query, QueryContext());
+  }
+
+  /// As above with a deadline/cancellation context, checked per item morsel
+  /// in the group-measure pass and per group in the reduction; a trip
+  /// unwinds to DeadlineExceeded/Cancelled.
+  Result<sparql::ResultTable> Evaluate(const Query& query,
+                                       const QueryContext& ctx) const;
 
  private:
   const rdf::Graph& graph_;

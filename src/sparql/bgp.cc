@@ -36,6 +36,10 @@ constexpr size_t kMinMorselRows = 64;
 // Morsels per thread: enough slack for load balancing without drowning the
 // join in scheduling overhead.
 constexpr size_t kMorselsPerThread = 4;
+// Cancellation poll interval inside a scan, in enumerated index rows: small
+// enough that a 1ms deadline trips promptly, large enough that the atomic
+// loads vanish in the scan cost.
+constexpr size_t kCheckEveryRows = 512;
 
 // Selectivity score of a pattern given the set of already-bound slots.
 // Constants narrow via the index estimate; bound variables narrow too but
@@ -83,18 +87,27 @@ inline void ExtendRow(const CompiledPattern& p, const Binding& row,
 
 // Extends every row in [begin, end) of `rows` through `p`, appending the
 // results (in row order) to `*out`. Returns the number of index rows
-// enumerated.
+// enumerated. When `ctx` is set, polls it every kCheckEveryRows enumerated
+// rows and abandons the remaining range once it trips (the caller turns the
+// trip into a typed Status; the partial output is discarded).
 size_t ExtendRange(const rdf::Graph& graph, const CompiledPattern& p,
                    const std::vector<Binding>& rows, size_t begin, size_t end,
-                   std::vector<Binding>* out) {
+                   const QueryContext* ctx, std::vector<Binding>* out) {
   size_t scanned = 0;
-  for (size_t r = begin; r < end; ++r) {
+  bool stopped = false;
+  for (size_t r = begin; r < end && !stopped; ++r) {
     const Binding& row = rows[r];
     TermId s = p.s_var < 0 ? p.s_id : row[p.s_var];
     TermId pp = p.p_var < 0 ? p.p_id : row[p.p_var];
     TermId o = p.o_var < 0 ? p.o_id : row[p.o_var];
     graph.ForEachMatch(s, pp, o, [&](const rdf::TripleId& t) {
+      if (stopped) return;  // drain the scan without extending
       ++scanned;
+      if (ctx != nullptr && scanned % kCheckEveryRows == 0 &&
+          ctx->ShouldStop()) {
+        stopped = true;
+        return;
+      }
       ExtendRow(p, row, t, out);
     });
   }
@@ -103,13 +116,13 @@ size_t ExtendRange(const rdf::Graph& graph, const CompiledPattern& p,
 
 }  // namespace
 
-void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
-             size_t slot_count, bool reorder, const JoinOptions& opts,
-             std::vector<Binding>* rows) {
+Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
+               size_t slot_count, bool reorder, const JoinOptions& opts,
+               std::vector<Binding>* rows) {
   for (const CompiledPattern& p : patterns) {
     if (p.impossible) {
       rows->clear();
-      return;
+      return Status::OK();
     }
   }
   for (Binding& b : *rows) {
@@ -155,6 +168,8 @@ void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
 
   const int threads = std::max(1, opts.threads);
   for (size_t pi = 0; pi < patterns.size(); ++pi) {
+    // One typed check per join stage; scans poll the cheap flag inline.
+    if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
     const CompiledPattern& p = patterns[pi];
     std::vector<Binding> next;
     next.reserve(rows->size());
@@ -173,13 +188,23 @@ void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
                              static_cast<size_t>(threads) * kMorselsPerThread,
                              kMinMorselRows);
       if (morsels.size() <= 1) {
-        for (const rdf::TripleId& t : matches) ExtendRow(p, row, t, &next);
+        for (size_t i = 0; i < matches.size(); ++i) {
+          if (opts.ctx != nullptr && (i + 1) % kCheckEveryRows == 0 &&
+              opts.ctx->ShouldStop()) {
+            break;
+          }
+          ExtendRow(p, row, matches[i], &next);
+        }
       } else {
         std::vector<std::vector<Binding>> parts(morsels.size());
         ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
           auto [lo, hi] = morsels[m];
           parts[m].reserve(hi - lo);
           for (size_t i = lo; i < hi; ++i) {
+            if (opts.ctx != nullptr && (i - lo + 1) % kCheckEveryRows == 0 &&
+                opts.ctx->ShouldStop()) {
+              return;  // abandon this morsel; caller reports the trip
+            }
             ExtendRow(p, row, matches[i], &parts[m]);
           }
         });
@@ -197,9 +222,10 @@ void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
       std::vector<std::vector<Binding>> parts(morsels.size());
       std::vector<size_t> part_scanned(morsels.size(), 0);
       ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+        if (opts.ctx != nullptr && opts.ctx->ShouldStop()) return;
         auto [lo, hi] = morsels[m];
         part_scanned[m] =
-            ExtendRange(graph, p, *rows, lo, hi, &parts[m]);
+            ExtendRange(graph, p, *rows, lo, hi, opts.ctx, &parts[m]);
       });
       for (size_t m = 0; m < morsels.size(); ++m) {
         scanned += part_scanned[m];
@@ -207,7 +233,8 @@ void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
       }
       if (opts.stats != nullptr) opts.stats->morsel_count += morsels.size();
     } else {
-      scanned = ExtendRange(graph, p, *rows, 0, rows->size(), &next);
+      scanned = ExtendRange(graph, p, *rows, 0, rows->size(), opts.ctx,
+                            &next);
     }
 
     if (opts.stats != nullptr) {
@@ -215,15 +242,19 @@ void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
       opts.stats->rows_scanned.push_back(scanned);
       opts.stats->join_order.push_back(source_index[pi]);
     }
+    // A scan abandoned mid-pattern left `next` partial: surface the typed
+    // status now rather than joining the next pattern against garbage.
+    if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
     *rows = std::move(next);
-    if (rows->empty()) return;
+    if (rows->empty()) return Status::OK();
   }
+  return Status::OK();
 }
 
-void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
-             size_t slot_count, bool reorder, std::vector<Binding>* rows) {
-  JoinBgp(graph, std::move(patterns), slot_count, reorder, JoinOptions{},
-          rows);
+Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
+               size_t slot_count, bool reorder, std::vector<Binding>* rows) {
+  return JoinBgp(graph, std::move(patterns), slot_count, reorder,
+                 JoinOptions{}, rows);
 }
 
 }  // namespace rdfa::sparql

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/query_context.h"
 #include "rdf/graph.h"
 #include "sparql/ast.h"
 #include "sparql/exec_stats.h"
@@ -38,19 +39,25 @@ struct JoinOptions {
   int threads = 1;
   /// When set, join order / rows-scanned / morsel counters are appended.
   ExecStats* stats = nullptr;
+  /// When set, the join checks the context between patterns and every few
+  /// hundred enumerated index rows; a tripped deadline / cancellation
+  /// unwinds with the typed Status and `*rows` left in an unspecified
+  /// partial state. Null = never stops.
+  const QueryContext* ctx = nullptr;
 };
 
 /// Extends every binding in `*rows` through all `patterns` by index
 /// nested-loop joins. When `reorder` is set, patterns are greedily ordered
 /// by estimated selectivity given the variables bound so far (the ablation
 /// benchmark toggles this). `rows` bindings are grown to `slot_count`.
-void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
-             size_t slot_count, bool reorder, const JoinOptions& opts,
-             std::vector<Binding>* rows);
+/// Returns non-OK only when `opts.ctx` trips (DeadlineExceeded/Cancelled).
+Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
+               size_t slot_count, bool reorder, const JoinOptions& opts,
+               std::vector<Binding>* rows);
 
-/// Serial convenience overload (threads = 1, no stats).
-void JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
-             size_t slot_count, bool reorder, std::vector<Binding>* rows);
+/// Serial convenience overload (threads = 1, no stats, no context).
+Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
+               size_t slot_count, bool reorder, std::vector<Binding>* rows);
 
 }  // namespace rdfa::sparql
 

@@ -24,6 +24,13 @@ struct ExecStats {
   /// The join order chosen by the greedy reorderer: position i holds the
   /// source-order index (within its BGP run) of the pattern executed i-th.
   std::vector<int> join_order;
+  /// Set when the query unwound on a tripped deadline or cancellation; the
+  /// other counters then describe the *partial* work done up to the trip
+  /// (so callers can see where the budget went).
+  bool aborted = false;
+  /// The pipeline stage the abort unwound from (e.g. "bgp-join",
+  /// "group-aggregate"); empty when !aborted.
+  std::string abort_stage;
 
   void Reset() { *this = ExecStats{}; }
 
@@ -36,6 +43,9 @@ struct ExecStats {
                     " group_agg=" + FormatMs(group_agg_ms) +
                     " morsels=" + std::to_string(morsel_count) +
                     " patterns=" + std::to_string(bgp_patterns);
+    if (aborted) {
+      s += " aborted@" + (abort_stage.empty() ? "?" : abort_stage);
+    }
     if (!join_order.empty()) {
       s += " order=[";
       for (size_t i = 0; i < join_order.size(); ++i) {

@@ -234,6 +234,7 @@ Result<std::vector<Binding>> Executor::EvalPattern(const GraphPattern& pattern,
 
   size_t i = 0;
   while (i < body.size()) {
+    RDFA_RETURN_NOT_OK(ctx_.Check("pattern-eval"));
     const PatternElement& el = *body[i];
     switch (el.kind) {
       case PatternElement::Kind::kTriple: {
@@ -254,9 +255,12 @@ Result<std::vector<Binding>> Executor::EvalPattern(const GraphPattern& pattern,
           JoinOptions jopts;
           jopts.threads = threads_;
           jopts.stats = &stats_;
-          JoinBgp(*graph_, std::move(compiled), vars->size(), reorder_joins_,
-                  jopts, &rows);
+          jopts.ctx = &ctx_;
+          Status join_status =
+              JoinBgp(*graph_, std::move(compiled), vars->size(),
+                      reorder_joins_, jopts, &rows);
           stats_.bgp_ms += MsSince(start);
+          RDFA_RETURN_NOT_OK(join_status);
         }
         apply_ready_filters(false);
         continue;
@@ -402,6 +406,9 @@ Result<std::vector<Binding>> Executor::EvalPattern(const GraphPattern& pattern,
         grow_rows();
         std::vector<Binding> next;
         for (const Binding& row : rows) {
+          // BFS expansions can dwarf everything else on a pathological
+          // path query: poll per source row.
+          if (ctx_.ShouldStop()) return ctx_.Check("path-expansion");
           TermId s = s_var >= 0 && row[s_var] != kNoTermId ? row[s_var]
                                                            : s_const;
           TermId o = o_var >= 0 && row[o_var] != kNoTermId ? row[o_var]
@@ -535,11 +542,13 @@ Result<ResultTable> Executor::Select(const SelectQuery& query) {
                   kMinMorselRows);
       std::vector<GroupMap> parts(morsels.size());
       ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+        if (ctx_.ShouldStop()) return;  // abandon; trip reported below
         auto [lo, hi] = morsels[m];
         for (size_t r = lo; r < hi; ++r) {
           parts[m][key_of(rows[r])].push_back(std::move(rows[r]));
         }
       });
+      RDFA_RETURN_NOT_OK(ctx_.Check("group-aggregate"));
       for (GroupMap& part : parts) {
         for (auto& [key, part_rows] : part) {
           std::vector<Binding>& dst = groups[key];
@@ -548,7 +557,11 @@ Result<ResultTable> Executor::Select(const SelectQuery& query) {
       }
       stats_.morsel_count += morsels.size();
     } else {
+      size_t r = 0;
       for (Binding& row : rows) {
+        if (++r % kParallelRowThreshold == 0 && ctx_.ShouldStop()) {
+          return ctx_.Check("group-aggregate");
+        }
         groups[key_of(row)].push_back(std::move(row));
       }
     }
@@ -612,11 +625,21 @@ Result<ResultTable> Executor::Select(const SelectQuery& query) {
                              /*min_grain=*/1);
       ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
         auto [lo, hi] = morsels[m];
-        for (size_t gi = lo; gi < hi; ++gi) compute_group(gi);
+        for (size_t gi = lo; gi < hi; ++gi) {
+          // One counted checkpoint per group: a cancel mid-aggregate trips
+          // here, and the per-group check count matches the serial path so
+          // deterministic-cancellation tests see one sequence.
+          if (!ctx_.Check("group-aggregate").ok()) return;
+          compute_group(gi);
+        }
       });
+      RDFA_RETURN_NOT_OK(ctx_.Check("group-aggregate"));
       stats_.morsel_count += morsels.size();
     } else {
-      for (size_t gi = 0; gi < group_rows_list.size(); ++gi) compute_group(gi);
+      for (size_t gi = 0; gi < group_rows_list.size(); ++gi) {
+        RDFA_RETURN_NOT_OK(ctx_.Check("group-aggregate"));
+        compute_group(gi);
+      }
     }
     for (GroupOut& go : gout) {
       if (go.keep) out_rows.push_back(std::move(go.row));
@@ -643,12 +666,18 @@ Result<ResultTable> Executor::Select(const SelectQuery& query) {
           Morsels(rows.size(), static_cast<size_t>(threads_) * kMorselsPerThread,
                   kMinMorselRows);
       ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+        if (ctx_.ShouldStop()) return;
         auto [lo, hi] = morsels[m];
         for (size_t r = lo; r < hi; ++r) project_row(rows[r], &out_rows[r]);
       });
+      RDFA_RETURN_NOT_OK(ctx_.Check("projection"));
       stats_.morsel_count += morsels.size();
     } else {
+      size_t r = 0;
       for (Binding& row : rows) {
+        if (++r % kParallelRowThreshold == 0 && ctx_.ShouldStop()) {
+          return ctx_.Check("projection");
+        }
         OutRow orow;
         project_row(row, &orow);
         out_rows.push_back(std::move(orow));
@@ -786,6 +815,21 @@ Result<ResultTable> Executor::Execute(const ParsedQuery& query) {
   stats_.Reset();
   stats_.threads = threads_;
   auto total_start = std::chrono::steady_clock::now();
+
+  // Zero-deadline (or already-cancelled) fast fail: no work is admitted at
+  // all, mirroring a serving stack rejecting a request whose budget is
+  // already spent. Stats still record the run (threads, ~0ms, aborted).
+  {
+    Status admit = ctx_.Check("admission");
+    if (!admit.ok()) {
+      stats_.aborted = true;
+      stats_.abort_stage =
+          ctx_.trip_stage() != nullptr ? ctx_.trip_stage() : "admission";
+      stats_.total_ms = MsSince(total_start);
+      return admit;
+    }
+  }
+
   // Eager first-touch index build: done here, once, so (a) its cost shows
   // up as index_build_ms rather than inside the first pattern scan, and
   // (b) parallel workers only ever see a clean index.
@@ -813,6 +857,11 @@ Result<ResultTable> Executor::Execute(const ParsedQuery& query) {
     return Status::Internal("unknown query form");
   }();
   stats_.total_ms = MsSince(total_start);
+  StatusCode code = result.status().code();
+  if (code == StatusCode::kDeadlineExceeded || code == StatusCode::kCancelled) {
+    stats_.aborted = true;
+    if (ctx_.trip_stage() != nullptr) stats_.abort_stage = ctx_.trip_stage();
+  }
   return result;
 }
 

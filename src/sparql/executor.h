@@ -4,6 +4,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "rdf/graph.h"
 #include "rdf/namespaces.h"
@@ -36,6 +37,15 @@ class Executor {
   /// Adjusts the thread budget for subsequent queries.
   void set_thread_count(int threads) { threads_ = threads < 1 ? 1 : threads; }
   int thread_count() const { return threads_; }
+
+  /// Installs the deadline/cancellation context for subsequent queries
+  /// (copies share cancellation state with the caller's handle). The
+  /// default context is unlimited. A tripped context unwinds evaluation to
+  /// a DeadlineExceeded/Cancelled Status at the next morsel or join-stage
+  /// boundary; stats() then holds the partial ExecStats of the aborted run
+  /// with `aborted`/`abort_stage` set.
+  void set_query_context(QueryContext ctx) { ctx_ = std::move(ctx); }
+  const QueryContext& query_context() const { return ctx_; }
 
   /// Statistics of the most recent Execute() call (Select/Ask/... called
   /// directly accumulate into the same struct; Execute resets it first).
@@ -78,6 +88,7 @@ class Executor {
   bool push_filters_;
   int threads_ = 1;
   ExecStats stats_;
+  QueryContext ctx_;
 };
 
 /// Parses and executes `text` in one call.

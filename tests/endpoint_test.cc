@@ -1,5 +1,7 @@
 #include "endpoint/endpoint.h"
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "workload/invoices.h"
@@ -82,6 +84,135 @@ TEST_F(EndpointTest, CachedAnswerEqualsFreshAnswer) {
   auto second = ep.Query(kQuery);
   ASSERT_TRUE(first.ok() && second.ok());
   EXPECT_EQ(first.value().table.ToTsv(), second.value().table.ToTsv());
+}
+
+TEST_F(EndpointTest, EffectiveTimeoutTightensUnderLoad) {
+  SimulatedEndpoint peak(&g_, LatencyProfile::Peak());
+  SimulatedEndpoint off(&g_, LatencyProfile::OffPeak());
+  AdmissionOptions opts;
+  EXPECT_NEAR(off.effective_timeout_ms(), opts.base_timeout_ms, 1e-9);
+  EXPECT_NEAR(peak.effective_timeout_ms(),
+              opts.base_timeout_ms / LatencyProfile::Peak().load_multiplier,
+              1e-9);
+}
+
+TEST_F(EndpointTest, ShedsWithResourceExhaustedWhenSaturated) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local());
+  AdmissionOptions opts;
+  opts.max_in_flight = 1;
+  opts.max_queue = 0;  // no waiting room
+  ep.set_admission(opts);
+
+  auto held = ep.Admit();
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(held.value().held());
+
+  // The endpoint is occupied: the query is shed in-band, not errored.
+  auto resp = ep.Query(kQuery);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp.value().status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(resp.value().table.num_rows(), 0u);
+  EXPECT_NE(resp.value().status.ToString().find("0 queued"),
+            std::string::npos);
+  EXPECT_EQ(ep.Stats().shed, 1u);
+
+  // Releasing the held slot restores service.
+  held.value().Release();
+  auto served = ep.Query(kQuery);
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(served.value().status.ok());
+  EXPECT_EQ(served.value().table.num_rows(), 3u);
+}
+
+TEST_F(EndpointTest, QueuedQueryRunsOnceTheSlotFrees) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local());
+  AdmissionOptions opts;
+  opts.max_in_flight = 1;
+  opts.max_queue = 1;
+  ep.set_admission(opts);
+
+  auto held = ep.Admit();
+  ASSERT_TRUE(held.ok());
+
+  Result<QueryResponse> queued = Status::Internal("unset");
+  std::thread client([&] { queued = ep.Query(kQuery); });
+  // Let the client enter the wait queue, then free the slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  held.value().Release();
+  client.join();
+
+  ASSERT_TRUE(queued.ok()) << queued.status().ToString();
+  EXPECT_TRUE(queued.value().status.ok());
+  EXPECT_EQ(queued.value().table.num_rows(), 3u);
+  EXPECT_GT(queued.value().queued_ms, 0.0);
+  EXPECT_EQ(ep.Stats().shed, 0u);
+}
+
+TEST_F(EndpointTest, QueuedQueryHonorsItsDeadline) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local());
+  AdmissionOptions opts;
+  opts.max_in_flight = 1;
+  opts.max_queue = 4;
+  ep.set_admission(opts);
+
+  auto held = ep.Admit();
+  ASSERT_TRUE(held.ok());
+
+  // The slot is never released: the queued query must give up on its own
+  // deadline with the typed status, not wait forever.
+  auto resp = ep.Query(kQuery, QueryContext::WithDeadlineMs(30));
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp.value().status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(resp.value().status.ToString().find("admission-queue"),
+            std::string::npos);
+  EXPECT_EQ(ep.Stats().timed_out, 1u);
+}
+
+TEST_F(EndpointTest, CancellingAQueuedQueryUnblocksIt) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local());
+  AdmissionOptions opts;
+  opts.max_in_flight = 1;
+  opts.max_queue = 4;
+  ep.set_admission(opts);
+
+  auto held = ep.Admit();
+  ASSERT_TRUE(held.ok());
+
+  QueryContext ctx;
+  Result<QueryResponse> queued = Status::Internal("unset");
+  std::thread client([&] { queued = ep.Query(kQuery, ctx); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ctx.Cancel();
+  client.join();
+
+  ASSERT_TRUE(queued.ok()) << queued.status().ToString();
+  EXPECT_EQ(queued.value().status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(ep.Stats().cancelled, 1u);
+}
+
+TEST_F(EndpointTest, TightBudgetTripsMidExecutionWithPartialStats) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local());
+  AdmissionOptions opts;
+  opts.base_timeout_ms = 1e-4;  // 100 ns: expires before the first check
+  ep.set_admission(opts);
+
+  auto resp = ep.Query(kQuery);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp.value().status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(resp.value().exec_stats.aborted);
+  EXPECT_EQ(resp.value().table.num_rows(), 0u);
+  EndpointStats stats = ep.Stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.count, 1u);  // the trip is still logged
+}
+
+TEST_F(EndpointTest, StatsReportPercentiles) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::OffPeak());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ep.Query(kQuery).ok());
+  EndpointStats stats = ep.Stats();
+  EXPECT_EQ(stats.count, 5u);
+  EXPECT_GT(stats.p50_total_ms, 0.0);
+  EXPECT_GE(stats.p99_total_ms, stats.p50_total_ms);
 }
 
 }  // namespace
