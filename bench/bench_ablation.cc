@@ -1,178 +1,304 @@
-// Ablations for the design choices DESIGN.md calls out:
-//   * BGP join reordering on/off (selectivity-ordered index joins),
-//   * RDFS closure materialized vs raw graph (facet completeness cost),
-//   * endpoint answer cache on/off (repeat-query latency).
+// Ablation study over the BGP query-path knobs: join reordering (source vs
+// greedy order), the reorderer's cost model (legacy range-width heuristic
+// vs GraphStats-calibrated estimates), and the join strategy (index
+// nested-loop vs adaptive order-preserving hash join). Every configuration
+// must return byte-identical results; what changes is the work done,
+// reported as total index rows enumerated (rows_scanned) and wall time.
+//
+// Run: ./build/bench/bench_ablation [--scale=100k] [--iters=N]
+//                                   [--json=<path>] [--ablate-hash-join]
+//   --scale:            laptop count of the generated product KG
+//                       (default 20k)
+//   --iters:            repetitions per query/config (default 1; all runs
+//                       feed the p50/p99 figures)
+//   --json=<path>:      write one machine-readable JSON object for the
+//                       whole run (scale, iters, p50/p99, per-run
+//                       ExecStats)
+//   --ablate-hash-join: force nested-loop joins in the adaptive configs,
+//                       isolating the hash join's contribution
+//
+// Exit code is non-zero if any configuration diverges from the baseline
+// result bytes, or if (without --ablate-hash-join) the stats+hash
+// configuration fails to beat the NLJ baseline on total rows_scanned.
 
-#include <benchmark/benchmark.h>
-
-#include <map>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
 #include <string>
+#include <vector>
 
-#include "analytics/rollup_cache.h"
-#include "analytics/session.h"
-#include "endpoint/endpoint.h"
-#include "rdf/rdfs.h"
+#include "bench_util.h"
+#include "rdf/graph.h"
 #include "sparql/executor.h"
 #include "sparql/parser.h"
 #include "workload/products.h"
 
 namespace {
 
-const std::string kEx = rdfa::workload::kExampleNs;
+using rdfa::bench::JsonArray;
+using rdfa::bench::JsonObject;
+using rdfa::bench::MsSince;
+using rdfa::bench::ParseScale;
+using rdfa::bench::Percentile;
+using rdfa::bench::WriteJsonFile;
+using rdfa::sparql::JoinStrategy;
 
-// A query whose pattern order is deliberately bad: the selective pattern
-// (origin = country0) comes last.
-std::string SelectiveQuery() {
-  return "PREFIX ex: <" + kEx +
-         ">\n"
-         "SELECT ?x (AVG(?p) AS ?avg) WHERE {\n"
-         "  ?x ex:releaseDate ?d .\n"
-         "  ?x ex:price ?p .\n"
-         "  ?x ex:manufacturer ?m .\n"
-         "  ?m ex:origin ex:country0 .\n"
-         "} GROUP BY ?x";
-}
+constexpr char kPfx[] = "PREFIX ex: <http://www.ics.forth.gr/example#>\n";
 
-rdfa::rdf::Graph* SharedGraph(size_t laptops, bool closure) {
-  static std::map<std::pair<size_t, bool>, rdfa::rdf::Graph>* graphs =
-      new std::map<std::pair<size_t, bool>, rdfa::rdf::Graph>();
-  auto key = std::make_pair(laptops, closure);
-  auto it = graphs->find(key);
-  if (it == graphs->end()) {
-    rdfa::rdf::Graph g;
-    rdfa::workload::ProductKgOptions opt;
-    opt.laptops = laptops;
-    opt.companies = 40;
-    rdfa::workload::GenerateProductKg(&g, opt);
-    if (closure) rdfa::rdf::MaterializeRdfsClosure(&g);
-    it = graphs->emplace(key, std::move(g)).first;
+struct QuerySpec {
+  const char* id;
+  const char* description;
+  const char* body;  // appended to kPfx
+};
+
+// Multi-pattern joins over the product KG. Source order is written
+// big-range-first so the no-reorder runs exercise the probe-many shape the
+// hash join targets; the reordered runs show what the cost model picks.
+const QuerySpec kSuite[] = {
+    {"Q1", "laptop -> company origin",
+     "SELECT ?l ?m ?c WHERE { ?l ex:manufacturer ?m . ?m ex:origin ?c . }"},
+    {"Q2", "laptop -> origin -> GDP",
+     "SELECT ?l ?m ?c ?g WHERE { ?l ex:manufacturer ?m . ?m ex:origin ?c . "
+     "?c ex:GDPPerCapita ?g . }"},
+    {"Q3", "laptop price + company origin",
+     "SELECT ?l ?p ?c WHERE { ?l ex:manufacturer ?m . ?l ex:price ?p . "
+     "?m ex:origin ?c . }"},
+    {"Q4", "laptop -> company founder",
+     "SELECT ?l ?f WHERE { ?l ex:manufacturer ?m . ?m ex:founder ?f . }"},
+    {"Q5", "selective: companies from country0",
+     "SELECT ?l ?m WHERE { ?l ex:releaseDate ?d . ?l ex:price ?p . "
+     "?l ex:manufacturer ?m . ?m ex:origin ex:country0 . }"},
+};
+
+struct Config {
+  const char* name;
+  bool reorder;
+  bool calibrated;
+  JoinStrategy strategy;
+};
+
+struct RunResult {
+  std::string tsv;
+  rdfa::sparql::ExecStats stats;
+  double ms = 0;
+  bool ok = false;
+};
+
+RunResult RunOnce(rdfa::rdf::Graph* graph, const std::string& query,
+                  const Config& cfg) {
+  RunResult r;
+  auto parsed = rdfa::sparql::ParseQuery(query);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse: %s\n", parsed.status().ToString().c_str());
+    return r;
   }
-  return &it->second;
+  rdfa::sparql::Executor exec(graph, cfg.reorder);
+  exec.set_calibrated_estimates(cfg.calibrated);
+  exec.set_join_strategy(cfg.strategy);
+  auto start = std::chrono::steady_clock::now();
+  auto res = exec.Execute(parsed.value());
+  r.ms = MsSince(start);
+  if (!res.ok()) {
+    std::fprintf(stderr, "exec: %s\n", res.status().ToString().c_str());
+    return r;
+  }
+  r.tsv = res.value().ToTsv();
+  r.stats = exec.stats();
+  r.ok = true;
+  return r;
 }
 
-void BM_JoinOrder(benchmark::State& state) {
-  bool reorder = state.range(1) != 0;
-  rdfa::rdf::Graph* g =
-      SharedGraph(static_cast<size_t>(state.range(0)), /*closure=*/false);
-  auto parsed = rdfa::sparql::ParseQuery(SelectiveQuery());
-  rdfa::sparql::Executor exec(g, reorder);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(exec.Select(parsed.value().select));
-  }
-  state.SetLabel(reorder ? "selectivity reordering ON"
-                         : "source order (reordering OFF)");
+size_t TotalScanned(const rdfa::sparql::ExecStats& stats) {
+  return std::accumulate(stats.rows_scanned.begin(), stats.rows_scanned.end(),
+                         size_t{0});
 }
-BENCHMARK(BM_JoinOrder)
-    ->Args({4000, 0})
-    ->Args({4000, 1})
-    ->Args({16000, 0})
-    ->Args({16000, 1})
-    ->Unit(benchmark::kMillisecond);
 
-void BM_FilterPushdown(benchmark::State& state) {
-  bool push = state.range(0) != 0;
-  rdfa::rdf::Graph* g = SharedGraph(16000, /*closure=*/false);
-  // A selective filter early in the pattern: pushing it prunes the rows
-  // before the remaining joins.
-  std::string q = "PREFIX ex: <" + kEx +
-                  ">\n"
-                  "SELECT ?x WHERE {\n"
-                  "  ?x ex:price ?p . FILTER(?p < 400)\n"
-                  "  ?x ex:manufacturer ?m .\n"
-                  "  ?m ex:origin ?c .\n"
-                  "  ?c ex:GDPPerCapita ?g .\n"
-                  "}";
-  auto parsed = rdfa::sparql::ParseQuery(q);
-  rdfa::sparql::Executor exec(g, /*reorder_joins=*/false, push);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(exec.Select(parsed.value().select));
-  }
-  state.SetLabel(push ? "filter pushdown ON" : "filters deferred to group end");
+std::string StrategyString(const rdfa::sparql::ExecStats& stats) {
+  return std::string(stats.join_strategy.begin(), stats.join_strategy.end());
 }
-BENCHMARK(BM_FilterPushdown)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
-void BM_TypeQueryWithWithoutClosure(benchmark::State& state) {
-  bool closure = state.range(0) != 0;
-  rdfa::rdf::Graph* g = SharedGraph(8000, closure);
-  // Counting all Products needs the closure (Laptops + drives are Products
-  // only via subClassOf inference).
-  std::string q = "PREFIX ex: <" + kEx +
-                  ">\nSELECT (COUNT(?x) AS ?n) WHERE { ?x a ex:Product . }";
-  auto parsed = rdfa::sparql::ParseQuery(q);
-  rdfa::sparql::Executor exec(g);
-  size_t count = 0;
-  for (auto _ : state) {
-    auto res = exec.Select(parsed.value().select);
-    if (res.ok() && res.value().num_rows() == 1) {
-      count = static_cast<size_t>(
-          std::strtoull(res.value().at(0, 0).lexical().c_str(), nullptr, 10));
-    }
-    benchmark::DoNotOptimize(count);
+// Row-order-insensitive view of a TSV result, for comparing runs whose join
+// *order* differs (reordering legitimately permutes output rows; only runs
+// with the identical plan must match byte-for-byte).
+std::string SortedLines(const std::string& tsv) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < tsv.size()) {
+    size_t end = tsv.find('\n', start);
+    if (end == std::string::npos) end = tsv.size();
+    lines.push_back(tsv.substr(start, end - start));
+    start = end + 1;
   }
-  state.counters["products_found"] = static_cast<double>(count);
-  state.SetLabel(closure ? "RDFS closure materialized"
-                         : "raw graph (misses inferred types)");
-}
-BENCHMARK(BM_TypeQueryWithWithoutClosure)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
-
-// Roll-up answered from the base KG vs from the cached finer answer (the
-// materialized-view reuse of §3.3 [16]/[51]).
-void BM_RollupReuse(benchmark::State& state) {
-  bool reuse = state.range(0) != 0;
-  rdfa::rdf::Graph* g = SharedGraph(8000, /*closure=*/false);
-  auto run_fine = [&]() {
-    rdfa::analytics::AnalyticsSession s(g);
-    (void)s.fs().ClickClass(kEx + "Laptop");
-    rdfa::analytics::GroupingSpec g1, g2;
-    g1.path = {kEx + "manufacturer"};
-    g2.path = {kEx + "USBPorts"};
-    (void)s.ClickGroupBy(g1);
-    (void)s.ClickGroupBy(g2);
-    rdfa::analytics::MeasureSpec m;
-    m.path = {kEx + "price"};
-    m.ops = {rdfa::hifun::AggOp::kSum};
-    (void)s.ClickAggregate(m);
-    auto af = s.Execute();
-    return std::move(af).value_or(rdfa::analytics::AnswerFrame{});
-  };
-  rdfa::analytics::AnswerFrame fine = run_fine();
-  for (auto _ : state) {
-    if (reuse) {
-      benchmark::DoNotOptimize(rdfa::analytics::RollUpAnswer(
-          fine, {fine.table().columns()[0]}, "agg1",
-          rdfa::hifun::AggOp::kSum));
-    } else {
-      rdfa::analytics::AnalyticsSession s(g);
-      (void)s.fs().ClickClass(kEx + "Laptop");
-      rdfa::analytics::GroupingSpec g1;
-      g1.path = {kEx + "manufacturer"};
-      (void)s.ClickGroupBy(g1);
-      rdfa::analytics::MeasureSpec m;
-      m.path = {kEx + "price"};
-      m.ops = {rdfa::hifun::AggOp::kSum};
-      (void)s.ClickAggregate(m);
-      benchmark::DoNotOptimize(s.Execute());
-    }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
   }
-  state.SetLabel(reuse ? "roll-up from cached finer answer"
-                       : "roll-up re-queries the base KG");
+  return out;
 }
-BENCHMARK(BM_RollupReuse)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
-
-void BM_EndpointCache(benchmark::State& state) {
-  bool cache = state.range(0) != 0;
-  rdfa::rdf::Graph* g = SharedGraph(8000, /*closure=*/false);
-  rdfa::endpoint::SimulatedEndpoint ep(
-      g, rdfa::endpoint::LatencyProfile::Local(), cache);
-  std::string q = SelectiveQuery();
-  // Warm the cache once.
-  (void)ep.Query(q);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ep.Query(q));
-  }
-  state.SetLabel(cache ? "answer cache ON (repeat query)"
-                       : "answer cache OFF");
-}
-BENCHMARK(BM_EndpointCache)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  size_t scale = 20000;
+  int iters = 1;
+  std::string json_path;
+  bool ablate_hash = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      size_t s = ParseScale(arg.c_str() + 8);
+      if (s > 0) scale = s;
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      int n = std::atoi(arg.c_str() + 8);
+      iters = n < 1 ? 1 : n;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--ablate-hash-join") {
+      ablate_hash = true;
+    }
+  }
+
+  const JoinStrategy adaptive =
+      ablate_hash ? JoinStrategy::kNestedLoop : JoinStrategy::kAdaptive;
+  const Config kConfigs[] = {
+      // The NLJ baseline: the pre-stats cost model, nested loops only.
+      {"legacy-nlj/source", false, false, JoinStrategy::kNestedLoop},
+      {"legacy-nlj/reorder", true, false, JoinStrategy::kNestedLoop},
+      // Calibrated estimates, still nested loops: isolates the cost model.
+      {"stats-nlj/reorder", true, true, JoinStrategy::kNestedLoop},
+      // Full tentpole: calibrated estimates + adaptive hash join.
+      {"stats-adaptive/source", false, true, adaptive},
+      {"stats-adaptive/reorder", true, true, adaptive},
+  };
+
+  std::printf("== BGP ablation: reorder x cost model x join strategy ==\n\n");
+  rdfa::rdf::Graph g;
+  rdfa::workload::ProductKgOptions opt;
+  opt.laptops = scale;
+  opt.companies = scale / 100 + 5;
+  rdfa::workload::GenerateProductKg(&g, opt);
+  g.Freeze();
+  std::printf("product KG: %zu triples (%zu laptops, %zu companies)%s\n\n",
+              g.size(), opt.laptops, opt.companies,
+              ablate_hash ? "  [hash join ABLATED]" : "");
+
+  bool identical = true;
+  bool all_ok = true;
+  size_t baseline_scanned = 0;  // legacy-nlj, summed over queries + orders
+  size_t adaptive_scanned = 0;  // stats-adaptive, same accounting
+  std::vector<double> latencies;
+  std::vector<std::string> run_json;
+
+  for (const QuerySpec& spec : kSuite) {
+    const std::string query = std::string(kPfx) + spec.body;
+    std::printf("%s  %s\n", spec.id, spec.description);
+    // Equivalence contract: runs that share a join order (same `reorder`
+    // flag and cost model) must match byte-for-byte no matter the strategy;
+    // runs under different orders must agree as row sets.
+    std::vector<std::string> tsvs;  // parallel to kConfigs
+    for (const Config& cfg : kConfigs) {
+      RunResult first;
+      std::vector<double> cfg_ms;
+      for (int it = 0; it < iters; ++it) {
+        RunResult r = RunOnce(&g, query, cfg);
+        if (!r.ok) {
+          all_ok = false;
+          break;
+        }
+        cfg_ms.push_back(r.ms);
+        latencies.push_back(r.ms);
+        if (it == 0) first = std::move(r);
+      }
+      if (!first.ok) {
+        tsvs.emplace_back();
+        continue;
+      }
+      tsvs.push_back(first.tsv);
+      const size_t scanned = TotalScanned(first.stats);
+      if (std::strncmp(cfg.name, "legacy-nlj", 10) == 0) {
+        baseline_scanned += scanned;
+      } else if (std::strncmp(cfg.name, "stats-adaptive", 14) == 0) {
+        adaptive_scanned += scanned;
+      }
+      std::printf("  %-24s %9zu scanned  strategy=%-4s %9.2f ms\n", cfg.name,
+                  scanned, StrategyString(first.stats).c_str(),
+                  Percentile(cfg_ms, 0.50));
+
+      JsonObject run;
+      run.AddString("query", spec.id);
+      run.AddString("config", cfg.name);
+      run.AddBool("reorder", cfg.reorder);
+      run.AddBool("calibrated", cfg.calibrated);
+      run.AddString("strategy",
+                    cfg.strategy == JoinStrategy::kAdaptive ? "adaptive"
+                                                            : "nested-loop");
+      run.AddInt("rows_scanned_total", scanned);
+      run.AddNumber("p50_ms", Percentile(cfg_ms, 0.50));
+      run.AddNumber("p99_ms", Percentile(cfg_ms, 0.99));
+      run.AddRaw("exec_stats", first.stats.ToJson());
+      run_json.push_back(run.Render());
+    }
+    if (tsvs.size() == 5 && !tsvs[0].empty()) {
+      // Indices follow kConfigs: 0/3 share the source-order plan, 2/4 the
+      // calibrated reordered plan — those pairs differ only in strategy and
+      // must be byte-identical. Any other pair may differ in row order.
+      auto check_exact = [&](size_t a, size_t b) {
+        if (tsvs[a] != tsvs[b]) {
+          identical = false;
+          std::printf("  DIVERGED: %s vs %s (same plan)\n", kConfigs[a].name,
+                      kConfigs[b].name);
+        }
+      };
+      auto check_set = [&](size_t a, size_t b) {
+        if (SortedLines(tsvs[a]) != SortedLines(tsvs[b])) {
+          identical = false;
+          std::printf("  DIVERGED: %s vs %s (row sets)\n", kConfigs[a].name,
+                      kConfigs[b].name);
+        }
+      };
+      check_exact(0, 3);
+      check_exact(2, 4);
+      check_set(0, 1);
+      check_set(0, 2);
+    }
+  }
+
+  std::printf("\ntotals over the query set (source + reordered runs):\n");
+  std::printf("  legacy-nlj baseline : %9zu rows scanned\n", baseline_scanned);
+  std::printf("  stats-adaptive      : %9zu rows scanned (%.1fx fewer)\n",
+              adaptive_scanned,
+              adaptive_scanned > 0
+                  ? static_cast<double>(baseline_scanned) /
+                        static_cast<double>(adaptive_scanned)
+                  : 0.0);
+  std::printf("  results across configs: %s\n",
+              identical ? "byte-identical" : "DIVERGED");
+
+  bool hash_won = adaptive_scanned < baseline_scanned;
+  if (!ablate_hash && !hash_won) {
+    std::printf("FAILED: adaptive hash join did not reduce rows scanned\n");
+  }
+
+  if (!json_path.empty()) {
+    JsonObject top;
+    top.AddString("bench", "bench_ablation");
+    top.AddInt("scale", scale);
+    top.AddInt("iters", static_cast<uint64_t>(iters));
+    top.AddInt("triples", g.size());
+    top.AddBool("ablate_hash_join", ablate_hash);
+    top.AddNumber("p50_ms", Percentile(latencies, 0.50));
+    top.AddNumber("p99_ms", Percentile(latencies, 0.99));
+    top.AddInt("baseline_rows_scanned", baseline_scanned);
+    top.AddInt("adaptive_rows_scanned", adaptive_scanned);
+    top.AddBool("byte_identical", identical);
+    top.AddRaw("runs", JsonArray(run_json));
+    if (!WriteJsonFile(json_path, top.Render())) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!all_ok || !identical) return 1;
+  return (ablate_hash || hash_won) ? 0 : 1;
+}

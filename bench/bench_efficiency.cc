@@ -12,9 +12,12 @@
 // dataset size.
 //
 // Run: ./build/bench/bench_efficiency [--scale=1k|2k|20k] [--iters=N]
+//                                     [--json=<path>]
 //   --scale: laptop count of the product KG (default: both 2k and 20k)
 //   --iters: how many times to run the query suite per profile (default 1;
 //            more iterations sharpen the p50/p99 figures)
+//   --json:  write one machine-readable JSON object for the run (scale,
+//            iters, p50/p99, per-query ExecStats)
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "endpoint/endpoint.h"
 #include "hifun/hifun_parser.h"
 #include "rdf/rdfs.h"
@@ -30,8 +34,15 @@
 
 namespace {
 
+using rdfa::bench::JsonArray;
+using rdfa::bench::JsonObject;
+using rdfa::bench::Percentile;
+using rdfa::bench::WriteJsonFile;
 using rdfa::endpoint::LatencyProfile;
 using rdfa::endpoint::SimulatedEndpoint;
+
+std::vector<double> g_latencies_ms;
+std::vector<std::string> g_run_json;
 
 struct QuerySpec {
   const char* id;
@@ -103,10 +114,20 @@ int RunProfile(rdfa::rdf::Graph* graph, const LatencyProfile& profile,
                     resp.value().status.ToString().c_str());
         continue;
       }
+      g_latencies_ms.push_back(resp.value().total_ms);
       if (iter == 0) {
         std::printf("%-4s %-45s %10.2f %10.2f %10.2f\n", spec.id,
                     spec.description, resp.value().exec_ms,
                     resp.value().network_ms, resp.value().total_ms);
+        JsonObject run;
+        run.AddString("query", spec.id);
+        run.AddString("profile", profile.name);
+        run.AddInt("triples", n_triples);
+        run.AddNumber("exec_ms", resp.value().exec_ms);
+        run.AddNumber("network_ms", resp.value().network_ms);
+        run.AddNumber("total_ms", resp.value().total_ms);
+        run.AddRaw("exec_stats", resp.value().exec_stats.ToJson());
+        g_run_json.push_back(run.Render());
       }
       total += resp.value().total_ms;
     }
@@ -175,26 +196,21 @@ int RunAdmissionDemo(rdfa::rdf::Graph* graph) {
   return failures;
 }
 
-/// "--scale=20k" / "--scale=2000" -> 20000 / 2000.
-size_t ParseScale(const char* s) {
-  char* end = nullptr;
-  double v = std::strtod(s, &end);
-  if (end != nullptr && (*end == 'k' || *end == 'K')) v *= 1000;
-  return v < 1 ? 0 : static_cast<size_t>(v);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   size_t scale = 0;
   int iters = 1;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) {
-      scale = ParseScale(arg.c_str() + 8);
+      scale = rdfa::bench::ParseScale(arg.c_str() + 8);
     } else if (arg.rfind("--iters=", 0) == 0) {
       int n = std::atoi(arg.c_str() + 8);
       iters = n < 1 ? 1 : n;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
     }
   }
   std::printf("== Tables 6.1 / 6.2 reproduction: analytic-query efficiency, "
@@ -224,5 +240,18 @@ int main(int argc, char** argv) {
       "\nshape check vs paper: off-peak totals are several times smaller "
       "than peak totals;\nall queries remain interactive (sub-second "
       "evaluation) at both scales.\n");
+
+  if (!json_path.empty()) {
+    JsonObject top;
+    top.AddString("bench", "bench_efficiency");
+    top.AddInt("scale", scale);
+    top.AddInt("iters", static_cast<uint64_t>(iters));
+    top.AddNumber("p50_ms", Percentile(g_latencies_ms, 0.50));
+    top.AddNumber("p99_ms", Percentile(g_latencies_ms, 0.99));
+    top.AddInt("failures", static_cast<uint64_t>(failures));
+    top.AddRaw("runs", JsonArray(g_run_json));
+    if (!WriteJsonFile(json_path, top.Render())) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return failures == 0 ? 0 : 1;
 }

@@ -2,12 +2,13 @@
 // interaction model — roll-up, drill-down, slice, dice, pivot — executed
 // over an invoices cube, with timing and cube sizes at each step.
 //
-// Run: ./build/bench/bench_olap [--scale=1k|20k] [--iters=N]
+// Run: ./build/bench/bench_olap [--scale=1k|20k] [--iters=N] [--json=<path>]
 //   --scale: invoice count of the generated cube KG (default 20k)
 //   --iters: repetitions per OLAP operator (default 1; the first run is
 //            printed, all runs feed the p50/p99 figures)
+//   --json:  write one machine-readable JSON object for the run (scale,
+//            iters, p50/p99, per-step ExecStats)
 
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -15,21 +16,24 @@
 #include <vector>
 
 #include "analytics/olap.h"
+#include "bench_util.h"
 #include "common/query_context.h"
 #include "workload/invoices.h"
 
 namespace {
 
-const std::string kInv = rdfa::workload::kInvoiceNs;
+using rdfa::bench::JsonArray;
+using rdfa::bench::JsonObject;
+using rdfa::bench::MsSince;
+using rdfa::bench::ParseScale;
+using rdfa::bench::Percentile;
+using rdfa::bench::WriteJsonFile;
 
-double MsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
+const std::string kInv = rdfa::workload::kInvoiceNs;
 
 int g_iters = 1;
 std::vector<double> g_latencies_ms;
+std::vector<std::string> g_step_json;
 
 void Step(const char* op, rdfa::analytics::OlapView* cube) {
   for (int i = 0; i < g_iters; ++i) {
@@ -44,28 +48,21 @@ void Step(const char* op, rdfa::analytics::OlapView* cube) {
     if (i == 0) {
       std::printf("%-38s %8zu cells %10.2f ms\n", op,
                   af.value().table().num_rows(), ms);
+      JsonObject step;
+      step.AddString("op", op);
+      step.AddInt("cells", af.value().table().num_rows());
+      step.AddNumber("ms", ms);
+      step.AddRaw("exec_stats", cube->last_exec_stats().ToJson());
+      g_step_json.push_back(step.Render());
     }
   }
-}
-
-double Percentile(std::vector<double> v, double q) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  return v[static_cast<size_t>(static_cast<double>(v.size() - 1) * q)];
-}
-
-/// "--scale=20k" / "--scale=2000" -> 20000 / 2000.
-size_t ParseScale(const char* s) {
-  char* end = nullptr;
-  double v = std::strtod(s, &end);
-  if (end != nullptr && (*end == 'k' || *end == 'K')) v *= 1000;
-  return v < 1 ? 0 : static_cast<size_t>(v);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   size_t scale = 20000;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) {
@@ -74,6 +71,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--iters=", 0) == 0) {
       int n = std::atoi(arg.c_str() + 8);
       g_iters = n < 1 ? 1 : n;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
     }
   }
   std::printf("== Fig 7.1/7.2 reproduction: OLAP operators over the invoices "
@@ -197,5 +196,21 @@ int main(int argc, char** argv) {
               serial_total, parallel_total,
               parallel_total > 0 ? serial_total / parallel_total : 0.0,
               identical ? "byte-identical" : "DIVERGED");
+
+  if (!json_path.empty()) {
+    JsonObject top;
+    top.AddString("bench", "bench_olap");
+    top.AddInt("scale", scale);
+    top.AddInt("iters", static_cast<uint64_t>(g_iters));
+    top.AddInt("triples", g.size());
+    top.AddNumber("p50_ms", Percentile(g_latencies_ms, 0.50));
+    top.AddNumber("p99_ms", Percentile(g_latencies_ms, 0.99));
+    top.AddNumber("serial_total_ms", serial_total);
+    top.AddNumber("parallel_total_ms", parallel_total);
+    top.AddBool("byte_identical", identical);
+    top.AddRaw("runs", JsonArray(g_step_json));
+    if (!WriteJsonFile(json_path, top.Render())) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return identical ? 0 : 1;
 }

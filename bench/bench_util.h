@@ -1,0 +1,110 @@
+// Shared helpers for the benchmark harnesses: flag parsing, percentile
+// math, and the --json=<path> machine-readable output (one JSON object per
+// bench run, consumed by the CI artifact step and the BENCH_*.json perf
+// trajectory tracking).
+
+#ifndef RDFA_BENCH_BENCH_UTIL_H_
+#define RDFA_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rdfa::bench {
+
+inline double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// q-th latency percentile (q in [0, 1]) of the sample, by sorting a copy.
+inline double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[static_cast<size_t>(static_cast<double>(v.size() - 1) * q)];
+}
+
+/// "--scale=20k" / "--scale=2000" -> 20000 / 2000; 0 on garbage.
+inline size_t ParseScale(const char* s) {
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end != nullptr && (*end == 'k' || *end == 'K')) v *= 1000;
+  return v < 1 ? 0 : static_cast<size_t>(v);
+}
+
+/// Incrementally builds one JSON object. Keys are caller-controlled
+/// identifiers; string values are escaped for quotes and backslashes only
+/// (bench output never contains control characters).
+class JsonObject {
+ public:
+  void AddNumber(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    Field(key) += buf;
+  }
+  void AddInt(const std::string& key, uint64_t value) {
+    Field(key) += std::to_string(value);
+  }
+  void AddBool(const std::string& key, bool value) {
+    Field(key) += value ? "true" : "false";
+  }
+  void AddString(const std::string& key, const std::string& value) {
+    std::string& out = Field(key);
+    out += '"';
+    for (char c : value) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+  }
+  /// Splices a pre-rendered JSON value (object or array) under `key`.
+  void AddRaw(const std::string& key, const std::string& json) {
+    Field(key) += json;
+  }
+
+  std::string Render() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string& Field(const std::string& key) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + key + "\":";
+    return body_;
+  }
+  std::string body_;
+};
+
+/// Renders a sequence of pre-rendered JSON values as an array.
+inline std::string JsonArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += items[i];
+  }
+  out += "]";
+  return out;
+}
+
+/// Writes `json` (plus trailing newline) to `path`; reports to stderr and
+/// returns false on failure so benches can exit non-zero.
+inline bool WriteJsonFile(const std::string& path, const std::string& json) {
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s for --json output\n", path.c_str());
+    return false;
+  }
+  file << json << "\n";
+  if (!file.good()) {
+    std::fprintf(stderr, "write failed for %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rdfa::bench
+
+#endif  // RDFA_BENCH_BENCH_UTIL_H_

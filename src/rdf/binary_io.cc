@@ -1,13 +1,19 @@
 #include "rdf/binary_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <vector>
 
 namespace rdfa::rdf {
 
 namespace {
 
-constexpr char kMagic[] = "RDFA1\n";
+// v1 payload: terms + triples. v2 appends the GraphStats block so loading a
+// snapshot restores statistics instead of silently recomputing them. Both
+// magics load; saves always write the current version.
+constexpr char kMagicV1[] = "RDFA1\n";
+constexpr char kMagicV2[] = "RDFA2\n";
 constexpr size_t kMagicLen = 6;
 
 void PutU64(std::string* out, uint64_t v) {
@@ -73,7 +79,7 @@ class Reader {
 }  // namespace
 
 std::string SaveBinary(const Graph& graph) {
-  std::string out(kMagic, kMagicLen);
+  std::string out(kMagicV2, kMagicLen);
   const TermTable& terms = graph.terms();
   PutU64(&out, terms.size());
   for (size_t i = 0; i < terms.size(); ++i) {
@@ -89,6 +95,26 @@ std::string SaveBinary(const Graph& graph) {
     PutU32(&out, t.p);
     PutU32(&out, t.o);
   }
+  // v2 stats block: global distincts, then one record per predicate. The
+  // predicate entries are written in ascending id order so snapshots of the
+  // same graph are byte-identical.
+  const GraphStats& stats = graph.Stats();
+  PutU64(&out, stats.triples);
+  PutU64(&out, stats.distinct_subjects);
+  PutU64(&out, stats.distinct_predicates);
+  PutU64(&out, stats.distinct_objects);
+  std::vector<TermId> preds;
+  preds.reserve(stats.by_predicate.size());
+  for (const auto& [p, unused] : stats.by_predicate) preds.push_back(p);
+  std::sort(preds.begin(), preds.end());
+  PutU64(&out, preds.size());
+  for (TermId p : preds) {
+    const PredicateStats& ps = stats.by_predicate.at(p);
+    PutU32(&out, p);
+    PutU64(&out, ps.triples);
+    PutU64(&out, ps.distinct_subjects);
+    PutU64(&out, ps.distinct_objects);
+  }
   return out;
 }
 
@@ -96,8 +122,12 @@ Status LoadBinary(std::string_view data, Graph* graph) {
   if (graph->size() != 0 || graph->terms().size() != 0) {
     return Status::InvalidArgument("LoadBinary requires an empty graph");
   }
-  if (data.size() < kMagicLen ||
-      std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
+  int version = 0;
+  if (data.size() >= kMagicLen) {
+    if (std::memcmp(data.data(), kMagicV1, kMagicLen) == 0) version = 1;
+    if (std::memcmp(data.data(), kMagicV2, kMagicLen) == 0) version = 2;
+  }
+  if (version == 0) {
     return Status::ParseError("bad magic: not an rdfa binary snapshot");
   }
   Reader r(data.substr(kMagicLen));
@@ -149,6 +179,29 @@ Status LoadBinary(std::string_view data, Graph* graph) {
     }
     graph->AddIds(t);
   }
+  // v1 snapshots carry no stats: the first EnsureIndexes recomputes them.
+  if (version < 2) return Status::OK();
+  GraphStats stats;
+  uint64_t n_preds = 0;
+  if (!r.ReadU64(&stats.triples) || !r.ReadU64(&stats.distinct_subjects) ||
+      !r.ReadU64(&stats.distinct_predicates) ||
+      !r.ReadU64(&stats.distinct_objects) || !r.ReadU64(&n_preds)) {
+    return Status::ParseError("truncated stats block");
+  }
+  for (uint64_t i = 0; i < n_preds; ++i) {
+    uint32_t pred = 0;
+    PredicateStats ps;
+    if (!r.ReadU32(&pred) || !r.ReadU64(&ps.triples) ||
+        !r.ReadU64(&ps.distinct_subjects) || !r.ReadU64(&ps.distinct_objects)) {
+      return Status::ParseError("truncated predicate stats " +
+                                std::to_string(i));
+    }
+    if (pred >= n_terms) {
+      return Status::ParseError("predicate stats reference unknown term");
+    }
+    stats.by_predicate[pred] = ps;
+  }
+  graph->RestoreStats(std::move(stats));
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@ bool Graph::Add(const Term& s, const Term& p, const Term& o) {
 bool Graph::AddIds(TripleId t) {
   if (!triple_set_.insert(t).second) return false;
   triples_.push_back(t);
+  stats_dirty_.store(true, std::memory_order_relaxed);
   dirty_.store(true, std::memory_order_release);
   return true;
 }
@@ -35,6 +36,7 @@ size_t Graph::RemoveMatching(TermId s, TermId p, TermId o) {
     }
   }
   triples_ = std::move(kept);
+  stats_dirty_.store(true, std::memory_order_relaxed);
   dirty_.store(true, std::memory_order_release);
   return before - triples_.size();
 }
@@ -56,16 +58,42 @@ size_t Graph::EstimateMatch(TermId s, TermId p, TermId o) const {
     return triples_.size();
   }
   EnsureIndexes();
-  if (s != kNoTermId) {
-    auto [lo, hi] = Range(spo_, {s, p, o});
-    return hi - lo;
+  // Longest-bound-prefix selection: every subset of {s, p, o} is a complete
+  // prefix of one permutation, so the range width is the exact match count.
+  switch (ChoosePerm(s != kNoTermId, p != kNoTermId, o != kNoTermId)) {
+    case kPermSPO: {
+      auto [lo, hi] = Range(spo_, {s, p, o});
+      return hi - lo;
+    }
+    case kPermPOS: {
+      auto [lo, hi] = Range(pos_, {p, o, s});
+      return hi - lo;
+    }
+    case kPermOSP: {
+      auto [lo, hi] = Range(osp_, {o, s, p});
+      return hi - lo;
+    }
   }
-  if (p != kNoTermId) {
-    auto [lo, hi] = Range(pos_, {p, o, s});
-    return hi - lo;
+  return 0;
+}
+
+size_t Graph::EstimateInPerm(Perm perm, TermId s, TermId p, TermId o) const {
+  EnsureIndexes();
+  switch (perm) {
+    case kPermSPO: {
+      auto [lo, hi] = Range(spo_, {s, p, o});
+      return hi - lo;
+    }
+    case kPermPOS: {
+      auto [lo, hi] = Range(pos_, {p, o, s});
+      return hi - lo;
+    }
+    case kPermOSP: {
+      auto [lo, hi] = Range(osp_, {o, s, p});
+      return hi - lo;
+    }
   }
-  auto [lo, hi] = Range(osp_, {o, s, p});
-  return hi - lo;
+  return 0;
 }
 
 std::pair<size_t, size_t> Graph::Range(const std::vector<Key>& index,
@@ -112,7 +140,43 @@ void Graph::EnsureIndexes() const {
   std::sort(spo_.begin(), spo_.end());
   std::sort(pos_.begin(), pos_.end());
   std::sort(osp_.begin(), osp_.end());
+  // Stats ride the same rebuild pass unless a snapshot restore already
+  // supplied them (RestoreStats clears stats_dirty_ without touching
+  // dirty_, so a freshly loaded graph builds indexes but keeps its stats).
+  if (stats_dirty_.load(std::memory_order_relaxed)) {
+    ComputeStatsLocked();
+    stats_dirty_.store(false, std::memory_order_relaxed);
+  }
   dirty_.store(false, std::memory_order_release);
+}
+
+void Graph::ComputeStatsLocked() const {
+  stats_ = GraphStats{};
+  stats_.triples = triples_.size();
+  // Global distincts: each permutation groups by its first lane.
+  for (size_t i = 0; i < spo_.size(); ++i) {
+    if (i == 0 || spo_[i].a != spo_[i - 1].a) ++stats_.distinct_subjects;
+  }
+  for (size_t i = 0; i < osp_.size(); ++i) {
+    if (i == 0 || osp_[i].a != osp_[i - 1].a) ++stats_.distinct_objects;
+  }
+  // Per-predicate triple + distinct-object counts from POS (p, o, s): a new
+  // `a` starts a predicate group, a new (a, b) pair a distinct object.
+  for (size_t i = 0; i < pos_.size(); ++i) {
+    PredicateStats& ps = stats_.by_predicate[pos_[i].a];
+    ++ps.triples;
+    if (i == 0 || pos_[i].a != pos_[i - 1].a || pos_[i].b != pos_[i - 1].b) {
+      ++ps.distinct_objects;
+    }
+  }
+  stats_.distinct_predicates = stats_.by_predicate.size();
+  // Distinct subjects per predicate from SPO (s, p, o): each distinct
+  // (s, p) pair contributes one subject to predicate p.
+  for (size_t i = 0; i < spo_.size(); ++i) {
+    if (i == 0 || spo_[i].a != spo_[i - 1].a || spo_[i].b != spo_[i - 1].b) {
+      ++stats_.by_predicate[spo_[i].b].distinct_subjects;
+    }
+  }
 }
 
 }  // namespace rdfa::rdf

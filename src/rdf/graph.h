@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <shared_mutex>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -13,6 +14,46 @@
 #include "rdf/term_table.h"
 
 namespace rdfa::rdf {
+
+/// Per-predicate cardinality statistics, computed once per index rebuild.
+/// `triples` is the number of triples with this predicate; the distinct
+/// counts are over that triple set, so avg_fanout_so() is the average number
+/// of objects per subject (s -> o fanout) and avg_fanout_os() the average
+/// number of subjects per object.
+struct PredicateStats {
+  uint64_t triples = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_objects = 0;
+
+  double avg_fanout_so() const {
+    return distinct_subjects == 0
+               ? 0.0
+               : static_cast<double>(triples) /
+                     static_cast<double>(distinct_subjects);
+  }
+  double avg_fanout_os() const {
+    return distinct_objects == 0
+               ? 0.0
+               : static_cast<double>(triples) /
+                     static_cast<double>(distinct_objects);
+  }
+};
+
+/// Graph-wide statistics block: global distinct counts plus one
+/// PredicateStats entry per distinct predicate. The BGP reorderer uses these
+/// for calibrated cardinality estimates instead of raw range widths.
+struct GraphStats {
+  uint64_t triples = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_predicates = 0;
+  uint64_t distinct_objects = 0;
+  std::unordered_map<TermId, PredicateStats> by_predicate;
+
+  const PredicateStats* ForPredicate(TermId p) const {
+    auto it = by_predicate.find(p);
+    return it == by_predicate.end() ? nullptr : &it->second;
+  }
+};
 
 /// An in-memory RDF graph with set semantics over interned triples.
 ///
@@ -47,10 +88,33 @@ class Graph {
       pos_ = std::move(other.pos_);
       osp_ = std::move(other.osp_);
       index_generation_ = other.index_generation_;
+      stats_ = std::move(other.stats_);
       dirty_.store(other.dirty_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
+      stats_dirty_.store(other.stats_dirty_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
     }
     return *this;
+  }
+
+  /// Index permutations. Each stores every triple re-ordered into the named
+  /// lane order, sorted lexicographically, so any *prefix* of bound lanes
+  /// narrows to a contiguous range by binary search.
+  enum Perm { kPermSPO, kPermPOS, kPermOSP };
+
+  /// Picks the permutation with the longest *bound prefix* for the given
+  /// boundness pattern (e.g. s+o bound -> OSP, whose (o, s) prefix covers
+  /// both, rather than SPO narrowed on s alone). Ties break SPO > POS > OSP
+  /// for determinism. Every subset of {s, p, o} is a complete prefix of one
+  /// of the three permutations, so the chosen range contains exactly the
+  /// matching triples whenever all bound lanes fall in the prefix.
+  static Perm ChoosePerm(bool s_bound, bool p_bound, bool o_bound) {
+    const int spo = s_bound ? (p_bound ? (o_bound ? 3 : 2) : 1) : 0;
+    const int pos = p_bound ? (o_bound ? (s_bound ? 3 : 2) : 1) : 0;
+    const int osp = o_bound ? (s_bound ? (p_bound ? 3 : 2) : 1) : 0;
+    if (spo >= pos && spo >= osp) return kPermSPO;
+    if (pos >= osp) return kPermPOS;
+    return kPermOSP;
   }
 
   TermTable& terms() { return terms_; }
@@ -86,21 +150,30 @@ class Graph {
   }
 
   /// Calls `fn(const TripleId&)` for every triple matching the pattern;
-  /// kNoTermId positions are wildcards.
+  /// kNoTermId positions are wildcards. Uses the longest-bound-prefix
+  /// permutation, so the narrowed range contains exactly the matches.
   template <typename Fn>
   void ForEachMatch(TermId s, TermId p, TermId o, Fn&& fn) const {
-    EnsureIndexes();
     if (s == kNoTermId && p == kNoTermId && o == kNoTermId) {
+      EnsureIndexes();
       for (const TripleId& t : triples_) fn(t);
       return;
     }
-    // Each index stores permuted keys; pick one whose first lane is bound.
-    if (s != kNoTermId) {
-      ScanIndex(spo_, {s, p, o}, kPermSPO, fn);
-    } else if (p != kNoTermId) {
-      ScanIndex(pos_, {p, o, s}, kPermPOS, fn);
-    } else {
-      ScanIndex(osp_, {o, s, p}, kPermOSP, fn);
+    ForEachInPerm(ChoosePerm(s != kNoTermId, p != kNoTermId, o != kNoTermId),
+                  s, p, o, std::forward<Fn>(fn));
+  }
+
+  /// Like ForEachMatch but scans the *given* permutation, enumerating
+  /// matches in that permutation's sort order. The order-preserving hash
+  /// join relies on this: the build side must enumerate in exactly the order
+  /// a per-row NLJ scan over the same permutation would.
+  template <typename Fn>
+  void ForEachInPerm(Perm perm, TermId s, TermId p, TermId o, Fn&& fn) const {
+    EnsureIndexes();
+    switch (perm) {
+      case kPermSPO: ScanIndex(spo_, {s, p, o}, kPermSPO, fn); break;
+      case kPermPOS: ScanIndex(pos_, {p, o, s}, kPermPOS, fn); break;
+      case kPermOSP: ScanIndex(osp_, {o, s, p}, kPermOSP, fn); break;
     }
   }
 
@@ -112,8 +185,31 @@ class Graph {
 
   /// Estimated result size used by the BGP join reorderer: the width of the
   /// narrowed index range, without filtering. Cheap upper bound on
-  /// CountMatch.
+  /// CountMatch. With longest-bound-prefix selection every bound lane lands
+  /// in the prefix, so this is exact for any constant-only pattern.
   size_t EstimateMatch(TermId s, TermId p, TermId o) const;
+
+  /// Width of the range a ForEachInPerm scan over `perm` would narrow to:
+  /// only the *leading* bound run of the permuted key binary-searches, later
+  /// bound lanes are filtered inline. This is the number of index rows such
+  /// a scan enumerates, which the adaptive join uses as its build cost.
+  size_t EstimateInPerm(Perm perm, TermId s, TermId p, TermId o) const;
+
+  /// Per-predicate and global cardinality statistics, computed during the
+  /// same pass as the index rebuild (or restored from a snapshot). Valid
+  /// until the next mutation; same thread-safety as the indexes.
+  const GraphStats& Stats() const {
+    EnsureIndexes();
+    return stats_;
+  }
+
+  /// Installs precomputed statistics (e.g. from a binary snapshot) so the
+  /// next EnsureIndexes skips the stats pass. Requires exclusive access,
+  /// like any mutation.
+  void RestoreStats(GraphStats stats) {
+    stats_ = std::move(stats);
+    stats_dirty_.store(false, std::memory_order_release);
+  }
 
  private:
   // A permuted triple used as an index entry; lexicographic order.
@@ -125,8 +221,6 @@ class Graph {
       return x.c < y.c;
     }
   };
-
-  enum Perm { kPermSPO, kPermPOS, kPermOSP };
 
   static TripleId Unpermute(const Key& k, Perm perm) {
     switch (perm) {
@@ -171,16 +265,25 @@ class Graph {
   // of `dirty_` publishes the built indexes to later lock-free readers.
   void EnsureIndexes() const;
 
+  // Recomputes stats_ from the freshly sorted indexes. Caller must hold
+  // index_mu_ exclusively with spo_/pos_/osp_ built.
+  void ComputeStatsLocked() const;
+
   TermTable terms_;
   std::vector<TripleId> triples_;
   std::unordered_set<TripleId, TripleHash> triple_set_;
 
   mutable std::atomic<bool> dirty_{true};
+  // Set alongside dirty_ on mutation; cleared by the stats pass in
+  // EnsureIndexes or by RestoreStats. Invariant: stats_dirty_ implies
+  // dirty_, so a clean index always has clean stats.
+  mutable std::atomic<bool> stats_dirty_{true};
   mutable std::shared_mutex index_mu_;
   mutable uint64_t index_generation_ = 0;
   mutable std::vector<Key> spo_;
   mutable std::vector<Key> pos_;
   mutable std::vector<Key> osp_;
+  mutable GraphStats stats_;
 };
 
 }  // namespace rdfa::rdf

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <unordered_map>
 
 #include "common/thread_pool.h"
 
@@ -41,11 +42,19 @@ constexpr size_t kMorselsPerThread = 4;
 // loads vanish in the scan cost.
 constexpr size_t kCheckEveryRows = 512;
 
-// Selectivity score of a pattern given the set of already-bound slots.
-// Constants narrow via the index estimate; bound variables narrow too but
-// their value is row-dependent, so they get a flat discount.
-double Score(const rdf::Graph& graph, const CompiledPattern& p,
-             const std::set<int>& bound) {
+// Minimum input-row count before the adaptive strategy considers a hash
+// build: below this a build cannot amortize over enough probes.
+constexpr size_t kHashMinRows = 64;
+// The hash build must be this many times cheaper than the projected NLJ
+// scan work before it is chosen — conservative, so the hash path strictly
+// reduces index rows enumerated.
+constexpr double kHashBuildFactor = 2.0;
+
+// Legacy selectivity score: raw index-range width, with a flat /16 discount
+// per bound variable (their values are row-dependent, so the old model had
+// no better number). Kept as the ablation baseline.
+double LegacyScore(const rdf::Graph& graph, const CompiledPattern& p,
+                   const std::set<int>& bound) {
   TermId s = p.s_var < 0 ? p.s_id : kNoTermId;
   TermId pp = p.p_var < 0 ? p.p_id : kNoTermId;
   TermId o = p.o_var < 0 ? p.o_id : kNoTermId;
@@ -56,6 +65,41 @@ double Score(const rdf::Graph& graph, const CompiledPattern& p,
   if (p.o_var >= 0 && bound.count(p.o_var)) ++bound_vars;
   for (int i = 0; i < bound_vars; ++i) est /= 16.0;
   return est;
+}
+
+// Calibrated per-row cardinality estimate: the constant-narrowed match
+// count, divided by the distinct count of each bound-variable lane within
+// that population (predicate-local when the predicate is constant — i.e.
+// the bound lane divides by the predicate's distinct subjects/objects, so
+// the result is the predicate's average fanout). Uniformity assumption, but
+// per-predicate rather than one flat constant.
+double CalibratedRowEstimate(const rdf::Graph& graph, const CompiledPattern& p,
+                             bool s_bound, bool p_bound, bool o_bound) {
+  TermId s = p.s_var < 0 ? p.s_id : kNoTermId;
+  TermId pp = p.p_var < 0 ? p.p_id : kNoTermId;
+  TermId o = p.o_var < 0 ? p.o_id : kNoTermId;
+  double est = static_cast<double>(graph.EstimateMatch(s, pp, o));
+  const rdf::GraphStats& gs = graph.Stats();
+  const rdf::PredicateStats* ps =
+      pp != kNoTermId ? gs.ForPredicate(pp) : nullptr;
+  auto narrow = [&est](uint64_t distinct) {
+    if (distinct > 1) est /= static_cast<double>(distinct);
+  };
+  if (s_bound) narrow(ps != nullptr ? ps->distinct_subjects
+                                    : gs.distinct_subjects);
+  if (p_bound) narrow(gs.distinct_predicates);
+  if (o_bound) narrow(ps != nullptr ? ps->distinct_objects
+                                    : gs.distinct_objects);
+  return est;
+}
+
+double Score(const rdf::Graph& graph, const CompiledPattern& p,
+             const std::set<int>& bound, bool calibrated) {
+  if (!calibrated) return LegacyScore(graph, p, bound);
+  return CalibratedRowEstimate(
+      graph, p, p.s_var >= 0 && bound.count(p.s_var) > 0,
+      p.p_var >= 0 && bound.count(p.p_var) > 0,
+      p.o_var >= 0 && bound.count(p.o_var) > 0);
 }
 
 void MarkBound(const CompiledPattern& p, std::set<int>* bound) {
@@ -114,6 +158,174 @@ size_t ExtendRange(const rdf::Graph& graph, const CompiledPattern& p,
   return scanned;
 }
 
+// ---- order-preserving hash join ------------------------------------------
+//
+// Build once: scan the pattern's index range (constants narrowed) and
+// bucket every triple by its join-key lane value(s). Probe many: each input
+// row looks its key up and extends through the bucket entries in stored
+// order. Byte-identity with the per-row NLJ follows from two facts: (a) the
+// probe perm — ChoosePerm over constants plus key lanes — puts all of them
+// in a complete prefix, so a row's NLJ range holds exactly its matches in
+// that perm's sort order; (b) the build scans a permutation whose free-lane
+// order agrees with the probe perm (the probe perm itself when two or more
+// lanes are free, any perm — so the cheapest constant-prefixed one — when
+// at most one lane is free, since a single free lane sorts identically in
+// every permutation). Restricting one sorted scan to a bucket preserves
+// relative order, so bucket order == per-row NLJ range order.
+
+// Per-pattern hash strategy decision, taken against the boundness of the
+// first input row (rows that deviate fall back to a per-row index scan).
+struct HashPlan {
+  bool use_hash = false;
+  bool key_s = false, key_p = false, key_o = false;  // bound-variable lanes
+  rdf::Graph::Perm build_perm = rdf::Graph::kPermSPO;
+  size_t build_width = 0;  // index rows the build scan will enumerate
+};
+
+HashPlan PlanHash(const rdf::Graph& graph, const CompiledPattern& p,
+                  const std::vector<Binding>& rows, JoinStrategy strategy) {
+  HashPlan plan;
+  if (strategy == JoinStrategy::kNestedLoop || rows.empty()) return plan;
+  const Binding& first = rows.front();
+  plan.key_s = p.s_var >= 0 && first[p.s_var] != kNoTermId;
+  plan.key_p = p.p_var >= 0 && first[p.p_var] != kNoTermId;
+  plan.key_o = p.o_var >= 0 && first[p.o_var] != kNoTermId;
+  // No bound join variable -> no hash key; nothing to probe with.
+  if (!plan.key_s && !plan.key_p && !plan.key_o) return plan;
+
+  const bool s_const = p.s_var < 0, p_const = p.p_var < 0,
+             o_const = p.o_var < 0;
+  const int free_lanes = (p.s_var >= 0 && !plan.key_s ? 1 : 0) +
+                         (p.p_var >= 0 && !plan.key_p ? 1 : 0) +
+                         (p.o_var >= 0 && !plan.key_o ? 1 : 0);
+  // See the order argument above: with >= 2 free lanes the build must scan
+  // the probe perm itself; with <= 1 it may scan the constant-prefixed perm.
+  if (free_lanes >= 2) {
+    plan.build_perm = rdf::Graph::ChoosePerm(
+        s_const || plan.key_s, p_const || plan.key_p, o_const || plan.key_o);
+  } else {
+    plan.build_perm = rdf::Graph::ChoosePerm(s_const, p_const, o_const);
+  }
+  plan.build_width = graph.EstimateInPerm(
+      plan.build_perm, s_const ? p.s_id : kNoTermId,
+      p_const ? p.p_id : kNoTermId, o_const ? p.o_id : kNoTermId);
+
+  if (strategy == JoinStrategy::kHash) {
+    plan.use_hash = true;
+    return plan;
+  }
+  // Adaptive: hash only when the one-off build is decisively cheaper than
+  // the per-row scans it replaces.
+  if (rows.size() < kHashMinRows) return plan;
+  const double per_row = CalibratedRowEstimate(graph, p, plan.key_s,
+                                               plan.key_p, plan.key_o);
+  plan.use_hash = static_cast<double>(plan.build_width) * kHashBuildFactor <=
+                  static_cast<double>(rows.size()) * per_row;
+  return plan;
+}
+
+// Join key: the key-lane values in (s, p, o) order, kNoTermId elsewhere.
+struct HashKey {
+  TermId k[3];
+  friend bool operator==(const HashKey& x, const HashKey& y) {
+    return x.k[0] == y.k[0] && x.k[1] == y.k[1] && x.k[2] == y.k[2];
+  }
+};
+
+struct HashKeyHash {
+  size_t operator()(const HashKey& key) const {
+    uint64_t h = static_cast<uint64_t>(key.k[0]) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<uint64_t>(key.k[1]) * 0xC2B2AE3D27D4EB4Full + (h << 6);
+    h ^= static_cast<uint64_t>(key.k[2]) * 0x165667B19E3779F9ull + (h >> 3);
+    return static_cast<size_t>(h);
+  }
+};
+
+using HashTable =
+    std::unordered_map<HashKey, std::vector<rdf::TripleId>, HashKeyHash>;
+
+// Builds the bucket table by one scan of `plan.build_perm`. Bucket vectors
+// keep scan order (the order-preservation invariant). The context check is
+// the *counted* kind — the build is a real stage that a deadline must be
+// able to trip deterministically.
+Status BuildHashTable(const rdf::Graph& graph, const CompiledPattern& p,
+                      const HashPlan& plan, const QueryContext* ctx,
+                      HashTable* table, size_t* scanned) {
+  Status st = Status::OK();
+  graph.ForEachInPerm(
+      plan.build_perm, p.s_var < 0 ? p.s_id : kNoTermId,
+      p.p_var < 0 ? p.p_id : kNoTermId, p.o_var < 0 ? p.o_id : kNoTermId,
+      [&](const rdf::TripleId& t) {
+        if (!st.ok()) return;  // drain the scan without inserting
+        ++*scanned;
+        if (ctx != nullptr && *scanned % kCheckEveryRows == 0) {
+          Status check = ctx->Check("hash-build");
+          if (!check.ok()) {
+            st = check;
+            return;
+          }
+        }
+        HashKey key{{plan.key_s ? t.s : kNoTermId,
+                     plan.key_p ? t.p : kNoTermId,
+                     plan.key_o ? t.o : kNoTermId}};
+        (*table)[key].push_back(t);
+      });
+  return st;
+}
+
+// Probes rows [begin, end) against `table`, appending extensions in row
+// order. Rows whose boundness deviates from the planned key lanes (possible
+// after OPTIONAL / UNION upstream) fall back to a per-row index scan, which
+// enumerates that row's matches in the identical order. Returns the number
+// of index rows enumerated by fallbacks; bucket entries probed are counted
+// into *probe_hits.
+size_t ProbeHashRange(const rdf::Graph& graph, const CompiledPattern& p,
+                      const HashPlan& plan, const HashTable& table,
+                      const std::vector<Binding>& rows, size_t begin,
+                      size_t end, const QueryContext* ctx,
+                      std::vector<Binding>* out, size_t* probe_hits) {
+  size_t fallback_scanned = 0;
+  bool stopped = false;
+  for (size_t r = begin; r < end && !stopped; ++r) {
+    const Binding& row = rows[r];
+    const bool s_bound = p.s_var >= 0 && row[p.s_var] != kNoTermId;
+    const bool p_bound = p.p_var >= 0 && row[p.p_var] != kNoTermId;
+    const bool o_bound = p.o_var >= 0 && row[p.o_var] != kNoTermId;
+    if (s_bound == plan.key_s && p_bound == plan.key_p &&
+        o_bound == plan.key_o) {
+      HashKey key{{plan.key_s ? row[p.s_var] : kNoTermId,
+                   plan.key_p ? row[p.p_var] : kNoTermId,
+                   plan.key_o ? row[p.o_var] : kNoTermId}};
+      auto it = table.find(key);
+      if (it == table.end()) continue;
+      for (const rdf::TripleId& t : it->second) {
+        ++*probe_hits;
+        if (ctx != nullptr && *probe_hits % kCheckEveryRows == 0 &&
+            ctx->ShouldStop()) {
+          stopped = true;
+          break;
+        }
+        ExtendRow(p, row, t, out);
+      }
+    } else {
+      TermId s = p.s_var < 0 ? p.s_id : row[p.s_var];
+      TermId pp = p.p_var < 0 ? p.p_id : row[p.p_var];
+      TermId o = p.o_var < 0 ? p.o_id : row[p.o_var];
+      graph.ForEachMatch(s, pp, o, [&](const rdf::TripleId& t) {
+        if (stopped) return;
+        ++fallback_scanned;
+        if (ctx != nullptr && fallback_scanned % kCheckEveryRows == 0 &&
+            ctx->ShouldStop()) {
+          stopped = true;
+          return;
+        }
+        ExtendRow(p, row, t, out);
+      });
+    }
+  }
+  return fallback_scanned;
+}
+
 }  // namespace
 
 Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
@@ -151,7 +363,7 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
       size_t best_i = 0;
       for (size_t i = 0; i < patterns.size(); ++i) {
         if (used[i]) continue;
-        double s = Score(graph, patterns[i], bound);
+        double s = Score(graph, patterns[i], bound, opts.calibrated_estimates);
         if (best < 0 || s < best) {
           best = s;
           best_i = i;
@@ -174,8 +386,56 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
     std::vector<Binding> next;
     next.reserve(rows->size());
     size_t scanned = 0;
+    char strategy_used = 'N';
+    Status build_status = Status::OK();
 
-    if (threads > 1 && rows->size() == 1) {
+    const HashPlan plan = PlanHash(graph, p, *rows, opts.strategy);
+    if (plan.use_hash) {
+      strategy_used = 'H';
+      HashTable table;
+      size_t build_scanned = 0;
+      build_status =
+          BuildHashTable(graph, p, plan, opts.ctx, &table, &build_scanned);
+      scanned += build_scanned;
+      if (opts.stats != nullptr) {
+        ++opts.stats->hash_builds;
+        opts.stats->hash_build_rows += build_scanned;
+      }
+      if (build_status.ok()) {
+        size_t probe_hits = 0;
+        if (threads > 1 && rows->size() >= 2 * kMinMorselRows) {
+          // Morsel-parallel probe; concatenation in morsel order keeps the
+          // output byte-identical to the serial probe (and thus to NLJ).
+          auto morsels =
+              Morsels(rows->size(),
+                      static_cast<size_t>(threads) * kMorselsPerThread,
+                      kMinMorselRows);
+          std::vector<std::vector<Binding>> parts(morsels.size());
+          std::vector<size_t> part_scanned(morsels.size(), 0);
+          std::vector<size_t> part_hits(morsels.size(), 0);
+          ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+            if (opts.ctx != nullptr && opts.ctx->ShouldStop()) return;
+            auto [lo, hi] = morsels[m];
+            part_scanned[m] =
+                ProbeHashRange(graph, p, plan, table, *rows, lo, hi, opts.ctx,
+                               &parts[m], &part_hits[m]);
+          });
+          for (size_t m = 0; m < morsels.size(); ++m) {
+            scanned += part_scanned[m];
+            probe_hits += part_hits[m];
+            for (Binding& b : parts[m]) next.push_back(std::move(b));
+          }
+          if (opts.stats != nullptr) {
+            opts.stats->morsel_count += morsels.size();
+          }
+        } else {
+          scanned += ProbeHashRange(graph, p, plan, table, *rows, 0,
+                                    rows->size(), opts.ctx, &next,
+                                    &probe_hits);
+        }
+        if (opts.stats != nullptr) opts.stats->hash_probe_hits += probe_hits;
+      }
+    } else if (threads > 1 && rows->size() == 1) {
       // Single seed row (the common first pattern): materialize the index
       // range once and split *it* into morsels.
       const Binding& row = rows->front();
@@ -241,7 +501,11 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
       ++opts.stats->bgp_patterns;
       opts.stats->rows_scanned.push_back(scanned);
       opts.stats->join_order.push_back(source_index[pi]);
+      opts.stats->join_strategy.push_back(strategy_used);
     }
+    // A tripped hash build already carries the typed status from its
+    // counted check; surface it after the stats are recorded.
+    RDFA_RETURN_NOT_OK(build_status);
     // A scan abandoned mid-pattern left `next` partial: surface the typed
     // status now rather than joining the next pattern against garbage.
     if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));

@@ -29,6 +29,20 @@ struct CompiledPattern {
 CompiledPattern CompileTriple(const TriplePattern& tp, VarTable* vars,
                               const rdf::Graph& graph);
 
+/// How JoinBgp extends rows through a pattern.
+enum class JoinStrategy {
+  /// Per-pattern cost-based choice between the two strategies below (the
+  /// default): hash when one build pays for many probes, NLJ otherwise.
+  kAdaptive,
+  /// One binary-search index range scan per input row.
+  kNestedLoop,
+  /// Materialize the pattern's index range once into a hash table keyed on
+  /// the join-variable lane(s), then probe every input row in order
+  /// (build-once / probe-many). Probing in input order — with buckets built
+  /// in index-scan order — keeps results byte-identical to the serial NLJ.
+  kHash,
+};
+
 /// Knobs and instrumentation for one JoinBgp call.
 struct JoinOptions {
   /// Thread budget: <=1 runs the serial path. Parallelism is morsel-based —
@@ -37,13 +51,22 @@ struct JoinOptions {
   /// independently, and concatenated in morsel order, so the result is
   /// byte-identical to the serial join.
   int threads = 1;
-  /// When set, join order / rows-scanned / morsel counters are appended.
+  /// When set, join order / rows-scanned / strategy / morsel counters are
+  /// appended.
   ExecStats* stats = nullptr;
-  /// When set, the join checks the context between patterns and every few
-  /// hundred enumerated index rows; a tripped deadline / cancellation
-  /// unwinds with the typed Status and `*rows` left in an unspecified
-  /// partial state. Null = never stops.
+  /// When set, the join checks the context between patterns (and inside the
+  /// hash-build loop) and every few hundred enumerated index rows; a
+  /// tripped deadline / cancellation unwinds with the typed Status and
+  /// `*rows` left in an unspecified partial state. Null = never stops.
   const QueryContext* ctx = nullptr;
+  /// Join-strategy override. kAdaptive decides per pattern; kNestedLoop /
+  /// kHash force one path (kHash still falls back to NLJ for patterns with
+  /// no bound join variable, where no hash key exists).
+  JoinStrategy strategy = JoinStrategy::kAdaptive;
+  /// Reorderer cost model: true uses per-predicate GraphStats fanout
+  /// calibration, false the legacy range-width + flat-discount heuristic
+  /// (the ablation benchmark toggles this).
+  bool calibrated_estimates = true;
 };
 
 /// Extends every binding in `*rows` through all `patterns` by index

@@ -24,6 +24,12 @@ struct ExecStats {
   /// The join order chosen by the greedy reorderer: position i holds the
   /// source-order index (within its BGP run) of the pattern executed i-th.
   std::vector<int> join_order;
+  /// Join strategy per executed pattern, parallel to join_order:
+  /// 'N' = index nested-loop, 'H' = order-preserving hash join.
+  std::vector<char> join_strategy;
+  size_t hash_builds = 0;      ///< patterns executed via the hash strategy
+  size_t hash_build_rows = 0;  ///< build-side index rows enumerated
+  size_t hash_probe_hits = 0;  ///< bucket entries probed across all rows
   /// Set when the query unwound on a tripped deadline or cancellation; the
   /// other counters then describe the *partial* work done up to the trip
   /// (so callers can see where the budget went).
@@ -62,6 +68,54 @@ struct ExecStats {
       }
       s += "]";
     }
+    if (!join_strategy.empty()) {
+      s += " strategy=[";
+      for (size_t i = 0; i < join_strategy.size(); ++i) {
+        if (i > 0) s += ",";
+        s += join_strategy[i];
+      }
+      s += "]";
+    }
+    if (hash_builds > 0) {
+      s += " hash_builds=" + std::to_string(hash_builds) +
+           " hash_build_rows=" + std::to_string(hash_build_rows) +
+           " hash_probe_hits=" + std::to_string(hash_probe_hits);
+    }
+    return s;
+  }
+
+  /// The same counters as one JSON object (machine-readable benchmark
+  /// output); no trailing newline.
+  std::string ToJson() const {
+    std::string s = "{";
+    s += "\"threads\":" + std::to_string(threads);
+    s += ",\"total_ms\":" + JsonNum(total_ms);
+    s += ",\"index_build_ms\":" + JsonNum(index_build_ms);
+    s += ",\"bgp_ms\":" + JsonNum(bgp_ms);
+    s += ",\"group_agg_ms\":" + JsonNum(group_agg_ms);
+    s += ",\"morsel_count\":" + std::to_string(morsel_count);
+    s += ",\"bgp_patterns\":" + std::to_string(bgp_patterns);
+    s += ",\"aborted\":" + std::string(aborted ? "true" : "false");
+    s += ",\"abort_stage\":\"" + abort_stage + "\"";
+    s += ",\"rows_scanned\":[";
+    for (size_t i = 0; i < rows_scanned.size(); ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(rows_scanned[i]);
+    }
+    s += "],\"join_order\":[";
+    for (size_t i = 0; i < join_order.size(); ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(join_order[i]);
+    }
+    s += "],\"join_strategy\":[";
+    for (size_t i = 0; i < join_strategy.size(); ++i) {
+      if (i > 0) s += ",";
+      s += std::string("\"") + join_strategy[i] + "\"";
+    }
+    s += "],\"hash_builds\":" + std::to_string(hash_builds);
+    s += ",\"hash_build_rows\":" + std::to_string(hash_build_rows);
+    s += ",\"hash_probe_hits\":" + std::to_string(hash_probe_hits);
+    s += "}";
     return s;
   }
 
@@ -69,6 +123,12 @@ struct ExecStats {
   static std::string FormatMs(double ms) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.2fms", ms);
+    return buf;
+  }
+
+  static std::string JsonNum(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
     return buf;
   }
 };

@@ -256,6 +256,8 @@ Result<std::vector<Binding>> Executor::EvalPattern(const GraphPattern& pattern,
           jopts.threads = threads_;
           jopts.stats = &stats_;
           jopts.ctx = &ctx_;
+          jopts.strategy = join_strategy_;
+          jopts.calibrated_estimates = calibrated_estimates_;
           Status join_status =
               JoinBgp(*graph_, std::move(compiled), vars->size(),
                       reorder_joins_, jopts, &rows);

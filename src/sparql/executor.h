@@ -9,6 +9,7 @@
 #include "rdf/graph.h"
 #include "rdf/namespaces.h"
 #include "sparql/ast.h"
+#include "sparql/bgp.h"
 #include "sparql/exec_stats.h"
 #include "sparql/expr_eval.h"
 #include "sparql/result_table.h"
@@ -37,6 +38,19 @@ class Executor {
   /// Adjusts the thread budget for subsequent queries.
   void set_thread_count(int threads) { threads_ = threads < 1 ? 1 : threads; }
   int thread_count() const { return threads_; }
+
+  /// Join-strategy override for subsequent queries: kAdaptive (default)
+  /// chooses per pattern between index NLJ and the order-preserving hash
+  /// join; kNestedLoop / kHash force one path. Any choice yields
+  /// byte-identical results — this is a performance/ablation knob.
+  void set_join_strategy(JoinStrategy strategy) { join_strategy_ = strategy; }
+  JoinStrategy join_strategy() const { return join_strategy_; }
+
+  /// Toggles the GraphStats-calibrated cardinality model in the BGP
+  /// reorderer (default on); off falls back to the legacy range-width
+  /// heuristic. Ablation knob — result bytes never change.
+  void set_calibrated_estimates(bool on) { calibrated_estimates_ = on; }
+  bool calibrated_estimates() const { return calibrated_estimates_; }
 
   /// Installs the deadline/cancellation context for subsequent queries
   /// (copies share cancellation state with the caller's handle). The
@@ -87,6 +101,8 @@ class Executor {
   bool reorder_joins_;
   bool push_filters_;
   int threads_ = 1;
+  JoinStrategy join_strategy_ = JoinStrategy::kAdaptive;
+  bool calibrated_estimates_ = true;
   ExecStats stats_;
   QueryContext ctx_;
 };
