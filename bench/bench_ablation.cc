@@ -7,6 +7,7 @@
 //
 // Run: ./build/bench/bench_ablation [--scale=100k] [--iters=N]
 //                                   [--json=<path>] [--ablate-hash-join]
+//                                   [--trace-out=<dir>]
 //   --scale:            laptop count of the generated product KG
 //                       (default 20k)
 //   --iters:            repetitions per query/config (default 1; all runs
@@ -16,6 +17,8 @@
 //                       ExecStats)
 //   --ablate-hash-join: force nested-loop joins in the adaptive configs,
 //                       isolating the hash join's contribution
+//   --trace-out=<dir>:  write one Chrome trace-event JSON file per
+//                       (query, config) pair — first iteration of each
 //
 // Exit code is non-zero if any configuration diverges from the baseline
 // result bytes, or if (without --ablate-hash-join) the stats+hash
@@ -24,11 +27,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/query_context.h"
 #include "rdf/graph.h"
 #include "sparql/executor.h"
 #include "sparql/parser.h"
@@ -86,7 +91,8 @@ struct RunResult {
 };
 
 RunResult RunOnce(rdfa::rdf::Graph* graph, const std::string& query,
-                  const Config& cfg) {
+                  const Config& cfg,
+                  const std::shared_ptr<rdfa::Tracer>& tracer = nullptr) {
   RunResult r;
   auto parsed = rdfa::sparql::ParseQuery(query);
   if (!parsed.ok()) {
@@ -96,6 +102,11 @@ RunResult RunOnce(rdfa::rdf::Graph* graph, const std::string& query,
   rdfa::sparql::Executor exec(graph, cfg.reorder);
   exec.set_calibrated_estimates(cfg.calibrated);
   exec.set_join_strategy(cfg.strategy);
+  if (tracer != nullptr) {
+    rdfa::QueryContext ctx;
+    ctx.set_tracer(tracer);
+    exec.set_query_context(ctx);
+  }
   auto start = std::chrono::steady_clock::now();
   auto res = exec.Execute(parsed.value());
   r.ms = MsSince(start);
@@ -146,6 +157,7 @@ int main(int argc, char** argv) {
   int iters = 1;
   std::string json_path;
   bool ablate_hash = false;
+  rdfa::bench::TraceSink trace_sink;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) {
@@ -158,6 +170,8 @@ int main(int argc, char** argv) {
       json_path = arg.substr(7);
     } else if (arg == "--ablate-hash-join") {
       ablate_hash = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_sink.set_dir(arg.substr(12));
     }
   }
 
@@ -203,7 +217,12 @@ int main(int argc, char** argv) {
       RunResult first;
       std::vector<double> cfg_ms;
       for (int it = 0; it < iters; ++it) {
-        RunResult r = RunOnce(&g, query, cfg);
+        std::shared_ptr<rdfa::Tracer> tracer =
+            it == 0 ? trace_sink.StartRun() : nullptr;
+        RunResult r = RunOnce(&g, query, cfg, tracer);
+        if (tracer != nullptr) {
+          (void)trace_sink.FinishRun(tracer.get(), "ablation");
+        }
         if (!r.ok) {
           all_ok = false;
           break;

@@ -12,18 +12,25 @@
 // dataset size.
 //
 // Run: ./build/bench/bench_efficiency [--scale=1k|2k|20k] [--iters=N]
-//                                     [--json=<path>]
+//                                     [--json=<path>] [--trace-out=<dir>]
+//                                     [--query-log=<path>]
 //   --scale: laptop count of the product KG (default: both 2k and 20k)
 //   --iters: how many times to run the query suite per profile (default 1;
 //            more iterations sharpen the p50/p99 figures)
 //   --json:  write one machine-readable JSON object for the run (scale,
 //            iters, p50/p99, per-query ExecStats)
+//   --trace-out:  write one Chrome trace-event JSON file per served query
+//            (first iteration of each profile) under <dir>
+//   --query-log:  append the endpoint's structured query log (one JSON
+//            line per query) to <path>
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "common/query_context.h"
 
 #include "bench_util.h"
 #include "endpoint/endpoint.h"
@@ -43,6 +50,8 @@ using rdfa::endpoint::SimulatedEndpoint;
 
 std::vector<double> g_latencies_ms;
 std::vector<std::string> g_run_json;
+rdfa::bench::TraceSink g_trace;
+std::string g_query_log_path;
 
 struct QuerySpec {
   const char* id;
@@ -77,6 +86,9 @@ const QuerySpec kSuite[] = {
 int RunProfile(rdfa::rdf::Graph* graph, const LatencyProfile& profile,
                const char* table_name, size_t n_triples, int iters) {
   SimulatedEndpoint endpoint(graph, profile);
+  if (!g_query_log_path.empty()) {
+    endpoint.set_query_log_path(g_query_log_path);
+  }
   std::printf("\n%s  (%zu triples, profile=%s, load x%.1f, budget %.0f ms)\n",
               table_name, n_triples, profile.name.c_str(),
               profile.load_multiplier, endpoint.effective_timeout_ms());
@@ -102,7 +114,16 @@ int RunProfile(rdfa::rdf::Graph* graph, const LatencyProfile& profile,
         ++failures;
         continue;
       }
-      auto resp = endpoint.Query(sparql.value());
+      // Trace only the first iteration of each query: the span structure
+      // repeats, and one file per (profile, query) keeps --trace-out tidy.
+      std::shared_ptr<rdfa::Tracer> tracer =
+          iter == 0 ? g_trace.StartRun() : nullptr;
+      rdfa::QueryContext qctx;
+      if (tracer != nullptr) qctx.set_tracer(tracer);
+      auto resp = endpoint.Query(sparql.value(), qctx);
+      if (tracer != nullptr) {
+        (void)g_trace.FinishRun(tracer.get(), "efficiency");
+      }
       if (!resp.ok()) {
         std::fprintf(stderr, "%s: %s\n", spec.id,
                      resp.status().ToString().c_str());
@@ -137,9 +158,11 @@ int RunProfile(rdfa::rdf::Graph* graph, const LatencyProfile& profile,
     }
   }
   rdfa::endpoint::EndpointStats stats = endpoint.Stats();
-  std::printf("latency over %zu served: p50 %.2f ms, p99 %.2f ms "
+  std::printf("latency over %zu served: p50 %.2f ms, p99 %.2f ms, "
+              "queued p50 %.2f ms / p99 %.2f ms "
               "(shed %zu, timed out %zu, cancelled %zu)\n",
               stats.count, stats.p50_total_ms, stats.p99_total_ms,
+              stats.p50_queued_ms, stats.p99_queued_ms,
               stats.shed, stats.timed_out, stats.cancelled);
   return failures;
 }
@@ -190,8 +213,10 @@ int RunAdmissionDemo(rdfa::rdf::Graph* graph) {
       ++failures;
     }
     rdfa::endpoint::EndpointStats stats = endpoint.Stats();
-    std::printf("endpoint counters: shed %zu, timed out %zu, cancelled %zu\n",
-                stats.shed, stats.timed_out, stats.cancelled);
+    std::printf("endpoint counters: shed %zu, timed out %zu, cancelled %zu, "
+                "queued p50 %.2f ms / p99 %.2f ms\n",
+                stats.shed, stats.timed_out, stats.cancelled,
+                stats.p50_queued_ms, stats.p99_queued_ms);
   }
   return failures;
 }
@@ -211,6 +236,10 @@ int main(int argc, char** argv) {
       iters = n < 1 ? 1 : n;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      g_trace.set_dir(arg.substr(12));
+    } else if (arg.rfind("--query-log=", 0) == 0) {
+      g_query_log_path = arg.substr(12);
     }
   }
   std::printf("== Tables 6.1 / 6.2 reproduction: analytic-query efficiency, "

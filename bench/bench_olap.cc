@@ -3,15 +3,19 @@
 // over an invoices cube, with timing and cube sizes at each step.
 //
 // Run: ./build/bench/bench_olap [--scale=1k|20k] [--iters=N] [--json=<path>]
+//                               [--trace-out=<dir>]
 //   --scale: invoice count of the generated cube KG (default 20k)
 //   --iters: repetitions per OLAP operator (default 1; the first run is
 //            printed, all runs feed the p50/p99 figures)
 //   --json:  write one machine-readable JSON object for the run (scale,
 //            iters, p50/p99, per-step ExecStats)
+//   --trace-out: write one Chrome trace-event JSON file per OLAP step
+//            (first iteration of each) under <dir>, Perfetto-loadable
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,12 +38,26 @@ const std::string kInv = rdfa::workload::kInvoiceNs;
 int g_iters = 1;
 std::vector<double> g_latencies_ms;
 std::vector<std::string> g_step_json;
+rdfa::bench::TraceSink g_trace;
 
 void Step(const char* op, rdfa::analytics::OlapView* cube) {
   for (int i = 0; i < g_iters; ++i) {
+    // Only the first iteration of each step writes a trace file; the span
+    // structure is identical across iterations.
+    std::shared_ptr<rdfa::Tracer> tracer;
+    if (i == 0 && g_trace.enabled()) {
+      tracer = g_trace.StartRun();
+      rdfa::QueryContext ctx;
+      ctx.set_tracer(tracer);
+      cube->set_query_context(ctx);
+    }
     auto start = std::chrono::steady_clock::now();
     auto af = cube->Materialize();
     double ms = MsSince(start);
+    if (tracer != nullptr) {
+      cube->set_query_context(rdfa::QueryContext());
+      (void)g_trace.FinishRun(tracer.get(), "olap");
+    }
     if (!af.ok()) {
       std::printf("%-38s FAILED: %s\n", op, af.status().ToString().c_str());
       return;
@@ -73,6 +91,8 @@ int main(int argc, char** argv) {
       g_iters = n < 1 ? 1 : n;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      g_trace.set_dir(arg.substr(12));
     }
   }
   std::printf("== Fig 7.1/7.2 reproduction: OLAP operators over the invoices "

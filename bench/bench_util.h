@@ -11,8 +11,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "common/query_log.h"
+#include "common/string_util.h"
+#include "common/trace.h"
 
 namespace rdfa::bench {
 
@@ -22,7 +27,10 @@ inline double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// q-th latency percentile (q in [0, 1]) of the sample, by sorting a copy.
+/// q-th latency percentile (q in [0, 1]) of the sample, by sorting a copy
+/// and taking the nearest-rank element. An empty sample returns 0 — a bench
+/// summary over zero served queries prints zeros rather than crashing — and
+/// a 1-element sample returns that element for every q.
 inline double Percentile(std::vector<double> v, double q) {
   if (v.empty()) return 0;
   std::sort(v.begin(), v.end());
@@ -38,8 +46,8 @@ inline size_t ParseScale(const char* s) {
 }
 
 /// Incrementally builds one JSON object. Keys are caller-controlled
-/// identifiers; string values are escaped for quotes and backslashes only
-/// (bench output never contains control characters).
+/// identifiers; string values go through the shared JsonEscape helper, so
+/// quotes, backslashes, and control characters are all handled.
 class JsonObject {
  public:
   void AddNumber(const std::string& key, double value) {
@@ -54,13 +62,7 @@ class JsonObject {
     Field(key) += value ? "true" : "false";
   }
   void AddString(const std::string& key, const std::string& value) {
-    std::string& out = Field(key);
-    out += '"';
-    for (char c : value) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    out += '"';
+    Field(key) += "\"" + JsonEscape(value) + "\"";
   }
   /// Splices a pre-rendered JSON value (object or array) under `key`.
   void AddRaw(const std::string& key, const std::string& json) {
@@ -76,6 +78,37 @@ class JsonObject {
     return body_;
   }
   std::string body_;
+};
+
+/// Per-run trace-file writer behind the benches' --trace-out=<dir> flag.
+/// When armed with a directory, StartRun() hands out a fresh Tracer to hang
+/// on the run's QueryContext and FinishRun() writes the collected spans as
+/// Chrome trace-event JSON to `dir/<stem>-<seq>.json` (Perfetto-loadable).
+/// Unarmed (empty dir, the default) both calls are no-ops.
+class TraceSink {
+ public:
+  void set_dir(std::string dir) { dir_ = std::move(dir); }
+  bool enabled() const { return !dir_.empty(); }
+
+  std::shared_ptr<Tracer> StartRun() {
+    return enabled() ? std::make_shared<Tracer>() : nullptr;
+  }
+
+  /// Returns the written file's path; "" when disabled, handed a null
+  /// tracer, or on I/O failure (which also reports to stderr).
+  std::string FinishRun(const Tracer* tracer, const char* stem) {
+    if (!enabled() || tracer == nullptr) return "";
+    std::string path =
+        WriteTraceFile(dir_, stem, seq_++, tracer->ToChromeJson());
+    if (path.empty()) {
+      std::fprintf(stderr, "cannot write trace file under %s\n", dir_.c_str());
+    }
+    return path;
+  }
+
+ private:
+  std::string dir_;
+  int64_t seq_ = 0;
 };
 
 /// Renders a sequence of pre-rendered JSON values as an array.

@@ -19,8 +19,11 @@
 #include "analytics/answer_frame.h"
 #include "analytics/expressiveness.h"
 #include "analytics/session.h"
+#include "common/metrics.h"
 #include "common/query_context.h"
+#include "common/query_log.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "fs/facets.h"
 #include "rdf/rdfs.h"
 #include "rdf/turtle.h"
@@ -41,6 +44,11 @@ struct Shell {
   int threads = 1;       ///< morsel-parallelism budget for exec
   double timeout_ms = 0;  ///< per-exec deadline; 0 = none
   bool pending_cancel = false;  ///< `cancel` arms this for the next exec
+  bool trace_enabled = false;   ///< `trace on` / --trace-out
+  std::string trace_dir;        ///< --trace-out=<dir>: write per-exec traces
+  int64_t trace_seq = 0;
+  std::shared_ptr<rdfa::Tracer> last_tracer;  ///< tracer of the last exec
+  std::unique_ptr<rdfa::QueryLog> query_log;  ///< --query-log=<path>
 
   /// Builds the deadline/cancellation context for one exec and installs it
   /// on the current session.
@@ -52,7 +60,48 @@ struct Shell {
       ctx.Cancel();
       pending_cancel = false;
     }
+    if (trace_enabled) {
+      last_tracer = std::make_shared<rdfa::Tracer>();
+      ctx.set_tracer(last_tracer);
+    } else {
+      last_tracer.reset();
+    }
     session().set_query_context(ctx);
+  }
+
+  /// Writes the last exec's trace file (if armed) and query-log line.
+  /// Returns the trace path, empty if none was written.
+  std::string FinishExec(const rdfa::Status& status) {
+    std::string trace_path;
+    if (last_tracer != nullptr && !trace_dir.empty()) {
+      trace_path = rdfa::WriteTraceFile(trace_dir, "shell-query", trace_seq++,
+                                        last_tracer->ToChromeJson());
+      if (trace_path.empty()) {
+        std::printf("error: cannot write trace under %s\n", trace_dir.c_str());
+      }
+    }
+    if (query_log != nullptr && query_log->enabled()) {
+      const auto& stats = session().last_exec_stats();
+      rdfa::QueryLogRecord rec;
+      auto sparql = session().BuildSparql();
+      if (sparql.ok()) {
+        rec.query_hash = rdfa::HashQueryText(sparql.value());
+        rec.query_head = sparql.value().substr(
+            0, std::min<size_t>(sparql.value().size(), 60));
+      }
+      rec.outcome = status.ok() ? "ok"
+                    : status.code() == rdfa::StatusCode::kCancelled
+                        ? "cancelled"
+                    : status.code() == rdfa::StatusCode::kDeadlineExceeded
+                        ? "timed_out"
+                        : "error";
+      rec.total_ms = stats.total_ms;
+      rec.rows = static_cast<int64_t>(session().answer().table().num_rows());
+      rec.exec_stats_json = stats.ToJson();
+      rec.trace_file = trace_path;
+      query_log->Write(rec);
+    }
+    return trace_path;
   }
 
   rdfa::analytics::AnalyticsSession& session() { return *sessions.back(); }
@@ -120,6 +169,9 @@ void PrintHelp() {
                                 exec returns DeadlineExceeded, partial stats
   cancel                        cancel the next exec (it fails fast with
                                 Cancelled — the cooperative-abort path)
+  trace on|off                  per-exec span tracing; with --trace-out=<dir>
+                                each exec writes Chrome trace JSON (Perfetto)
+  metrics                       process metrics, Prometheus text format
   stats                         execution statistics of the last exec
   chart                         bar-chart the answer frame
   json | csv                    export the answer frame (W3C formats)
@@ -286,6 +338,31 @@ bool HandleLine(Shell& shell, const std::string& line) {
                     stats.Summary().c_str());
       }
     }
+    std::string trace_path = shell.FinishExec(af.status());
+    if (!trace_path.empty()) {
+      std::printf("trace written to %s\n", trace_path.c_str());
+    } else if (shell.trace_enabled && shell.last_tracer != nullptr) {
+      std::printf("trace: %zu spans recorded (use --trace-out=<dir> to "
+                  "write files)\n",
+                  shell.last_tracer->span_count());
+    }
+  } else if (cmd == "trace") {
+    std::string mode;
+    in >> mode;
+    if (mode == "on") {
+      shell.trace_enabled = true;
+      std::printf("tracing on%s\n",
+                  shell.trace_dir.empty()
+                      ? " (spans counted; --trace-out=<dir> writes files)"
+                      : (": files under " + shell.trace_dir).c_str());
+    } else if (mode == "off") {
+      shell.trace_enabled = false;
+      std::printf("tracing off\n");
+    } else {
+      std::printf("tracing is %s\n", shell.trace_enabled ? "on" : "off");
+    }
+  } else if (cmd == "metrics") {
+    std::printf("%s", rdfa::MetricsRegistry::Global().PrometheusText().c_str());
   } else if (cmd == "timeout") {
     double ms = 0;
     in >> ms;
@@ -395,6 +472,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--timeout-ms=", 0) == 0) {
       double ms = std::strtod(arg.c_str() + 13, nullptr);
       shell.timeout_ms = ms < 0 ? 0 : ms;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      shell.trace_dir = arg.substr(12);
+      shell.trace_enabled = !shell.trace_dir.empty();
+    } else if (arg.rfind("--query-log=", 0) == 0) {
+      std::string path = arg.substr(12);
+      if (!path.empty()) {
+        shell.query_log = std::make_unique<rdfa::QueryLog>(path);
+      }
     }
   }
   shell.Reset(std::make_unique<rdfa::rdf::Graph>());

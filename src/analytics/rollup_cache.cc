@@ -2,7 +2,9 @@
 
 #include <map>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "sparql/value.h"
 
 namespace rdfa::analytics {
@@ -96,7 +98,13 @@ Result<AnswerFrame> RollUpAnswer(const AnswerFrame& answer,
         "AVG is not distributive; roll it up from its (sum, count) pair "
         "with RollUpAverage");
   }
+  TraceSpan span(ctx.tracer(), "rollup-cache");
+  MetricsRegistry::Global()
+      .GetCounter("rdfa_rollup_reuse_total",
+                  "Roll-ups computed from a materialized answer frame")
+      .Increment();
   const sparql::ResultTable& table = answer.table();
+  span.Arg("input_rows", static_cast<uint64_t>(table.num_rows()));
   RDFA_ASSIGN_OR_RETURN(std::vector<int> keep,
                         ResolveColumns(table, keep_columns));
   int agg_idx = table.ColumnIndex(agg_column);
@@ -140,6 +148,7 @@ Result<AnswerFrame> RollUpAnswer(const AnswerFrame& answer,
   };
   RDFA_RETURN_NOT_OK(AccumulateRows<Acc>(table.num_rows(), threads, ctx, scan,
                                          merge, &groups));
+  span.Arg("output_groups", static_cast<uint64_t>(groups.size()));
 
   std::vector<std::string> columns = keep_columns;
   columns.push_back(agg_column);
@@ -163,7 +172,13 @@ Result<AnswerFrame> RollUpAverage(const AnswerFrame& answer,
                                   const std::string& sum_column,
                                   const std::string& count_column,
                                   int threads, const QueryContext& ctx) {
+  TraceSpan span(ctx.tracer(), "rollup-cache");
+  MetricsRegistry::Global()
+      .GetCounter("rdfa_rollup_reuse_total",
+                  "Roll-ups computed from a materialized answer frame")
+      .Increment();
   const sparql::ResultTable& table = answer.table();
+  span.Arg("input_rows", static_cast<uint64_t>(table.num_rows()));
   RDFA_ASSIGN_OR_RETURN(std::vector<int> keep,
                         ResolveColumns(table, keep_columns));
   int sum_idx = table.ColumnIndex(sum_column);
@@ -198,6 +213,7 @@ Result<AnswerFrame> RollUpAverage(const AnswerFrame& answer,
   };
   RDFA_RETURN_NOT_OK(AccumulateRows<Acc>(table.num_rows(), threads, ctx, scan,
                                          merge, &groups));
+  span.Arg("output_groups", static_cast<uint64_t>(groups.size()));
 
   std::vector<std::string> columns = keep_columns;
   columns.push_back("sum");

@@ -1,6 +1,9 @@
 #include "analytics/session.h"
 
+#include <optional>
+
 #include "analytics/fco.h"
+#include "common/trace.h"
 #include "hifun/evaluator.h"
 #include "sparql/executor.h"
 #include "sparql/parser.h"
@@ -146,9 +149,12 @@ Result<std::string> AnalyticsSession::BuildSparql() const {
 }
 
 Result<AnswerFrame> AnalyticsSession::Execute() {
+  std::optional<TraceSpan> parse_span;
+  parse_span.emplace(ctx_.tracer(), "parse");
   RDFA_ASSIGN_OR_RETURN(std::string sparql, BuildSparql());
   RDFA_ASSIGN_OR_RETURN(sparql::ParsedQuery parsed,
                         sparql::ParseQuery(sparql));
+  parse_span.reset();
   sparql::Executor exec(graph_);
   exec.set_thread_count(thread_count_);
   exec.set_query_context(ctx_);

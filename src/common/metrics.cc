@@ -1,0 +1,217 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace rdfa {
+
+namespace metrics_internal {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal % kShards;
+}
+
+}  // namespace metrics_internal
+
+using metrics_internal::kShards;
+
+namespace {
+
+std::string FormatValue(double v) {
+  // Integral values print bare (Prometheus accepts either; bare integers
+  // keep counter samples exact), fractional ones with fixed precision.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_ = std::vector<metrics_internal::ShardedU64>(
+      kShards * (bounds_.size() + 1));
+}
+
+void Histogram::Observe(double value) {
+  size_t shard = metrics_internal::ThisThreadShard();
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  counts_[shard * (bounds_.size() + 1) + bucket].v.fetch_add(
+      1, std::memory_order_relaxed);
+  count_[shard].v.fetch_add(1, std::memory_order_relaxed);
+  sum_[shard].Add(value);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t sum = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    sum += count_[s].v.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+double Histogram::Sum() const {
+  double sum = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    sum += sum_[s].v.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1, 0);
+  for (size_t s = 0; s < kShards; ++s) {
+    for (size_t b = 0; b < out.size(); ++b) {
+      out[b] += counts_[s * out.size() + b].v.load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.v.store(0, std::memory_order_relaxed);
+  for (size_t s = 0; s < kShards; ++s) {
+    count_[s].v.store(0, std::memory_order_relaxed);
+    sum_[s].v.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> Histogram::LatencyBoundsMs() {
+  return {0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 8000};
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter == nullptr) {
+    e.counter = std::make_unique<Counter>();
+    if (!help.empty()) e.help = help;
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.gauge == nullptr) {
+    e.gauge = std::make_unique<Gauge>();
+    if (!help.empty()) e.help = help;
+  }
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.histogram == nullptr) {
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+    if (!help.empty()) e.help = help;
+  }
+  return *e.histogram;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.counter.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.histogram.get();
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) out += "# HELP " + name + " " + e.help + "\n";
+    if (e.counter != nullptr) {
+      out += "# TYPE " + name + " counter\n";
+      out += name + " " + std::to_string(e.counter->Value()) + "\n";
+    } else if (e.gauge != nullptr) {
+      out += "# TYPE " + name + " gauge\n";
+      out += name + " " + FormatValue(e.gauge->Value()) + "\n";
+    } else if (e.histogram != nullptr) {
+      out += "# TYPE " + name + " histogram\n";
+      const std::vector<double>& bounds = e.histogram->bounds();
+      std::vector<uint64_t> buckets = e.histogram->BucketCounts();
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < bounds.size(); ++b) {
+        cumulative += buckets[b];
+        out += name + "_bucket{le=\"" + FormatValue(bounds[b]) + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+      cumulative += buckets[bounds.size()];
+      out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+             "\n";
+      out += name + "_sum " + FormatValue(e.histogram->Sum()) + "\n";
+      out += name + "_count " + std::to_string(e.histogram->Count()) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":";
+    if (e.counter != nullptr) {
+      out += std::to_string(e.counter->Value());
+    } else if (e.gauge != nullptr) {
+      out += FormatValue(e.gauge->Value());
+    } else if (e.histogram != nullptr) {
+      out += "{\"count\":" + std::to_string(e.histogram->Count());
+      out += ",\"sum\":" + FormatValue(e.histogram->Sum());
+      out += ",\"buckets\":[";
+      std::vector<uint64_t> buckets = e.histogram->BucketCounts();
+      const std::vector<double>& bounds = e.histogram->bounds();
+      for (size_t b = 0; b < buckets.size(); ++b) {
+        if (b > 0) out += ",";
+        out += "{\"le\":";
+        out += b < bounds.size() ? FormatValue(bounds[b])
+                                 : std::string("\"+Inf\"");
+        out += ",\"count\":" + std::to_string(buckets[b]) + "}";
+      }
+      out += "]}";
+    } else {
+      out += "null";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter != nullptr) e.counter->Reset();
+    if (e.gauge != nullptr) e.gauge->Reset();
+    if (e.histogram != nullptr) e.histogram->Reset();
+  }
+}
+
+}  // namespace rdfa

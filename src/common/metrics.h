@@ -1,0 +1,152 @@
+#ifndef RDFA_COMMON_METRICS_H_
+#define RDFA_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rdfa {
+
+namespace metrics_internal {
+
+/// Number of cache-line-padded shards behind every counter/histogram. Each
+/// thread hashes to one shard (a thread-local ordinal, so a thread always
+/// hits the same shard), turning the hot-path increment into one relaxed
+/// atomic add with no cross-core contention. Reads sum all shards.
+constexpr size_t kShards = 8;
+
+size_t ThisThreadShard();
+
+struct alignas(64) ShardedU64 {
+  std::atomic<uint64_t> v{0};
+};
+
+/// Relaxed-CAS double accumulator (atomic<double>::fetch_add is C++20 but
+/// spotty across toolchains; the CAS loop is portable and contention-free
+/// once sharded).
+struct alignas(64) ShardedF64 {
+  std::atomic<double> v{0};
+  void Add(double d) {
+    double cur = v.load(std::memory_order_relaxed);
+    while (!v.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+}  // namespace metrics_internal
+
+/// Monotonically increasing counter. Increment is one relaxed atomic add on
+/// a per-thread shard; Value() sums shards (reads may momentarily trail
+/// concurrent writers, as Prometheus counters always do).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    shards_[metrics_internal::ThisThreadShard()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void Reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  metrics_internal::ShardedU64 shards_[metrics_internal::kShards];
+};
+
+/// Last-write-wins instantaneous value (queue depth, in-flight count).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Fixed-bucket histogram in the Prometheus shape: per-bucket counts keyed
+/// by inclusive upper bounds, plus running sum and count. Observe() is two
+/// relaxed shard updates and one branchless-ish bucket search (the bound
+/// list is a handful of entries). Bucket bounds are fixed at construction —
+/// re-registering a name with different bounds keeps the first set.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t Count() const;
+  double Sum() const;
+  /// Per-bucket (non-cumulative) counts, one per bound plus the +Inf
+  /// overflow bucket at the end.
+  std::vector<uint64_t> BucketCounts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void Reset();
+
+  /// Default latency bounds (milliseconds), log-spaced 0.25ms..8s.
+  static std::vector<double> LatencyBoundsMs();
+
+ private:
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  /// counts_[shard * (bounds+1) + bucket]
+  std::vector<metrics_internal::ShardedU64> counts_;
+  metrics_internal::ShardedU64 count_[metrics_internal::kShards];
+  metrics_internal::ShardedF64 sum_[metrics_internal::kShards];
+};
+
+/// Process-wide registry of named metrics, exposed as Prometheus text
+/// format and as one JSON object. Registration (Get*) takes a mutex —
+/// callers on hot paths look a metric up once and keep the reference
+/// (references are stable for the registry's lifetime). Names follow the
+/// Prometheus convention: `rdfa_<noun>_<unit or total>`; see DESIGN.md §10
+/// for the scheme.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the engine records into.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name, const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  /// `bounds` is consulted only on first registration of `name`.
+  Histogram& GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const std::string& help = "");
+
+  /// Looks a metric up without registering; null when absent.
+  const Counter* FindCounter(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Prometheus text exposition format, metrics in name order:
+  /// # HELP / # TYPE comments, `name value` samples, histogram
+  /// `_bucket{le="..."}` (cumulative) / `_sum` / `_count` series.
+  std::string PrometheusText() const;
+
+  /// The same state as one JSON object keyed by metric name.
+  std::string ToJson() const;
+
+  /// Zeroes every registered metric (registrations persist). For tests
+  /// that assert exact counts; not meant for production use.
+  void ResetForTest();
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace rdfa
+
+#endif  // RDFA_COMMON_METRICS_H_

@@ -11,6 +11,8 @@
 
 namespace rdfa {
 
+class Tracer;
+
 /// Per-query deadline + cooperative-cancellation handle, threaded through
 /// the whole query path (executor, HIFUN evaluator, analytics session,
 /// roll-up cache, endpoint). Modeled after a serving stack's request
@@ -137,6 +139,18 @@ class QueryContext {
   /// boundary).
   bool ShouldStop() const { return cancelled() || expired(); }
 
+  /// Attaches a span tracer (common/trace.h) for the query this context
+  /// governs. Copies of the context share the tracer the same way they
+  /// share cancellation state, so every layer the context already reaches
+  /// — executor, BGP join, HIFUN evaluator, roll-up cache, endpoint — can
+  /// record spans without new plumbing. Null (the default) disables
+  /// tracing; span sites then cost one pointer compare.
+  void set_tracer(std::shared_ptr<Tracer> tracer) {
+    tracer_ = std::move(tracer);
+  }
+  Tracer* tracer() const { return tracer_.get(); }
+  const std::shared_ptr<Tracer>& shared_tracer() const { return tracer_; }
+
  private:
   struct State {
     std::atomic<bool> cancelled{false};
@@ -152,6 +166,7 @@ class QueryContext {
   }
 
   std::shared_ptr<State> state_;
+  std::shared_ptr<Tracer> tracer_;
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
 };

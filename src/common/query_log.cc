@@ -1,0 +1,77 @@
+#include "common/query_log.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace rdfa {
+
+uint64_t HashQueryText(const std::string& text) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV-1a prime
+  }
+  return h;
+}
+
+std::string FormatQueryLogLine(const QueryLogRecord& rec) {
+  char buf[64];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf), "\"query_hash\":\"%016llx\"",
+                static_cast<unsigned long long>(rec.query_hash));
+  out += buf;
+  if (!rec.query_head.empty()) {
+    out += ",\"query\":\"" + JsonEscape(rec.query_head) + "\"";
+  }
+  out += ",\"outcome\":\"" + JsonEscape(rec.outcome) + "\"";
+  std::snprintf(buf, sizeof(buf), ",\"total_ms\":%.3f,\"queued_ms\":%.3f",
+                rec.total_ms, rec.queued_ms);
+  out += buf;
+  out += ",\"rows\":" + std::to_string(rec.rows);
+  out += ",\"cache_hit\":";
+  out += rec.cache_hit ? "true" : "false";
+  if (!rec.exec_stats_json.empty()) {
+    // Already a JSON object — embedded verbatim, not re-escaped.
+    out += ",\"exec_stats\":" + rec.exec_stats_json;
+  }
+  if (!rec.trace_file.empty()) {
+    out += ",\"trace_file\":\"" + JsonEscape(rec.trace_file) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+bool QueryLog::Write(const QueryLogRecord& rec) {
+  if (path_.empty()) return false;
+  std::string line = FormatQueryLogLine(rec);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return false;
+  out << line << "\n";
+  ++lines_;
+  return true;
+}
+
+int64_t QueryLog::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+std::string WriteTraceFile(const std::string& dir, const std::string& stem,
+                           int64_t seq, const std::string& json) {
+  if (dir.empty()) return "";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return "";
+  std::string path =
+      dir + "/" + stem + "-" + std::to_string(seq) + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return "";
+  out << json;
+  return path;
+}
+
+}  // namespace rdfa

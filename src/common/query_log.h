@@ -1,0 +1,65 @@
+#ifndef RDFA_COMMON_QUERY_LOG_H_
+#define RDFA_COMMON_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace rdfa {
+
+/// One query's worth of structured log data. The producers (the simulated
+/// endpoint and the interactive shell) fill what they know; empty string
+/// fields are omitted from the emitted line.
+struct QueryLogRecord {
+  uint64_t query_hash = 0;     ///< FNV-1a of the full query text
+  std::string query_head;      ///< first ~60 chars, for humans grepping logs
+  std::string outcome;         ///< "ok", "cancelled", "deadline", "shed", ...
+  double total_ms = 0;         ///< wall time including queueing
+  double queued_ms = 0;        ///< time spent waiting for admission
+  int64_t rows = 0;            ///< result rows (0 on failure)
+  bool cache_hit = false;
+  std::string exec_stats_json;  ///< ExecStats::ToJson() output, verbatim
+  std::string trace_file;       ///< path of the Chrome trace, if one was written
+};
+
+/// FNV-1a 64-bit hash of the query text — stable across runs so the same
+/// query can be correlated between log lines without storing the full text.
+uint64_t HashQueryText(const std::string& text);
+
+/// Renders `rec` as one self-contained JSON object (no trailing newline).
+/// All strings pass through JsonEscape, so a query head with embedded
+/// quotes or newlines cannot break the line-oriented format.
+std::string FormatQueryLogLine(const QueryLogRecord& rec);
+
+/// Append-only, thread-safe JSON-lines writer. Opening is lazy: the file is
+/// created on the first Write, so constructing a QueryLog with an empty
+/// path is a cheap disabled logger.
+class QueryLog {
+ public:
+  QueryLog() = default;
+  explicit QueryLog(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Appends one line; returns false if the file could not be opened.
+  bool Write(const QueryLogRecord& rec);
+
+  /// Number of lines written so far.
+  int64_t lines_written() const;
+
+ private:
+  std::string path_;
+  mutable std::mutex mu_;
+  int64_t lines_ = 0;
+};
+
+/// Writes `json` (a complete document, e.g. Tracer::ToChromeJson) to
+/// `dir/<stem>-<seq>.json`, creating `dir` if needed. Returns the path
+/// written, or empty string on failure.
+std::string WriteTraceFile(const std::string& dir, const std::string& stem,
+                           int64_t seq, const std::string& json);
+
+}  // namespace rdfa
+
+#endif  // RDFA_COMMON_QUERY_LOG_H_

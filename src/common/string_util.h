@@ -28,6 +28,15 @@ std::string ToUpperAscii(std::string_view s);
 /// Lowercases ASCII letters.
 std::string ToLowerAscii(std::string_view s);
 
+/// Escapes `s` for use inside a double-quoted JSON string: quotes and
+/// backslashes are backslash-escaped, the named control characters map to
+/// \b \f \n \r \t, and every other byte below 0x20 becomes \u00XX. The one
+/// escape helper shared by ExecStats::ToJson, the tracer's Chrome-trace
+/// export, the structured query log, and bench_util's JsonObject — so no
+/// JSON emitter in the tree can produce an unparsable document from a
+/// hostile string (a query text with an embedded newline, say).
+std::string JsonEscape(std::string_view s);
+
 /// Escapes `s` for use inside a double-quoted N-Triples / SPARQL literal.
 std::string EscapeLiteral(std::string_view s);
 /// Reverses EscapeLiteral; unknown escapes are kept verbatim.

@@ -1,0 +1,99 @@
+#include "common/trace.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace rdfa {
+
+void Tracer::Span::Arg(const char* key, double value) {
+  if (tracer_ == nullptr) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  args_.emplace_back(key, buf);
+}
+
+void Tracer::Span::Arg(const char* key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void Tracer::Span::Arg(const char* key, const char* value) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void Tracer::Instant(const char* name) {
+  // Rendered as a zero-duration span: one storage shape keeps export and
+  // test helpers uniform, and Perfetto draws it as a tick.
+  Clock::time_point now = Clock::now();
+  RecordSpan(name, now, now, {});
+}
+
+void Tracer::RecordSpan(
+    const char* name, Clock::time_point start, Clock::time_point end,
+    std::vector<std::pair<std::string, std::string>> args) {
+  SpanRecord rec;
+  rec.name = name;
+  rec.start_us = SinceEpochUs(start);
+  rec.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
+  rec.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.tid = TidOrdinalLocked(std::this_thread::get_id());
+  spans_.push_back(std::move(rec));
+}
+
+int Tracer::TidOrdinalLocked(std::thread::id id) {
+  auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  int ordinal = static_cast<int>(tids_.size());
+  tids_.emplace(id, ordinal);
+  return ordinal;
+}
+
+std::vector<Tracer::SpanRecord> Tracer::FinishedSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+bool Tracer::HasSpan(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SpanRecord& s : spans_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::vector<SpanRecord> spans = FinishedSpans();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[64];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\"";
+    out += ",\"cat\":\"query\",\"ph\":\"X\",\"pid\":1";
+    out += ",\"tid\":" + std::to_string(s.tid);
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f", s.start_us,
+                  s.dur_us);
+    out += buf;
+    if (!s.args.empty()) {
+      out += ",\"args\":{";
+      for (size_t a = 0; a < s.args.size(); ++a) {
+        if (a > 0) out += ",";
+        out += "\"" + JsonEscape(s.args[a].first) + "\":" + s.args[a].second;
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rdfa

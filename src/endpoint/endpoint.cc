@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "sparql/executor.h"
 #include "sparql/parser.h"
 
@@ -59,9 +62,20 @@ QueryLogEntry MakeLogEntry(const std::string& sparql,
   entry.query_head = sparql.substr(0, newline);
   entry.exec_ms = resp.exec_ms;
   entry.total_ms = resp.total_ms;
+  entry.queued_ms = resp.queued_ms;
   entry.rows = resp.table.num_rows();
   entry.cache_hit = resp.cache_hit;
   return entry;
+}
+
+const char* OutcomeName(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kResourceExhausted: return "shed";
+    case StatusCode::kDeadlineExceeded: return "timed_out";
+    case StatusCode::kCancelled: return "cancelled";
+    default: return "error";
+  }
 }
 }  // namespace
 
@@ -142,6 +156,30 @@ Result<SimulatedEndpoint::AdmissionSlot> SimulatedEndpoint::Admit(
 }
 
 void SimulatedEndpoint::RecordOutcome(const Status& status) {
+  // Endpoint-level outcome counters carry their own metric names; the
+  // engine's rdfa_queries_{cancelled,timed_out}_total tick inside
+  // Executor::Execute, so a query that trips *while queued* (never
+  // executed) is visible here and only here.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+      reg.GetCounter("rdfa_endpoint_shed_total",
+                     "Queries rejected by admission control")
+          .Increment();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      reg.GetCounter("rdfa_endpoint_timed_out_total",
+                     "Endpoint queries that tripped their budget")
+          .Increment();
+      break;
+    case StatusCode::kCancelled:
+      reg.GetCounter("rdfa_endpoint_cancelled_total",
+                     "Endpoint queries cancelled by the caller")
+          .Increment();
+      break;
+    default:
+      break;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   switch (status.code()) {
     case StatusCode::kResourceExhausted: ++shed_count_; break;
@@ -149,6 +187,16 @@ void SimulatedEndpoint::RecordOutcome(const Status& status) {
     case StatusCode::kCancelled: ++cancelled_count_; break;
     default: break;
   }
+}
+
+void SimulatedEndpoint::set_trace_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_dir_ = std::move(dir);
+}
+
+void SimulatedEndpoint::set_query_log_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  query_log_ = std::make_unique<QueryLog>(path);
 }
 
 size_t SimulatedEndpoint::queries_served() const {
@@ -181,42 +229,111 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql,
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++queries_served_;
+    // With a trace directory configured, every served query is traced; a
+    // tracer the caller attached themselves takes precedence.
+    if (!trace_dir_.empty() && ctx.tracer() == nullptr) {
+      ctx.set_tracer(std::make_shared<Tracer>());
+    }
   }
+  std::shared_ptr<Tracer> tracer = ctx.shared_tracer();
 
+  // Flushes the per-query trace file and the structured query-log line.
+  // Called on every exit path, including error-arm returns, so aborted and
+  // shed queries still leave a well-formed trace.
+  auto finish = [&](const Status& status) {
+    std::string trace_path;
+    QueryLog* qlog = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      qlog = query_log_.get();
+      if (tracer != nullptr && !trace_dir_.empty()) {
+        trace_path = WriteTraceFile(trace_dir_, "query", trace_seq_++,
+                                    tracer->ToChromeJson());
+      }
+    }
+    if (qlog != nullptr && qlog->enabled()) {
+      QueryLogRecord rec;
+      rec.query_hash = HashQueryText(sparql);
+      rec.query_head = sparql.substr(0, std::min<size_t>(sparql.size(), 60));
+      rec.outcome = OutcomeName(status);
+      rec.total_ms = resp.total_ms;
+      rec.queued_ms = resp.queued_ms;
+      rec.rows = static_cast<int64_t>(resp.table.num_rows());
+      rec.cache_hit = resp.cache_hit;
+      if (!resp.cache_hit && status.code() != StatusCode::kResourceExhausted) {
+        rec.exec_stats_json = resp.exec_stats.ToJson();
+      }
+      rec.trace_file = trace_path;
+      qlog->Write(rec);
+    }
+  };
+
+  std::optional<TraceSpan> adm_span;
+  adm_span.emplace(tracer.get(), "admission-queue");
   Result<AdmissionSlot> admitted = Admit(ctx, &resp.queue_depth);
+  adm_span->Arg("queue_depth", static_cast<uint64_t>(resp.queue_depth));
+  adm_span->Arg("admitted", admitted.ok());
+  adm_span.reset();
   if (!admitted.ok()) {
     // Admission outcomes (shed, expired/cancelled while queued) are part of
     // the service protocol, not transport failures: report them in-band.
     resp.status = admitted.status();
     RecordOutcome(resp.status);
+    finish(resp.status);
     return resp;
   }
   AdmissionSlot slot = std::move(admitted).value();
   resp.queued_ms = slot.queued_ms();
+  MetricsRegistry::Global()
+      .GetHistogram("rdfa_endpoint_queued_ms", Histogram::LatencyBoundsMs(),
+                    "Admission-queue wait in milliseconds")
+      .Observe(resp.queued_ms);
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    resp.network_ms = SimulatedNetworkMs(sparql);
-    if (enable_cache_) {
+  if (enable_cache_) {
+    TraceSpan cache_span(tracer.get(), "cache-lookup");
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      resp.network_ms = SimulatedNetworkMs(sparql);
       auto it = cache_.find(sparql);
       if (it != cache_.end()) {
+        hit = true;
         ++cache_hits_;
         resp.table = it->second;
         resp.cache_hit = true;
         resp.exec_ms = 0;
         resp.total_ms = resp.network_ms + resp.queued_ms;
         log_.push_back(MakeLogEntry(sparql, resp));
-        return resp;
       }
     }
+    cache_span.Arg("hit", hit);
+    MetricsRegistry::Global()
+        .GetCounter(hit ? "rdfa_endpoint_cache_hits_total"
+                        : "rdfa_endpoint_cache_misses_total",
+                    hit ? "Answer-cache hits" : "Answer-cache misses")
+        .Increment();
+    if (hit) {
+      finish(Status::OK());
+      return resp;
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    resp.network_ms = SimulatedNetworkMs(sparql);
   }
 
   auto start = std::chrono::steady_clock::now();
-  RDFA_ASSIGN_OR_RETURN(sparql::ParsedQuery parsed, sparql::ParseQuery(sparql));
+  std::optional<TraceSpan> parse_span;
+  parse_span.emplace(tracer.get(), "parse");
+  Result<sparql::ParsedQuery> parsed = sparql::ParseQuery(sparql);
+  parse_span.reset();
+  if (!parsed.ok()) {
+    finish(parsed.status());
+    return parsed.status();
+  }
   sparql::Executor exec(graph_);
   exec.set_thread_count(thread_count_);
   exec.set_query_context(ctx);
-  Result<sparql::ResultTable> table = exec.Execute(parsed);
+  Result<sparql::ResultTable> table = exec.Execute(parsed.value());
   resp.exec_stats = exec.stats();
   auto end = std::chrono::steady_clock::now();
   resp.exec_ms =
@@ -227,19 +344,26 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql,
     StatusCode code = table.status().code();
     if (code != StatusCode::kDeadlineExceeded &&
         code != StatusCode::kCancelled) {
+      finish(table.status());
       return table.status();  // genuine engine failure
     }
     // Budget tripped mid-execution: empty table, partial exec_stats.
     resp.status = table.status();
     RecordOutcome(resp.status);
-    std::lock_guard<std::mutex> lock(mu_);
-    log_.push_back(MakeLogEntry(sparql, resp));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      log_.push_back(MakeLogEntry(sparql, resp));
+    }
+    finish(resp.status);
     return resp;
   }
   resp.table = std::move(table).value();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (enable_cache_) cache_[sparql] = resp.table;
-  log_.push_back(MakeLogEntry(sparql, resp));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (enable_cache_) cache_[sparql] = resp.table;
+    log_.push_back(MakeLogEntry(sparql, resp));
+  }
+  finish(Status::OK());
   return resp;
 }
 
@@ -261,22 +385,28 @@ EndpointStats SimulatedEndpoint::Stats() const {
   if (log_.empty()) return stats;
   std::vector<double> execs;
   std::vector<double> totals;
+  std::vector<double> queued;
   execs.reserve(log_.size());
   totals.reserve(log_.size());
+  queued.reserve(log_.size());
   for (const QueryLogEntry& e : log_) {
     stats.mean_exec_ms += e.exec_ms;
     stats.mean_total_ms += e.total_ms;
     stats.max_exec_ms = std::max(stats.max_exec_ms, e.exec_ms);
     execs.push_back(e.exec_ms);
     totals.push_back(e.total_ms);
+    queued.push_back(e.queued_ms);
   }
   stats.mean_exec_ms /= static_cast<double>(log_.size());
   stats.mean_total_ms /= static_cast<double>(log_.size());
   std::sort(execs.begin(), execs.end());
   std::sort(totals.begin(), totals.end());
+  std::sort(queued.begin(), queued.end());
   stats.p95_exec_ms = Percentile(execs, 0.95);
   stats.p50_total_ms = Percentile(totals, 0.50);
   stats.p99_total_ms = Percentile(totals, 0.99);
+  stats.p50_queued_ms = Percentile(queued, 0.50);
+  stats.p99_queued_ms = Percentile(queued, 0.99);
   return stats;
 }
 

@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/query_context.h"
+#include "common/query_log.h"
 #include "common/status.h"
 #include "rdf/graph.h"
 #include "sparql/exec_stats.h"
@@ -77,6 +79,7 @@ struct QueryLogEntry {
   std::string query_head;  ///< first line of the query text
   double exec_ms = 0;
   double total_ms = 0;
+  double queued_ms = 0;    ///< admission-queue wait
   size_t rows = 0;
   bool cache_hit = false;
 };
@@ -90,6 +93,8 @@ struct EndpointStats {
   double mean_total_ms = 0;
   double p50_total_ms = 0;
   double p99_total_ms = 0;
+  double p50_queued_ms = 0;  ///< median admission-queue wait
+  double p99_queued_ms = 0;  ///< tail admission-queue wait
   size_t shed = 0;       ///< admission rejections (ResourceExhausted)
   size_t timed_out = 0;  ///< queries that tripped their deadline
   size_t cancelled = 0;  ///< cooperatively cancelled queries
@@ -176,6 +181,16 @@ class SimulatedEndpoint {
   /// log -> zeroed latency fields).
   EndpointStats Stats() const;
 
+  /// When set, every served query gets a span tracer attached (unless the
+  /// caller's context already carries one) and its Chrome trace-event JSON
+  /// is written to `dir/query-<seq>.json`. Empty (the default) disables
+  /// per-query trace files.
+  void set_trace_dir(std::string dir);
+  /// When set, one structured JSON line per query (hash, outcome, timing,
+  /// ExecStats, trace file ref) is appended to `path`.
+  void set_query_log_path(const std::string& path);
+  const QueryLog* structured_log() const { return query_log_.get(); }
+
  private:
   double SimulatedNetworkMs(const std::string& sparql);  // callers hold mu_
   void ReleaseSlot();
@@ -197,6 +212,12 @@ class SimulatedEndpoint {
   size_t timeout_count_ = 0;
   size_t cancelled_count_ = 0;
   uint64_t jitter_state_ = 0x9E3779B97F4A7C15ull;
+
+  /// Observability sinks (guarded by mu_ for configuration; QueryLog is
+  /// internally synchronized for writes).
+  std::string trace_dir_;
+  int64_t trace_seq_ = 0;
+  std::unique_ptr<QueryLog> query_log_;
 
   /// Admission state: bounded in-flight count plus a FIFO ticket queue.
   mutable std::mutex adm_mu_;

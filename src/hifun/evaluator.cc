@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "hifun/context.h"
 #include "rdf/namespaces.h"
 #include "sparql/value.h"
@@ -192,6 +193,7 @@ Result<sparql::ResultTable> Evaluator::Evaluate(const Query& query,
   if (query.ops.empty()) {
     return Status::InvalidArgument("a HIFUN query needs >=1 aggregate op");
   }
+  TraceSpan eval_span(ctx.tracer(), "hifun-evaluate");
   RDFA_RETURN_NOT_OK(ctx.Check("hifun-admission"));
   std::vector<std::string> roots = {query.root_class};
   for (const std::string& extra : query.extra_root_classes) {
@@ -257,6 +259,10 @@ Result<sparql::ResultTable> Evaluator::Evaluate(const Query& query,
     group_keys.emplace(std::move(out.key), std::move(out.key_terms));
   };
 
+  std::optional<TraceSpan> gm_span;
+  gm_span.emplace(ctx.tracer(), "hifun-group-measure");
+  gm_span->Arg("items", static_cast<uint64_t>(items.size()));
+
   constexpr size_t kMinItemsParallel = 128;
   if (threads_ > 1 && items.size() >= kMinItemsParallel) {
     graph_.Freeze();  // one first-touch build, not a per-worker race to it
@@ -305,7 +311,11 @@ Result<sparql::ResultTable> Evaluator::Evaluate(const Query& query,
     }
   }
 
+  gm_span->Arg("groups", static_cast<uint64_t>(groups.size()));
+  gm_span.reset();
+
   // Reduction.
+  TraceSpan red_span(ctx.tracer(), "hifun-reduction");
   std::vector<std::string> columns;
   for (const AttrExprPtr& g : group_components) {
     columns.push_back(g->ToString());

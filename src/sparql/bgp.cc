@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace rdfa::sparql {
 
@@ -346,7 +347,12 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
   std::vector<int> source_index(patterns.size());
   std::iota(source_index.begin(), source_index.end(), 0);
 
+  Tracer* tracer = opts.ctx != nullptr ? opts.ctx->tracer() : nullptr;
+
   if (reorder && patterns.size() > 1) {
+    TraceSpan plan_span(tracer, "plan");
+    plan_span.Arg("patterns", static_cast<uint64_t>(patterns.size()));
+    plan_span.Arg("calibrated", opts.calibrated_estimates);
     // Seed "bound" with slots already bound in the incoming rows.
     std::set<int> bound;
     if (!rows->empty()) {
@@ -383,6 +389,9 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
     // One typed check per join stage; scans poll the cheap flag inline.
     if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
     const CompiledPattern& p = patterns[pi];
+    TraceSpan join_span(tracer, "bgp-join");
+    join_span.Arg("pattern", static_cast<int64_t>(source_index[pi]));
+    join_span.Arg("input_rows", static_cast<uint64_t>(rows->size()));
     std::vector<Binding> next;
     next.reserve(rows->size());
     size_t scanned = 0;
@@ -394,8 +403,12 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
       strategy_used = 'H';
       HashTable table;
       size_t build_scanned = 0;
-      build_status =
-          BuildHashTable(graph, p, plan, opts.ctx, &table, &build_scanned);
+      {
+        TraceSpan build_span(tracer, "hash-build");
+        build_status =
+            BuildHashTable(graph, p, plan, opts.ctx, &table, &build_scanned);
+        build_span.Arg("build_rows", static_cast<uint64_t>(build_scanned));
+      }
       scanned += build_scanned;
       if (opts.stats != nullptr) {
         ++opts.stats->hash_builds;
@@ -434,6 +447,7 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
                                     &probe_hits);
         }
         if (opts.stats != nullptr) opts.stats->hash_probe_hits += probe_hits;
+        join_span.Arg("probe_hits", static_cast<uint64_t>(probe_hits));
       }
     } else if (threads > 1 && rows->size() == 1) {
       // Single seed row (the common first pattern): materialize the index
@@ -503,6 +517,9 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
       opts.stats->join_order.push_back(source_index[pi]);
       opts.stats->join_strategy.push_back(strategy_used);
     }
+    join_span.Arg("strategy", strategy_used == 'H' ? "hash" : "nested-loop");
+    join_span.Arg("rows_scanned", static_cast<uint64_t>(scanned));
+    join_span.Arg("output_rows", static_cast<uint64_t>(next.size()));
     // A tripped hash build already carries the typed status from its
     // counted check; surface it after the stats are recorded.
     RDFA_RETURN_NOT_OK(build_status);

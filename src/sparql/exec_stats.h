@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
+
 namespace rdfa::sparql {
 
 /// Per-query execution statistics, filled in by the Executor and threaded
@@ -96,7 +98,7 @@ struct ExecStats {
     s += ",\"morsel_count\":" + std::to_string(morsel_count);
     s += ",\"bgp_patterns\":" + std::to_string(bgp_patterns);
     s += ",\"aborted\":" + std::string(aborted ? "true" : "false");
-    s += ",\"abort_stage\":\"" + abort_stage + "\"";
+    s += ",\"abort_stage\":\"" + JsonEscape(abort_stage) + "\"";
     s += ",\"rows_scanned\":[";
     for (size_t i = 0; i < rows_scanned.size(); ++i) {
       if (i > 0) s += ",";
@@ -110,7 +112,7 @@ struct ExecStats {
     s += "],\"join_strategy\":[";
     for (size_t i = 0; i < join_strategy.size(); ++i) {
       if (i > 0) s += ",";
-      s += std::string("\"") + join_strategy[i] + "\"";
+      s += "\"" + JsonEscape(std::string_view(&join_strategy[i], 1)) + "\"";
     }
     s += "],\"hash_builds\":" + std::to_string(hash_builds);
     s += ",\"hash_build_rows\":" + std::to_string(hash_build_rows);

@@ -5,10 +5,13 @@
 #include <chrono>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "rdf/browse.h"
 #include "sparql/bgp.h"
 #include "sparql/parser.h"
@@ -126,6 +129,34 @@ Value ComputeAggregate(const Expr& agg, const std::vector<Binding>& rows,
 Term ValueToCell(const Value& v) {
   if (v.is_unbound()) return Term();  // empty IRI: the unbound marker
   return v.ToTerm();
+}
+
+/// Engine-level per-query metrics, ticked exactly once per Execute() call
+/// (the endpoint layer keeps its own admission/cache metrics — recording
+/// here keeps direct Executor use and endpoint use consistent).
+void RecordQueryMetrics(const ExecStats& stats, StatusCode code) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("rdfa_queries_total", "Queries executed (any outcome)")
+      .Increment();
+  reg.GetHistogram("rdfa_query_latency_ms", Histogram::LatencyBoundsMs(),
+                   "End-to-end Execute() wall time in milliseconds")
+      .Observe(stats.total_ms);
+  uint64_t scanned = 0;
+  for (size_t rows : stats.rows_scanned) scanned += rows;
+  if (scanned > 0) {
+    reg.GetCounter("rdfa_rows_scanned_total",
+                   "Index rows enumerated by BGP pattern scans")
+        .Increment(scanned);
+  }
+  if (code == StatusCode::kCancelled) {
+    reg.GetCounter("rdfa_queries_cancelled_total",
+                   "Queries that unwound on cooperative cancellation")
+        .Increment();
+  } else if (code == StatusCode::kDeadlineExceeded) {
+    reg.GetCounter("rdfa_queries_timed_out_total",
+                   "Queries that unwound on a tripped deadline")
+        .Increment();
+  }
 }
 
 /// Forward (or backward) BFS over edges labeled `p`, starting at `start`;
@@ -394,6 +425,8 @@ Result<std::vector<Binding>> Executor::EvalPattern(const GraphPattern& pattern,
         break;
       }
       case PatternElement::Kind::kTransPath: {
+        TraceSpan path_span(ctx_.tracer(), "path-expansion");
+        path_span.Arg("input_rows", static_cast<uint64_t>(rows.size()));
         TermId pid = el.triple.p.is_var
                          ? kNoTermId
                          : graph_->terms().Find(el.triple.p.term);
@@ -517,6 +550,12 @@ Result<ResultTable> Executor::Select(const SelectQuery& query) {
   std::vector<OutRow> out_rows;
 
   auto agg_start = std::chrono::steady_clock::now();
+  // optional so the span closes at the stage boundary below, not at
+  // function exit (early returns still close it via RAII).
+  std::optional<TraceSpan> agg_span;
+  agg_span.emplace(ctx_.tracer(),
+                   has_aggregate ? "group-aggregate" : "projection");
+  agg_span->Arg("input_rows", static_cast<uint64_t>(rows.size()));
   if (has_aggregate) {
     // Group rows by the GROUP BY key. With a thread budget, morsels of rows
     // build per-morsel partial hash tables that are merged in morsel order,
@@ -687,6 +726,8 @@ Result<ResultTable> Executor::Select(const SelectQuery& query) {
     }
   }
   stats_.group_agg_ms += MsSince(agg_start);
+  agg_span->Arg("output_rows", static_cast<uint64_t>(out_rows.size()));
+  agg_span.reset();
 
   // ORDER BY.
   if (!query.order_by.empty()) {
@@ -817,6 +858,8 @@ Result<ResultTable> Executor::Execute(const ParsedQuery& query) {
   stats_.Reset();
   stats_.threads = threads_;
   auto total_start = std::chrono::steady_clock::now();
+  TraceSpan exec_span(ctx_.tracer(), "execute");
+  exec_span.Arg("threads", static_cast<int64_t>(threads_));
 
   // Zero-deadline (or already-cancelled) fast fail: no work is admitted at
   // all, mirroring a serving stack rejecting a request whose budget is
@@ -828,6 +871,9 @@ Result<ResultTable> Executor::Execute(const ParsedQuery& query) {
       stats_.abort_stage =
           ctx_.trip_stage() != nullptr ? ctx_.trip_stage() : "admission";
       stats_.total_ms = MsSince(total_start);
+      exec_span.Arg("aborted", true);
+      exec_span.Arg("abort_stage", stats_.abort_stage);
+      RecordQueryMetrics(stats_, admit.code());
       return admit;
     }
   }
@@ -836,7 +882,10 @@ Result<ResultTable> Executor::Execute(const ParsedQuery& query) {
   // up as index_build_ms rather than inside the first pattern scan, and
   // (b) parallel workers only ever see a clean index.
   auto freeze_start = std::chrono::steady_clock::now();
-  graph_->Freeze();
+  {
+    TraceSpan freeze_span(ctx_.tracer(), "index-build");
+    graph_->Freeze();
+  }
   stats_.index_build_ms = MsSince(freeze_start);
 
   Result<ResultTable> result = [&]() -> Result<ResultTable> {
@@ -864,6 +913,12 @@ Result<ResultTable> Executor::Execute(const ParsedQuery& query) {
     stats_.aborted = true;
     if (ctx_.trip_stage() != nullptr) stats_.abort_stage = ctx_.trip_stage();
   }
+  exec_span.Arg("aborted", stats_.aborted);
+  if (stats_.aborted) exec_span.Arg("abort_stage", stats_.abort_stage);
+  if (result.ok()) {
+    exec_span.Arg("rows", static_cast<uint64_t>(result.value().num_rows()));
+  }
+  RecordQueryMetrics(stats_, code);
   return result;
 }
 
