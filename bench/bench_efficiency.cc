@@ -13,10 +13,15 @@
 //
 // Run: ./build/bench/bench_efficiency [--scale=1k|2k|20k] [--iters=N]
 //                                     [--json=<path>] [--trace-out=<dir>]
-//                                     [--query-log=<path>]
+//                                     [--query-log=<path>] [--cache-mb=N]
 //   --scale: laptop count of the product KG (default: both 2k and 20k)
 //   --iters: how many times to run the query suite per profile (default 1;
 //            more iterations sharpen the p50/p99 figures)
+//   --cache-mb: answer/plan cache budget in MB (0 = off, the default).
+//            With the cache on, iterations past the first hit the cache and
+//            every cached answer is byte-compared against the uncached
+//            first-iteration answer (any difference is a bench failure);
+//            hit rates land in the JSON output.
 //   --json:  write one machine-readable JSON object for the run (scale,
 //            iters, p50/p99, per-query ExecStats)
 //   --trace-out:  write one Chrome trace-event JSON file per served query
@@ -52,6 +57,31 @@ std::vector<double> g_latencies_ms;
 std::vector<std::string> g_run_json;
 rdfa::bench::TraceSink g_trace;
 std::string g_query_log_path;
+size_t g_cache_mb = 0;
+rdfa::CacheStats g_answer_stats;
+rdfa::CacheStats g_plan_stats;
+uint64_t g_cache_mismatches = 0;
+
+void Accumulate(const rdfa::CacheStats& from, rdfa::CacheStats* into) {
+  into->hits += from.hits;
+  into->misses += from.misses;
+  into->evictions += from.evictions;
+  into->invalidations += from.invalidations;
+  into->entries += from.entries;
+  into->bytes += from.bytes;
+}
+
+/// Renders one cache layer's counters as a JSON object for the --json
+/// output (consumed by the CI cache-ablation validator).
+std::string CacheJson(const rdfa::CacheStats& s) {
+  JsonObject obj;
+  obj.AddInt("hits", s.hits);
+  obj.AddInt("misses", s.misses);
+  obj.AddNumber("hit_rate", s.HitRate());
+  obj.AddInt("evictions", s.evictions);
+  obj.AddInt("invalidations", s.invalidations);
+  return obj.Render();
+}
 
 struct QuerySpec {
   const char* id;
@@ -86,6 +116,11 @@ const QuerySpec kSuite[] = {
 int RunProfile(rdfa::rdf::Graph* graph, const LatencyProfile& profile,
                const char* table_name, size_t n_triples, int iters) {
   SimulatedEndpoint endpoint(graph, profile);
+  if (g_cache_mb > 0) {
+    rdfa::CacheOptions copts;
+    copts.max_bytes = g_cache_mb << 20;
+    endpoint.set_cache_options(copts);
+  }
   if (!g_query_log_path.empty()) {
     endpoint.set_query_log_path(g_query_log_path);
   }
@@ -96,9 +131,12 @@ int RunProfile(rdfa::rdf::Graph* graph, const LatencyProfile& profile,
               "net ms", "total ms");
   int failures = 0;
   rdfa::rdf::PrefixMap prefixes;
+  // First-iteration (uncached) answers, for the cache byte-identity check.
+  std::vector<std::string> reference_tsv(std::size(kSuite));
   for (int iter = 0; iter < iters; ++iter) {
     double total = 0;
     for (const QuerySpec& spec : kSuite) {
+      const size_t qi = static_cast<size_t>(&spec - kSuite);
       auto q = rdfa::hifun::ParseHifun(spec.hifun, prefixes,
                                        rdfa::workload::kExampleNs);
       if (!q.ok()) {
@@ -136,6 +174,20 @@ int RunProfile(rdfa::rdf::Graph* graph, const LatencyProfile& profile,
         continue;
       }
       g_latencies_ms.push_back(resp.value().total_ms);
+      if (g_cache_mb > 0) {
+        // Cached (later-iteration) answers must be byte-identical to the
+        // uncached first-iteration answer of the same query.
+        std::string tsv = resp.value().table.ToTsv();
+        if (iter == 0) {
+          reference_tsv[qi] = std::move(tsv);
+        } else if (tsv != reference_tsv[qi]) {
+          std::fprintf(stderr,
+                       "%s: cached answer differs from the uncached one\n",
+                       spec.id);
+          ++failures;
+          ++g_cache_mismatches;
+        }
+      }
       if (iter == 0) {
         std::printf("%-4s %-45s %10.2f %10.2f %10.2f\n", spec.id,
                     spec.description, resp.value().exec_ms,
@@ -164,6 +216,18 @@ int RunProfile(rdfa::rdf::Graph* graph, const LatencyProfile& profile,
               stats.count, stats.p50_total_ms, stats.p99_total_ms,
               stats.p50_queued_ms, stats.p99_queued_ms,
               stats.shed, stats.timed_out, stats.cancelled);
+  if (g_cache_mb > 0) {
+    rdfa::CacheStats a = endpoint.answer_cache_stats();
+    rdfa::CacheStats p = endpoint.plan_cache_stats();
+    std::printf("cache: answer %llu hits / %llu misses (%.0f%%), "
+                "plan %llu hits / %llu misses (%.0f%%)\n",
+                static_cast<unsigned long long>(a.hits),
+                static_cast<unsigned long long>(a.misses), 100 * a.HitRate(),
+                static_cast<unsigned long long>(p.hits),
+                static_cast<unsigned long long>(p.misses), 100 * p.HitRate());
+    Accumulate(a, &g_answer_stats);
+    Accumulate(p, &g_plan_stats);
+  }
   return failures;
 }
 
@@ -236,11 +300,21 @@ int main(int argc, char** argv) {
       iters = n < 1 ? 1 : n;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--cache-mb=", 0) == 0) {
+      long mb = std::atol(arg.c_str() + 11);
+      g_cache_mb = mb < 0 ? 0 : static_cast<size_t>(mb);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       g_trace.set_dir(arg.substr(12));
     } else if (arg.rfind("--query-log=", 0) == 0) {
       g_query_log_path = arg.substr(12);
     }
+  }
+  if (g_cache_mb > 0 && iters < 2) {
+    // One iteration never revisits a query; bump so the cache can hit and
+    // the byte-identity check has something to compare.
+    iters = 2;
+    std::printf("(--cache-mb set: raising --iters to 2 so cached answers "
+                "can be exercised)\n");
   }
   std::printf("== Tables 6.1 / 6.2 reproduction: analytic-query efficiency, "
               "peak vs off-peak ==\n");
@@ -278,6 +352,10 @@ int main(int argc, char** argv) {
     top.AddNumber("p50_ms", Percentile(g_latencies_ms, 0.50));
     top.AddNumber("p99_ms", Percentile(g_latencies_ms, 0.99));
     top.AddInt("failures", static_cast<uint64_t>(failures));
+    top.AddInt("cache_mb", g_cache_mb);
+    top.AddRaw("answer_cache", CacheJson(g_answer_stats));
+    top.AddRaw("plan_cache", CacheJson(g_plan_stats));
+    top.AddInt("cache_mismatches", g_cache_mismatches);
     top.AddRaw("runs", JsonArray(g_run_json));
     if (!WriteJsonFile(json_path, top.Render())) return 1;
     std::printf("wrote %s\n", json_path.c_str());

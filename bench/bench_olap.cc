@@ -3,10 +3,16 @@
 // over an invoices cube, with timing and cube sizes at each step.
 //
 // Run: ./build/bench/bench_olap [--scale=1k|20k] [--iters=N] [--json=<path>]
-//                               [--trace-out=<dir>]
+//                               [--trace-out=<dir>] [--cache-mb=N]
 //   --scale: invoice count of the generated cube KG (default 20k)
 //   --iters: repetitions per OLAP operator (default 1; the first run is
 //            printed, all runs feed the p50/p99 figures)
+//   --cache-mb: generation-aware roll-up cache budget in MB (0 = off, the
+//            default). With the cache on, revisited cube levels (repeat
+//            iterations, drill-down back to an already-materialized level)
+//            are served from the cache, every cached cube is byte-compared
+//            against the first materialization, and hit rates land in the
+//            JSON output.
 //   --json:  write one machine-readable JSON object for the run (scale,
 //            iters, p50/p99, per-step ExecStats)
 //   --trace-out: write one Chrome trace-event JSON file per OLAP step
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "analytics/olap.h"
+#include "analytics/rollup_cache.h"
 #include "bench_util.h"
 #include "common/query_context.h"
 #include "workload/invoices.h"
@@ -39,8 +46,13 @@ int g_iters = 1;
 std::vector<double> g_latencies_ms;
 std::vector<std::string> g_step_json;
 rdfa::bench::TraceSink g_trace;
+size_t g_cache_mb = 0;
+std::unique_ptr<rdfa::analytics::RollupCache> g_cache;
+int g_cache_mismatches = 0;
 
 void Step(const char* op, rdfa::analytics::OlapView* cube) {
+  // First materialization of this step, for the cache byte-identity check.
+  std::string reference_tsv;
   for (int i = 0; i < g_iters; ++i) {
     // Only the first iteration of each step writes a trace file; the span
     // structure is identical across iterations.
@@ -63,6 +75,15 @@ void Step(const char* op, rdfa::analytics::OlapView* cube) {
       return;
     }
     g_latencies_ms.push_back(ms);
+    if (g_cache != nullptr) {
+      std::string tsv = af.value().table().ToTsv();
+      if (i == 0) {
+        reference_tsv = std::move(tsv);
+      } else if (tsv != reference_tsv) {
+        std::printf("%-38s CACHED CUBE DIVERGED\n", op);
+        ++g_cache_mismatches;
+      }
+    }
     if (i == 0) {
       std::printf("%-38s %8zu cells %10.2f ms\n", op,
                   af.value().table().num_rows(), ms);
@@ -91,8 +112,24 @@ int main(int argc, char** argv) {
       g_iters = n < 1 ? 1 : n;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--cache-mb=", 0) == 0) {
+      long mb = std::atol(arg.c_str() + 11);
+      g_cache_mb = mb < 0 ? 0 : static_cast<size_t>(mb);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       g_trace.set_dir(arg.substr(12));
+    }
+  }
+  if (g_cache_mb > 0) {
+    rdfa::CacheOptions copts = rdfa::analytics::RollupCache::DefaultOptions();
+    copts.max_bytes = g_cache_mb << 20;
+    g_cache = std::make_unique<rdfa::analytics::RollupCache>(copts);
+    if (g_iters < 2) {
+      // One iteration per step would only exercise hits on revisited
+      // levels; bump so every step gets a cached re-materialization and
+      // the byte-identity check has something to compare.
+      g_iters = 2;
+      std::printf("(--cache-mb set: raising --iters to 2 so cached cubes "
+                  "can be exercised)\n");
     }
   }
   std::printf("== Fig 7.1/7.2 reproduction: OLAP operators over the invoices "
@@ -127,6 +164,7 @@ int main(int argc, char** argv) {
   measure.ops = {rdfa::hifun::AggOp::kSum};
 
   rdfa::analytics::OlapView cube(&session, {time, product}, measure);
+  if (g_cache != nullptr) cube.set_cache(g_cache.get());
 
   std::printf("%-38s %14s %13s\n", "operation", "result", "time");
   Step("base cube (date x product)", &cube);
@@ -150,8 +188,20 @@ int main(int argc, char** argv) {
               g_latencies_ms.size(), Percentile(g_latencies_ms, 0.50),
               Percentile(g_latencies_ms, 0.99));
 
+  if (g_cache != nullptr) {
+    rdfa::CacheStats s = g_cache->Stats();
+    std::printf("\nrollup cache: %llu hits / %llu misses (%.0f%% hit rate), "
+                "%zu cubes resident, %zu bytes\n",
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses), 100 * s.HitRate(),
+                s.entries, s.bytes);
+  }
+
   // Deadline demonstration: an impossible budget must unwind with a typed
   // DEADLINE_EXCEEDED (partial stats preserved), not hang or return a cube.
+  // The cache is detached first — a memoized cube would (correctly) be
+  // served without executing anything, so nothing would trip.
+  cube.set_cache(nullptr);
   cube.set_query_context(rdfa::QueryContext::WithDeadlineMs(0.0));
   auto tripped = cube.Materialize();
   if (tripped.ok() ||
@@ -228,9 +278,22 @@ int main(int argc, char** argv) {
     top.AddNumber("serial_total_ms", serial_total);
     top.AddNumber("parallel_total_ms", parallel_total);
     top.AddBool("byte_identical", identical);
+    top.AddInt("cache_mb", g_cache_mb);
+    {
+      rdfa::CacheStats s =
+          g_cache != nullptr ? g_cache->Stats() : rdfa::CacheStats{};
+      JsonObject cache;
+      cache.AddInt("hits", s.hits);
+      cache.AddInt("misses", s.misses);
+      cache.AddNumber("hit_rate", s.HitRate());
+      cache.AddInt("evictions", s.evictions);
+      cache.AddInt("invalidations", s.invalidations);
+      top.AddRaw("rollup_cache", cache.Render());
+    }
+    top.AddInt("cache_mismatches", static_cast<uint64_t>(g_cache_mismatches));
     top.AddRaw("runs", JsonArray(g_step_json));
     if (!WriteJsonFile(json_path, top.Render())) return 1;
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return identical ? 0 : 1;
+  return identical && g_cache_mismatches == 0 ? 0 : 1;
 }

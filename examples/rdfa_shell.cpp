@@ -24,6 +24,7 @@
 #include "common/query_log.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "endpoint/endpoint.h"
 #include "fs/facets.h"
 #include "rdf/rdfs.h"
 #include "rdf/turtle.h"
@@ -49,6 +50,33 @@ struct Shell {
   int64_t trace_seq = 0;
   std::shared_ptr<rdfa::Tracer> last_tracer;  ///< tracer of the last exec
   std::unique_ptr<rdfa::QueryLog> query_log;  ///< --query-log=<path>
+  bool cache_on = false;   ///< `cache on|off` / --cache-mb=
+  size_t cache_mb = 64;    ///< answer-cache byte budget when the cache is on
+  rdfa::QueryContext exec_ctx;  ///< the context armed for the current exec
+  std::unique_ptr<rdfa::endpoint::SimulatedEndpoint> endpoint;
+  const rdfa::rdf::Graph* endpoint_graph = nullptr;
+
+  /// The cache-serving endpoint over the *current* graph, (re)built lazily
+  /// whenever the graph stack changed (load/example/explore/pop), so cached
+  /// answers always come from the dataset on screen. Mutations of the same
+  /// graph (infer) are handled by generation stamping, not by rebuilds.
+  rdfa::endpoint::SimulatedEndpoint& Endpoint() {
+    if (endpoint == nullptr || endpoint_graph != &graph()) {
+      endpoint = std::make_unique<rdfa::endpoint::SimulatedEndpoint>(
+          &graph(), rdfa::endpoint::LatencyProfile::Local(), true);
+      rdfa::CacheOptions opts;
+      opts.max_bytes = cache_mb << 20;
+      opts.max_entries = 4096;
+      opts.enabled = cache_mb > 0;
+      endpoint->set_cache_options(opts);
+      rdfa::endpoint::AdmissionOptions adm;
+      adm.base_timeout_ms = 0;  // the shell's own `timeout` command governs
+      endpoint->set_admission(adm);
+      endpoint->set_thread_count(threads);
+      endpoint_graph = &graph();
+    }
+    return *endpoint;
+  }
 
   /// Builds the deadline/cancellation context for one exec and installs it
   /// on the current session.
@@ -66,7 +94,8 @@ struct Shell {
     } else {
       last_tracer.reset();
     }
-    session().set_query_context(ctx);
+    exec_ctx = ctx;
+    session().set_query_context(std::move(ctx));
   }
 
   /// Writes the last exec's trace file (if armed) and query-log line.
@@ -171,6 +200,10 @@ void PrintHelp() {
                                 Cancelled — the cooperative-abort path)
   trace on|off                  per-exec span tracing; with --trace-out=<dir>
                                 each exec writes Chrome trace JSON (Perfetto)
+  cache on|off|stats            generation-checked answer + plan cache for
+                                exec (re-running an unchanged query is a hit;
+                                any mutation invalidates); --cache-mb=<n>
+                                sets the byte budget and turns it on
   metrics                       process metrics, Prometheus text format
   stats                         execution statistics of the last exec
   chart                         bar-chart the answer frame
@@ -324,6 +357,29 @@ bool HandleLine(Shell& shell, const std::string& line) {
     auto s = shell.session().BuildSparql();
     if (s.ok()) std::printf("%s\n", s.value().c_str());
     else report(s.status());
+  } else if (cmd == "exec" && shell.cache_on) {
+    // Cached execution: route the synthesized SPARQL through a local
+    // endpoint whose generation-checked answer/plan caches make repeated
+    // queries (unchanged graph) instant — and the result is installed back
+    // into the session so chart/json/csv/explore keep working.
+    auto sparql = shell.session().BuildSparql();
+    if (!report(sparql.status())) return true;
+    shell.ArmContext();
+    auto resp = shell.Endpoint().Query(sparql.value(), shell.exec_ctx);
+    rdfa::Status outcome = resp.ok() ? resp.value().status : resp.status();
+    if (outcome.ok()) {
+      shell.session().InstallAnswer(
+          rdfa::analytics::AnswerFrame(resp.value().table));
+      std::printf("%s", rdfa::viz::RenderTable(resp.value().table).c_str());
+      if (resp.value().cache_hit) {
+        std::printf("(answer cache hit, %.3f ms)\n", resp.value().total_ms);
+      } else if (resp.value().plan_cache_hit) {
+        std::printf("(plan cache hit, exec %.3f ms)\n", resp.value().exec_ms);
+      }
+    } else {
+      report(outcome);
+    }
+    shell.FinishExec(outcome);
   } else if (cmd == "exec") {
     shell.ArmContext();
     auto af = shell.session().Execute();
@@ -361,6 +417,44 @@ bool HandleLine(Shell& shell, const std::string& line) {
     } else {
       std::printf("tracing is %s\n", shell.trace_enabled ? "on" : "off");
     }
+  } else if (cmd == "cache") {
+    std::string mode;
+    in >> mode;
+    if (mode == "on") {
+      if (shell.cache_mb == 0) shell.cache_mb = 64;
+      shell.cache_on = true;
+      // Rebuild so the budget takes effect even after `cache off`.
+      shell.endpoint.reset();
+      shell.endpoint_graph = nullptr;
+      std::printf("cache on (%zu MB answer budget + plan cache)\n",
+                  shell.cache_mb);
+    } else if (mode == "off") {
+      shell.cache_on = false;
+      std::printf("cache off\n");
+    } else if (mode == "stats") {
+      if (shell.endpoint == nullptr) {
+        std::printf("cache has served nothing yet\n");
+      } else {
+        auto a = shell.endpoint->answer_cache_stats();
+        auto p = shell.endpoint->plan_cache_stats();
+        std::printf(
+            "answer cache: %llu hits / %llu misses (%.0f%% hit rate), "
+            "%zu entries, %zu bytes, %llu evictions, %llu invalidations\n",
+            static_cast<unsigned long long>(a.hits),
+            static_cast<unsigned long long>(a.misses), 100 * a.HitRate(),
+            a.entries, a.bytes, static_cast<unsigned long long>(a.evictions),
+            static_cast<unsigned long long>(a.invalidations));
+        std::printf(
+            "plan cache:   %llu hits / %llu misses (%.0f%% hit rate), "
+            "%zu entries, %llu invalidations\n",
+            static_cast<unsigned long long>(p.hits),
+            static_cast<unsigned long long>(p.misses), 100 * p.HitRate(),
+            p.entries, static_cast<unsigned long long>(p.invalidations));
+      }
+    } else {
+      std::printf("cache is %s (try cache on|off|stats)\n",
+                  shell.cache_on ? "on" : "off");
+    }
   } else if (cmd == "metrics") {
     std::printf("%s", rdfa::MetricsRegistry::Global().PrometheusText().c_str());
   } else if (cmd == "timeout") {
@@ -380,6 +474,9 @@ bool HandleLine(Shell& shell, const std::string& line) {
     in >> n;
     shell.threads = n < 1 ? 1 : n;
     for (auto& s : shell.sessions) s->set_thread_count(shell.threads);
+    if (shell.endpoint != nullptr) {
+      shell.endpoint->set_thread_count(shell.threads);
+    }
     std::printf("exec will use %d thread%s\n", shell.threads,
                 shell.threads == 1 ? "" : "s");
   } else if (cmd == "stats") {
@@ -475,6 +572,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       shell.trace_dir = arg.substr(12);
       shell.trace_enabled = !shell.trace_dir.empty();
+    } else if (arg.rfind("--cache-mb=", 0) == 0) {
+      long mb = std::atol(arg.c_str() + 11);
+      shell.cache_mb = mb < 0 ? 0 : static_cast<size_t>(mb);
+      shell.cache_on = shell.cache_mb > 0;
     } else if (arg.rfind("--query-log=", 0) == 0) {
       std::string path = arg.substr(12);
       if (!path.empty()) {

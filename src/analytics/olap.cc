@@ -1,6 +1,10 @@
 #include "analytics/olap.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "analytics/rollup_cache.h"
+#include "common/query_log.h"
 
 namespace rdfa::analytics {
 
@@ -119,7 +123,23 @@ Result<AnswerFrame> OlapView::Materialize() {
     RDFA_RETURN_NOT_OK(session_->ClickGroupBy(std::move(g)));
   }
   RDFA_RETURN_NOT_OK(session_->ClickAggregate(measure_));
-  return session_->Execute();
+  if (cache_ == nullptr) return session_->Execute();
+  // Generation-checked reuse: the cube is keyed by its normalized SPARQL
+  // text, stamped with the graph generation it was computed at. Revisiting
+  // a level is a hit; any mutation in between invalidates lazily.
+  RDFA_ASSIGN_OR_RETURN(std::string sparql, session_->BuildSparql());
+  const std::string key = NormalizeQueryText(sparql);
+  const uint64_t generation = session_->graph()->Generation();
+  std::shared_ptr<const AnswerFrame> hit = cache_->Get(key, generation);
+  if (hit != nullptr) {
+    session_->InstallAnswer(*hit);
+    return *hit;
+  }
+  RDFA_ASSIGN_OR_RETURN(AnswerFrame frame, session_->Execute());
+  if (session_->graph()->Generation() == generation) {
+    cache_->Put(key, generation, frame);
+  }
+  return frame;
 }
 
 }  // namespace rdfa::analytics

@@ -8,6 +8,8 @@
 
 namespace rdfa::analytics {
 
+class RollupCache;
+
 /// One granularity level of a dimension: an attribute path from the focus,
 /// optionally a derived function (e.g. day -> MONTH(date) -> YEAR(date), or
 /// branch -> city -> country by extending the property path).
@@ -67,6 +69,14 @@ class OlapView {
   /// Execution statistics of the most recent Materialize().
   const sparql::ExecStats& last_exec_stats() const;
 
+  /// Generation-aware materialization reuse: with a cache installed,
+  /// Materialize() keys the cube's SPARQL fingerprint plus the graph
+  /// generation into it, so revisiting a level (roll-up then drill-down
+  /// back, repeated slices) returns the memoized frame — and any graph
+  /// mutation invalidates lazily, never serving a stale cube. Null (the
+  /// default) disables reuse. `cache` must outlive the view.
+  void set_cache(RollupCache* cache) { cache_ = cache; }
+
   /// Programs the session (groupings per active dimension at its current
   /// level, plus the measure) and executes the analytic query.
   Result<AnswerFrame> Materialize();
@@ -82,6 +92,7 @@ class OlapView {
   AnalyticsSession* session_;
   std::vector<DimState> dims_;
   MeasureSpec measure_;
+  RollupCache* cache_ = nullptr;
 };
 
 }  // namespace rdfa::analytics

@@ -231,4 +231,35 @@ Result<AnswerFrame> RollUpAverage(const AnswerFrame& answer,
   return AnswerFrame(std::move(out));
 }
 
+RollupCache::RollupCache(CacheOptions opts)
+    : cache_(opts, "rdfa_rollup_cache") {}
+
+std::shared_ptr<const AnswerFrame> RollupCache::Get(const std::string& key,
+                                                    uint64_t generation) {
+  return cache_.Get(key, generation);
+}
+
+void RollupCache::Put(const std::string& key, uint64_t generation,
+                      AnswerFrame frame) {
+  size_t bytes = frame.table().ApproxBytes();
+  cache_.Put(key, generation, std::move(frame), bytes);
+}
+
+Result<AnswerFrame> RollupCache::RollUp(
+    const std::string& source_key, uint64_t generation,
+    const AnswerFrame& answer, const std::vector<std::string>& keep_columns,
+    const std::string& agg_column, AggOp op, int threads,
+    const QueryContext& ctx) {
+  std::string key = source_key + "|rollup|agg=" + agg_column +
+                    "|op=" + std::to_string(static_cast<int>(op)) + "|keep=";
+  for (const std::string& c : keep_columns) key += c + ",";
+  std::shared_ptr<const AnswerFrame> hit = Get(key, generation);
+  if (hit != nullptr) return *hit;
+  RDFA_ASSIGN_OR_RETURN(
+      AnswerFrame rolled,
+      RollUpAnswer(answer, keep_columns, agg_column, op, threads, ctx));
+  Put(key, generation, rolled);
+  return rolled;
+}
+
 }  // namespace rdfa::analytics

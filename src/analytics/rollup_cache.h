@@ -1,10 +1,13 @@
 #ifndef RDFA_ANALYTICS_ROLLUP_CACHE_H_
 #define RDFA_ANALYTICS_ROLLUP_CACHE_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analytics/answer_frame.h"
+#include "common/lru_cache.h"
 #include "common/query_context.h"
 #include "hifun/attr_expr.h"
 
@@ -44,6 +47,51 @@ Result<AnswerFrame> RollUpAverage(const AnswerFrame& answer,
                                   const std::string& count_column,
                                   int threads = 1,
                                   const QueryContext& ctx = QueryContext());
+
+/// Generation-aware memo of answer frames, making OLAP roll-up reuse safe
+/// under updates: every stored frame is stamped with the graph generation
+/// it was computed at, and a lookup under a newer generation is a miss that
+/// lazily evicts the stale frame (same protocol as the endpoint answer
+/// cache — see DESIGN.md §11). Thread-safe; counters exported as
+/// rdfa_rollup_cache_{hits,misses,evictions,invalidations}_total.
+class RollupCache {
+ public:
+  static CacheOptions DefaultOptions() {
+    CacheOptions opts;
+    opts.max_bytes = 32ull << 20;
+    opts.max_entries = 512;
+    return opts;
+  }
+
+  explicit RollupCache(CacheOptions opts = DefaultOptions());
+
+  /// The frame stored under `key` at exactly `generation`, or null.
+  std::shared_ptr<const AnswerFrame> Get(const std::string& key,
+                                         uint64_t generation);
+
+  /// Stores `frame` (computed at `generation`) under `key`.
+  void Put(const std::string& key, uint64_t generation, AnswerFrame frame);
+
+  /// Memoized RollUpAnswer: returns the cached roll-up of
+  /// (`source_key`, keep_columns, agg_column, op) when its stamped
+  /// generation matches, else computes it (same semantics and byte-identical
+  /// result as the free function) and fills the cache. `source_key` names
+  /// the materialized source answer — e.g. the SPARQL fingerprint that
+  /// produced it; `generation` is the graph generation that answer was
+  /// computed at.
+  Result<AnswerFrame> RollUp(const std::string& source_key,
+                             uint64_t generation, const AnswerFrame& answer,
+                             const std::vector<std::string>& keep_columns,
+                             const std::string& agg_column, hifun::AggOp op,
+                             int threads = 1,
+                             const QueryContext& ctx = QueryContext());
+
+  void Clear() { cache_.Clear(); }
+  CacheStats Stats() const { return cache_.Stats(); }
+
+ private:
+  LruCache<AnswerFrame> cache_;
+};
 
 }  // namespace rdfa::analytics
 

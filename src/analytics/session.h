@@ -106,6 +106,17 @@ class AnalyticsSession {
   /// The most recent Execute/ExecuteDirect answer.
   const AnswerFrame& answer() const { return answer_; }
 
+  /// The graph this session analyzes (outlives the session by contract).
+  rdf::Graph* graph() const { return graph_; }
+
+  /// Installs an externally produced answer — e.g. a cached
+  /// materialization — as the current Answer Frame, as if Execute() had
+  /// just returned it. Exec stats are zeroed: nothing executed.
+  void InstallAnswer(AnswerFrame answer) {
+    answer_ = std::move(answer);
+    exec_stats_ = sparql::ExecStats{};
+  }
+
   /// §5.1 "Special cases": the transform button next to a facet. Applies a
   /// feature-creation operator over the current root class to repair a
   /// non-functional / partial attribute (or derive a new one) and returns

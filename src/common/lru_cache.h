@@ -1,0 +1,248 @@
+#ifndef RDFA_COMMON_LRU_CACHE_H_
+#define RDFA_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace rdfa {
+
+/// Capacity and enablement knobs shared by every cache in the engine (the
+/// endpoint answer cache, the plan cache, the analytics roll-up cache).
+/// Either capacity at 0 — or `enabled` false — turns the cache into a
+/// store-nothing pass-through: every Get is a miss, every Put a no-op.
+struct CacheOptions {
+  size_t max_bytes = 64ull << 20;  ///< total payload budget across shards
+  size_t max_entries = 4096;       ///< total entry budget across shards
+  bool enabled = true;
+  /// Lock shards. Keys hash to one shard; capacities divide evenly across
+  /// them, so per-shard eviction keeps the totals bounded. Tests that
+  /// assert exact global eviction order use shards = 1.
+  size_t shards = 8;
+};
+
+/// Point-in-time counters of one cache. Hits/misses/evictions/invalidations
+/// are cumulative since construction or the last Clear(); entries/bytes are
+/// the current residency.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;      ///< capacity-driven removals (LRU tail)
+  uint64_t invalidations = 0;  ///< generation-mismatch lazy removals
+  size_t entries = 0;
+  size_t bytes = 0;
+
+  double HitRate() const {
+    uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// Thread-safe, byte-accounted LRU cache keyed by string.
+///
+/// Every entry carries the graph *generation* it was computed at. Get()
+/// takes the caller's current generation and treats any entry stamped with
+/// a different one as a miss, erasing it on the spot (lazy invalidation) —
+/// so a mutation between fill and lookup can never surface a stale value.
+/// Values are held behind shared_ptr<const V>: a hit hands out a reference
+/// without copying under the lock, and an entry evicted while a reader
+/// still holds the pointer stays alive for that reader.
+///
+/// When `metric_prefix` is non-empty, the four event counters also tick
+/// `<prefix>_{hits,misses,evictions,invalidations}_total` in the global
+/// MetricsRegistry (registered once, at construction). Those registry
+/// counters are cumulative for the process — Clear() resets only the
+/// cache-local stats, never the monotonic exported series.
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(CacheOptions opts, const std::string& metric_prefix = "")
+      : opts_(opts) {
+    if (opts_.shards == 0) opts_.shards = 1;
+    shards_ = std::vector<Shard>(opts_.shards);
+    shard_bytes_ = opts_.max_bytes / opts_.shards;
+    shard_entries_ = opts_.max_entries / opts_.shards;
+    // Small totals must not round down to zero-capacity shards.
+    if (opts_.max_bytes > 0 && shard_bytes_ == 0) shard_bytes_ = 1;
+    if (opts_.max_entries > 0 && shard_entries_ == 0) shard_entries_ = 1;
+    if (!metric_prefix.empty()) {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      m_hits_ = &reg.GetCounter(metric_prefix + "_hits_total",
+                                "Cache hits (" + metric_prefix + ")");
+      m_misses_ = &reg.GetCounter(metric_prefix + "_misses_total",
+                                  "Cache misses (" + metric_prefix + ")");
+      m_evictions_ =
+          &reg.GetCounter(metric_prefix + "_evictions_total",
+                          "Capacity evictions (" + metric_prefix + ")");
+      m_invalidations_ = &reg.GetCounter(
+          metric_prefix + "_invalidations_total",
+          "Generation invalidations (" + metric_prefix + ")");
+    }
+  }
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  bool enabled() const {
+    return opts_.enabled && opts_.max_bytes > 0 && opts_.max_entries > 0;
+  }
+  const CacheOptions& options() const { return opts_; }
+
+  /// Looks `key` up against the caller's current `generation`. Returns the
+  /// cached value (refreshing its LRU position) only when the entry's
+  /// stamped generation matches; a mismatched entry is erased and counted
+  /// as an invalidation + miss.
+  std::shared_ptr<const V> Get(const std::string& key, uint64_t generation) {
+    if (!enabled()) return nullptr;
+    Shard& shard = ShardFor(key);
+    std::shared_ptr<const V> value;
+    bool invalidated = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.index.find(key);
+      if (it == shard.index.end()) {
+        ++shard.misses;
+      } else if (it->second->generation != generation) {
+        shard.bytes -= it->second->bytes;
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+        ++shard.invalidations;
+        ++shard.misses;
+        invalidated = true;
+      } else {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        ++shard.hits;
+        value = it->second->value;
+      }
+    }
+    if (value != nullptr) {
+      if (m_hits_ != nullptr) m_hits_->Increment();
+    } else {
+      if (m_misses_ != nullptr) m_misses_->Increment();
+      if (invalidated && m_invalidations_ != nullptr) {
+        m_invalidations_->Increment();
+      }
+    }
+    return value;
+  }
+
+  /// Inserts (or replaces) `key` with a value computed at `generation`,
+  /// accounted as `bytes`, evicting least-recently-used entries until the
+  /// shard is back under both budgets. A value larger than a whole shard's
+  /// byte budget is not stored (evicting everything still could not fit
+  /// it); a pre-existing entry under the key is dropped either way.
+  void Put(const std::string& key, uint64_t generation,
+           std::shared_ptr<const V> value, size_t bytes) {
+    if (!enabled() || value == nullptr) return;
+    Shard& shard = ShardFor(key);
+    uint64_t evicted = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        shard.bytes -= it->second->bytes;
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+      }
+      if (bytes <= shard_bytes_) {
+        shard.lru.push_front(Entry{key, generation, std::move(value), bytes});
+        shard.index[key] = shard.lru.begin();
+        shard.bytes += bytes;
+        while (shard.bytes > shard_bytes_ ||
+               shard.lru.size() > shard_entries_) {
+          const Entry& tail = shard.lru.back();
+          shard.bytes -= tail.bytes;
+          shard.index.erase(tail.key);
+          shard.lru.pop_back();
+          ++evicted;
+        }
+        shard.evictions += evicted;
+      }
+    }
+    if (evicted > 0 && m_evictions_ != nullptr) {
+      m_evictions_->Increment(evicted);
+    }
+  }
+
+  /// Convenience overload that takes ownership of a plain value.
+  void Put(const std::string& key, uint64_t generation, V value,
+           size_t bytes) {
+    Put(key, generation, std::make_shared<const V>(std::move(value)), bytes);
+  }
+
+  /// Drops every entry and zeroes the cache-local stats, so hit-rate math
+  /// restarts from a clean slate (exported registry counters, being
+  /// monotonic, are left alone).
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.lru.clear();
+      shard.index.clear();
+      shard.bytes = 0;
+      shard.hits = shard.misses = 0;
+      shard.evictions = shard.invalidations = 0;
+    }
+  }
+
+  CacheStats Stats() const {
+    CacheStats total;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total.hits += shard.hits;
+      total.misses += shard.misses;
+      total.evictions += shard.evictions;
+      total.invalidations += shard.invalidations;
+      total.entries += shard.lru.size();
+      total.bytes += shard.bytes;
+    }
+    return total;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t generation = 0;
+    std::shared_ptr<const V> value;
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string, typename std::list<Entry>::iterator>
+        index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>()(key) % shards_.size()];
+  }
+
+  CacheOptions opts_;
+  size_t shard_bytes_ = 0;
+  size_t shard_entries_ = 0;
+  std::vector<Shard> shards_;
+  Counter* m_hits_ = nullptr;
+  Counter* m_misses_ = nullptr;
+  Counter* m_evictions_ = nullptr;
+  Counter* m_invalidations_ = nullptr;
+};
+
+}  // namespace rdfa
+
+#endif  // RDFA_COMMON_LRU_CACHE_H_

@@ -17,6 +17,39 @@ uint64_t HashQueryText(const std::string& text) {
   return h;
 }
 
+std::string NormalizeQueryText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  char quote = 0;        // the active string delimiter, 0 outside literals
+  bool escaped = false;  // previous char was a backslash inside a literal
+  bool pending_space = false;
+  for (char c : text) {
+    if (quote != 0) {
+      out.push_back(c);
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == quote) {
+        quote = 0;
+      }
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+        c == '\v') {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      if (!out.empty()) out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+    if (c == '\'' || c == '"') quote = c;
+  }
+  return out;
+}
+
 std::string FormatQueryLogLine(const QueryLogRecord& rec) {
   char buf[64];
   std::string out = "{";

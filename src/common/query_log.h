@@ -26,6 +26,14 @@ struct QueryLogRecord {
 /// query can be correlated between log lines without storing the full text.
 uint64_t HashQueryText(const std::string& text);
 
+/// Whitespace-normalized cache fingerprint of a query: runs of whitespace
+/// *outside* quoted literals collapse to one space and the ends are
+/// trimmed, so reformattings of the same query share one cache entry.
+/// Whitespace inside '...' / "..." strings (escapes respected) is kept
+/// verbatim — two queries differing there are genuinely different queries
+/// and must not collide.
+std::string NormalizeQueryText(const std::string& text);
+
 /// Renders `rec` as one self-contained JSON object (no trailing newline).
 /// All strings pass through JsonEscape, so a query head with embedded
 /// quotes or newlines cannot break the line-oriented format.

@@ -37,7 +37,21 @@ LatencyProfile LatencyProfile::Local() {
 
 SimulatedEndpoint::SimulatedEndpoint(rdf::Graph* graph, LatencyProfile profile,
                                      bool enable_cache)
-    : graph_(graph), profile_(std::move(profile)), enable_cache_(enable_cache) {}
+    : graph_(graph), profile_(std::move(profile)) {
+  CacheOptions opts;
+  opts.enabled = enable_cache;
+  set_cache_options(opts);
+}
+
+void SimulatedEndpoint::set_cache_options(CacheOptions opts) {
+  cache_opts_ = opts;
+  answer_cache_ = std::make_unique<LruCache<sparql::ResultTable>>(
+      opts, "rdfa_endpoint_cache");
+  CacheOptions plan_opts = sparql::PlanCache::DefaultOptions();
+  plan_opts.enabled =
+      opts.enabled && opts.max_bytes > 0 && opts.max_entries > 0;
+  plan_cache_ = std::make_unique<sparql::PlanCache>(plan_opts);
+}
 
 double SimulatedEndpoint::SimulatedNetworkMs(const std::string& sparql) {
   if (profile_.network_base_ms == 0 && profile_.network_jitter_ms == 0) {
@@ -210,8 +224,12 @@ size_t SimulatedEndpoint::cache_hits() const {
 }
 
 void SimulatedEndpoint::ClearCache() {
+  // Both cache layers drop their entries and local stats; the endpoint's
+  // own hit counter resets too, so hit-rate math after a clear is sound.
+  answer_cache_->Clear();
+  plan_cache_->Clear();
   std::lock_guard<std::mutex> lock(mu_);
-  cache_.clear();
+  cache_hits_ = 0;
 }
 
 Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql) {
@@ -289,30 +307,36 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql,
                     "Admission-queue wait in milliseconds")
       .Observe(resp.queued_ms);
 
-  if (enable_cache_) {
+  // Generation-checked cache lookup. The generation is read *before*
+  // execution so the cached artifact is stamped with the graph state it was
+  // really computed from; the LruCache treats a stamped generation other
+  // than the current one as a miss and lazily evicts the stale entry.
+  const bool cache_on = answer_cache_->enabled();
+  std::string fingerprint;
+  uint64_t query_hash = 0;
+  uint64_t generation = 0;
+  if (cache_on) {
+    fingerprint = NormalizeQueryText(sparql);
+    query_hash = HashQueryText(fingerprint);
+    generation = graph_->Generation();
     TraceSpan cache_span(tracer.get(), "cache-lookup");
-    bool hit = false;
+    cache_span.Arg("generation", generation);
+    std::shared_ptr<const sparql::ResultTable> hit =
+        answer_cache_->Get(fingerprint, generation);
+    cache_span.Arg("hit", hit != nullptr);
     {
       std::lock_guard<std::mutex> lock(mu_);
       resp.network_ms = SimulatedNetworkMs(sparql);
-      auto it = cache_.find(sparql);
-      if (it != cache_.end()) {
-        hit = true;
+      if (hit != nullptr) {
         ++cache_hits_;
-        resp.table = it->second;
+        resp.table = *hit;
         resp.cache_hit = true;
         resp.exec_ms = 0;
         resp.total_ms = resp.network_ms + resp.queued_ms;
         log_.push_back(MakeLogEntry(sparql, resp));
       }
     }
-    cache_span.Arg("hit", hit);
-    MetricsRegistry::Global()
-        .GetCounter(hit ? "rdfa_endpoint_cache_hits_total"
-                        : "rdfa_endpoint_cache_misses_total",
-                    hit ? "Answer-cache hits" : "Answer-cache misses")
-        .Increment();
-    if (hit) {
+    if (resp.cache_hit) {
       finish(Status::OK());
       return resp;
     }
@@ -322,18 +346,38 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql,
   }
 
   auto start = std::chrono::steady_clock::now();
-  std::optional<TraceSpan> parse_span;
-  parse_span.emplace(tracer.get(), "parse");
-  Result<sparql::ParsedQuery> parsed = sparql::ParseQuery(sparql);
-  parse_span.reset();
-  if (!parsed.ok()) {
-    finish(parsed.status());
-    return parsed.status();
+  // Plan-cache lookup (same generation stamp: the cached BGP orders came
+  // from that generation's statistics). A hit skips the parse and replays
+  // the recorded join orders; a miss parses and captures them for reuse.
+  std::shared_ptr<const sparql::PlanEntry> plan;
+  if (cache_on) plan = plan_cache_->Get(query_hash, generation);
+  sparql::ParsedQuery parsed_local;
+  sparql::PlanEntry fresh_plan;
+  const sparql::ParsedQuery* query = nullptr;
+  if (plan != nullptr) {
+    resp.plan_cache_hit = true;
+    query = &plan->ast;
+  } else {
+    std::optional<TraceSpan> parse_span;
+    parse_span.emplace(tracer.get(), "parse");
+    Result<sparql::ParsedQuery> parsed = sparql::ParseQuery(sparql);
+    parse_span.reset();
+    if (!parsed.ok()) {
+      finish(parsed.status());
+      return parsed.status();
+    }
+    parsed_local = std::move(parsed).value();
+    query = &parsed_local;
   }
   sparql::Executor exec(graph_);
   exec.set_thread_count(thread_count_);
   exec.set_query_context(ctx);
-  Result<sparql::ResultTable> table = exec.Execute(parsed.value());
+  if (plan != nullptr) {
+    exec.ReplayJoinOrders(&plan->bgp_orders);
+  } else if (cache_on) {
+    exec.CaptureJoinOrders(&fresh_plan.bgp_orders);
+  }
+  Result<sparql::ResultTable> table = exec.Execute(*query);
   resp.exec_stats = exec.stats();
   auto end = std::chrono::steady_clock::now();
   resp.exec_ms =
@@ -358,9 +402,20 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql,
     return resp;
   }
   resp.table = std::move(table).value();
+  // Fill only on a successful, unambiguous run: error/cancel paths returned
+  // above (no poisoned entries), and a generation that moved mid-execution
+  // (a contract violation — mutation requires exclusive access — but cheap
+  // to defend against) skips the fill rather than stamping a lie.
+  if (cache_on && graph_->Generation() == generation) {
+    answer_cache_->Put(fingerprint, generation, resp.table,
+                       resp.table.ApproxBytes());
+    if (plan == nullptr) {
+      fresh_plan.ast = *query;
+      plan_cache_->Put(query_hash, generation, std::move(fresh_plan));
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (enable_cache_) cache_[sparql] = resp.table;
     log_.push_back(MakeLogEntry(sparql, resp));
   }
   finish(Status::OK());

@@ -4,17 +4,18 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/query_context.h"
 #include "common/query_log.h"
 #include "common/status.h"
 #include "rdf/graph.h"
 #include "sparql/exec_stats.h"
+#include "sparql/plan_cache.h"
 #include "sparql/result_table.h"
 
 namespace rdfa::endpoint {
@@ -62,6 +63,9 @@ struct QueryResponse {
   double queued_ms = 0;    ///< time spent waiting for an admission slot
   size_t queue_depth = 0;  ///< waiters still queued when admitted / shed
   bool cache_hit = false;
+  /// The execution reused a cached plan (parse + BGP reordering skipped).
+  /// Always false on answer-cache hits — nothing executed at all.
+  bool plan_cache_hit = false;
   /// Outcome of the request. OK for a served answer. DeadlineExceeded /
   /// Cancelled when the query tripped its budget mid-execution — the table
   /// is empty but exec_stats keeps the partial work (aborted stage, rows
@@ -101,7 +105,15 @@ struct EndpointStats {
 };
 
 /// A SPARQL endpoint facade over the local engine with the latency model,
-/// an optional answer cache (an ablation knob), and a query log.
+/// an optional generation-checked answer + plan cache (an ablation knob),
+/// and a query log.
+///
+/// Caching protocol: every cached artifact is stamped with the graph's
+/// mutation generation (rdf::Graph::Generation()) read *before* execution.
+/// A lookup under a different generation is a miss that lazily evicts the
+/// stale entry, so an answer computed before a SPARQL UPDATE can never be
+/// served after it. Queries are fingerprinted with whitespace-normalized
+/// text (NormalizeQueryText), so reformattings share an entry.
 class SimulatedEndpoint {
  public:
   SimulatedEndpoint(rdf::Graph* graph, LatencyProfile profile,
@@ -172,7 +184,20 @@ class SimulatedEndpoint {
   const LatencyProfile& profile() const { return profile_; }
   size_t queries_served() const;
   size_t cache_hits() const;
+  /// Drops every answer- and plan-cache entry and zeroes the hit counters,
+  /// so hit-rate math after a clear starts from scratch.
   void ClearCache();
+
+  /// Replaces the answer cache (and the derived plan cache) with freshly
+  /// configured, empty ones. Not synchronized against in-flight queries —
+  /// configure before serving traffic.
+  void set_cache_options(CacheOptions opts);
+  CacheOptions cache_options() const { return cache_opts_; }
+  bool cache_enabled() const { return answer_cache_->enabled(); }
+  /// Counters of the two cache layers (hits/misses/evictions/
+  /// invalidations/residency). Cumulative until ClearCache().
+  CacheStats answer_cache_stats() const { return answer_cache_->Stats(); }
+  CacheStats plan_cache_stats() const { return plan_cache_->Stats(); }
 
   /// Every successfully served query, in order. Not synchronized — read it
   /// only once concurrent queries have drained.
@@ -198,13 +223,19 @@ class SimulatedEndpoint {
 
   rdf::Graph* graph_;
   LatencyProfile profile_;
-  bool enable_cache_;
   int thread_count_ = 1;
 
-  /// Guards the service state: cache, log, counters, jitter stream. Never
-  /// held together with adm_mu_.
+  /// Cache layers. Internally synchronized (sharded locks); the unique_ptrs
+  /// themselves are only replaced by set_cache_options, which must not race
+  /// with queries. The plan cache is gated by the same enablement knob so a
+  /// cache-off endpoint is a true no-reuse baseline.
+  CacheOptions cache_opts_;
+  std::unique_ptr<LruCache<sparql::ResultTable>> answer_cache_;
+  std::unique_ptr<sparql::PlanCache> plan_cache_;
+
+  /// Guards the service state: log, counters, jitter stream. Never held
+  /// together with adm_mu_.
   mutable std::mutex mu_;
-  std::map<std::string, sparql::ResultTable> cache_;
   std::vector<QueryLogEntry> log_;
   size_t queries_served_ = 0;
   size_t cache_hits_ = 0;

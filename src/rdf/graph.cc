@@ -12,6 +12,7 @@ bool Graph::Add(const Term& s, const Term& p, const Term& o) {
 bool Graph::AddIds(TripleId t) {
   if (!triple_set_.insert(t).second) return false;
   triples_.push_back(t);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   stats_dirty_.store(true, std::memory_order_relaxed);
   dirty_.store(true, std::memory_order_release);
   return true;
@@ -36,6 +37,11 @@ size_t Graph::RemoveMatching(TermId s, TermId p, TermId o) {
     }
   }
   triples_ = std::move(kept);
+  // The generation only moves when the triple set actually changed; a
+  // no-match removal keeps every cached artifact valid.
+  if (triples_.size() != before) {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
   stats_dirty_.store(true, std::memory_order_relaxed);
   dirty_.store(true, std::memory_order_release);
   return before - triples_.size();

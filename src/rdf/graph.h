@@ -89,6 +89,12 @@ class Graph {
       osp_ = std::move(other.osp_);
       index_generation_ = other.index_generation_;
       stats_ = std::move(other.stats_);
+      // The destination graph's content changed wholesale: advance past
+      // both counters so artifacts cached against either graph go stale.
+      generation_.store(generation_.load(std::memory_order_relaxed) +
+                            other.generation_.load(std::memory_order_relaxed) +
+                            1,
+                        std::memory_order_release);
       dirty_.store(other.dirty_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
       stats_dirty_.store(other.stats_dirty_.load(std::memory_order_relaxed),
@@ -147,6 +153,17 @@ class Graph {
   uint64_t index_generation() const {
     std::shared_lock<std::shared_mutex> lock(index_mu_);
     return index_generation_;
+  }
+
+  /// Monotonic mutation counter: bumped every time the triple set actually
+  /// changes (an insert that was not a duplicate, a removal that matched at
+  /// least one triple). Cached artifacts — query answers, reordered plans,
+  /// roll-ups — are stamped with the generation they were computed at and
+  /// revalidated against this value, so a stale artifact can never be
+  /// served after an update. Distinct from index_generation(), which counts
+  /// index *rebuilds* (several mutations may share one rebuild).
+  uint64_t Generation() const {
+    return generation_.load(std::memory_order_acquire);
   }
 
   /// Calls `fn(const TripleId&)` for every triple matching the pattern;
@@ -273,6 +290,8 @@ class Graph {
   std::vector<TripleId> triples_;
   std::unordered_set<TripleId, TripleHash> triple_set_;
 
+  // Bumped by every effective mutation; see Generation().
+  std::atomic<uint64_t> generation_{0};
   mutable std::atomic<bool> dirty_{true};
   // Set alongside dirty_ on mutation; cleared by the stats pass in
   // EnsureIndexes or by RestoreStats. Invariant: stats_dirty_ implies

@@ -349,7 +349,40 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
 
   Tracer* tracer = opts.ctx != nullptr ? opts.ctx->tracer() : nullptr;
 
-  if (reorder && patterns.size() > 1) {
+  // Plan-cache replay: apply a previously chosen order without re-running
+  // the greedy reorderer. Only a valid permutation of the pattern count is
+  // trusted — anything else (stale entry shape, corrupted data) falls back
+  // to the normal path below.
+  bool replayed = false;
+  if (opts.replay_order != nullptr &&
+      opts.replay_order->size() == patterns.size()) {
+    std::vector<CompiledPattern> ordered;
+    std::vector<int> ordered_source;
+    ordered.reserve(patterns.size());
+    ordered_source.reserve(patterns.size());
+    std::vector<bool> used(patterns.size(), false);
+    bool valid = true;
+    for (int src : *opts.replay_order) {
+      if (src < 0 || static_cast<size_t>(src) >= patterns.size() ||
+          used[src]) {
+        valid = false;
+        break;
+      }
+      used[src] = true;
+      ordered.push_back(patterns[src]);
+      ordered_source.push_back(src);
+    }
+    if (valid) {
+      TraceSpan plan_span(tracer, "plan");
+      plan_span.Arg("patterns", static_cast<uint64_t>(patterns.size()));
+      plan_span.Arg("replayed", true);
+      patterns = std::move(ordered);
+      source_index = std::move(ordered_source);
+      replayed = true;
+    }
+  }
+
+  if (!replayed && reorder && patterns.size() > 1) {
     TraceSpan plan_span(tracer, "plan");
     plan_span.Arg("patterns", static_cast<uint64_t>(patterns.size()));
     plan_span.Arg("calibrated", opts.calibrated_estimates);
@@ -382,6 +415,10 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
     }
     patterns = std::move(ordered);
     source_index = std::move(ordered_source);
+  }
+
+  if (opts.capture_order != nullptr) {
+    opts.capture_order->assign(source_index.begin(), source_index.end());
   }
 
   const int threads = std::max(1, opts.threads);

@@ -67,6 +67,15 @@ struct JoinOptions {
   /// calibration, false the legacy range-width + flat-discount heuristic
   /// (the ablation benchmark toggles this).
   bool calibrated_estimates = true;
+  /// Plan-cache replay: a join order previously chosen for this BGP (source
+  /// indexes in execution order, the ExecStats::join_order format). When it
+  /// is a valid permutation of the pattern count, the greedy reorderer is
+  /// skipped and this order applied verbatim; otherwise it is ignored.
+  /// Orders only change performance, never result bytes.
+  const std::vector<int>* replay_order = nullptr;
+  /// Plan-cache capture: when set, receives the order actually executed
+  /// (whether replayed, greedily chosen, or source order).
+  std::vector<int>* capture_order = nullptr;
 };
 
 /// Extends every binding in `*rows` through all `patterns` by index

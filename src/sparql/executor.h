@@ -66,6 +66,21 @@ class Executor {
   const ExecStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  /// Plan-cache hooks. ReplayJoinOrders installs previously captured BGP
+  /// join orders — one vector per BGP join run, consumed positionally in
+  /// evaluation order by subsequent Execute() calls, bypassing the greedy
+  /// reorderer (a shape mismatch falls back to it). CaptureJoinOrders
+  /// records the orders an execution actually chooses into `*out`. Orders
+  /// affect join cost only, never result bytes; both hooks accept nullptr
+  /// to detach. The pointees must outlive the Execute() calls.
+  void ReplayJoinOrders(const std::vector<std::vector<int>>* orders) {
+    replay_orders_ = orders;
+  }
+  void CaptureJoinOrders(std::vector<std::vector<int>>* out) {
+    if (out != nullptr) out->clear();
+    capture_orders_ = out;
+  }
+
   Result<ResultTable> Select(const SelectQuery& query);
   Result<bool> Ask(const AskQuery& query);
   /// Instantiates the CONSTRUCT template into `*out`; returns the number of
@@ -97,6 +112,11 @@ class Executor {
                                            VarTable* vars,
                                            std::vector<Binding> seed);
 
+  /// Upper bound on BGP join runs captured per query: keeps plan entries
+  /// for EXISTS-heavy queries (one run per probed row) from ballooning.
+  /// Runs past the cap just re-run the greedy reorderer.
+  static constexpr size_t kMaxCachedBgpOrders = 64;
+
   rdf::Graph* graph_;
   bool reorder_joins_;
   bool push_filters_;
@@ -105,6 +125,9 @@ class Executor {
   bool calibrated_estimates_ = true;
   ExecStats stats_;
   QueryContext ctx_;
+  const std::vector<std::vector<int>>* replay_orders_ = nullptr;
+  std::vector<std::vector<int>>* capture_orders_ = nullptr;
+  size_t bgp_seq_ = 0;
 };
 
 /// Parses and executes `text` in one call.

@@ -1,0 +1,45 @@
+#include "sparql/plan_cache.h"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace rdfa::sparql {
+
+namespace {
+
+std::string KeyFor(uint64_t query_hash) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(query_hash));
+  return buf;
+}
+
+// Rough footprint of a plan entry. The AST is a pointer-heavy structure we
+// do not walk exactly; a fixed estimate plus the captured orders keeps the
+// byte budget meaningful without a recursive size pass.
+size_t ApproxPlanBytes(const PlanEntry& entry) {
+  size_t bytes = 1024;  // AST baseline
+  for (const auto& order : entry.bgp_orders) {
+    bytes += sizeof(order) + order.size() * sizeof(int);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(CacheOptions opts)
+    : cache_(opts, "rdfa_plan_cache") {}
+
+std::shared_ptr<const PlanEntry> PlanCache::Get(uint64_t query_hash,
+                                                uint64_t generation) {
+  return cache_.Get(KeyFor(query_hash), generation);
+}
+
+void PlanCache::Put(uint64_t query_hash, uint64_t generation,
+                    PlanEntry entry) {
+  size_t bytes = ApproxPlanBytes(entry);
+  cache_.Put(KeyFor(query_hash), generation, std::move(entry), bytes);
+}
+
+}  // namespace rdfa::sparql

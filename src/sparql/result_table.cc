@@ -26,4 +26,16 @@ std::string ResultTable::ToTsv() const {
   return out;
 }
 
+size_t ResultTable::ApproxBytes() const {
+  size_t bytes = sizeof(ResultTable);
+  for (const std::string& c : columns_) bytes += sizeof(std::string) + c.size();
+  for (const auto& row : rows_) {
+    bytes += sizeof(row) + row.capacity() * sizeof(rdf::Term);
+    for (const rdf::Term& t : row) {
+      bytes += t.lexical().size() + t.datatype().size() + t.lang().size();
+    }
+  }
+  return bytes;
+}
+
 }  // namespace rdfa::sparql

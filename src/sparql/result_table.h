@@ -36,6 +36,10 @@ class ResultTable {
   /// Tab-separated rendering with a header line (terms in N-Triples form).
   std::string ToTsv() const;
 
+  /// Rough heap footprint of the table (cell payload strings plus container
+  /// overhead) — the byte accounting the answer cache charges an entry with.
+  size_t ApproxBytes() const;
+
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<rdf::Term>> rows_;

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sparql/executor.h"
 #include "workload/invoices.h"
 
 namespace rdfa::endpoint {
@@ -213,6 +214,140 @@ TEST_F(EndpointTest, StatsReportPercentiles) {
   EXPECT_EQ(stats.count, 5u);
   EXPECT_GT(stats.p50_total_ms, 0.0);
   EXPECT_GE(stats.p99_total_ms, stats.p50_total_ms);
+}
+
+// Regression anchor: the pre-generation cache kept serving the answer
+// computed *before* a SPARQL UPDATE. The generation stamp must turn that
+// lookup into a miss (counted as an invalidation) and the re-executed
+// answer must reflect the mutation.
+TEST_F(EndpointTest, UpdateInvalidatesCachedAnswer) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local(), /*enable_cache=*/true);
+  auto before = ep.Query(kQuery);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(before.value().status.ok());
+  const std::string stale = before.value().table.ToTsv();
+
+  auto updated = sparql::ExecuteUpdateString(
+      &g_,
+      "PREFIX inv: <http://www.ics.forth.gr/invoices#>\n"
+      "INSERT DATA { inv:i99 inv:takesPlaceAt inv:br1 . "
+      "inv:i99 inv:inQuantity 1000 . }");
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  ASSERT_GT(updated.value().inserted, 0u);
+
+  auto after = ep.Query(kQuery);
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after.value().status.ok());
+  EXPECT_FALSE(after.value().cache_hit) << "served a stale cached answer";
+  EXPECT_NE(after.value().table.ToTsv(), stale)
+      << "the +1000 quantity is missing from the re-served answer";
+  EXPECT_GE(ep.answer_cache_stats().invalidations, 1u);
+
+  // The refreshed entry is served again at the new generation.
+  auto again = ep.Query(kQuery);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().cache_hit);
+  EXPECT_EQ(again.value().table.ToTsv(), after.value().table.ToTsv());
+}
+
+// Regression anchor: the pre-LRU cache was an unbounded map — distinct
+// queries grew it forever. Residency must now respect the entry budget.
+TEST_F(EndpointTest, CacheResidencyStaysBounded) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local(), /*enable_cache=*/true);
+  CacheOptions opts;
+  opts.max_entries = 4;
+  opts.shards = 1;  // one global LRU: exact bound, exact eviction order
+  ep.set_cache_options(opts);
+  for (int i = 0; i < 32; ++i) {
+    std::string q =
+        "PREFIX inv: <http://www.ics.forth.gr/invoices#>\n"
+        "SELECT ?b (SUM(?q) AS ?tot) WHERE { ?i inv:takesPlaceAt ?b . ?i "
+        "inv:inQuantity ?q . FILTER(?q > " +
+        std::to_string(i) + ") } GROUP BY ?b";
+    auto resp = ep.Query(q);
+    ASSERT_TRUE(resp.ok());
+    ASSERT_TRUE(resp.value().status.ok());
+  }
+  CacheStats stats = ep.answer_cache_stats();
+  EXPECT_LE(stats.entries, 4u);
+  EXPECT_GE(stats.evictions, 28u);
+}
+
+TEST_F(EndpointTest, ClearCacheResetsHitCounter) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local(), /*enable_cache=*/true);
+  ASSERT_TRUE(ep.Query(kQuery).ok());
+  ASSERT_TRUE(ep.Query(kQuery).ok());
+  EXPECT_EQ(ep.cache_hits(), 1u);
+  ep.ClearCache();
+  // Hit-rate math restarts from scratch: the counter is zero, the next
+  // repeat pair yields exactly one hit again.
+  EXPECT_EQ(ep.cache_hits(), 0u);
+  EXPECT_EQ(ep.answer_cache_stats().hits, 0u);
+  ASSERT_TRUE(ep.Query(kQuery).ok());
+  ASSERT_TRUE(ep.Query(kQuery).ok());
+  EXPECT_EQ(ep.cache_hits(), 1u);
+}
+
+TEST_F(EndpointTest, PlanCacheHitSkipsParsingButNotExecution) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local(), /*enable_cache=*/true);
+  auto first = ep.Query(kQuery);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().plan_cache_hit);
+  EXPECT_EQ(ep.plan_cache_stats().entries, 1u);
+
+  // An update keeps the answer cache from hitting; the plan is recomputed
+  // too (plans validate against the statistics' generation).
+  auto updated = sparql::ExecuteUpdateString(
+      &g_,
+      "PREFIX inv: <http://www.ics.forth.gr/invoices#>\n"
+      "INSERT DATA { inv:i98 inv:takesPlaceAt inv:br2 . "
+      "inv:i98 inv:inQuantity 7 . }");
+  ASSERT_TRUE(updated.ok());
+  auto second = ep.Query(kQuery);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().cache_hit);
+  EXPECT_FALSE(second.value().plan_cache_hit);
+  EXPECT_TRUE(second.value().status.ok());
+}
+
+TEST_F(EndpointTest, PlanCacheServesWhenAnswerCacheCannotHold) {
+  // A 1-byte answer budget keeps every answer out of the cache (oversized
+  // entries are skipped), so repeats re-execute — but the plan layer still
+  // hits, skipping parse + reorder while producing identical bytes.
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local(), /*enable_cache=*/true);
+  CacheOptions opts;
+  opts.max_bytes = 1;
+  opts.shards = 1;
+  ep.set_cache_options(opts);
+  auto first = ep.Query(kQuery);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value().status.ok());
+  EXPECT_FALSE(first.value().plan_cache_hit);
+  auto second = ep.Query(kQuery);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second.value().status.ok());
+  EXPECT_FALSE(second.value().cache_hit);
+  EXPECT_TRUE(second.value().plan_cache_hit);
+  EXPECT_EQ(second.value().table.ToTsv(), first.value().table.ToTsv());
+  EXPECT_EQ(ep.plan_cache_stats().hits, 1u);
+  EXPECT_EQ(ep.answer_cache_stats().entries, 0u);
+}
+
+TEST_F(EndpointTest, ReformattedQuerySharesTheCacheEntry) {
+  SimulatedEndpoint ep(&g_, LatencyProfile::Local(), /*enable_cache=*/true);
+  auto first = ep.Query(kQuery);
+  ASSERT_TRUE(first.ok());
+  // Same query, whitespace mangled: tabs, runs of spaces, trailing newline.
+  std::string mangled;
+  for (char c : std::string(kQuery)) {
+    mangled += c;
+    if (c == ' ') mangled += "\t ";
+  }
+  mangled += "\n\n";
+  auto second = ep.Query(mangled);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().cache_hit);
+  EXPECT_EQ(second.value().table.ToTsv(), first.value().table.ToTsv());
 }
 
 }  // namespace

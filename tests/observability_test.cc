@@ -586,6 +586,127 @@ TEST(MetricsTickTest, CancelledAndTimedOutTickExactlyOncePerQuery) {
   EXPECT_EQ(reg.FindHistogram("rdfa_query_latency_ms")->Count(), 3u);
 }
 
+TEST(MetricsTickTest, CacheCountersTickExactlyOncePerEvent) {
+  // Every cache event — answer hit/miss, plan hit/miss, generation
+  // invalidation, capacity eviction — ticks its exported counter exactly
+  // once, and all the series appear in the Prometheus exposition.
+  MetricsRegistry::Global().ResetForTest();
+  rdf::Graph g;
+  workload::BuildInvoicesExample(&g);
+  endpoint::SimulatedEndpoint ep(&g, endpoint::LatencyProfile::Local(),
+                                 /*enable_cache=*/true);
+  CacheOptions opts;
+  opts.max_entries = 1;
+  opts.shards = 1;
+  ep.set_cache_options(opts);
+
+  const std::string other =
+      "PREFIX inv: <http://www.ics.forth.gr/invoices#>\n"
+      "SELECT ?i ?q WHERE { ?i inv:inQuantity ?q . FILTER(?q > 5) }";
+  // miss, hit, then a second key evicts the first (capacity 1).
+  ASSERT_TRUE(ep.Query(kInvQuery).ok());
+  ASSERT_TRUE(ep.Query(kInvQuery).ok());
+  ASSERT_TRUE(ep.Query(other).ok());
+  // Mutation, then re-query of the resident key: one invalidation.
+  ASSERT_TRUE(sparql::ExecuteUpdateString(
+                  &g,
+                  "PREFIX inv: <http://www.ics.forth.gr/invoices#>\n"
+                  "INSERT DATA { inv:i97 inv:inQuantity 50 . }")
+                  .ok());
+  ASSERT_TRUE(ep.Query(other).ok());
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const Counter* hits = reg.FindCounter("rdfa_endpoint_cache_hits_total");
+  const Counter* misses = reg.FindCounter("rdfa_endpoint_cache_misses_total");
+  const Counter* evictions =
+      reg.FindCounter("rdfa_endpoint_cache_evictions_total");
+  const Counter* invalidations =
+      reg.FindCounter("rdfa_endpoint_cache_invalidations_total");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  ASSERT_NE(evictions, nullptr);
+  ASSERT_NE(invalidations, nullptr);
+  EXPECT_EQ(hits->Value(), 1u);
+  EXPECT_EQ(misses->Value(), 3u);  // first kInvQuery, first `other`, stale re-query
+  EXPECT_EQ(evictions->Value(), 1u);
+  EXPECT_EQ(invalidations->Value(), 1u);
+
+  // The registry counters agree with the endpoint's own stats view.
+  CacheStats stats = ep.answer_cache_stats();
+  EXPECT_EQ(stats.hits, hits->Value());
+  EXPECT_EQ(stats.misses, misses->Value());
+  EXPECT_EQ(stats.evictions, evictions->Value());
+  EXPECT_EQ(stats.invalidations, invalidations->Value());
+
+  std::string text = reg.PrometheusText();
+  for (const char* needle :
+       {"rdfa_endpoint_cache_hits_total", "rdfa_endpoint_cache_misses_total",
+        "rdfa_endpoint_cache_evictions_total",
+        "rdfa_endpoint_cache_invalidations_total",
+        "rdfa_plan_cache_hits_total", "rdfa_plan_cache_misses_total"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(MetricsTickTest, PlanCacheCountersTickExactlyOncePerEvent) {
+  MetricsRegistry::Global().ResetForTest();
+  rdf::Graph g;
+  workload::BuildInvoicesExample(&g);
+  endpoint::SimulatedEndpoint ep(&g, endpoint::LatencyProfile::Local(),
+                                 /*enable_cache=*/true);
+  // A 1-byte answer budget forces every repeat onto the plan-cache path
+  // (answers are never resident, plans are).
+  CacheOptions opts;
+  opts.max_bytes = 1;
+  opts.shards = 1;
+  ep.set_cache_options(opts);
+
+  auto first = ep.Query(kInvQuery);   // plan miss
+  auto second = ep.Query(kInvQuery);  // plan hit
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_TRUE(second.value().plan_cache_hit);
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const Counter* hits = reg.FindCounter("rdfa_plan_cache_hits_total");
+  const Counter* misses = reg.FindCounter("rdfa_plan_cache_misses_total");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  EXPECT_EQ(hits->Value(), 1u);
+  EXPECT_EQ(misses->Value(), 1u);
+  EXPECT_EQ(ep.plan_cache_stats().hits, 1u);
+  EXPECT_EQ(ep.plan_cache_stats().misses, 1u);
+}
+
+TEST(MetricsTickTest, RollupCacheCountersShareTheProtocol) {
+  MetricsRegistry::Global().ResetForTest();
+  analytics::RollupCache cache;
+  sparql::ResultTable table({"brand", "sales"});
+  for (int i = 0; i < 6; ++i) {
+    table.AddRow({Term::Iri("urn:b" + std::to_string(i % 2)),
+                  Term::Integer(i)});
+  }
+  analytics::AnswerFrame frame(std::move(table));
+  auto miss = cache.RollUp("src", 1, frame, {"brand"}, "sales",
+                           hifun::AggOp::kSum);
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  auto hit = cache.RollUp("src", 1, frame, {"brand"}, "sales",
+                          hifun::AggOp::kSum);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value().table().ToTsv(), miss.value().table().ToTsv());
+  // A newer generation invalidates the memo.
+  auto inval = cache.RollUp("src", 2, frame, {"brand"}, "sales",
+                            hifun::AggOp::kSum);
+  ASSERT_TRUE(inval.ok());
+  EXPECT_EQ(inval.value().table().ToTsv(), miss.value().table().ToTsv());
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  ASSERT_NE(reg.FindCounter("rdfa_rollup_cache_hits_total"), nullptr);
+  EXPECT_EQ(reg.FindCounter("rdfa_rollup_cache_hits_total")->Value(), 1u);
+  EXPECT_EQ(reg.FindCounter("rdfa_rollup_cache_misses_total")->Value(), 2u);
+  EXPECT_EQ(
+      reg.FindCounter("rdfa_rollup_cache_invalidations_total")->Value(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Structured query log
 
@@ -689,7 +810,9 @@ TEST(QueryLogTest, EndpointMetricsUseDistinctNamesFromEngineMetrics) {
   ASSERT_NE(shed, nullptr);
   EXPECT_EQ(shed->Value(), 1u);
   const Counter* engine_total = reg.FindCounter("rdfa_queries_total");
-  if (engine_total != nullptr) EXPECT_EQ(engine_total->Value(), 0u);
+  if (engine_total != nullptr) {
+    EXPECT_EQ(engine_total->Value(), 0u);
+  }
 }
 
 // ---------------------------------------------------------------------------
