@@ -22,6 +22,12 @@
 //            every cached answer is byte-compared against the uncached
 //            first-iteration answer (any difference is a bench failure);
 //            hit rates land in the JSON output.
+//   --mixed-writes=N: run the query suite for N rounds against an
+//            MvccGraph-backed endpoint with one unrelated-predicate commit
+//            between rounds; reports the answer-cache hit rate under
+//            updates plus p50/p99 (JSON key "mixed_rw").
+//   --global-invalidation: ablate the mixed leg to wildcard footprints
+//            (classic whole-cache invalidation) — hit rate drops to 0.
 //   --json:  write one machine-readable JSON object for the run (scale,
 //            iters, p50/p99, per-query ExecStats)
 //   --trace-out:  write one Chrome trace-event JSON file per served query
@@ -231,6 +237,99 @@ int RunProfile(rdfa::rdf::Graph* graph, const LatencyProfile& profile,
   return failures;
 }
 
+/// Mixed read/write leg: the query suite runs for `rounds` rounds against
+/// an MvccGraph-backed endpoint while a writer commits one insert to an
+/// *unrelated* predicate (ex:benchPoke) between rounds. With
+/// predicate-granular invalidation the cached answers survive every commit
+/// (nonzero hit rate from round 2 on); with --global-invalidation (the
+/// ablation baseline: wildcard footprints, i.e. the old global-generation
+/// stamp) every commit wipes the cache and the hit rate stays 0. Answers
+/// are byte-compared against round 1 throughout — the poke predicate never
+/// appears in the suite, so any drift is a correctness failure.
+int RunMixedReadWrite(size_t laptops, int rounds, bool predicate_inval,
+                      std::string* json_out) {
+  auto base = std::make_unique<rdfa::rdf::Graph>();
+  rdfa::workload::ProductKgOptions opt;
+  opt.laptops = laptops;
+  opt.companies = laptops / 100 + 5;
+  rdfa::workload::GenerateProductKg(base.get(), opt);
+  rdfa::rdf::MaterializeRdfsClosure(base.get());
+  const size_t n_triples = base->size();
+  rdfa::rdf::MvccGraph mvcc(std::move(base));
+
+  SimulatedEndpoint endpoint(&mvcc, LatencyProfile::Local(), true);
+  rdfa::CacheOptions copts;
+  copts.max_bytes = (g_cache_mb > 0 ? g_cache_mb : 64) << 20;
+  endpoint.set_cache_options(copts);
+  endpoint.set_predicate_invalidation(predicate_inval);
+
+  std::printf("\n== mixed read/write (%zu triples, %d rounds, %s "
+              "invalidation) ==\n",
+              n_triples, rounds, predicate_inval ? "predicate" : "global");
+  int failures = 0;
+  uint64_t mismatches = 0;
+  std::vector<double> latencies;
+  std::vector<std::string> reference_tsv(std::size(kSuite));
+  rdfa::rdf::PrefixMap prefixes;
+  for (int round = 0; round < rounds; ++round) {
+    for (const QuerySpec& spec : kSuite) {
+      const size_t qi = static_cast<size_t>(&spec - kSuite);
+      auto q = rdfa::hifun::ParseHifun(spec.hifun, prefixes,
+                                       rdfa::workload::kExampleNs);
+      if (!q.ok()) { ++failures; continue; }
+      auto sparql = rdfa::translator::TranslateToSparql(q.value());
+      if (!sparql.ok()) { ++failures; continue; }
+      auto resp = endpoint.Query(sparql.value());
+      if (!resp.ok() || !resp.value().status.ok()) {
+        std::fprintf(stderr, "%s: mixed-rw query failed\n", spec.id);
+        ++failures;
+        continue;
+      }
+      latencies.push_back(resp.value().total_ms);
+      std::string tsv = resp.value().table.ToTsv();
+      if (round == 0) {
+        reference_tsv[qi] = std::move(tsv);
+      } else if (tsv != reference_tsv[qi]) {
+        std::fprintf(stderr,
+                     "%s: answer drifted under concurrent writes\n", spec.id);
+        ++failures;
+        ++mismatches;
+      }
+    }
+    // The between-rounds write: one commit touching only ex:benchPoke.
+    const std::string ns = rdfa::workload::kExampleNs;
+    mvcc.Insert(
+        rdfa::rdf::Term::Iri(ns + "poke" + std::to_string(round)),
+        rdfa::rdf::Term::Iri(ns + "benchPoke"),
+        rdfa::rdf::Term::Integer(round));
+    auto committed = mvcc.Commit();
+    if (!committed.ok()) {
+      std::fprintf(stderr, "mixed-rw commit failed: %s\n",
+                   committed.status().ToString().c_str());
+      ++failures;
+    }
+  }
+  rdfa::CacheStats a = endpoint.answer_cache_stats();
+  std::printf("answer cache under updates: %llu hits / %llu misses "
+              "(%.0f%%), %llu invalidations; p50 %.2f ms, p99 %.2f ms\n",
+              static_cast<unsigned long long>(a.hits),
+              static_cast<unsigned long long>(a.misses), 100 * a.HitRate(),
+              static_cast<unsigned long long>(a.invalidations),
+              Percentile(latencies, 0.50), Percentile(latencies, 0.99));
+  if (json_out != nullptr) {
+    JsonObject obj;
+    obj.AddInt("rounds", static_cast<uint64_t>(rounds));
+    obj.AddString("invalidation", predicate_inval ? "predicate" : "global");
+    obj.AddRaw("answer_cache", CacheJson(a));
+    obj.AddRaw("plan_cache", CacheJson(endpoint.plan_cache_stats()));
+    obj.AddNumber("p50_ms", Percentile(latencies, 0.50));
+    obj.AddNumber("p99_ms", Percentile(latencies, 0.99));
+    obj.AddInt("mismatches", mismatches);
+    *json_out = obj.Render();
+  }
+  return failures;
+}
+
 /// Deterministic admission/timeout demonstration: a held slot forces a
 /// shed; a sub-millisecond budget forces a deadline trip.
 int RunAdmissionDemo(rdfa::rdf::Graph* graph) {
@@ -290,6 +389,8 @@ int RunAdmissionDemo(rdfa::rdf::Graph* graph) {
 int main(int argc, char** argv) {
   size_t scale = 0;
   int iters = 1;
+  int mixed_writes = 0;
+  bool global_invalidation = false;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -303,6 +404,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--cache-mb=", 0) == 0) {
       long mb = std::atol(arg.c_str() + 11);
       g_cache_mb = mb < 0 ? 0 : static_cast<size_t>(mb);
+    } else if (arg.rfind("--mixed-writes=", 0) == 0) {
+      mixed_writes = std::atoi(arg.c_str() + 15);
+    } else if (arg == "--global-invalidation") {
+      global_invalidation = true;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       g_trace.set_dir(arg.substr(12));
     } else if (arg.rfind("--query-log=", 0) == 0) {
@@ -339,6 +444,11 @@ int main(int argc, char** argv) {
                            graph->size(), iters);
   }
   failures += RunAdmissionDemo(graph.get());
+  std::string mixed_json;
+  if (mixed_writes > 0) {
+    failures += RunMixedReadWrite(scales.front(), mixed_writes,
+                                  !global_invalidation, &mixed_json);
+  }
   std::printf(
       "\nshape check vs paper: off-peak totals are several times smaller "
       "than peak totals;\nall queries remain interactive (sub-second "
@@ -356,6 +466,7 @@ int main(int argc, char** argv) {
     top.AddRaw("answer_cache", CacheJson(g_answer_stats));
     top.AddRaw("plan_cache", CacheJson(g_plan_stats));
     top.AddInt("cache_mismatches", g_cache_mismatches);
+    if (!mixed_json.empty()) top.AddRaw("mixed_rw", mixed_json);
     top.AddRaw("runs", JsonArray(g_run_json));
     if (!WriteJsonFile(json_path, top.Render())) return 1;
     std::printf("wrote %s\n", json_path.c_str());

@@ -26,9 +26,11 @@
 #include "common/trace.h"
 #include "endpoint/endpoint.h"
 #include "fs/facets.h"
+#include "rdf/mvcc.h"
 #include "rdf/rdfs.h"
 #include "rdf/turtle.h"
 #include "search/keyword.h"
+#include "sparql/executor.h"
 #include "sparql/results_io.h"
 #include "viz/chart.h"
 #include "viz/table_render.h"
@@ -38,8 +40,9 @@
 namespace {
 
 struct Shell {
-  // The base graph plus one graph per answer-frame nesting level.
-  std::vector<std::unique_ptr<rdfa::rdf::Graph>> graphs;
+  // The base graph plus one graph per answer-frame nesting level. Shared
+  // pointers so the base slot can alias an MvccGraph snapshot in WAL mode.
+  std::vector<std::shared_ptr<rdfa::rdf::Graph>> graphs;
   std::vector<std::unique_ptr<rdfa::analytics::AnalyticsSession>> sessions;
   std::string default_ns;
   int threads = 1;       ///< morsel-parallelism budget for exec
@@ -55,6 +58,10 @@ struct Shell {
   rdfa::QueryContext exec_ctx;  ///< the context armed for the current exec
   std::unique_ptr<rdfa::endpoint::SimulatedEndpoint> endpoint;
   const rdfa::rdf::Graph* endpoint_graph = nullptr;
+  /// --wal=<path>: the durable MVCC store. The shell's base graph is then a
+  /// pinned snapshot of its head; `update`/`walstress` commit through it.
+  std::unique_ptr<rdfa::rdf::MvccGraph> mvcc;
+  std::string wal_path;
 
   /// The cache-serving endpoint over the *current* graph, (re)built lazily
   /// whenever the graph stack changed (load/example/explore/pop), so cached
@@ -163,13 +170,34 @@ struct Shell {
     return out;
   }
 
-  void Reset(std::unique_ptr<rdfa::rdf::Graph> g) {
+  void Reset(std::shared_ptr<rdfa::rdf::Graph> g) {
     graphs.clear();
     sessions.clear();
     graphs.push_back(std::move(g));
     sessions.push_back(
         std::make_unique<rdfa::analytics::AnalyticsSession>(graphs[0].get()));
     sessions.back()->set_thread_count(threads);
+  }
+
+  /// Re-pins the WAL head after a commit (or at open) and restarts the
+  /// session on it. Exploration state does not survive a commit — the new
+  /// epoch is a different immutable graph version.
+  void RefreshWalHead() {
+    rdfa::rdf::MvccGraph::Pin pin = mvcc->Snapshot();
+    Reset(pin.graph);
+  }
+
+  /// One deterministic line of Graph::Stats(), for crash-recovery diffing.
+  std::string KgStatsLine() {
+    const rdfa::rdf::GraphStats& s = graph().Stats();
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "triples=%llu subjects=%llu predicates=%llu objects=%llu",
+                  static_cast<unsigned long long>(s.triples),
+                  static_cast<unsigned long long>(s.distinct_subjects),
+                  static_cast<unsigned long long>(s.distinct_predicates),
+                  static_cast<unsigned long long>(s.distinct_objects));
+    return buf;
   }
 };
 
@@ -204,6 +232,12 @@ void PrintHelp() {
                                 exec (re-running an unchanged query is a hit;
                                 any mutation invalidates); --cache-mb=<n>
                                 sets the byte budget and turns it on
+  update <sparql update>        commit a SPARQL update through the WAL
+                                (needs --wal=<path>; durable before visible)
+  walstress <n> [batch]         n synthetic durable inserts, committed per
+                                batch (crash-recovery exercise; needs --wal)
+  kgstats                       one deterministic graph-statistics line
+                                (crash-recovery diffing)
   metrics                       process metrics, Prometheus text format
   stats                         execution statistics of the last exec
   chart                         bar-chart the answer frame
@@ -234,6 +268,12 @@ bool HandleLine(Shell& shell, const std::string& line) {
   };
 
   if (cmd == "quit" || cmd == "exit") return false;
+  if ((cmd == "example" || cmd == "load") && shell.mvcc != nullptr) {
+    std::printf("error: %s is unavailable in --wal mode — the WAL is the "
+                "source of truth; mutate with update/walstress\n",
+                cmd.c_str());
+    return true;
+  }
   if (cmd == "help") {
     PrintHelp();
   } else if (cmd == "example") {
@@ -455,6 +495,55 @@ bool HandleLine(Shell& shell, const std::string& line) {
       std::printf("cache is %s (try cache on|off|stats)\n",
                   shell.cache_on ? "on" : "off");
     }
+  } else if (cmd == "update") {
+    if (shell.mvcc == nullptr) {
+      std::printf("error: update needs --wal=<path>\n");
+      return true;
+    }
+    std::string rest;
+    std::getline(in, rest);
+    rest = std::string(rdfa::TrimWhitespace(rest));
+    if (rest.empty()) {
+      std::printf("usage: update <sparql update>\n");
+      return true;
+    }
+    if (!report(shell.mvcc->BufferUpdate(rest))) return true;
+    auto epoch = shell.mvcc->Commit();
+    if (!report(epoch.status())) return true;
+    shell.RefreshWalHead();
+    std::printf("committed epoch %llu (%zu triples)\n",
+                static_cast<unsigned long long>(epoch.value()),
+                shell.graph().size());
+  } else if (cmd == "walstress") {
+    // Synthetic durable inserts, committed per batch. The CI crash-recovery
+    // smoke kills the shell mid-run and checks that reopening the WAL
+    // reconstructs a stats-identical graph.
+    if (shell.mvcc == nullptr) {
+      std::printf("error: walstress needs --wal=<path>\n");
+      return true;
+    }
+    size_t n = 0, batch = 16;
+    in >> n >> batch;
+    if (batch == 0) batch = 16;
+    const std::string ns =
+        shell.default_ns.empty() ? "urn:walstress:" : shell.default_ns;
+    for (size_t i = 0; i < n; ++i) {
+      shell.mvcc->Insert(rdfa::rdf::Term::Iri(ns + "s" + std::to_string(i)),
+                         rdfa::rdf::Term::Iri(ns + "walPoke"),
+                         rdfa::rdf::Term::Integer(static_cast<int64_t>(i)));
+      if (shell.mvcc->pending_ops() >= batch) {
+        auto epoch = shell.mvcc->Commit();
+        if (!report(epoch.status())) return true;
+      }
+    }
+    auto epoch = shell.mvcc->Commit();
+    if (!report(epoch.status())) return true;
+    shell.RefreshWalHead();
+    std::printf("walstress done: epoch %llu, %zu triples\n",
+                static_cast<unsigned long long>(epoch.value()),
+                shell.graph().size());
+  } else if (cmd == "kgstats") {
+    std::printf("%s\n", shell.KgStatsLine().c_str());
   } else if (cmd == "metrics") {
     std::printf("%s", rdfa::MetricsRegistry::Global().PrometheusText().c_str());
   } else if (cmd == "timeout") {
@@ -581,9 +670,38 @@ int main(int argc, char** argv) {
       if (!path.empty()) {
         shell.query_log = std::make_unique<rdfa::QueryLog>(path);
       }
+    } else if (arg.rfind("--wal=", 0) == 0) {
+      shell.wal_path = arg.substr(6);
     }
   }
-  shell.Reset(std::make_unique<rdfa::rdf::Graph>());
+  if (!shell.wal_path.empty()) {
+    // Durable mode: replay the write-ahead log (tolerating a torn tail from
+    // a crash mid-append) instead of reparsing any source data.
+    rdfa::rdf::MvccGraph::Options opts;
+    opts.wal_path = shell.wal_path;
+    opts.update_fn = [](rdfa::rdf::Graph* g, const std::string& text) {
+      auto applied = rdfa::sparql::ExecuteUpdateString(g, text);
+      return applied.ok() ? rdfa::Status::OK() : applied.status();
+    };
+    auto opened = rdfa::rdf::MvccGraph::Open(std::move(opts));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: cannot open WAL %s: %s\n",
+                   shell.wal_path.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    shell.mvcc = std::move(opened).value();
+    const auto info = shell.mvcc->open_info();
+    shell.RefreshWalHead();
+    std::printf("wal: %s — replayed %llu records (%llu torn bytes "
+                "truncated), %zu triples\n",
+                shell.wal_path.c_str(),
+                static_cast<unsigned long long>(info.replayed_records),
+                static_cast<unsigned long long>(info.truncated_bytes),
+                shell.graph().size());
+  } else {
+    shell.Reset(std::make_unique<rdfa::rdf::Graph>());
+  }
   if (demo) return RunDemo(shell);
 
   std::printf("RDF-ANALYTICS shell — type 'help' for commands, "

@@ -5,6 +5,7 @@
 
 #include "analytics/rollup_cache.h"
 #include "common/query_log.h"
+#include "sparql/footprint.h"
 
 namespace rdfa::analytics {
 
@@ -124,20 +125,29 @@ Result<AnswerFrame> OlapView::Materialize() {
   }
   RDFA_RETURN_NOT_OK(session_->ClickAggregate(measure_));
   if (cache_ == nullptr) return session_->Execute();
-  // Generation-checked reuse: the cube is keyed by its normalized SPARQL
-  // text, stamped with the graph generation it was computed at. Revisiting
-  // a level is a hit; any mutation in between invalidates lazily.
+  // Footprint-stamped reuse: the cube is keyed by its normalized SPARQL
+  // text and stamped with the sum of per-predicate epochs over the
+  // predicates that SPARQL actually touches, so an update to an unrelated
+  // predicate leaves materialized cubes valid. Unparsable / unbounded
+  // queries degrade to a wildcard footprint, i.e. the classic
+  // global-generation stamp.
   RDFA_ASSIGN_OR_RETURN(std::string sparql, session_->BuildSparql());
   const std::string key = NormalizeQueryText(sparql);
-  const uint64_t generation = session_->graph()->Generation();
-  std::shared_ptr<const AnswerFrame> hit = cache_->Get(key, generation);
+  const rdf::Graph* graph = session_->graph();
+  const uint64_t generation = graph->Generation();
+  std::shared_ptr<const AnswerFrame> hit = cache_->Get(
+      key, [graph](const CacheFootprint& fp) {
+        return graph->FootprintStamp(fp);
+      });
   if (hit != nullptr) {
     session_->InstallAnswer(*hit);
     return *hit;
   }
+  CacheFootprint footprint = sparql::FootprintOfQueryText(sparql);
+  const uint64_t stamp = graph->FootprintStamp(footprint);
   RDFA_ASSIGN_OR_RETURN(AnswerFrame frame, session_->Execute());
   if (session_->graph()->Generation() == generation) {
-    cache_->Put(key, generation, frame);
+    cache_->Put(key, stamp, frame, std::move(footprint));
   }
   return frame;
 }

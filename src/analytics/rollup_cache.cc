@@ -239,10 +239,16 @@ std::shared_ptr<const AnswerFrame> RollupCache::Get(const std::string& key,
   return cache_.Get(key, generation);
 }
 
+std::shared_ptr<const AnswerFrame> RollupCache::Get(
+    const std::string& key,
+    const std::function<uint64_t(const CacheFootprint&)>& stamp_fn) {
+  return cache_.Get(key, stamp_fn);
+}
+
 void RollupCache::Put(const std::string& key, uint64_t generation,
-                      AnswerFrame frame) {
+                      AnswerFrame frame, CacheFootprint footprint) {
   size_t bytes = frame.table().ApproxBytes();
-  cache_.Put(key, generation, std::move(frame), bytes);
+  cache_.Put(key, generation, std::move(frame), bytes, std::move(footprint));
 }
 
 Result<AnswerFrame> RollupCache::RollUp(

@@ -2,6 +2,7 @@
 #define RDFA_ANALYTICS_ROLLUP_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -69,8 +70,19 @@ class RollupCache {
   std::shared_ptr<const AnswerFrame> Get(const std::string& key,
                                          uint64_t generation);
 
-  /// Stores `frame` (computed at `generation`) under `key`.
-  void Put(const std::string& key, uint64_t generation, AnswerFrame frame);
+  /// Footprint-validated lookup: the stored frame survives iff its stamp
+  /// still equals `stamp_fn(stored footprint)` — with
+  /// Graph::FootprintStamp as the stamp function, only a mutation touching
+  /// one of the frame's predicates invalidates it (predicate-granular
+  /// invalidation; see common/lru_cache.h).
+  std::shared_ptr<const AnswerFrame> Get(
+      const std::string& key,
+      const std::function<uint64_t(const CacheFootprint&)>& stamp_fn);
+
+  /// Stores `frame` (computed at `generation`) under `key`. The optional
+  /// footprint (default wildcard) feeds footprint-validated lookups.
+  void Put(const std::string& key, uint64_t generation, AnswerFrame frame,
+           CacheFootprint footprint = CacheFootprint::Wildcard());
 
   /// Memoized RollUpAnswer: returns the cached roll-up of
   /// (`source_key`, keep_columns, agg_column, op) when its stamped

@@ -1,0 +1,46 @@
+#ifndef RDFA_COMMON_FOOTPRINT_H_
+#define RDFA_COMMON_FOOTPRINT_H_
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rdfa {
+
+/// The set of predicates a cached artifact depends on, recorded at plan
+/// time. Cache entries carry one of these so invalidation can be
+/// predicate-granular: an entry goes stale only when a predicate in its
+/// footprint has mutated, not on every graph change.
+///
+/// `wildcard` (the default) means the dependency set is unknown or
+/// unbounded — a variable-predicate pattern, a property path, a DESCRIBE —
+/// and the artifact must be validated against the global mutation
+/// generation instead, which is exactly the pre-footprint behavior.
+struct CacheFootprint {
+  std::vector<std::string> predicates;  ///< sorted, deduped predicate IRIs
+  bool wildcard = true;
+
+  static CacheFootprint Wildcard() { return CacheFootprint{}; }
+
+  /// A precise footprint over `preds` (sorted + deduped here, so equality
+  /// and stamping are canonical).
+  static CacheFootprint Of(std::vector<std::string> preds) {
+    CacheFootprint fp;
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    fp.predicates = std::move(preds);
+    fp.wildcard = false;
+    return fp;
+  }
+
+  size_t ApproxBytes() const {
+    size_t bytes = sizeof(CacheFootprint);
+    for (const std::string& p : predicates) bytes += p.size();
+    return bytes;
+  }
+};
+
+}  // namespace rdfa
+
+#endif  // RDFA_COMMON_FOOTPRINT_H_

@@ -8,10 +8,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/footprint.h"
 #include "common/metrics.h"
 
 namespace rdfa {
@@ -38,6 +40,12 @@ struct CacheStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;      ///< capacity-driven removals (LRU tail)
   uint64_t invalidations = 0;  ///< generation-mismatch lazy removals
+  /// Pre-existing entries displaced by a Put under their key — overwritten
+  /// by the fresh value, or dropped when an oversized value was rejected.
+  /// Every removed entry ticks exactly one of evictions / invalidations /
+  /// replacements (or entries dropped by Clear()), so residency deltas are
+  /// always accounted for.
+  uint64_t replacements = 0;
   size_t entries = 0;
   size_t bytes = 0;
 
@@ -59,11 +67,19 @@ struct CacheStats {
 /// without copying under the lock, and an entry evicted while a reader
 /// still holds the pointer stays alive for that reader.
 ///
-/// When `metric_prefix` is non-empty, the four event counters also tick
-/// `<prefix>_{hits,misses,evictions,invalidations}_total` in the global
-/// MetricsRegistry (registered once, at construction). Those registry
-/// counters are cumulative for the process — Clear() resets only the
-/// cache-local stats, never the monotonic exported series.
+/// Entries may carry a predicate *footprint* (common/footprint.h): the
+/// stamp is then not the global generation but a footprint-specific value
+/// (rdf::Graph::FootprintStamp), and the footprint-taking Get overload
+/// recomputes the expected stamp from the *entry's own* footprint via a
+/// caller-supplied function — so an entry survives mutations that touch
+/// only predicates outside its footprint. Wildcard-footprint entries (the
+/// default) behave exactly like the original global-generation protocol.
+///
+/// When `metric_prefix` is non-empty, the event counters also tick
+/// `<prefix>_{hits,misses,evictions,invalidations,replacements}_total` in
+/// the global MetricsRegistry (registered once, at construction). Those
+/// registry counters are cumulative for the process — Clear() resets only
+/// the cache-local stats, never the monotonic exported series.
 template <typename V>
 class LruCache {
  public:
@@ -88,6 +104,10 @@ class LruCache {
       m_invalidations_ = &reg.GetCounter(
           metric_prefix + "_invalidations_total",
           "Generation invalidations (" + metric_prefix + ")");
+      m_replacements_ = &reg.GetCounter(
+          metric_prefix + "_replacements_total",
+          "Entries displaced by a Put under their key (" + metric_prefix +
+              ")");
     }
   }
 
@@ -104,6 +124,21 @@ class LruCache {
   /// stamped generation matches; a mismatched entry is erased and counted
   /// as an invalidation + miss.
   std::shared_ptr<const V> Get(const std::string& key, uint64_t generation) {
+    return Get(key, [generation](const CacheFootprint&) { return generation; });
+  }
+
+  /// Footprint-validated lookup: `stamp_fn(entry.footprint)` recomputes the
+  /// stamp the entry *would* get if stored now (typically
+  /// graph->FootprintStamp(fp)); the entry is served only when it matches
+  /// the stored one. The footprint lives in the entry because the caller
+  /// cannot know a query's footprint before planning it — on a hit, the
+  /// recorded footprint from fill time is exactly what must be validated.
+  /// `stamp_fn` runs under the shard lock: it must be cheap and must not
+  /// reenter the cache.
+  template <typename StampFn,
+            typename = std::enable_if_t<std::is_invocable_r_v<
+                uint64_t, StampFn, const CacheFootprint&>>>
+  std::shared_ptr<const V> Get(const std::string& key, StampFn&& stamp_fn) {
     if (!enabled()) return nullptr;
     Shard& shard = ShardFor(key);
     std::shared_ptr<const V> value;
@@ -113,7 +148,7 @@ class LruCache {
       auto it = shard.index.find(key);
       if (it == shard.index.end()) {
         ++shard.misses;
-      } else if (it->second->generation != generation) {
+      } else if (it->second->generation != stamp_fn(it->second->footprint)) {
         shard.bytes -= it->second->bytes;
         shard.lru.erase(it->second);
         shard.index.erase(it);
@@ -137,16 +172,21 @@ class LruCache {
     return value;
   }
 
-  /// Inserts (or replaces) `key` with a value computed at `generation`,
+  /// Inserts (or replaces) `key` with a value stamped `generation` (a
+  /// global generation, or a FootprintStamp when `footprint` is precise),
   /// accounted as `bytes`, evicting least-recently-used entries until the
   /// shard is back under both budgets. A value larger than a whole shard's
   /// byte budget is not stored (evicting everything still could not fit
-  /// it); a pre-existing entry under the key is dropped either way.
+  /// it); a pre-existing entry under the key is dropped either way, and
+  /// counted as a *replacement* — so entries never vanish without ticking
+  /// exactly one of evictions / invalidations / replacements.
   void Put(const std::string& key, uint64_t generation,
-           std::shared_ptr<const V> value, size_t bytes) {
+           std::shared_ptr<const V> value, size_t bytes,
+           CacheFootprint footprint = CacheFootprint::Wildcard()) {
     if (!enabled() || value == nullptr) return;
     Shard& shard = ShardFor(key);
     uint64_t evicted = 0;
+    bool replaced = false;
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       auto it = shard.index.find(key);
@@ -154,9 +194,12 @@ class LruCache {
         shard.bytes -= it->second->bytes;
         shard.lru.erase(it->second);
         shard.index.erase(it);
+        ++shard.replacements;
+        replaced = true;
       }
       if (bytes <= shard_bytes_) {
-        shard.lru.push_front(Entry{key, generation, std::move(value), bytes});
+        shard.lru.push_front(Entry{key, generation, std::move(value), bytes,
+                                   std::move(footprint)});
         shard.index[key] = shard.lru.begin();
         shard.bytes += bytes;
         while (shard.bytes > shard_bytes_ ||
@@ -173,12 +216,14 @@ class LruCache {
     if (evicted > 0 && m_evictions_ != nullptr) {
       m_evictions_->Increment(evicted);
     }
+    if (replaced && m_replacements_ != nullptr) m_replacements_->Increment();
   }
 
   /// Convenience overload that takes ownership of a plain value.
-  void Put(const std::string& key, uint64_t generation, V value,
-           size_t bytes) {
-    Put(key, generation, std::make_shared<const V>(std::move(value)), bytes);
+  void Put(const std::string& key, uint64_t generation, V value, size_t bytes,
+           CacheFootprint footprint = CacheFootprint::Wildcard()) {
+    Put(key, generation, std::make_shared<const V>(std::move(value)), bytes,
+        std::move(footprint));
   }
 
   /// Drops every entry and zeroes the cache-local stats, so hit-rate math
@@ -192,6 +237,7 @@ class LruCache {
       shard.bytes = 0;
       shard.hits = shard.misses = 0;
       shard.evictions = shard.invalidations = 0;
+      shard.replacements = 0;
     }
   }
 
@@ -203,6 +249,7 @@ class LruCache {
       total.misses += shard.misses;
       total.evictions += shard.evictions;
       total.invalidations += shard.invalidations;
+      total.replacements += shard.replacements;
       total.entries += shard.lru.size();
       total.bytes += shard.bytes;
     }
@@ -215,6 +262,7 @@ class LruCache {
     uint64_t generation = 0;
     std::shared_ptr<const V> value;
     size_t bytes = 0;
+    CacheFootprint footprint;
   };
 
   struct Shard {
@@ -227,6 +275,7 @@ class LruCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t invalidations = 0;
+    uint64_t replacements = 0;
   };
 
   Shard& ShardFor(const std::string& key) {
@@ -241,6 +290,7 @@ class LruCache {
   Counter* m_misses_ = nullptr;
   Counter* m_evictions_ = nullptr;
   Counter* m_invalidations_ = nullptr;
+  Counter* m_replacements_ = nullptr;
 };
 
 }  // namespace rdfa

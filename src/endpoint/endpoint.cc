@@ -7,6 +7,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "sparql/executor.h"
+#include "sparql/footprint.h"
 #include "sparql/parser.h"
 
 namespace rdfa::endpoint {
@@ -38,6 +39,14 @@ LatencyProfile LatencyProfile::Local() {
 SimulatedEndpoint::SimulatedEndpoint(rdf::Graph* graph, LatencyProfile profile,
                                      bool enable_cache)
     : graph_(graph), profile_(std::move(profile)) {
+  CacheOptions opts;
+  opts.enabled = enable_cache;
+  set_cache_options(opts);
+}
+
+SimulatedEndpoint::SimulatedEndpoint(rdf::MvccGraph* mvcc,
+                                     LatencyProfile profile, bool enable_cache)
+    : graph_(nullptr), mvcc_(mvcc), profile_(std::move(profile)) {
   CacheOptions opts;
   opts.enabled = enable_cache;
   set_cache_options(opts);
@@ -307,22 +316,36 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql,
                     "Admission-queue wait in milliseconds")
       .Observe(resp.queued_ms);
 
-  // Generation-checked cache lookup. The generation is read *before*
-  // execution so the cached artifact is stamped with the graph state it was
-  // really computed from; the LruCache treats a stamped generation other
-  // than the current one as a miss and lazily evicts the stale entry.
+  // MVCC mode: pin the current snapshot for the whole query. The pin keeps
+  // the version alive across later commits; no graph lock is held while the
+  // query parses or executes.
+  rdf::MvccGraph::Pin pin;
+  rdf::Graph* g = graph_;
+  if (mvcc_ != nullptr) {
+    pin = mvcc_->Snapshot();
+    g = pin.graph.get();
+  }
+
+  // Stamp-checked cache lookup. Legacy mode stamps with the global
+  // generation read *before* execution; MVCC mode validates each entry
+  // against FootprintStamp(entry.footprint) on the pinned snapshot, so only
+  // a commit that touched one of the entry's predicates invalidates it.
   const bool cache_on = answer_cache_->enabled();
   std::string fingerprint;
   uint64_t query_hash = 0;
   uint64_t generation = 0;
+  const auto stamp_fn = [g](const CacheFootprint& fp) {
+    return g->FootprintStamp(fp);
+  };
   if (cache_on) {
     fingerprint = NormalizeQueryText(sparql);
     query_hash = HashQueryText(fingerprint);
-    generation = graph_->Generation();
+    generation = g->Generation();
     TraceSpan cache_span(tracer.get(), "cache-lookup");
     cache_span.Arg("generation", generation);
     std::shared_ptr<const sparql::ResultTable> hit =
-        answer_cache_->Get(fingerprint, generation);
+        mvcc_ != nullptr ? answer_cache_->Get(fingerprint, stamp_fn)
+                         : answer_cache_->Get(fingerprint, generation);
     cache_span.Arg("hit", hit != nullptr);
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -350,7 +373,10 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql,
   // from that generation's statistics). A hit skips the parse and replays
   // the recorded join orders; a miss parses and captures them for reuse.
   std::shared_ptr<const sparql::PlanEntry> plan;
-  if (cache_on) plan = plan_cache_->Get(query_hash, generation);
+  if (cache_on) {
+    plan = mvcc_ != nullptr ? plan_cache_->Get(query_hash, stamp_fn)
+                            : plan_cache_->Get(query_hash, generation);
+  }
   sparql::ParsedQuery parsed_local;
   sparql::PlanEntry fresh_plan;
   const sparql::ParsedQuery* query = nullptr;
@@ -369,7 +395,19 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql,
     parsed_local = std::move(parsed).value();
     query = &parsed_local;
   }
-  sparql::Executor exec(graph_);
+  // The fill stamp. MVCC mode stamps with the footprint's per-predicate
+  // epoch sum on the pinned snapshot (wildcard when the ablation knob is
+  // off); legacy mode keeps the pre-execution global generation.
+  CacheFootprint footprint = CacheFootprint::Wildcard();
+  uint64_t fill_stamp = generation;
+  if (cache_on && mvcc_ != nullptr) {
+    if (predicate_invalidation_) {
+      footprint =
+          plan != nullptr ? plan->footprint : sparql::FootprintOf(*query);
+    }
+    fill_stamp = g->FootprintStamp(footprint);
+  }
+  sparql::Executor exec(g);
   exec.set_thread_count(thread_count_);
   exec.set_query_context(ctx);
   if (plan != nullptr) {
@@ -404,14 +442,19 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql,
   resp.table = std::move(table).value();
   // Fill only on a successful, unambiguous run: error/cancel paths returned
   // above (no poisoned entries), and a generation that moved mid-execution
-  // (a contract violation — mutation requires exclusive access — but cheap
-  // to defend against) skips the fill rather than stamping a lie.
-  if (cache_on && graph_->Generation() == generation) {
-    answer_cache_->Put(fingerprint, generation, resp.table,
-                       resp.table.ApproxBytes());
+  // (legacy mode: a contract violation — mutation requires exclusive
+  // access — but cheap to defend against) skips the fill rather than
+  // stamping a lie. In MVCC mode the pin is immutable, so this check is
+  // trivially true; a fill racing a commit is still safe because the stamp
+  // travels with the entry — per-predicate epochs only grow, so a stale
+  // fill can never alias the head snapshot's stamp.
+  if (cache_on && g->Generation() == generation) {
+    answer_cache_->Put(fingerprint, fill_stamp, resp.table,
+                       resp.table.ApproxBytes(), footprint);
     if (plan == nullptr) {
       fresh_plan.ast = *query;
-      plan_cache_->Put(query_hash, generation, std::move(fresh_plan));
+      fresh_plan.footprint = footprint;
+      plan_cache_->Put(query_hash, fill_stamp, std::move(fresh_plan));
     }
   }
   {

@@ -14,6 +14,7 @@
 #include "common/query_log.h"
 #include "common/status.h"
 #include "rdf/graph.h"
+#include "rdf/mvcc.h"
 #include "sparql/exec_stats.h"
 #include "sparql/plan_cache.h"
 #include "sparql/result_table.h"
@@ -114,9 +115,27 @@ struct EndpointStats {
 /// stale entry, so an answer computed before a SPARQL UPDATE can never be
 /// served after it. Queries are fingerprinted with whitespace-normalized
 /// text (NormalizeQueryText), so reformattings share an entry.
+///
+/// MVCC mode (the rdf::MvccGraph constructor): each query pins an immutable
+/// snapshot for its whole lifetime — no graph lock is held across a query
+/// and concurrent commits never stall readers. Cached artifacts carry the
+/// query's *predicate footprint* and are stamped with
+/// Graph::FootprintStamp(footprint) instead of the global generation, so a
+/// commit invalidates only the entries whose footprint intersects the
+/// predicates it actually touched (wildcard footprints — variable
+/// predicates, property paths, DESCRIBE — still fall back to the global
+/// generation). set_predicate_invalidation(false) degrades every footprint
+/// to a wildcard, restoring whole-cache invalidation as an ablation
+/// baseline.
 class SimulatedEndpoint {
  public:
   SimulatedEndpoint(rdf::Graph* graph, LatencyProfile profile,
+                    bool enable_cache = false);
+  /// MVCC mode: queries pin MvccGraph snapshots and the caches use
+  /// predicate-granular invalidation. Writers mutate through `mvcc`
+  /// directly (Insert/Remove/BufferUpdate + Commit) — no exclusive access
+  /// w.r.t. this endpoint is required.
+  SimulatedEndpoint(rdf::MvccGraph* mvcc, LatencyProfile profile,
                     bool enable_cache = false);
 
   /// RAII hold on one in-flight execution slot; releasing (or destroying)
@@ -181,6 +200,14 @@ class SimulatedEndpoint {
   void set_thread_count(int threads) { thread_count_ = threads < 1 ? 1 : threads; }
   int thread_count() const { return thread_count_; }
 
+  /// Toggles predicate-granular cache invalidation (MVCC mode only;
+  /// default on). Off: fills stamp a wildcard footprint, i.e. classic
+  /// global-generation invalidation — the bench ablation baseline.
+  void set_predicate_invalidation(bool on) { predicate_invalidation_ = on; }
+  bool predicate_invalidation() const { return predicate_invalidation_; }
+  bool mvcc_mode() const { return mvcc_ != nullptr; }
+  rdf::MvccGraph* mvcc() const { return mvcc_; }
+
   const LatencyProfile& profile() const { return profile_; }
   size_t queries_served() const;
   size_t cache_hits() const;
@@ -221,7 +248,9 @@ class SimulatedEndpoint {
   void ReleaseSlot();
   void RecordOutcome(const Status& status);
 
-  rdf::Graph* graph_;
+  rdf::Graph* graph_;              ///< legacy mode (null in MVCC mode)
+  rdf::MvccGraph* mvcc_ = nullptr; ///< MVCC mode (null in legacy mode)
+  bool predicate_invalidation_ = true;
   LatencyProfile profile_;
   int thread_count_ = 1;
 

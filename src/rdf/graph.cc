@@ -12,7 +12,11 @@ bool Graph::Add(const Term& s, const Term& p, const Term& o) {
 bool Graph::AddIds(TripleId t) {
   if (!triple_set_.insert(t).second) return false;
   triples_.push_back(t);
-  generation_.fetch_add(1, std::memory_order_acq_rel);
+  const uint64_t gen = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  {
+    std::lock_guard<std::mutex> lock(pred_mu_);
+    pred_gens_[t.p] = gen;
+  }
   stats_dirty_.store(true, std::memory_order_relaxed);
   dirty_.store(true, std::memory_order_release);
   return true;
@@ -26,25 +30,61 @@ size_t Graph::RemoveMatching(TermId s, TermId p, TermId o) {
   size_t before = triples_.size();
   std::vector<TripleId> kept;
   kept.reserve(triples_.size());
+  std::unordered_set<TermId> touched_preds;
   for (const TripleId& t : triples_) {
     bool matches = (s == kNoTermId || t.s == s) &&
                    (p == kNoTermId || t.p == p) &&
                    (o == kNoTermId || t.o == o);
     if (matches) {
       triple_set_.erase(t);
+      touched_preds.insert(t.p);
     } else {
       kept.push_back(t);
     }
   }
   triples_ = std::move(kept);
   // The generation only moves when the triple set actually changed; a
-  // no-match removal keeps every cached artifact valid.
+  // no-match removal keeps every cached artifact valid. Only the predicates
+  // of actually-removed triples advance their epochs.
   if (triples_.size() != before) {
-    generation_.fetch_add(1, std::memory_order_acq_rel);
+    const uint64_t gen =
+        generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    std::lock_guard<std::mutex> lock(pred_mu_);
+    for (TermId pred : touched_preds) pred_gens_[pred] = gen;
   }
   stats_dirty_.store(true, std::memory_order_relaxed);
   dirty_.store(true, std::memory_order_release);
   return before - triples_.size();
+}
+
+uint64_t Graph::FootprintStamp(const CacheFootprint& fp) const {
+  if (fp.wildcard) return Generation();
+  uint64_t sum = 0;
+  for (const std::string& iri : fp.predicates) {
+    const TermId p = terms_.FindIri(iri);
+    // An un-interned predicate has epoch 0; if it is later interned by a
+    // mutation its epoch jumps to that mutation's generation, so the stamp
+    // still moves.
+    if (p != kNoTermId) sum += PredicateGeneration(p);
+  }
+  return sum;
+}
+
+std::unique_ptr<Graph> Graph::Clone() const {
+  auto copy = std::make_unique<Graph>();
+  copy->terms_.CopyFrom(terms_);
+  copy->triples_ = triples_;
+  copy->triple_set_ = triple_set_;
+  copy->generation_.store(generation_.load(std::memory_order_acquire),
+                          std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(pred_mu_);
+    copy->pred_gens_ = pred_gens_;
+  }
+  // Indexes and stats rebuild lazily on the copy's first Freeze()/read;
+  // the source's mutable index state is deliberately not touched here, so
+  // cloning is safe under concurrent const readers.
+  return copy;
 }
 
 std::vector<TripleId> Graph::Match(TermId s, TermId p, TermId o) const {

@@ -4,12 +4,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/footprint.h"
 #include "rdf/term.h"
 #include "rdf/term_table.h"
 
@@ -89,12 +92,21 @@ class Graph {
       osp_ = std::move(other.osp_);
       index_generation_ = other.index_generation_;
       stats_ = std::move(other.stats_);
-      // The destination graph's content changed wholesale: advance past
-      // both counters so artifacts cached against either graph go stale.
-      generation_.store(generation_.load(std::memory_order_relaxed) +
-                            other.generation_.load(std::memory_order_relaxed) +
-                            1,
-                        std::memory_order_release);
+      // The destination graph's content changed wholesale: merge to a stamp
+      // strictly past both counters so artifacts cached against either graph
+      // go stale. Each counter is loaded exactly once into a local (the
+      // exclusive-access contract makes the loads well-defined; a single
+      // load per counter keeps the sum coherent even if that contract is
+      // bent), and every per-predicate epoch is raised to the merged value:
+      // a k-predicate footprint stamp becomes k * merged, strictly greater
+      // than any stamp either graph could have produced for that footprint,
+      // so a moved-into graph can never alias a live cache generation.
+      const uint64_t mine = generation_.load(std::memory_order_acquire);
+      const uint64_t theirs = other.generation_.load(std::memory_order_acquire);
+      const uint64_t merged = mine + theirs + 1;
+      generation_.store(merged, std::memory_order_release);
+      pred_gens_ = std::move(other.pred_gens_);
+      for (auto& entry : pred_gens_) entry.second = merged;
       dirty_.store(other.dirty_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
       stats_dirty_.store(other.stats_dirty_.load(std::memory_order_relaxed),
@@ -165,6 +177,31 @@ class Graph {
   uint64_t Generation() const {
     return generation_.load(std::memory_order_acquire);
   }
+
+  /// Per-predicate epoch: the value Generation() had just after the last
+  /// effective mutation touching predicate `p` (0 = never mutated). Epochs
+  /// are monotone per predicate and strictly bounded by Generation().
+  uint64_t PredicateGeneration(TermId p) const {
+    std::lock_guard<std::mutex> lock(pred_mu_);
+    auto it = pred_gens_.find(p);
+    return it == pred_gens_.end() ? 0 : it->second;
+  }
+
+  /// Combined validation stamp for a cached artifact's predicate footprint:
+  /// the sum of the epochs of its named predicates (an absent predicate
+  /// contributes 0 and stays 0 until something mutates it). A wildcard
+  /// footprint falls back to the global Generation(). Each component is
+  /// monotone, so the sum changes iff some footprint predicate mutated —
+  /// updates touching *other* predicates leave the stamp (and thus every
+  /// cache entry carrying this footprint) intact.
+  uint64_t FootprintStamp(const CacheFootprint& fp) const;
+
+  /// Deep copy: terms (ids preserved), triples, generation and predicate
+  /// epochs. Indexes and stats are rebuilt lazily by the copy (Freeze() it
+  /// before publishing to readers). Safe under concurrent const readers of
+  /// *this*, including readers interning computed literals — this is how an
+  /// MVCC commit forks the next version off a pinned snapshot.
+  std::unique_ptr<Graph> Clone() const;
 
   /// Calls `fn(const TripleId&)` for every triple matching the pattern;
   /// kNoTermId positions are wildcards. Uses the longest-bound-prefix
@@ -292,6 +329,11 @@ class Graph {
 
   // Bumped by every effective mutation; see Generation().
   std::atomic<uint64_t> generation_{0};
+  // Per-predicate epochs; see PredicateGeneration(). The mutex makes stamp
+  // reads cheap and safe even against a (contract-violating) concurrent
+  // mutation; it is never held across user code.
+  mutable std::mutex pred_mu_;
+  std::unordered_map<TermId, uint64_t> pred_gens_;
   mutable std::atomic<bool> dirty_{true};
   // Set alongside dirty_ on mutation; cleared by the stats pass in
   // EnsureIndexes or by RestoreStats. Invariant: stats_dirty_ implies

@@ -1,0 +1,130 @@
+#include "rdf/mvcc.h"
+
+namespace rdfa::rdf {
+
+MvccGraph::MvccGraph(std::unique_ptr<Graph> base)
+    : MvccGraph(std::move(base), Options()) {}
+
+MvccGraph::MvccGraph(std::unique_ptr<Graph> base, Options opts)
+    : opts_(std::move(opts)),
+      current_(base != nullptr ? std::shared_ptr<Graph>(std::move(base))
+                               : std::make_shared<Graph>()) {
+  current_->Freeze();
+}
+
+Result<std::unique_ptr<MvccGraph>> MvccGraph::Open(Options opts,
+                                                   std::unique_ptr<Graph> base) {
+  auto mvcc = std::unique_ptr<MvccGraph>(
+      new MvccGraph(std::move(base), Options(opts)));
+  if (opts.wal_path.empty()) return mvcc;
+  RDFA_ASSIGN_OR_RETURN(WriteAheadLog::ReplayResult replayed,
+                        WriteAheadLog::Replay(opts.wal_path));
+  for (const WalRecord& rec : replayed.records) {
+    // Same skip-on-failure policy as Commit: recovery must converge on the
+    // graph the original writer produced.
+    (void)mvcc->ApplyRecord(mvcc->current_.get(), rec);
+  }
+  mvcc->current_->Freeze();
+  mvcc->open_info_.replayed_records = replayed.records.size();
+  mvcc->open_info_.truncated_bytes = replayed.truncated_bytes;
+  RDFA_ASSIGN_OR_RETURN(mvcc->wal_, WriteAheadLog::Open(opts.wal_path,
+                                                        opts.wal_sync_every));
+  return mvcc;
+}
+
+MvccGraph::Pin MvccGraph::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return Pin{current_, epoch_};
+}
+
+uint64_t MvccGraph::Epoch() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return epoch_;
+}
+
+void MvccGraph::Insert(const Term& s, const Term& p, const Term& o) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  pending_.push_back(WalRecord::Insert(s, p, o));
+}
+
+void MvccGraph::Remove(const Term* s, const Term* p, const Term* o) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  pending_.push_back(WalRecord::Remove(s != nullptr, s ? *s : Term(),
+                                       p != nullptr, p ? *p : Term(),
+                                       o != nullptr, o ? *o : Term()));
+}
+
+Status MvccGraph::BufferUpdate(std::string sparql_update) {
+  if (!opts_.update_fn) {
+    return Status::Unsupported(
+        "mvcc: no update_fn configured for SPARQL updates");
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  pending_.push_back(WalRecord::Update(std::move(sparql_update)));
+  return Status::OK();
+}
+
+size_t MvccGraph::pending_ops() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return pending_.size();
+}
+
+Status MvccGraph::ApplyRecord(Graph* g, const WalRecord& rec) const {
+  switch (rec.op) {
+    case WalRecord::Op::kInsert:
+      g->Add(rec.s, rec.p, rec.o);
+      return Status::OK();
+    case WalRecord::Op::kRemove: {
+      // Unresolvable bound lanes match nothing — the triple cannot exist.
+      TermId s = kNoTermId, p = kNoTermId, o = kNoTermId;
+      if (rec.has_s && (s = g->terms().Find(rec.s)) == kNoTermId) {
+        return Status::OK();
+      }
+      if (rec.has_p && (p = g->terms().Find(rec.p)) == kNoTermId) {
+        return Status::OK();
+      }
+      if (rec.has_o && (o = g->terms().Find(rec.o)) == kNoTermId) {
+        return Status::OK();
+      }
+      g->RemoveMatching(rec.has_s ? s : kNoTermId, rec.has_p ? p : kNoTermId,
+                        rec.has_o ? o : kNoTermId);
+      return Status::OK();
+    }
+    case WalRecord::Op::kUpdate:
+      if (!opts_.update_fn) {
+        return Status::Unsupported("mvcc: no update_fn for replayed update");
+      }
+      return opts_.update_fn(g, rec.update);
+  }
+  return Status::Internal("mvcc: unknown WAL op");
+}
+
+Result<uint64_t> MvccGraph::Commit() {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  if (pending_.empty()) return Epoch();
+  // Durable before visible: the delta reaches stable storage before any
+  // reader can observe the new version.
+  if (wal_ != nullptr) {
+    for (const WalRecord& rec : pending_) {
+      RDFA_RETURN_NOT_OK(wal_->Append(rec));
+    }
+    RDFA_RETURN_NOT_OK(wal_->Sync());
+  }
+  std::shared_ptr<Graph> base;
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    base = current_;
+  }
+  std::unique_ptr<Graph> next = base->Clone();
+  for (const WalRecord& rec : pending_) {
+    (void)ApplyRecord(next.get(), rec);  // skip-on-failure; see header
+  }
+  // Pre-freeze so no reader ever pays the index rebuild of a new epoch.
+  next->Freeze();
+  pending_.clear();
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  current_ = std::move(next);
+  return ++epoch_;
+}
+
+}  // namespace rdfa::rdf

@@ -1,17 +1,67 @@
 #include "rdf/term_table.h"
 
+#include <mutex>
+
 namespace rdfa::rdf {
 
+TermTable& TermTable::operator=(TermTable&& other) noexcept {
+  if (this != &other) {
+    DestroyChunks();
+    for (size_t c = 0; c < kNumChunks; ++c) {
+      chunks_[c].store(other.chunks_[c].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      other.chunks_[c].store(nullptr, std::memory_order_relaxed);
+    }
+    size_.store(other.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    other.size_.store(0, std::memory_order_relaxed);
+    index_ = std::move(other.index_);
+    other.index_.clear();
+    blank_counter_ = other.blank_counter_;
+  }
+  return *this;
+}
+
+TermTable::~TermTable() { DestroyChunks(); }
+
+void TermTable::DestroyChunks() {
+  for (auto& slot : chunks_) {
+    delete[] slot.load(std::memory_order_relaxed);
+    slot.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+TermId TermTable::AppendLocked(const Term& term) {
+  const size_t id = size_.load(std::memory_order_relaxed);
+  const size_t c = ChunkOf(static_cast<TermId>(id));
+  Term* chunk = chunks_[c].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Term[ChunkSize(c)];
+    // Release so a lock-free Get that learned the id through any
+    // synchronizing channel also sees the chunk pointer.
+    chunks_[c].store(chunk, std::memory_order_release);
+  }
+  chunk[id - ChunkBase(c)] = term;
+  index_.emplace(term, static_cast<TermId>(id));
+  // The slot is fully written before the id becomes visible via size().
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<TermId>(id);
+}
+
 TermId TermTable::Intern(const Term& term) {
-  auto it = index_.find(term);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(term);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(term);  // re-check: another thread may have won
   if (it != index_.end()) return it->second;
-  TermId id = static_cast<TermId>(terms_.size());
-  terms_.push_back(term);
-  index_.emplace(term, id);
-  return id;
+  return AppendLocked(term);
 }
 
 TermId TermTable::Find(const Term& term) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(term);
   return it == index_.end() ? kNoTermId : it->second;
 }
@@ -25,11 +75,32 @@ TermId TermTable::FindIri(std::string_view iri) const {
 }
 
 TermId TermTable::MintBlank() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   while (true) {
     std::string label = "b" + std::to_string(blank_counter_++);
     Term t = Term::Blank(label);
-    if (index_.find(t) == index_.end()) return Intern(t);
+    if (index_.find(t) == index_.end()) return AppendLocked(t);
   }
+}
+
+void TermTable::CopyFrom(const TermTable& other) {
+  std::unique_lock<std::shared_mutex> my_lock(mu_);
+  std::shared_lock<std::shared_mutex> their_lock(other.mu_);
+  DestroyChunks();
+  index_.clear();
+  const size_t n = other.size_.load(std::memory_order_acquire);
+  for (size_t id = 0; id < n; ++id) {
+    const size_t c = ChunkOf(static_cast<TermId>(id));
+    Term* chunk = chunks_[c].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Term[ChunkSize(c)];
+      chunks_[c].store(chunk, std::memory_order_release);
+    }
+    chunk[id - ChunkBase(c)] = other.Get(static_cast<TermId>(id));
+  }
+  index_ = other.index_;
+  blank_counter_ = other.blank_counter_;
+  size_.store(n, std::memory_order_release);
 }
 
 }  // namespace rdfa::rdf

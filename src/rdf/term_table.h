@@ -1,10 +1,14 @@
 #ifndef RDFA_RDF_TERM_TABLE_H_
 #define RDFA_RDF_TERM_TABLE_H_
 
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "rdf/term.h"
 
@@ -13,13 +17,26 @@ namespace rdfa::rdf {
 /// Interns terms to dense 32-bit ids. All engine data structures (graph
 /// indexes, bindings, extensions) operate on TermIds; the table is the only
 /// place term strings live.
+///
+/// Thread-safety: fully concurrent. `Get` is lock-free — terms live in
+/// pointer-stable chunks of geometrically growing size whose slots are
+/// written before the id is published, so any id legitimately held by a
+/// reader is always dereferenceable without taking a lock. `Find` takes a
+/// shared lock on the intern index; `Intern`/`MintBlank` take it exclusively
+/// only when actually inserting. This matters because queries intern
+/// *computed* literals (aggregates, BIND results) while other readers run,
+/// and because MVCC snapshot cloning copies the table of a version readers
+/// are still pinning.
 class TermTable {
  public:
   TermTable() = default;
   TermTable(const TermTable&) = delete;
   TermTable& operator=(const TermTable&) = delete;
-  TermTable(TermTable&&) = default;
-  TermTable& operator=(TermTable&&) = default;
+  // Moving requires exclusive access to both tables, like any mutation of
+  // the owning Graph.
+  TermTable(TermTable&& other) noexcept { *this = std::move(other); }
+  TermTable& operator=(TermTable&& other) noexcept;
+  ~TermTable();
 
   /// Interns `term`, returning its id (existing id if already present).
   TermId Intern(const Term& term);
@@ -27,24 +44,57 @@ class TermTable {
   /// Looks up an already-interned term; kNoTermId if absent.
   TermId Find(const Term& term) const;
 
-  /// The term for `id`. Precondition: id < size().
-  const Term& Get(TermId id) const { return terms_[id]; }
+  /// The term for `id`. Precondition: id < size(). Lock-free.
+  const Term& Get(TermId id) const {
+    const size_t c = ChunkOf(id);
+    return chunks_[c].load(std::memory_order_acquire)[id - ChunkBase(c)];
+  }
 
   /// Convenience: intern an IRI / plain literal directly.
   TermId InternIri(std::string_view iri);
   TermId FindIri(std::string_view iri) const;
 
-  size_t size() const { return terms_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
   /// Mints a blank node with a fresh label ("_:b<N>") guaranteed unique
   /// within this table.
   TermId MintBlank();
 
+  /// Replaces this table's contents with a deep copy of `other`, preserving
+  /// ids. Requires exclusive access to *this*; `other` may be serving
+  /// concurrent Find/Get/Intern calls (snapshot cloning copies the table of
+  /// a live version).
+  void CopyFrom(const TermTable& other);
+
  private:
+  // Chunk c holds 64 << c terms; chunk bases are 64 * (2^c - 1). 28 chunks
+  // cover the whole 32-bit id space. Slots are default-constructed Terms
+  // assigned under the intern lock before the id is published.
+  static constexpr size_t kFirstChunkBits = 6;
+  static constexpr size_t kNumChunks = 28;
+
+  static size_t ChunkOf(TermId id) {
+    const uint64_t z = (static_cast<uint64_t>(id) >> kFirstChunkBits) + 1;
+    size_t c = 0;
+    while ((z >> (c + 1)) != 0) ++c;  // floor(log2(z))
+    return c;
+  }
+  static size_t ChunkBase(size_t c) {
+    return ((size_t{64} << c) - 64);
+  }
+  static size_t ChunkSize(size_t c) { return size_t{64} << c; }
+
+  // Appends `term` at id size_. Caller holds mu_ exclusively.
+  TermId AppendLocked(const Term& term);
+  void DestroyChunks();
+
   struct TermHash {
     size_t operator()(const Term& t) const { return t.Hash(); }
   };
-  std::vector<Term> terms_;
+
+  mutable std::shared_mutex mu_;  ///< guards index_, blank_counter_, growth
+  std::array<std::atomic<Term*>, kNumChunks> chunks_ = {};
+  std::atomic<size_t> size_{0};
   std::unordered_map<Term, TermId, TermHash> index_;
   uint64_t blank_counter_ = 0;
 };

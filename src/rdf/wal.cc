@@ -1,0 +1,254 @@
+#include "rdf/wal.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+namespace rdfa::rdf {
+
+namespace {
+
+// Frame header: payload length + CRC, both u32 little-endian.
+constexpr size_t kHeaderBytes = 8;
+// Defensive ceiling against reading a garbage length from a torn header.
+constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetString(const std::string& in, size_t* pos, std::string* out) {
+  if (*pos + 4 > in.size()) return false;
+  uint32_t n = GetU32(reinterpret_cast<const unsigned char*>(in.data()) + *pos);
+  *pos += 4;
+  if (*pos + n > in.size()) return false;
+  out->assign(in, *pos, n);
+  *pos += n;
+  return true;
+}
+
+void PutTerm(std::string* out, const Term& t) {
+  out->push_back(static_cast<char>(t.kind()));
+  PutString(out, t.lexical());
+  PutString(out, t.datatype());
+  PutString(out, t.lang());
+}
+
+bool GetTerm(const std::string& in, size_t* pos, Term* out) {
+  if (*pos + 1 > in.size()) return false;
+  const auto kind = static_cast<TermKind>(in[(*pos)++]);
+  std::string lexical, datatype, lang;
+  if (!GetString(in, pos, &lexical) || !GetString(in, pos, &datatype) ||
+      !GetString(in, pos, &lang)) {
+    return false;
+  }
+  switch (kind) {
+    case TermKind::kIri: *out = Term::Iri(std::move(lexical)); return true;
+    case TermKind::kBlankNode:
+      *out = Term::Blank(std::move(lexical));
+      return true;
+    case TermKind::kLiteral:
+      if (!lang.empty()) {
+        *out = Term::LangLiteral(std::move(lexical), std::move(lang));
+      } else if (!datatype.empty()) {
+        *out = Term::TypedLiteral(std::move(lexical), std::move(datatype));
+      } else {
+        *out = Term::Literal(std::move(lexical));
+      }
+      return true;
+  }
+  return false;
+}
+
+std::string EncodePayload(const WalRecord& rec) {
+  std::string out;
+  out.push_back(static_cast<char>(rec.op));
+  if (rec.op == WalRecord::Op::kUpdate) {
+    PutString(&out, rec.update);
+    return out;
+  }
+  const std::pair<bool, const Term*> lanes[3] = {
+      {rec.has_s, &rec.s}, {rec.has_p, &rec.p}, {rec.has_o, &rec.o}};
+  for (const auto& [present, term] : lanes) {
+    out.push_back(present ? 1 : 0);
+    if (present) PutTerm(&out, *term);
+  }
+  return out;
+}
+
+bool DecodePayload(const std::string& in, WalRecord* rec) {
+  if (in.empty()) return false;
+  size_t pos = 0;
+  const auto op = static_cast<WalRecord::Op>(in[pos++]);
+  if (op != WalRecord::Op::kInsert && op != WalRecord::Op::kRemove &&
+      op != WalRecord::Op::kUpdate) {
+    return false;
+  }
+  rec->op = op;
+  if (op == WalRecord::Op::kUpdate) {
+    return GetString(in, &pos, &rec->update) && pos == in.size();
+  }
+  const std::array<std::pair<bool*, Term*>, 3> lanes = {{
+      {&rec->has_s, &rec->s}, {&rec->has_p, &rec->p}, {&rec->has_o, &rec->o}}};
+  for (const auto& [present, term] : lanes) {
+    if (pos + 1 > in.size()) return false;
+    *present = in[pos++] != 0;
+    if (*present && !GetTerm(in, &pos, term)) return false;
+  }
+  return pos == in.size();
+}
+
+}  // namespace
+
+WalRecord WalRecord::Insert(Term s, Term p, Term o) {
+  WalRecord rec;
+  rec.op = Op::kInsert;
+  rec.has_s = rec.has_p = rec.has_o = true;
+  rec.s = std::move(s);
+  rec.p = std::move(p);
+  rec.o = std::move(o);
+  return rec;
+}
+
+WalRecord WalRecord::Remove(bool has_s, Term s, bool has_p, Term p, bool has_o,
+                            Term o) {
+  WalRecord rec;
+  rec.op = Op::kRemove;
+  rec.has_s = has_s;
+  rec.has_p = has_p;
+  rec.has_o = has_o;
+  if (has_s) rec.s = std::move(s);
+  if (has_p) rec.p = std::move(p);
+  if (has_o) rec.o = std::move(o);
+  return rec;
+}
+
+WalRecord WalRecord::Update(std::string sparql) {
+  WalRecord rec;
+  rec.op = Op::kUpdate;
+  rec.update = std::move(sparql);
+  return rec;
+}
+
+uint32_t WalCrc32(const void* data, size_t n) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
+    const std::string& path) {
+  ReplayResult out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;  // no log yet: empty replay
+  std::string payload;
+  while (true) {
+    unsigned char header[kHeaderBytes];
+    const size_t got = std::fread(header, 1, kHeaderBytes, f);
+    if (got < kHeaderBytes) break;  // clean EOF or torn header
+    const uint32_t len = GetU32(header);
+    const uint32_t crc = GetU32(header + 4);
+    if (len > kMaxPayloadBytes) break;  // garbage length: torn tail
+    payload.resize(len);
+    if (len > 0 && std::fread(payload.data(), 1, len, f) < len) break;
+    if (WalCrc32(payload.data(), payload.size()) != crc) break;
+    WalRecord rec;
+    if (!DecodePayload(payload, &rec)) break;
+    out.records.push_back(std::move(rec));
+    out.clean_bytes += kHeaderBytes + len;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  std::fclose(f);
+  if (end > 0 && static_cast<uint64_t>(end) > out.clean_bytes) {
+    out.truncated_bytes = static_cast<uint64_t>(end) - out.clean_bytes;
+  }
+  return out;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, size_t sync_every) {
+  RDFA_ASSIGN_OR_RETURN(ReplayResult replayed, Replay(path));
+  if (replayed.truncated_bytes > 0) {
+    // Drop the torn tail so new frames never follow garbage.
+    if (::truncate(path.c_str(),
+                   static_cast<off_t>(replayed.clean_bytes)) != 0) {
+      return Status::Internal("wal: failed to truncate torn tail of " + path);
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::Internal("wal: cannot open " + path + " for append");
+  }
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, f, sync_every == 0 ? 1 : sync_every));
+}
+
+WriteAheadLog::WriteAheadLog(std::string path, std::FILE* file,
+                             size_t sync_every)
+    : path_(std::move(path)), file_(file), sync_every_(sync_every) {}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) {
+    Sync();
+    std::fclose(file_);
+  }
+}
+
+Status WriteAheadLog::Append(const WalRecord& rec) {
+  const std::string payload = EncodePayload(rec);
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, WalCrc32(payload.data(), payload.size()));
+  frame.append(payload);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) < frame.size()) {
+    return Status::Internal("wal: short write to " + path_);
+  }
+  ++appended_;
+  if (++since_sync_ >= sync_every_) return Sync();
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  since_sync_ = 0;
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("wal: fflush failed for " + path_);
+  }
+  if (::fsync(fileno(file_)) != 0) {
+    return Status::Internal("wal: fsync failed for " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace rdfa::rdf

@@ -1,0 +1,102 @@
+#ifndef RDFA_RDF_WAL_H_
+#define RDFA_RDF_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace rdfa::rdf {
+
+/// One logical write-ahead-log record: a single-triple insert, a pattern
+/// remove (absent terms are wildcards), or a raw SPARQL update to re-run on
+/// replay. Records are what the MVCC writer buffers between epochs and what
+/// `Replay` hands back after a restart.
+struct WalRecord {
+  enum class Op : uint8_t {
+    kInsert = 'I',
+    kRemove = 'R',
+    kUpdate = 'U',
+  };
+  Op op = Op::kInsert;
+  // kInsert / kRemove. For kInsert all three must be present; for kRemove
+  // an absent term is a wildcard lane.
+  bool has_s = false, has_p = false, has_o = false;
+  Term s, p, o;
+  // kUpdate: the SPARQL update text, replayed through the engine.
+  std::string update;
+
+  static WalRecord Insert(Term s, Term p, Term o);
+  static WalRecord Remove(bool has_s, Term s, bool has_p, Term p, bool has_o,
+                          Term o);
+  static WalRecord Update(std::string sparql);
+
+  friend bool operator==(const WalRecord& a, const WalRecord& b) {
+    return a.op == b.op && a.has_s == b.has_s && a.has_p == b.has_p &&
+           a.has_o == b.has_o && a.s == b.s && a.p == b.p && a.o == b.o &&
+           a.update == b.update;
+  }
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `n` bytes. Exposed so
+/// tests can forge / corrupt records deliberately.
+uint32_t WalCrc32(const void* data, size_t n);
+
+/// Append-only durable log of graph mutations.
+///
+/// On-disk format: a sequence of `[u32 payload_len][u32 crc32][payload]`
+/// frames, all little-endian; the CRC covers the payload only. The payload
+/// starts with the op byte followed by length-prefixed term fields (see
+/// wal.cc). Appends are buffered and flushed + fsync'ed by Sync(); Append
+/// itself syncs every `sync_every` records so a crash loses at most one
+/// batch. A torn tail — a frame cut short or failing its CRC, as a crash
+/// mid-append leaves behind — is not an error: Replay stops cleanly at the
+/// last well-formed frame and Open truncates the garbage so new appends
+/// never interleave with it.
+class WriteAheadLog {
+ public:
+  struct ReplayResult {
+    std::vector<WalRecord> records;
+    uint64_t clean_bytes = 0;      ///< file offset after the last good frame
+    uint64_t truncated_bytes = 0;  ///< torn-tail bytes dropped by replay
+  };
+
+  /// Decodes every well-formed record of `path`. A missing file replays
+  /// empty; a torn tail stops the scan without failing (see class comment).
+  static Result<ReplayResult> Replay(const std::string& path);
+
+  /// Opens `path` for appending (creating it if absent), truncating any
+  /// torn tail first. `sync_every` batches fsyncs: every Nth Append syncs
+  /// (1 = sync on every record).
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path,
+                                                     size_t sync_every = 1);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  Status Append(const WalRecord& rec);
+  /// Flushes buffered frames and fsyncs the file. Durability barrier: an
+  /// MVCC commit calls this *before* publishing the new version.
+  Status Sync();
+
+  uint64_t appended() const { return appended_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog(std::string path, std::FILE* file, size_t sync_every);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  size_t sync_every_ = 1;
+  size_t since_sync_ = 0;
+  uint64_t appended_ = 0;
+};
+
+}  // namespace rdfa::rdf
+
+#endif  // RDFA_RDF_WAL_H_

@@ -791,9 +791,12 @@ Result<ResultTable> Executor::Select(const SelectQuery& query) {
     out_rows = std::move(deduped);
   }
 
-  // OFFSET / LIMIT.
-  size_t begin = std::min<size_t>(static_cast<size_t>(query.offset),
-                                  out_rows.size());
+  // OFFSET / LIMIT. A negative offset (defensive: the parser rejects them)
+  // clamps to 0 rather than wrapping through the size_t cast.
+  size_t begin = query.offset > 0
+                     ? std::min<size_t>(static_cast<size_t>(query.offset),
+                                        out_rows.size())
+                     : 0;
   size_t end = out_rows.size();
   if (query.limit >= 0) {
     end = std::min(end, begin + static_cast<size_t>(query.limit));

@@ -1,0 +1,123 @@
+#include "sparql/footprint.h"
+
+#include <vector>
+
+#include "sparql/parser.h"
+
+namespace rdfa::sparql {
+
+namespace {
+
+/// Accumulates predicate IRIs; flips to unbounded on anything that cannot
+/// be pinned to a fixed predicate set.
+struct Walker {
+  std::vector<std::string> preds;
+  bool unbounded = false;
+
+  void AddPredicate(const NodePattern& p) {
+    if (unbounded) return;
+    // A variable predicate scans arbitrary predicates; a non-IRI constant
+    // (blank node) never matches but costs nothing to treat as unbounded.
+    if (p.is_var || !p.term.is_iri()) {
+      unbounded = true;
+      return;
+    }
+    preds.push_back(p.term.lexical());
+  }
+
+  void WalkExpr(const ExprPtr& e) {
+    if (e == nullptr || unbounded) return;
+    if (e->kind == Expr::Kind::kExists && e->pattern != nullptr) {
+      WalkPattern(*e->pattern);
+    }
+    for (const ExprPtr& arg : e->args) WalkExpr(arg);
+  }
+
+  void WalkSelect(const SelectQuery& q) {
+    WalkPattern(q.where);
+    for (const Projection& proj : q.projections) WalkExpr(proj.expr);
+    for (const ExprPtr& e : q.group_by) WalkExpr(e);
+    for (const ExprPtr& e : q.having) WalkExpr(e);
+    for (const OrderKey& k : q.order_by) WalkExpr(k.expr);
+  }
+
+  void WalkPattern(const GraphPattern& gp) {
+    for (const PatternElement& el : gp.elements) {
+      if (unbounded) return;
+      switch (el.kind) {
+        case PatternElement::Kind::kTriple:
+          AddPredicate(el.triple.p);
+          break;
+        case PatternElement::Kind::kTransPath:
+          // The closure scan itself only follows el.triple.p edges, but a
+          // reflexive path ('*') also yields zero-length matches for nodes
+          // surfaced by *any* predicate, so stay conservative for both.
+          unbounded = true;
+          break;
+        case PatternElement::Kind::kFilter:
+          WalkExpr(el.filter);
+          break;
+        case PatternElement::Kind::kOptional:
+        case PatternElement::Kind::kMinus:
+          if (el.child != nullptr) WalkPattern(*el.child);
+          break;
+        case PatternElement::Kind::kUnion:
+          if (el.child != nullptr) WalkPattern(*el.child);
+          if (el.child2 != nullptr) WalkPattern(*el.child2);
+          break;
+        case PatternElement::Kind::kBind:
+          WalkExpr(el.bind_expr);
+          break;
+        case PatternElement::Kind::kSubSelect:
+          if (el.sub_select != nullptr) WalkSelect(*el.sub_select);
+          break;
+        case PatternElement::Kind::kValues:
+          break;  // inline data touches no graph predicate
+      }
+    }
+  }
+
+  CacheFootprint Finish() const {
+    return unbounded ? CacheFootprint::Wildcard() : CacheFootprint::Of(preds);
+  }
+};
+
+}  // namespace
+
+CacheFootprint FootprintOf(const ParsedQuery& query) {
+  Walker w;
+  switch (query.form) {
+    case ParsedQuery::Form::kSelect:
+      w.WalkSelect(query.select);
+      break;
+    case ParsedQuery::Form::kConstruct:
+      // The template only instantiates bindings from the WHERE clause.
+      w.WalkPattern(query.construct.where);
+      break;
+    case ParsedQuery::Form::kAsk:
+      w.WalkPattern(query.ask.where);
+      break;
+    case ParsedQuery::Form::kDescribe:
+      // A concise bounded description follows whatever predicates surround
+      // the resource — unbounded by construction.
+      w.unbounded = true;
+      break;
+  }
+  return w.Finish();
+}
+
+CacheFootprint FootprintOf(const UpdateRequest& update) {
+  Walker w;
+  for (const TriplePattern& t : update.insert_template) w.AddPredicate(t.p);
+  for (const TriplePattern& t : update.delete_template) w.AddPredicate(t.p);
+  w.WalkPattern(update.where);
+  return w.Finish();
+}
+
+CacheFootprint FootprintOfQueryText(const std::string& sparql) {
+  Result<ParsedQuery> parsed = ParseQuery(sparql);
+  if (!parsed.ok()) return CacheFootprint::Wildcard();
+  return FootprintOf(parsed.value());
+}
+
+}  // namespace rdfa::sparql

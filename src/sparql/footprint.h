@@ -1,0 +1,36 @@
+#ifndef RDFA_SPARQL_FOOTPRINT_H_
+#define RDFA_SPARQL_FOOTPRINT_H_
+
+#include <string>
+
+#include "common/footprint.h"
+#include "sparql/ast.h"
+
+namespace rdfa::sparql {
+
+/// The predicate footprint of a parsed query: the set of predicate IRIs its
+/// answer can depend on, used to stamp cache entries for predicate-granular
+/// invalidation (common/footprint.h, rdf::Graph::FootprintStamp).
+///
+/// Deliberately conservative: the walk covers every nested pattern
+/// (OPTIONAL / UNION / MINUS / subselects / EXISTS inside FILTER, BIND and
+/// HAVING expressions), and the result degrades to a wildcard as soon as
+/// any dependency cannot be bounded by a fixed predicate set — a variable
+/// or blank-node predicate, a transitive property path (whose reflexive
+/// closure can surface arbitrary graph nodes), or a DESCRIBE (whose concise
+/// bounded description follows arbitrary predicates). A wildcard footprint
+/// falls back to global-generation validation, which is always sound.
+CacheFootprint FootprintOf(const ParsedQuery& query);
+
+/// As above for an update: the predicates whose epochs the update may
+/// advance (wildcard if a delete pattern's predicate is unbounded).
+CacheFootprint FootprintOf(const UpdateRequest& update);
+
+/// Parses `sparql` and returns its footprint; wildcard if it fails to
+/// parse as a query. Convenience for layers that hold generated query text
+/// (the OLAP cube cache keys on generated SPARQL).
+CacheFootprint FootprintOfQueryText(const std::string& sparql);
+
+}  // namespace rdfa::sparql
+
+#endif  // RDFA_SPARQL_FOOTPRINT_H_

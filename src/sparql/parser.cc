@@ -1,5 +1,6 @@
 #include "sparql/parser.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/string_util.h"
@@ -594,15 +595,32 @@ class Parser {
     }
     if (ConsumeKeyword("LIMIT")) {
       if (Peek().kind != TokenKind::kInteger) return Err("expected LIMIT count");
-      q.limit = std::strtoll(Consume().text.c_str(), nullptr, 10);
+      RDFA_ASSIGN_OR_RETURN(q.limit, ParseCount("LIMIT"));
     }
     if (ConsumeKeyword("OFFSET")) {
       if (Peek().kind != TokenKind::kInteger) {
         return Err("expected OFFSET count");
       }
-      q.offset = std::strtoll(Consume().text.c_str(), nullptr, 10);
+      RDFA_ASSIGN_OR_RETURN(q.offset, ParseCount("OFFSET"));
     }
     return q;
+  }
+
+  /// A LIMIT/OFFSET count from the current integer token. strtoll saturates
+  /// to LLONG_MAX on overflow without failing — checked via errno/endptr so
+  /// an out-of-range literal is a typed ParseError instead of a silent
+  /// near-2^63 count reaching the executor. The lexer never attaches a sign
+  /// to kInteger, so the negativity check only guards saturation edge cases
+  /// and future lexer changes.
+  Result<int64_t> ParseCount(const char* clause) {
+    const std::string text = Consume().text;
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno == ERANGE || end == nullptr || *end != '\0' || v < 0) {
+      return Err(std::string(clause) + " count out of range: " + text);
+    }
+    return static_cast<int64_t>(v);
   }
 
   Result<ConstructQuery> ParseConstruct() {

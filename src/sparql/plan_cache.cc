@@ -23,6 +23,7 @@ size_t ApproxPlanBytes(const PlanEntry& entry) {
   for (const auto& order : entry.bgp_orders) {
     bytes += sizeof(order) + order.size() * sizeof(int);
   }
+  bytes += entry.footprint.ApproxBytes();
   return bytes;
 }
 
@@ -36,10 +37,18 @@ std::shared_ptr<const PlanEntry> PlanCache::Get(uint64_t query_hash,
   return cache_.Get(KeyFor(query_hash), generation);
 }
 
+std::shared_ptr<const PlanEntry> PlanCache::Get(
+    uint64_t query_hash,
+    const std::function<uint64_t(const CacheFootprint&)>& stamp_fn) {
+  return cache_.Get(KeyFor(query_hash), stamp_fn);
+}
+
 void PlanCache::Put(uint64_t query_hash, uint64_t generation,
                     PlanEntry entry) {
   size_t bytes = ApproxPlanBytes(entry);
-  cache_.Put(KeyFor(query_hash), generation, std::move(entry), bytes);
+  CacheFootprint footprint = entry.footprint;
+  cache_.Put(KeyFor(query_hash), generation, std::move(entry), bytes,
+             std::move(footprint));
 }
 
 }  // namespace rdfa::sparql

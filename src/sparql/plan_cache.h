@@ -2,6 +2,7 @@
 #define RDFA_SPARQL_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -18,6 +19,12 @@ namespace rdfa::sparql {
 struct PlanEntry {
   ParsedQuery ast;
   std::vector<std::vector<int>> bgp_orders;
+  /// The query's predicate footprint, recorded at plan time (see
+  /// common/footprint.h). Answer-cache entries for this query reuse it, and
+  /// the plan itself is validated with it: a mutation to an unrelated
+  /// predicate leaves both the plan and its statistics-derived join orders
+  /// valid.
+  CacheFootprint footprint;
 };
 
 /// Generation-validated plan cache keyed by the FNV-1a hash of the
@@ -42,6 +49,14 @@ class PlanCache {
   std::shared_ptr<const PlanEntry> Get(uint64_t query_hash,
                                        uint64_t generation);
 
+  /// Footprint-validated lookup: `stamp_fn` recomputes the expected stamp
+  /// from the stored plan's footprint (see LruCache::Get).
+  std::shared_ptr<const PlanEntry> Get(
+      uint64_t query_hash,
+      const std::function<uint64_t(const CacheFootprint&)>& stamp_fn);
+
+  /// Stores `entry` stamped with `generation` — the global generation for a
+  /// wildcard footprint, or the graph's FootprintStamp of entry.footprint.
   void Put(uint64_t query_hash, uint64_t generation, PlanEntry entry);
 
   void Clear() { cache_.Clear(); }

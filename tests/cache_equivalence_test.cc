@@ -234,6 +234,117 @@ TEST(CacheConcurrencyTest, HammeredCacheStaysByteIdenticalAcrossPhases) {
   EXPECT_GE(stats.invalidations, 1u);
 }
 
+// Concurrent-writer poison suite (the PR 5 cancelled-fill poison test,
+// upgraded to a live writer): readers fill the cache from pinned MVCC
+// snapshots while a writer commits between / during those fills. A fill
+// computed against snapshot N is stamped with N's footprint epochs, so once
+// the writer publishes N+1 having touched the footprint, the entry must
+// revalidate as stale — a reader on the newer snapshot must never be served
+// the older fill. Runs under TSan in the sanitize suite.
+void RunConcurrentWriterPoison(uint32_t seed, int reader_threads) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " readers=" + std::to_string(reader_threads));
+  auto base = std::make_unique<rdf::Graph>();
+  BuildGraph(base.get(), 60);
+  rdf::MvccGraph mvcc(std::move(base));
+  SimulatedEndpoint cached(&mvcc, LatencyProfile::Local(),
+                           /*enable_cache=*/true);
+  AdmissionOptions adm;
+  adm.max_in_flight = 8;
+  adm.max_queue = 64;
+  adm.base_timeout_ms = 0;  // no derived deadline under TSan slowdown
+  cached.set_admission(adm);
+
+  const std::vector<std::string> pool = QueryPool();
+  constexpr int kCommits = 12;
+  constexpr int kQueriesPerThread = 16;
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<size_t>(reader_threads));
+  std::atomic<bool> writer_done{false};
+  for (int t = 0; t < reader_threads; ++t) {
+    readers.emplace_back([&, t] {
+      std::mt19937 rng(seed * 977 + static_cast<uint32_t>(t));
+      int i = 0;
+      // Keep filling until the writer is done so late commits always race
+      // at least one in-flight fill.
+      while (i < kQueriesPerThread || !writer_done.load()) {
+        auto r = cached.Query(pool[rng() % pool.size()]);
+        if (!r.ok() || !r.value().status.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++i;
+        if (i > kQueriesPerThread * 50) break;  // writer stalled; bail out
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    for (int c = 0; c < kCommits; ++c) {
+      if (c % 2 == 0) {
+        // Touches ex:price — inside every pool footprint, so fills raced
+        // by this commit must die.
+        mvcc.Insert(rdf::Term::Iri(kEx + "poison" + std::to_string(c)),
+                    rdf::Term::Iri(kEx + "price"),
+                    rdf::Term::Integer(5000 + c));
+      } else {
+        // Touches a predicate no pool query reads: entries stay valid,
+        // which is what keeps the hit counter nonzero below.
+        mvcc.Insert(rdf::Term::Iri(kEx + "poison" + std::to_string(c)),
+                    rdf::Term::Iri(kEx + "unrelatedPoke"),
+                    rdf::Term::Integer(c));
+      }
+      auto epoch = mvcc.Commit();
+      if (!epoch.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    writer_done.store(true);
+  });
+  writer.join();
+  for (std::thread& th : readers) th.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // The race is over; the head snapshot is the only truth. Every cached
+  // answer — including a forced second read that must be a hit — has to
+  // byte-match a fresh uncached execution against head.
+  SimulatedEndpoint uncached(&mvcc, LatencyProfile::Local(),
+                             /*enable_cache=*/false);
+  for (const std::string& q : pool) {
+    auto fresh = uncached.Query(q);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_TRUE(fresh.value().status.ok());
+    auto first = cached.Query(q);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first.value().status.ok());
+    EXPECT_EQ(first.value().table.ToTsv(), fresh.value().table.ToTsv())
+        << "a stale fill survived the writer's commits";
+    auto second = cached.Query(q);
+    ASSERT_TRUE(second.ok());
+    EXPECT_TRUE(second.value().cache_hit);
+    EXPECT_EQ(second.value().table.ToTsv(), fresh.value().table.ToTsv());
+  }
+  EXPECT_GT(cached.answer_cache_stats().hits, 0u);
+}
+
+TEST(CachePoisonTest, ConcurrentWriterSeed1OneReader) {
+  RunConcurrentWriterPoison(1, 1);
+}
+TEST(CachePoisonTest, ConcurrentWriterSeed2OneReader) {
+  RunConcurrentWriterPoison(2, 1);
+}
+TEST(CachePoisonTest, ConcurrentWriterSeed3OneReader) {
+  RunConcurrentWriterPoison(3, 1);
+}
+TEST(CachePoisonTest, ConcurrentWriterSeed1FourReaders) {
+  RunConcurrentWriterPoison(1, 4);
+}
+TEST(CachePoisonTest, ConcurrentWriterSeed2FourReaders) {
+  RunConcurrentWriterPoison(2, 4);
+}
+TEST(CachePoisonTest, ConcurrentWriterSeed3FourReaders) {
+  RunConcurrentWriterPoison(3, 4);
+}
+
 // ClearCache between drained phases: the reset path (entries dropped, hit
 // counters zeroed) followed by a refill, exercised under the TSan build.
 TEST(CacheConcurrencyTest, ClearBetweenPhasesRestartsHitRateMath) {

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include <gtest/gtest.h>
 
@@ -154,6 +155,104 @@ TEST(LruCacheTest, ValueOutlivesItsEviction) {
   cache.Put("b", 1, std::string("usurper"), 10);  // evicts "a"
   EXPECT_EQ(cache.Get("a", 1), nullptr);
   EXPECT_EQ(*held, "still here") << "reader's reference must stay alive";
+}
+
+// ---------------------------------------------------------------------------
+// Replacement accounting: a Put under an occupied key displaces the old
+// entry, and that displacement must tick the replacements counter —
+// including on the oversized-value reject path, where the old entry is
+// dropped but nothing new is stored.
+
+TEST(LruCacheTest, ReplacementTicksExactlyOnce) {
+  LruCache<std::string> cache(SingleShard(1000, 16));
+  cache.Put("k", 1, std::string("v1"), 100);
+  EXPECT_EQ(cache.Stats().replacements, 0u);
+  cache.Put("k", 2, std::string("v2"), 120);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.replacements, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 120u);
+  auto hit = cache.Get("k", 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "v2");
+  // A Put to a fresh key is not a replacement.
+  cache.Put("other", 2, std::string("x"), 10);
+  EXPECT_EQ(cache.Stats().replacements, 1u);
+}
+
+TEST(LruCacheTest, OversizedRejectStillCountsDisplacedEntry) {
+  LruCache<std::string> cache(SingleShard(100, 16));
+  cache.Put("k", 1, std::string("resident"), 40);
+  ASSERT_EQ(cache.Stats().entries, 1u);
+  // The oversized value is rejected, but the pre-existing entry under the
+  // key is still dropped — and that removal must be accounted for.
+  cache.Put("k", 1, std::string("way too big"), 101);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(cache.Get("k", 1), nullptr);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.replacements, 1u)
+      << "displaced entry vanished without ticking any counter";
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.invalidations, 0u);
+}
+
+TEST(LruCacheTest, EveryRemovalTicksExactlyOneCounter) {
+  // Exactly-once accounting: across a mixed workload, the number of entries
+  // ever stored equals current residency plus every counted removal.
+  LruCache<int> cache(SingleShard(1000, 3));
+  uint64_t stored = 0;
+  cache.Put("a", 1, 1, 10); ++stored;
+  cache.Put("b", 1, 2, 10); ++stored;
+  cache.Put("c", 1, 3, 10); ++stored;
+  cache.Put("a", 2, 4, 10); ++stored;   // replacement
+  cache.Put("d", 1, 5, 10); ++stored;   // capacity eviction of the tail
+  EXPECT_EQ(cache.Get("c", 9), nullptr);  // invalidation (if c survived)
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stored, stats.entries + stats.evictions + stats.invalidations +
+                        stats.replacements);
+}
+
+// ---------------------------------------------------------------------------
+// Footprint-validated lookups: the stamp-fn Get recomputes the expected
+// stamp from the entry's own footprint, so mutations to predicates outside
+// the footprint leave the entry valid.
+
+TEST(LruCacheTest, FootprintStampSurvivesUnrelatedMutations) {
+  LruCache<std::string> cache(SingleShard(1 << 20, 16));
+  // Modeled per-predicate epochs, as Graph::FootprintStamp would sum them.
+  std::unordered_map<std::string, uint64_t> epochs{{"p1", 3}, {"p2", 7}};
+  auto stamp = [&epochs](const CacheFootprint& fp) -> uint64_t {
+    uint64_t sum = 0;
+    for (const std::string& p : fp.predicates) sum += epochs[p];
+    return sum;
+  };
+  CacheFootprint fp = CacheFootprint::Of({"p1"});
+  cache.Put("q", stamp(fp), std::string("answer"), 8, fp);
+
+  // Mutating p2 does not touch the entry's footprint: still a hit.
+  epochs["p2"] = 8;
+  EXPECT_NE(cache.Get("q", stamp), nullptr);
+  // Mutating p1 does: miss + lazy invalidation.
+  epochs["p1"] = 4;
+  EXPECT_EQ(cache.Get("q", stamp), nullptr);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(LruCacheTest, WildcardFootprintMatchesLegacyGenerationProtocol) {
+  LruCache<int> cache(SingleShard(1 << 20, 16));
+  uint64_t global_gen = 5;
+  auto stamp = [&global_gen](const CacheFootprint& fp) -> uint64_t {
+    EXPECT_TRUE(fp.wildcard);
+    return global_gen;
+  };
+  cache.Put("q", 5, 42, 4);  // default footprint: wildcard
+  EXPECT_NE(cache.Get("q", stamp), nullptr);
+  global_gen = 6;  // any mutation moves the global stamp
+  EXPECT_EQ(cache.Get("q", stamp), nullptr);
+  EXPECT_EQ(cache.Stats().invalidations, 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,9 @@
 
 #include <random>
 #include <set>
+#include <vector>
+
+#include "common/footprint.h"
 
 namespace rdfa::rdf {
 namespace {
@@ -88,6 +91,78 @@ TEST_F(GraphTest, IndexesStayCorrectAfterIncrementalAdds) {
   EXPECT_EQ(g_.Match(Id("s1"), kNoTermId, kNoTermId).size(), 3u);
   g_.Add(Iri("s1"), Iri("p3"), Iri("o3"));
   EXPECT_EQ(g_.Match(Id("s1"), kNoTermId, kNoTermId).size(), 4u);
+}
+
+TEST(GraphGenerationTest, PerPredicateEpochsAdvanceOnlyForTouchedPredicates) {
+  Graph g;
+  g.Add(Iri("s"), Iri("p1"), Iri("o"));
+  g.Add(Iri("s"), Iri("p2"), Iri("o"));
+  CacheFootprint fp1 = CacheFootprint::Of({"urn:p1"});
+  CacheFootprint fp2 = CacheFootprint::Of({"urn:p2"});
+  const uint64_t s1 = g.FootprintStamp(fp1);
+  const uint64_t s2 = g.FootprintStamp(fp2);
+  g.Add(Iri("s2"), Iri("p2"), Iri("o2"));
+  EXPECT_EQ(g.FootprintStamp(fp1), s1) << "untouched predicate moved";
+  EXPECT_GT(g.FootprintStamp(fp2), s2) << "touched predicate did not move";
+  // Wildcard footprints track the global generation: any mutation moves it.
+  CacheFootprint wild = CacheFootprint::Wildcard();
+  const uint64_t w = g.FootprintStamp(wild);
+  g.Add(Iri("s3"), Iri("p1"), Iri("o3"));
+  EXPECT_GT(g.FootprintStamp(wild), w);
+  // Removals only advance epochs of predicates that actually lost triples.
+  const uint64_t s1b = g.FootprintStamp(fp1);
+  const uint64_t s2b = g.FootprintStamp(fp2);
+  g.RemoveMatching(g.terms().Find(Iri("s2")), kNoTermId, kNoTermId);
+  EXPECT_EQ(g.FootprintStamp(fp1), s1b);
+  EXPECT_GT(g.FootprintStamp(fp2), s2b);
+}
+
+TEST(GraphGenerationTest, MoveAssignNeverAliasesEitherSourceStamp) {
+  // A moved-into graph must stamp strictly above anything either graph
+  // stamped before, for every footprint size: cached entries keyed to the
+  // old graphs can then never validate against the new one by accident.
+  Graph a;
+  a.Add(Iri("s"), Iri("p1"), Iri("o"));
+  a.Add(Iri("s"), Iri("p2"), Iri("o"));
+  a.Add(Iri("s"), Iri("p3"), Iri("o"));
+  Graph b;
+  for (int i = 0; i < 10; ++i) {
+    b.Add(Iri("s" + std::to_string(i)), Iri("p1"), Iri("o"));
+  }
+  CacheFootprint one = CacheFootprint::Of({"urn:p1"});
+  CacheFootprint two = CacheFootprint::Of({"urn:p1", "urn:p2"});
+  CacheFootprint wild = CacheFootprint::Wildcard();
+  std::vector<uint64_t> prior = {
+      a.FootprintStamp(one), a.FootprintStamp(two), a.FootprintStamp(wild),
+      b.FootprintStamp(one), b.FootprintStamp(wild)};
+  a = std::move(b);
+  for (uint64_t old_stamp : prior) {
+    EXPECT_GT(a.FootprintStamp(one), old_stamp);
+    EXPECT_GT(a.FootprintStamp(wild), old_stamp);
+  }
+  // And the merged counter keeps moving normally afterwards.
+  const uint64_t after = a.FootprintStamp(one);
+  a.Add(Iri("sx"), Iri("p1"), Iri("ox"));
+  EXPECT_GT(a.FootprintStamp(one), after);
+}
+
+TEST(GraphGenerationTest, CloneCarriesEpochsAndTriples) {
+  Graph g;
+  g.Add(Iri("s"), Iri("p1"), Iri("o"));
+  g.Add(Iri("s"), Iri("p2"), Term::Integer(7));
+  g.Freeze();
+  CacheFootprint fp = CacheFootprint::Of({"urn:p1"});
+  auto copy = g.Clone();
+  EXPECT_EQ(copy->size(), g.size());
+  EXPECT_EQ(copy->Generation(), g.Generation());
+  EXPECT_EQ(copy->FootprintStamp(fp), g.FootprintStamp(fp));
+  EXPECT_TRUE(copy->Contains(copy->terms().Find(Iri("s")),
+                             copy->terms().Find(Iri("p2")),
+                             copy->terms().Find(Term::Integer(7))));
+  // Mutating the clone leaves the original untouched.
+  copy->Add(Iri("s2"), Iri("p1"), Iri("o2"));
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_GT(copy->FootprintStamp(fp), g.FootprintStamp(fp));
 }
 
 // Property-style randomized check: every pattern type returns exactly the

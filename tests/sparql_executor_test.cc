@@ -142,6 +142,41 @@ TEST_F(ExecutorTest, LimitOffset) {
   EXPECT_EQ(t.at(1, 0).lexical(), "900");
 }
 
+TEST_F(ExecutorTest, LimitOffsetClampToResultSize) {
+  // Large-but-valid values clamp to the result window instead of wrapping.
+  ResultTable all = Run(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?p WHERE { ?x ex:price ?p . } ORDER BY ?p "
+      "LIMIT 9223372036854775807");
+  EXPECT_EQ(all.num_rows(), 4u);
+  ResultTable none = Run(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?p WHERE { ?x ex:price ?p . } ORDER BY ?p "
+      "OFFSET 9223372036854775807");
+  EXPECT_EQ(none.num_rows(), 0u);
+  ResultTable both = Run(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?p WHERE { ?x ex:price ?p . } ORDER BY ?p "
+      "LIMIT 9223372036854775807 OFFSET 3");
+  ASSERT_EQ(both.num_rows(), 1u);
+  EXPECT_EQ(both.at(0, 0).lexical(), "1000");
+}
+
+TEST_F(ExecutorTest, NegativeOffsetInAstClampsToZero) {
+  // Unreachable through the parser (it rejects negatives), but a
+  // hand-built AST must not wrap through the size_t cast.
+  auto parsed = ParseQuery(
+      "PREFIX ex: <http://e.org/>\n"
+      "SELECT ?p WHERE { ?x ex:price ?p . } ORDER BY ?p");
+  ASSERT_TRUE(parsed.ok());
+  ParsedQuery q = parsed.value();
+  q.select.offset = -5;
+  Executor exec(&g_);
+  auto res = exec.Execute(q);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().num_rows(), 4u);
+}
+
 TEST_F(ExecutorTest, SelectStarSkipsInternalVars) {
   ResultTable t = Run(
       "PREFIX ex: <http://e.org/>\n"

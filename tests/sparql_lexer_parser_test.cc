@@ -112,6 +112,29 @@ TEST(ParserTest, GroupByAggregatesHaving) {
   EXPECT_EQ(s.offset, 1);
 }
 
+TEST(ParserTest, LimitOverflowIsTypedParseError) {
+  // strtoll would saturate at LLONG_MAX on this literal; the parser must
+  // surface a typed ParseError instead of silently clamping (the saturated
+  // value would otherwise flow into a size_t cast in the executor).
+  for (const char* clause :
+       {"LIMIT 99999999999999999999999", "OFFSET 99999999999999999999999"}) {
+    auto q = ParseQuery(std::string("SELECT ?x WHERE { ?x ?p ?o . } ") +
+                        clause);
+    ASSERT_FALSE(q.ok()) << clause;
+    EXPECT_EQ(q.status().code(), StatusCode::kParseError) << clause;
+    EXPECT_NE(q.status().ToString().find("out of range"), std::string::npos)
+        << q.status().ToString();
+  }
+}
+
+TEST(ParserTest, LimitAtInt64MaxStillParses) {
+  auto q = ParseQuery(
+      "SELECT ?x WHERE { ?x ?p ?o . } LIMIT 9223372036854775807 OFFSET 0");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().select.limit, 9223372036854775807LL);
+  EXPECT_EQ(q.value().select.offset, 0);
+}
+
 TEST(ParserTest, BareAggregateInSelect) {
   // The paper writes "SELECT ?x2 SUM(?x3)" without AS.
   auto q = ParseQuery(
