@@ -34,9 +34,18 @@
 //            (first iteration of each profile) under <dir>
 //   --query-log:  append the endpoint's structured query log (one JSON
 //            line per query) to <path>
+//   --storage={heap,mmap}: run the storage-backend leg — save the KG as
+//            RDFA2 (uncompressed) and RDFA3 (compressed), measure
+//            cold-start (RDFA2 heap decode + index freeze vs RDFA3 mmap
+//            open), bytes on disk, RSS deltas, and byte-compare the whole
+//            query suite between the heap and mapped backends; the chosen
+//            mode serves the timed suite. Results land under the JSON key
+//            "storage" (consumed by the CI storage-gates job).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,7 +55,10 @@
 #include "bench_util.h"
 #include "endpoint/endpoint.h"
 #include "hifun/hifun_parser.h"
+#include "rdf/binary_io.h"
 #include "rdf/rdfs.h"
+#include "sparql/executor.h"
+#include "sparql/parser.h"
 #include "translator/translator.h"
 #include "workload/products.h"
 
@@ -54,6 +66,7 @@ namespace {
 
 using rdfa::bench::JsonArray;
 using rdfa::bench::JsonObject;
+using rdfa::bench::MsSince;
 using rdfa::bench::Percentile;
 using rdfa::bench::WriteJsonFile;
 using rdfa::endpoint::LatencyProfile;
@@ -384,6 +397,170 @@ int RunAdmissionDemo(rdfa::rdf::Graph* graph) {
   return failures;
 }
 
+/// The --storage leg: cold-start, on-disk footprint and backend
+/// byte-identity for the RDFA3 compressed snapshot path. `mode` picks which
+/// backend ("heap" or "mmap") serves the timed query-suite pass; both
+/// cold-start numbers are always measured so the JSON carries the speedup
+/// regardless of mode. Failures: any I/O error, or any suite query whose
+/// answer bytes differ between the heap and mapped backends.
+int RunStorageLeg(size_t laptops, const std::string& mode,
+                  std::string* json_out) {
+  namespace fs = std::filesystem;
+  std::printf("\n== storage backends: RDFA2 heap decode vs RDFA3 mmap "
+              "(%zu laptops, serving mode=%s) ==\n",
+              laptops, mode.c_str());
+  auto built = std::make_unique<rdfa::rdf::Graph>();
+  rdfa::workload::ProductKgOptions opt;
+  opt.laptops = laptops;
+  opt.companies = laptops / 100 + 5;
+  rdfa::workload::GenerateProductKg(built.get(), opt);
+  rdfa::rdf::MaterializeRdfsClosure(built.get());
+  const size_t n_triples = built->size();
+
+  std::error_code ec;
+  const std::string dir = fs::temp_directory_path(ec).string();
+  const std::string v2_path = dir + "/bench_storage_v2.rdfa";
+  const std::string v3_path = dir + "/bench_storage_v3.rdfa";
+  auto t = std::chrono::steady_clock::now();
+  if (!rdfa::rdf::SaveBinaryFile(*built, v2_path,
+                                 rdfa::rdf::kSnapshotVersionV2)
+           .ok()) {
+    std::fprintf(stderr, "storage: cannot write %s\n", v2_path.c_str());
+    return 1;
+  }
+  const double save_v2_ms = MsSince(t);
+  t = std::chrono::steady_clock::now();
+  if (!rdfa::rdf::SaveBinaryFile(*built, v3_path).ok()) {
+    std::fprintf(stderr, "storage: cannot write %s\n", v3_path.c_str());
+    return 1;
+  }
+  const double save_v3_ms = MsSince(t);
+  const uint64_t v2_bytes = fs::file_size(v2_path, ec);
+  const uint64_t v3_bytes = fs::file_size(v3_path, ec);
+  built.reset();  // cold starts should not sit on top of the builder's heap
+
+  // Cold start, heap path: decode the uncompressed RDFA2 snapshot and
+  // freeze the indexes — everything a server does before its first query.
+  const uint64_t rss0 = rdfa::bench::ResidentBytes();
+  t = std::chrono::steady_clock::now();
+  auto heap_graph = std::make_unique<rdfa::rdf::Graph>();
+  if (!rdfa::rdf::LoadBinaryFile(v2_path, heap_graph.get()).ok()) {
+    std::fprintf(stderr, "storage: cannot load %s\n", v2_path.c_str());
+    return 1;
+  }
+  heap_graph->Freeze();
+  const double heap_load_ms = MsSince(t);
+  const uint64_t rss_heap = rdfa::bench::ResidentBytes() - rss0;
+
+  // Cold start, mapped path: mmap + section-table validation only; terms
+  // and posting lists stay compressed until a query touches them.
+  const uint64_t rss1 = rdfa::bench::ResidentBytes();
+  t = std::chrono::steady_clock::now();
+  auto mapped = rdfa::rdf::OpenMappedSnapshot(v3_path);
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "storage: %s\n", mapped.status().ToString().c_str());
+    return 1;
+  }
+  const double mmap_open_ms = MsSince(t);
+  const uint64_t rss_mmap = rdfa::bench::ResidentBytes() - rss1;
+  std::unique_ptr<rdfa::rdf::Graph> mapped_graph = std::move(mapped).value();
+
+  // Byte-identity: the full suite, heap-loaded RDFA3 vs the mapped view.
+  auto heap_v3 = std::make_unique<rdfa::rdf::Graph>();
+  if (!rdfa::rdf::LoadBinaryFile(v3_path, heap_v3.get()).ok()) {
+    std::fprintf(stderr, "storage: cannot reload %s\n", v3_path.c_str());
+    return 1;
+  }
+  int failures = 0;
+  size_t identical = 0;
+  double first_query_ms = 0;
+  double suite_ms = 0;
+  rdfa::rdf::PrefixMap prefixes;
+  rdfa::rdf::Graph* serving =
+      mode == "heap" ? heap_v3.get() : mapped_graph.get();
+  for (const QuerySpec& spec : kSuite) {
+    auto q = rdfa::hifun::ParseHifun(spec.hifun, prefixes,
+                                     rdfa::workload::kExampleNs);
+    auto sparql = q.ok() ? rdfa::translator::TranslateToSparql(q.value())
+                         : rdfa::Result<std::string>(q.status());
+    auto parsed = sparql.ok()
+                      ? rdfa::sparql::ParseQuery(sparql.value())
+                      : rdfa::Result<rdfa::sparql::ParsedQuery>(
+                            sparql.status());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.id,
+                   parsed.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const auto run = [&](rdfa::rdf::Graph* g) -> std::string {
+      rdfa::sparql::Executor exec(g);
+      auto table = exec.Execute(parsed.value());
+      if (!table.ok()) {
+        std::fprintf(stderr, "%s: %s\n", spec.id,
+                     table.status().ToString().c_str());
+        return "<error>";
+      }
+      return table.value().ToTsv();
+    };
+    t = std::chrono::steady_clock::now();
+    const std::string serving_tsv = run(serving);
+    const double ms = MsSince(t);
+    if (first_query_ms == 0) first_query_ms = ms;
+    suite_ms += ms;
+    const std::string other_tsv =
+        run(serving == heap_v3.get() ? mapped_graph.get() : heap_v3.get());
+    if (serving_tsv == other_tsv && serving_tsv != "<error>") {
+      ++identical;
+    } else {
+      std::fprintf(stderr,
+                   "%s: heap and mapped backends disagree (storage leg)\n",
+                   spec.id);
+      ++failures;
+    }
+  }
+  const double speedup = mmap_open_ms > 0 ? heap_load_ms / mmap_open_ms : 0;
+  const double disk_ratio =
+      v2_bytes > 0 ? static_cast<double>(v3_bytes) /
+                         static_cast<double>(v2_bytes)
+                   : 0;
+  std::printf("disk: RDFA2 %llu B, RDFA3 %llu B (%.2fx)\n",
+              static_cast<unsigned long long>(v2_bytes),
+              static_cast<unsigned long long>(v3_bytes), disk_ratio);
+  std::printf("cold start: heap %.2f ms, mmap %.2f ms (%.1fx); "
+              "RSS delta heap %llu B, mmap %llu B\n",
+              heap_load_ms, mmap_open_ms, speedup,
+              static_cast<unsigned long long>(rss_heap),
+              static_cast<unsigned long long>(rss_mmap));
+  std::printf("suite on %s backend: %.2f ms total, first query %.2f ms; "
+              "%zu/%zu answers byte-identical across backends\n",
+              mode.c_str(), suite_ms, first_query_ms, identical,
+              std::size(kSuite));
+
+  JsonObject storage;
+  storage.AddString("mode", mode);
+  storage.AddInt("laptops", laptops);
+  storage.AddInt("triples", n_triples);
+  storage.AddInt("v2_bytes", v2_bytes);
+  storage.AddInt("v3_bytes", v3_bytes);
+  storage.AddNumber("disk_ratio", disk_ratio);
+  storage.AddNumber("save_v2_ms", save_v2_ms);
+  storage.AddNumber("save_v3_ms", save_v3_ms);
+  storage.AddNumber("heap_load_ms", heap_load_ms);
+  storage.AddNumber("mmap_open_ms", mmap_open_ms);
+  storage.AddNumber("cold_start_speedup", speedup);
+  storage.AddInt("rss_heap_bytes", rss_heap);
+  storage.AddInt("rss_mmap_bytes", rss_mmap);
+  storage.AddNumber("suite_ms", suite_ms);
+  storage.AddNumber("first_query_ms", first_query_ms);
+  storage.AddInt("suite_queries", std::size(kSuite));
+  storage.AddInt("byte_identical", identical);
+  *json_out = storage.Render();
+  fs::remove(v2_path, ec);
+  fs::remove(v3_path, ec);
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -392,6 +569,7 @@ int main(int argc, char** argv) {
   int mixed_writes = 0;
   bool global_invalidation = false;
   std::string json_path;
+  std::string storage_mode;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) {
@@ -412,6 +590,13 @@ int main(int argc, char** argv) {
       g_trace.set_dir(arg.substr(12));
     } else if (arg.rfind("--query-log=", 0) == 0) {
       g_query_log_path = arg.substr(12);
+    } else if (arg.rfind("--storage=", 0) == 0) {
+      storage_mode = arg.substr(10);
+      if (storage_mode != "heap" && storage_mode != "mmap") {
+        std::fprintf(stderr, "--storage wants heap or mmap, got %s\n",
+                     storage_mode.c_str());
+        return 1;
+      }
     }
   }
   if (g_cache_mb > 0 && iters < 2) {
@@ -449,6 +634,10 @@ int main(int argc, char** argv) {
     failures += RunMixedReadWrite(scales.front(), mixed_writes,
                                   !global_invalidation, &mixed_json);
   }
+  std::string storage_json;
+  if (!storage_mode.empty()) {
+    failures += RunStorageLeg(scales.front(), storage_mode, &storage_json);
+  }
   std::printf(
       "\nshape check vs paper: off-peak totals are several times smaller "
       "than peak totals;\nall queries remain interactive (sub-second "
@@ -467,6 +656,7 @@ int main(int argc, char** argv) {
     top.AddRaw("plan_cache", CacheJson(g_plan_stats));
     top.AddInt("cache_mismatches", g_cache_mismatches);
     if (!mixed_json.empty()) top.AddRaw("mixed_rw", mixed_json);
+    if (!storage_json.empty()) top.AddRaw("storage", storage_json);
     top.AddRaw("runs", JsonArray(g_run_json));
     if (!WriteJsonFile(json_path, top.Render())) return 1;
     std::printf("wrote %s\n", json_path.c_str());

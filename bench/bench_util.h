@@ -19,7 +19,26 @@
 #include "common/string_util.h"
 #include "common/trace.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace rdfa::bench {
+
+/// Current resident set size in bytes (via /proc/self/statm); 0 where the
+/// proc interface is unavailable. The storage bench reports RSS deltas
+/// around graph loads, so mmap-backed cold starts show their page-cache
+/// footprint honestly.
+inline uint64_t ResidentBytes() {
+#if defined(__unix__)
+  std::ifstream statm("/proc/self/statm");
+  uint64_t total = 0, resident = 0;
+  if (!(statm >> total >> resident)) return 0;
+  return resident * static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
 
 inline double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""CI-side validation of the benches' machine-readable output.
+
+One subcommand per gate, so every workflow job shares this file instead of
+carrying its own inline python:
+
+  validate_bench.py bench-json NAME.json [NAME.json ...]
+      each file is a bench run whose "bench" key matches its stem
+
+  validate_bench.py traces GLOB [GLOB ...] --query-log=FILE
+      Chrome trace-event JSON (Perfetto-loadable) + JSONL query log
+
+  validate_bench.py metrics FILE
+      Prometheus text-format exposition scraped from the shell
+
+  validate_bench.py cache-ablation --off=F --on=F --olap=F --pred=F --glob=F
+      hit-rate and byte-identity assertions for the cache ablation job
+
+  validate_bench.py storage-gates FILE [--min-speedup=10] [--max-ratio=0.6]
+      the RDFA3 storage gates: mmap cold start must beat the heap decode by
+      min-speedup x, the compressed snapshot must be at most max-ratio of
+      the uncompressed RDFA2 bytes, and every suite answer must be
+      byte-identical across the heap and mapped backends
+
+Exits non-zero (via assert) on any violated gate.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+
+def cmd_bench_json(args):
+    for path in args.files:
+        name = os.path.splitext(os.path.basename(path))[0]
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["bench"] == name, (name, doc.get("bench"))
+        print(name, "ok:", len(doc["runs"]), "runs")
+
+
+def cmd_traces(args):
+    files = []
+    for pattern in args.globs:
+        files.extend(glob.glob(pattern))
+    assert files, "no trace files matched %s" % (args.globs,)
+    stages = set()
+    for path in files:
+        with open(path) as f:
+            doc = json.load(f)
+        # Chrome trace-event JSON of completed ("X") events, loadable in
+        # Perfetto; instant ("i") events are allowed for markers.
+        assert doc["displayTimeUnit"] == "ms", path
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] in ("X", "i"), (path, ev)
+            if ev["ph"] == "X":
+                assert "ts" in ev and "dur" in ev, (path, ev)
+            stages.add(ev["name"])
+    required = {"parse", "plan", "bgp-join", "group-aggregate",
+                "admission-queue", "execute"}
+    missing = required - stages
+    assert not missing, "stages missing from traces: %s" % missing
+    lines = []
+    if args.query_log:
+        # The structured query log is one JSON object per line.
+        lines = [json.loads(l) for l in open(args.query_log)]
+        assert lines and all("outcome" in l for l in lines)
+    print("%d trace files, %d distinct stages, %d query-log lines: ok"
+          % (len(files), len(stages), len(lines)))
+
+
+def cmd_metrics(args):
+    # Prometheus text format: '# HELP'/'# TYPE' comments and
+    # 'name[{labels}] value' samples.
+    sample = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9.+eE-]+(Inf)?$")
+    names = set()
+    for line in open(args.file):
+        line = line.rstrip("\n")
+        if not line.startswith(("rdfa_", "# ")):
+            continue  # shell prompt / table output around the block
+        if line.startswith("# "):
+            continue
+        assert sample.match(line), line
+        names.add(line.split("{")[0].split(" ")[0])
+    for required in ("rdfa_queries_total", "rdfa_query_latency_ms_count"):
+        assert any(n.startswith(required) for n in names), required
+    print("%d metric series: ok" % len(names))
+
+
+def cmd_cache_ablation(args):
+    off = json.load(open(args.off))
+    on = json.load(open(args.on))
+    olap = json.load(open(args.olap))
+    # Cache off: nothing may hit, nothing may diverge.
+    assert off["cache_mb"] == 0, off["cache_mb"]
+    assert off["answer_cache"]["hits"] == 0, off["answer_cache"]
+    assert off["cache_mismatches"] == 0, off["cache_mismatches"]
+    # Cache on: the second iteration must hit, and every cached table must
+    # be byte-identical to the uncached first pass.
+    assert on["cache_mb"] == 64, on["cache_mb"]
+    assert on["answer_cache"]["hits"] > 0, on["answer_cache"]
+    assert on["answer_cache"]["hit_rate"] > 0, on["answer_cache"]
+    assert on["cache_mismatches"] == 0, on["cache_mismatches"]
+    assert on["failures"] == 0, on["failures"]
+    assert olap["rollup_cache"]["hits"] > 0, olap["rollup_cache"]
+    assert olap["cache_mismatches"] == 0, olap["cache_mismatches"]
+    # Rollup cache must stay warm across commits that only touch predicates
+    # outside the cube's footprint.
+    assert olap["update_rounds"] > 0, olap
+    assert olap["update_hits"] == olap["update_rounds"], olap
+    # Mixed read/write: predicate-granular invalidation keeps a nonzero hit
+    # rate under a writer; the global ablation drops to zero. Both stay
+    # byte-identical to the uncached reference.
+    pred = json.load(open(args.pred))["mixed_rw"]
+    glob_ = json.load(open(args.glob))["mixed_rw"]
+    assert pred["invalidation"] == "predicate", pred
+    assert glob_["invalidation"] == "global", glob_
+    assert pred["mismatches"] == 0, pred
+    assert glob_["mismatches"] == 0, glob_
+    assert pred["answer_cache"]["hit_rate"] > 0, pred["answer_cache"]
+    assert glob_["answer_cache"]["hits"] == 0, glob_["answer_cache"]
+    print("cache off: 0 hits; cache on:", on["answer_cache"]["hits"],
+          "answer hits at rate", on["answer_cache"]["hit_rate"],
+          "; rollup hits:", olap["rollup_cache"]["hits"],
+          "- all byte-identical; mixed-rw hit rate",
+          pred["answer_cache"]["hit_rate"], "(predicate) vs",
+          glob_["answer_cache"]["hit_rate"], "(global)")
+
+
+def cmd_storage_gates(args):
+    doc = json.load(open(args.file))
+    s = doc["storage"]
+    assert doc["failures"] == 0, "bench reported %s failures" % doc["failures"]
+    # Every query in the suite must produce byte-identical answers on the
+    # heap and mapped backends; RunStorageLeg also counts a failure per
+    # divergence, so this is belt and braces.
+    assert s["byte_identical"] == s["suite_queries"], (
+        "only %s/%s suite answers byte-identical across backends"
+        % (s["byte_identical"], s["suite_queries"]))
+    speedup = s["cold_start_speedup"]
+    assert speedup >= args.min_speedup, (
+        "mmap cold start only %.1fx faster than heap decode "
+        "(gate: >= %.1fx; heap %.2f ms vs mmap %.2f ms)"
+        % (speedup, args.min_speedup, s["heap_load_ms"], s["mmap_open_ms"]))
+    ratio = s["disk_ratio"]
+    assert ratio <= args.max_ratio, (
+        "RDFA3 snapshot is %.2fx of the RDFA2 bytes (gate: <= %.2fx; "
+        "%s vs %s bytes)"
+        % (ratio, args.max_ratio, s["v3_bytes"], s["v2_bytes"]))
+    print("storage gates ok: cold start %.1fx (>= %.1fx), disk %.2fx "
+          "(<= %.2fx), %d/%d answers byte-identical at %d triples"
+          % (speedup, args.min_speedup, ratio, args.max_ratio,
+             s["byte_identical"], s["suite_queries"], s["triples"]))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("bench-json")
+    p.add_argument("files", nargs="+")
+    p.set_defaults(func=cmd_bench_json)
+
+    p = sub.add_parser("traces")
+    p.add_argument("globs", nargs="+")
+    p.add_argument("--query-log", default="")
+    p.set_defaults(func=cmd_traces)
+
+    p = sub.add_parser("metrics")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("cache-ablation")
+    p.add_argument("--off", required=True)
+    p.add_argument("--on", required=True)
+    p.add_argument("--olap", required=True)
+    p.add_argument("--pred", required=True)
+    p.add_argument("--glob", required=True)
+    p.set_defaults(func=cmd_cache_ablation)
+
+    p = sub.add_parser("storage-gates")
+    p.add_argument("file")
+    p.add_argument("--min-speedup", type=float, default=10.0)
+    p.add_argument("--max-ratio", type=float, default=0.6)
+    p.set_defaults(func=cmd_storage_gates)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -26,6 +26,7 @@
 #include "common/trace.h"
 #include "endpoint/endpoint.h"
 #include "fs/facets.h"
+#include "rdf/binary_io.h"
 #include "rdf/mvcc.h"
 #include "rdf/rdfs.h"
 #include "rdf/turtle.h"
@@ -204,7 +205,13 @@ struct Shell {
 void PrintHelp() {
   std::printf(R"(commands:
   example products|invoices     load a built-in dataset
-  load <file.ttl>               load a Turtle file
+  load <file>                   load a Turtle file or a binary snapshot
+                                (RDFA1/2/3, auto-detected by magic)
+  save <file>                   write the current dataset as a compressed
+                                RDFA3 snapshot (mmap-able)
+  mmap <file>                   open an RDFA3 snapshot without decoding it:
+                                queries read the mapped file lazily; the
+                                first mutation materializes to heap
   ns <iri>                      set the default namespace for bare names
   infer                         materialize the RDFS closure
   show                          render the two-frame GUI (facets + objects)
@@ -268,7 +275,8 @@ bool HandleLine(Shell& shell, const std::string& line) {
   };
 
   if (cmd == "quit" || cmd == "exit") return false;
-  if ((cmd == "example" || cmd == "load") && shell.mvcc != nullptr) {
+  if ((cmd == "example" || cmd == "load" || cmd == "mmap") &&
+      shell.mvcc != nullptr) {
     std::printf("error: %s is unavailable in --wal mode — the WAL is the "
                 "source of truth; mutate with update/walstress\n",
                 cmd.c_str());
@@ -293,19 +301,56 @@ bool HandleLine(Shell& shell, const std::string& line) {
   } else if (cmd == "load") {
     std::string path;
     in >> path;
-    std::ifstream file(path);
+    std::ifstream file(path, std::ios::binary);
     if (!file) {
       std::printf("error: cannot open %s\n", path.c_str());
       return true;
     }
     std::stringstream buffer;
     buffer << file.rdbuf();
+    const std::string& bytes = buffer.str();
     auto g = std::make_unique<rdfa::rdf::Graph>();
-    rdfa::rdf::PrefixMap prefixes;
-    if (report(rdfa::rdf::ParseTurtle(buffer.str(), g.get(), &prefixes))) {
-      std::printf("loaded %zu triples\n", g->size());
-      shell.Reset(std::move(g));
+    // Binary snapshots (any generation) announce themselves with an
+    // "RDFA<d>\n" magic; everything else is treated as Turtle.
+    if (bytes.rfind("RDFA", 0) == 0) {
+      if (report(rdfa::rdf::LoadBinary(bytes, g.get()))) {
+        std::printf("loaded %zu triples (binary snapshot)\n", g->size());
+        shell.Reset(std::move(g));
+      }
+    } else {
+      rdfa::rdf::PrefixMap prefixes;
+      if (report(rdfa::rdf::ParseTurtle(bytes, g.get(), &prefixes))) {
+        std::printf("loaded %zu triples\n", g->size());
+        shell.Reset(std::move(g));
+      }
     }
+  } else if (cmd == "save") {
+    std::string path;
+    in >> path;
+    if (path.empty()) {
+      std::printf("usage: save <file>\n");
+      return true;
+    }
+    if (report(rdfa::rdf::SaveBinaryFile(shell.graph(), path))) {
+      std::printf("saved %zu triples to %s (RDFA3)\n", shell.graph().size(),
+                  path.c_str());
+    }
+  } else if (cmd == "mmap") {
+    std::string path;
+    in >> path;
+    if (path.empty()) {
+      std::printf("usage: mmap <file>\n");
+      return true;
+    }
+    auto mapped = rdfa::rdf::OpenMappedSnapshot(path);
+    if (!mapped.ok()) {
+      std::printf("error: %s\n", mapped.status().ToString().c_str());
+      return true;
+    }
+    std::printf("mapped %zu triples from %s (lazy decode; mutations "
+                "materialize to heap)\n",
+                mapped.value()->size(), path.c_str());
+    shell.Reset(std::move(mapped).value());
   } else if (cmd == "ns") {
     in >> shell.default_ns;
   } else if (cmd == "infer") {

@@ -1,0 +1,72 @@
+#include "common/vbyte.h"
+
+namespace rdfa {
+
+void AppendVbyte(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+size_t VbyteLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+Status VbyteDecoder::Next(uint64_t* v) {
+  uint64_t acc = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (pos_ >= size_) {
+      return Status::ParseError("vbyte: truncated at byte " +
+                                std::to_string(pos_));
+    }
+    const uint8_t b = static_cast<uint8_t>(data_[pos_++]);
+    // The 10th byte may only carry the single remaining bit of a u64; any
+    // higher payload bit (or a continuation bit) is an overlong encoding.
+    if (i == 9 && b > 0x01) {
+      return Status::ParseError("vbyte: overlong encoding at byte " +
+                                std::to_string(pos_ - 1));
+    }
+    acc |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      *v = acc;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::ParseError("vbyte: unterminated encoding");
+}
+
+void AppendDeltaVbyte(std::string* out, const std::vector<uint64_t>& sorted) {
+  uint64_t prev = 0;
+  bool first = true;
+  for (uint64_t v : sorted) {
+    AppendVbyte(out, first ? v : v - prev);
+    prev = v;
+    first = false;
+  }
+}
+
+Result<std::vector<uint64_t>> DecodeDeltaVbyte(std::string_view data,
+                                               size_t count) {
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  VbyteDecoder dec(data);
+  uint64_t acc = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t gap = 0;
+    RDFA_RETURN_NOT_OK(dec.Next(&gap));
+    acc = (i == 0) ? gap : acc + gap;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+}  // namespace rdfa

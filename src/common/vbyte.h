@@ -1,0 +1,65 @@
+#ifndef RDFA_COMMON_VBYTE_H_
+#define RDFA_COMMON_VBYTE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rdfa {
+
+/// Variable-byte (LEB128-style) integer codec used by the RDFA3 snapshot
+/// format. Each byte carries 7 payload bits, low group first; the high bit
+/// marks continuation. A u64 therefore occupies 1..10 bytes, and small
+/// values — the common case for difference-encoded posting lists — occupy
+/// exactly one byte.
+///
+/// Decoding is strict: a truncated group (continuation bit set at the end
+/// of input) and an overlong encoding (a 10th byte contributing more than
+/// the single remaining bit) are both rejected with a typed ParseError, so
+/// a corrupted or clipped snapshot section can never decode to garbage.
+
+/// Appends the vbyte encoding of `v` to `out`.
+void AppendVbyte(std::string* out, uint64_t v);
+
+/// Number of bytes AppendVbyte would emit for `v` (1..10).
+size_t VbyteLength(uint64_t v);
+
+/// Incremental strict decoder over a byte span. The span must outlive the
+/// decoder; no copy is taken (it can point straight into an mmap'd file).
+class VbyteDecoder {
+ public:
+  VbyteDecoder(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit VbyteDecoder(std::string_view data)
+      : VbyteDecoder(data.data(), data.size()) {}
+
+  /// Decodes the next value. ParseError on truncation or overlong form.
+  Status Next(uint64_t* v);
+
+  /// Bytes consumed so far.
+  size_t pos() const { return pos_; }
+  bool AtEnd() const { return pos_ >= size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Difference-encodes a non-decreasing u64 sequence: the first element raw,
+/// every later element as the gap to its predecessor. The caller must pass
+/// a sorted sequence; gaps are small, so posting lists compress to ~1 byte
+/// per element.
+void AppendDeltaVbyte(std::string* out, const std::vector<uint64_t>& sorted);
+
+/// Decodes exactly `count` difference-encoded values appended by
+/// AppendDeltaVbyte, re-accumulating the prefix sums. ParseError on any
+/// truncated/overlong group or if the span holds fewer than `count` values.
+Result<std::vector<uint64_t>> DecodeDeltaVbyte(std::string_view data,
+                                               size_t count);
+
+}  // namespace rdfa
+
+#endif  // RDFA_COMMON_VBYTE_H_

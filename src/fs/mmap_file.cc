@@ -1,0 +1,66 @@
+#include "fs/mmap_file.h"
+
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RDFA_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace rdfa::fs {
+
+Result<std::shared_ptr<const MmapFile>> MmapFile::Open(
+    const std::string& path) {
+  auto file = std::shared_ptr<MmapFile>(new MmapFile());
+#ifdef RDFA_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      const size_t size = static_cast<size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        file->mapped_ = true;  // trivially: nothing to read
+        return std::shared_ptr<const MmapFile>(file);
+      }
+      void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      // The mapping holds its own reference to the file; the descriptor is
+      // not needed past this point on either branch.
+      ::close(fd);
+      if (addr != MAP_FAILED) {
+        file->data_ = static_cast<const char*>(addr);
+        file->size_ = size;
+        file->mapped_ = true;
+        return std::shared_ptr<const MmapFile>(file);
+      }
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  // Heap fallback: identical interface, eager bytes.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+  file->fallback_.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::Internal("read failed for " + path);
+  }
+  file->data_ = file->fallback_.data();
+  file->size_ = file->fallback_.size();
+  file->mapped_ = false;
+  return std::shared_ptr<const MmapFile>(file);
+}
+
+MmapFile::~MmapFile() {
+#ifdef RDFA_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace rdfa::fs

@@ -1,0 +1,50 @@
+#ifndef RDFA_FS_MMAP_FILE_H_
+#define RDFA_FS_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace rdfa::fs {
+
+/// A read-only memory-mapped file. The mapping is private and immutable for
+/// the lifetime of the object; `data()` is valid until destruction, so
+/// long-lived views (the RDFA3 snapshot loader) can hand out raw pointers
+/// into the file and decode sections lazily, paying page-cache faults only
+/// for the ranges actually scanned.
+///
+/// On platforms (or filesystems) where mmap fails, Open falls back to
+/// reading the whole file into an owned heap buffer — callers see the same
+/// interface either way, only `mapped()` differs.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. InvalidArgument if the file cannot be opened,
+  /// Internal if it cannot be mapped nor read.
+  static Result<std::shared_ptr<const MmapFile>> Open(const std::string& path);
+
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view view() const { return {data_, size_}; }
+
+  /// True when the contents are an actual mmap (false = heap fallback).
+  bool mapped() const { return mapped_; }
+
+ private:
+  MmapFile() = default;
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::string fallback_;  ///< owns the bytes when !mapped_
+};
+
+}  // namespace rdfa::fs
+
+#endif  // RDFA_FS_MMAP_FILE_H_

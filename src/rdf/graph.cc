@@ -4,12 +4,50 @@
 
 namespace rdfa::rdf {
 
+void Graph::AttachMapped(std::shared_ptr<const MappedGraphView> view) {
+  view_ = std::move(view);
+  terms_.AttachDict(view_);
+  stats_ = view_->stats();
+  generation_.store(view_->generation(), std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(pred_mu_);
+    pred_gens_.clear();
+    const auto& gens = view_->predicate_generations();
+    pred_gens_.insert(gens.begin(), gens.end());
+  }
+  triples_ready_.store(false, std::memory_order_release);
+  // The snapshot *is* the index: nothing to rebuild, stats came with it.
+  stats_dirty_.store(false, std::memory_order_release);
+  dirty_.store(false, std::memory_order_release);
+}
+
+void Graph::MaterializeTriples() const {
+  std::lock_guard<std::mutex> lock(materialize_mu_);
+  if (triples_ready_.load(std::memory_order_relaxed)) return;
+  triples_.reserve(view_->triple_count());
+  view_->ForEachInPerm(kPermSPO, kNoTermId, kNoTermId, kNoTermId,
+                       [&](const TripleId& t) { triples_.push_back(t); });
+  triples_ready_.store(true, std::memory_order_release);
+}
+
+void Graph::MaterializeForWrite() {
+  if (view_ == nullptr) return;
+  if (!triples_ready_.load(std::memory_order_acquire)) MaterializeTriples();
+  triple_set_.reserve(triples_.size());
+  for (const TripleId& t : triples_) triple_set_.insert(t);
+  // From here on this is a plain heap graph; the TermTable keeps its own
+  // reference to the dictionary, so lazily decoded terms stay valid.
+  view_.reset();
+  dirty_.store(true, std::memory_order_release);
+}
+
 bool Graph::Add(const Term& s, const Term& p, const Term& o) {
   TripleId t{terms_.Intern(s), terms_.Intern(p), terms_.Intern(o)};
   return AddIds(t);
 }
 
 bool Graph::AddIds(TripleId t) {
+  MaterializeForWrite();
   if (!triple_set_.insert(t).second) return false;
   triples_.push_back(t);
   const uint64_t gen = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -23,10 +61,15 @@ bool Graph::AddIds(TripleId t) {
 }
 
 bool Graph::Contains(TermId s, TermId p, TermId o) const {
+  if (view_ != nullptr) {
+    // Fully bound probe: the SPO range width is the exact membership count.
+    return view_->EstimateInPerm(kPermSPO, s, p, o) > 0;
+  }
   return triple_set_.count(TripleId{s, p, o}) > 0;
 }
 
 size_t Graph::RemoveMatching(TermId s, TermId p, TermId o) {
+  MaterializeForWrite();
   size_t before = triples_.size();
   std::vector<TripleId> kept;
   kept.reserve(triples_.size());
@@ -73,8 +116,16 @@ uint64_t Graph::FootprintStamp(const CacheFootprint& fp) const {
 std::unique_ptr<Graph> Graph::Clone() const {
   auto copy = std::make_unique<Graph>();
   copy->terms_.CopyFrom(terms_);
-  copy->triples_ = triples_;
-  copy->triple_set_ = triple_set_;
+  // A clone is always a plain heap graph: an MVCC commit mutates it
+  // immediately, so materializing here (not lazily in the copy) keeps the
+  // mapped original untouched and shareable.
+  copy->triples_ = triples();
+  if (view_ != nullptr) {
+    copy->triple_set_.reserve(copy->triples_.size());
+    for (const TripleId& t : copy->triples_) copy->triple_set_.insert(t);
+  } else {
+    copy->triple_set_ = triple_set_;
+  }
   copy->generation_.store(generation_.load(std::memory_order_acquire),
                           std::memory_order_release);
   {
@@ -101,7 +152,13 @@ size_t Graph::CountMatch(TermId s, TermId p, TermId o) const {
 
 size_t Graph::EstimateMatch(TermId s, TermId p, TermId o) const {
   if (s == kNoTermId && p == kNoTermId && o == kNoTermId) {
-    return triples_.size();
+    return size();
+  }
+  if (view_ != nullptr) {
+    // Exact on both backends, so join orders (and thus result byte order)
+    // never depend on which backend serves the query.
+    return view_->EstimateInPerm(
+        ChoosePerm(s != kNoTermId, p != kNoTermId, o != kNoTermId), s, p, o);
   }
   EnsureIndexes();
   // Longest-bound-prefix selection: every subset of {s, p, o} is a complete
@@ -124,6 +181,7 @@ size_t Graph::EstimateMatch(TermId s, TermId p, TermId o) const {
 }
 
 size_t Graph::EstimateInPerm(Perm perm, TermId s, TermId p, TermId o) const {
+  if (view_ != nullptr) return view_->EstimateInPerm(perm, s, p, o);
   EnsureIndexes();
   switch (perm) {
     case kPermSPO: {

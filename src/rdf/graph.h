@@ -13,50 +13,12 @@
 #include <vector>
 
 #include "common/footprint.h"
+#include "rdf/graph_stats.h"
+#include "rdf/mapped_graph.h"
 #include "rdf/term.h"
 #include "rdf/term_table.h"
 
 namespace rdfa::rdf {
-
-/// Per-predicate cardinality statistics, computed once per index rebuild.
-/// `triples` is the number of triples with this predicate; the distinct
-/// counts are over that triple set, so avg_fanout_so() is the average number
-/// of objects per subject (s -> o fanout) and avg_fanout_os() the average
-/// number of subjects per object.
-struct PredicateStats {
-  uint64_t triples = 0;
-  uint64_t distinct_subjects = 0;
-  uint64_t distinct_objects = 0;
-
-  double avg_fanout_so() const {
-    return distinct_subjects == 0
-               ? 0.0
-               : static_cast<double>(triples) /
-                     static_cast<double>(distinct_subjects);
-  }
-  double avg_fanout_os() const {
-    return distinct_objects == 0
-               ? 0.0
-               : static_cast<double>(triples) /
-                     static_cast<double>(distinct_objects);
-  }
-};
-
-/// Graph-wide statistics block: global distinct counts plus one
-/// PredicateStats entry per distinct predicate. The BGP reorderer uses these
-/// for calibrated cardinality estimates instead of raw range widths.
-struct GraphStats {
-  uint64_t triples = 0;
-  uint64_t distinct_subjects = 0;
-  uint64_t distinct_predicates = 0;
-  uint64_t distinct_objects = 0;
-  std::unordered_map<TermId, PredicateStats> by_predicate;
-
-  const PredicateStats* ForPredicate(TermId p) const {
-    auto it = by_predicate.find(p);
-    return it == by_predicate.end() ? nullptr : &it->second;
-  }
-};
 
 /// An in-memory RDF graph with set semantics over interned triples.
 ///
@@ -64,6 +26,14 @@ struct GraphStats {
 /// any triple pattern with 0-3 bound positions is answered by a binary-search
 /// range scan over the best-fitting index. This is the storage substrate the
 /// SPARQL engine, the RDFS reasoner and the faceted-search model all share.
+///
+/// Storage backends: a Graph normally owns its triples on the heap, but
+/// AttachMapped() lets an empty graph serve every read path straight off a
+/// compressed RDFA3 snapshot (usually an mmap — see MappedGraphView) with no
+/// up-front decode. Range semantics, estimates and enumeration order are
+/// byte-identical across the two backends; the first mutation transparently
+/// materializes the graph to the heap and detaches the view, so MVCC commits
+/// (Clone + apply) work unchanged with a mapped epoch-0 base.
 ///
 /// Thread-safety contract: all const read paths (ForEachMatch / Match /
 /// CountMatch / EstimateMatch / Contains / Freeze) are safe to call from any
@@ -111,6 +81,12 @@ class Graph {
                    std::memory_order_relaxed);
       stats_dirty_.store(other.stats_dirty_.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+      view_ = std::move(other.view_);
+      other.view_.reset();
+      triples_ready_.store(
+          other.triples_ready_.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      other.triples_ready_.store(true, std::memory_order_relaxed);
     }
     return *this;
   }
@@ -152,8 +128,28 @@ class Graph {
   /// remain valid.
   size_t RemoveMatching(TermId s, TermId p, TermId o);
 
-  size_t size() const { return triples_.size(); }
-  const std::vector<TripleId>& triples() const { return triples_; }
+  size_t size() const {
+    return view_ != nullptr ? view_->triple_count() : triples_.size();
+  }
+
+  /// The triple list in enumeration order. On a mapped graph the list is
+  /// materialized (in SPO order, matching a heap load of the same snapshot)
+  /// on first call; pattern scans never need it.
+  const std::vector<TripleId>& triples() const {
+    if (view_ != nullptr && !triples_ready_.load(std::memory_order_acquire)) {
+      MaterializeTriples();
+    }
+    return triples_;
+  }
+
+  /// Backs this (empty) graph with a parsed RDFA3 snapshot view: reads are
+  /// answered from the compressed, lazily-decoded snapshot; stats and
+  /// generation stamps are adopted from it. The first mutation materializes
+  /// to the heap and detaches. Requires exclusive access.
+  void AttachMapped(std::shared_ptr<const MappedGraphView> view);
+
+  /// The attached snapshot view, or nullptr once detached / never attached.
+  const MappedGraphView* mapped() const { return view_.get(); }
 
   /// Eagerly builds the permutation indexes if stale. Safe (and cheap when
   /// already built) from any thread; the executor calls it once per query so
@@ -209,6 +205,13 @@ class Graph {
   template <typename Fn>
   void ForEachMatch(TermId s, TermId p, TermId o, Fn&& fn) const {
     if (s == kNoTermId && p == kNoTermId && o == kNoTermId) {
+      // A mapped graph enumerates its SPO permutation; a heap graph its
+      // insertion order. Heap loads of RDFA3 snapshots insert in SPO order,
+      // so the two backends agree byte-for-byte.
+      if (view_ != nullptr) {
+        view_->ForEachInPerm(kPermSPO, s, p, o, std::forward<Fn>(fn));
+        return;
+      }
       EnsureIndexes();
       for (const TripleId& t : triples_) fn(t);
       return;
@@ -223,6 +226,11 @@ class Graph {
   /// a per-row NLJ scan over the same permutation would.
   template <typename Fn>
   void ForEachInPerm(Perm perm, TermId s, TermId p, TermId o, Fn&& fn) const {
+    if (view_ != nullptr) {
+      view_->ForEachInPerm(static_cast<int>(perm), s, p, o,
+                           std::forward<Fn>(fn));
+      return;
+    }
     EnsureIndexes();
     switch (perm) {
       case kPermSPO: ScanIndex(spo_, {s, p, o}, kPermSPO, fn); break;
@@ -263,6 +271,25 @@ class Graph {
   void RestoreStats(GraphStats stats) {
     stats_ = std::move(stats);
     stats_dirty_.store(false, std::memory_order_release);
+  }
+
+  /// Installs mutation-generation stamps from a snapshot, replacing the ones
+  /// accumulated while loading. Keeps cache validation stamps stable across
+  /// a save/load round trip. Requires exclusive access.
+  void RestoreGenerations(
+      uint64_t generation,
+      const std::vector<std::pair<TermId, uint64_t>>& pred_gens) {
+    generation_.store(generation, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(pred_mu_);
+    pred_gens_.clear();
+    pred_gens_.insert(pred_gens.begin(), pred_gens.end());
+  }
+
+  /// Snapshot of every per-predicate epoch (unordered); the snapshot writer
+  /// sorts by predicate id for deterministic output.
+  std::vector<std::pair<TermId, uint64_t>> PredicateGenerations() const {
+    std::lock_guard<std::mutex> lock(pred_mu_);
+    return {pred_gens_.begin(), pred_gens_.end()};
   }
 
  private:
@@ -323,8 +350,20 @@ class Graph {
   // index_mu_ exclusively with spo_/pos_/osp_ built.
   void ComputeStatsLocked() const;
 
+  // Decodes the attached view's SPO permutation into triples_ (idempotent,
+  // safe under concurrent readers). Mutable representation change only: the
+  // observable triple list is unchanged.
+  void MaterializeTriples() const;
+
+  // Hydrates triples_ + triple_set_ from the attached view and detaches it,
+  // turning this into a plain heap graph. No-op without a view. Requires
+  // exclusive access; every mutating method calls it first.
+  void MaterializeForWrite();
+
   TermTable terms_;
-  std::vector<TripleId> triples_;
+  // Mutable because a mapped graph materializes the list lazily on first
+  // triples() access; see MaterializeTriples.
+  mutable std::vector<TripleId> triples_;
   std::unordered_set<TripleId, TripleHash> triple_set_;
 
   // Bumped by every effective mutation; see Generation().
@@ -345,6 +384,12 @@ class Graph {
   mutable std::vector<Key> pos_;
   mutable std::vector<Key> osp_;
   mutable GraphStats stats_;
+
+  // RDFA3 snapshot backend; null for a plain heap graph. Detached (under
+  // the exclusive-access contract) by the first mutation.
+  std::shared_ptr<const MappedGraphView> view_;
+  mutable std::mutex materialize_mu_;
+  mutable std::atomic<bool> triples_ready_{true};  ///< false once attached
 };
 
 }  // namespace rdfa::rdf

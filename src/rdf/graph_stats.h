@@ -1,0 +1,53 @@
+#ifndef RDFA_RDF_GRAPH_STATS_H_
+#define RDFA_RDF_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "rdf/term.h"
+
+namespace rdfa::rdf {
+
+/// Per-predicate cardinality statistics, computed once per index rebuild.
+/// `triples` is the number of triples with this predicate; the distinct
+/// counts are over that triple set, so avg_fanout_so() is the average number
+/// of objects per subject (s -> o fanout) and avg_fanout_os() the average
+/// number of subjects per object.
+struct PredicateStats {
+  uint64_t triples = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_objects = 0;
+
+  double avg_fanout_so() const {
+    return distinct_subjects == 0
+               ? 0.0
+               : static_cast<double>(triples) /
+                     static_cast<double>(distinct_subjects);
+  }
+  double avg_fanout_os() const {
+    return distinct_objects == 0
+               ? 0.0
+               : static_cast<double>(triples) /
+                     static_cast<double>(distinct_objects);
+  }
+};
+
+/// Graph-wide statistics block: global distinct counts plus one
+/// PredicateStats entry per distinct predicate. The BGP reorderer uses these
+/// for calibrated cardinality estimates instead of raw range widths.
+struct GraphStats {
+  uint64_t triples = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_predicates = 0;
+  uint64_t distinct_objects = 0;
+  std::unordered_map<TermId, PredicateStats> by_predicate;
+
+  const PredicateStats* ForPredicate(TermId p) const {
+    auto it = by_predicate.find(p);
+    return it == by_predicate.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace rdfa::rdf
+
+#endif  // RDFA_RDF_GRAPH_STATS_H_

@@ -1,0 +1,481 @@
+#include "rdf/mapped_graph.h"
+
+#include <cstring>
+
+#include "common/vbyte.h"
+
+namespace rdfa::rdf {
+
+namespace {
+
+constexpr char kMagicV3[] = "RDFA3\n";
+constexpr size_t kMagicLen = 6;
+
+// Section kinds in the RDFA3 section table.
+enum SectionKind : uint32_t {
+  kSecTerms = 1,
+  kSecPermSpo = 2,
+  kSecPermPos = 3,
+  kSecPermOsp = 4,
+  kSecStats = 5,
+  kSecGenerations = 6,
+};
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Sequential bounds-checked cursor over one section's bytes. Fixed-width
+/// loads are memcpy-based, so nothing in the file needs alignment.
+class SpanReader {
+ public:
+  explicit SpanReader(std::string_view data) : data_(data) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = LoadU32(data_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = LoadU64(data_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadVbyte(uint64_t* v) {
+    VbyteDecoder dec(data_.data() + pos_, data_.size() - pos_);
+    if (!dec.Next(v).ok()) return false;
+    pos_ += dec.pos();
+    return true;
+  }
+
+  bool ReadVbyteString(std::string* s) {
+    uint64_t len = 0;
+    if (!ReadVbyte(&len) || pos_ + len > data_.size()) return false;
+    s->assign(data_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  /// Remaining bytes from the cursor to the end of the span.
+  std::string_view Rest() const { return data_.substr(pos_); }
+  /// Advances past `n` bytes, returning a pointer to their start (null if
+  /// they do not fit).
+  const char* Take(size_t n) {
+    if (pos_ + n > data_.size()) return nullptr;
+    const char* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Term MakeTerm(uint8_t kind, std::string lexical, const std::string& datatype,
+              const std::string& lang) {
+  switch (static_cast<TermKind>(kind)) {
+    case TermKind::kIri: return Term::Iri(std::move(lexical));
+    case TermKind::kBlankNode: return Term::Blank(std::move(lexical));
+    case TermKind::kLiteral:
+      if (!lang.empty()) return Term::LangLiteral(std::move(lexical), lang);
+      if (!datatype.empty()) {
+        return Term::TypedLiteral(std::move(lexical), datatype);
+      }
+      return Term::Literal(std::move(lexical));
+  }
+  return Term::Iri(std::move(lexical));
+}
+
+const std::string kEmpty;
+
+}  // namespace
+
+Result<std::shared_ptr<const MappedGraphView>> MappedGraphView::Open(
+    const std::string& path) {
+  RDFA_ASSIGN_OR_RETURN(auto file, fs::MmapFile::Open(path));
+  return Parse(file->view(), file);
+}
+
+Result<std::shared_ptr<const MappedGraphView>> MappedGraphView::Parse(
+    std::string_view data, std::shared_ptr<const fs::MmapFile> backing) {
+  auto view = std::shared_ptr<MappedGraphView>(new MappedGraphView());
+  view->backing_ = std::move(backing);
+  RDFA_RETURN_NOT_OK(view->Init(data));
+  return std::shared_ptr<const MappedGraphView>(view);
+}
+
+Status MappedGraphView::Init(std::string_view data) {
+  data_ = data;
+  if (data.size() < kMagicLen ||
+      std::memcmp(data.data(), kMagicV3, kMagicLen) != 0) {
+    return Status::ParseError("bad magic: not an RDFA3 snapshot");
+  }
+  SpanReader header(data.substr(kMagicLen));
+  uint32_t n_sections = 0;
+  if (!header.ReadU32(&n_sections) || n_sections > 64) {
+    return Status::ParseError("RDFA3: bad section count");
+  }
+  bool seen[7] = {};
+  for (uint32_t i = 0; i < n_sections; ++i) {
+    uint32_t kind = 0;
+    uint64_t offset = 0, length = 0;
+    if (!header.ReadU32(&kind) || !header.ReadU64(&offset) ||
+        !header.ReadU64(&length)) {
+      return Status::ParseError("RDFA3: truncated section table");
+    }
+    if (offset > data.size() || length > data.size() - offset) {
+      return Status::ParseError("RDFA3: section " + std::to_string(kind) +
+                                " exceeds file bounds");
+    }
+    const std::string_view sec = data.substr(offset, length);
+    Status st = Status::OK();
+    switch (kind) {
+      case kSecTerms: st = InitTerms(sec); break;
+      case kSecPermSpo: st = InitPerm(0, sec); break;
+      case kSecPermPos: st = InitPerm(1, sec); break;
+      case kSecPermOsp: st = InitPerm(2, sec); break;
+      case kSecStats: st = InitStats(sec); break;
+      case kSecGenerations: st = InitGenerations(sec); break;
+      default: continue;  // unknown sections are skippable by design
+    }
+    RDFA_RETURN_NOT_OK(st);
+    if (kind < 7) seen[kind] = true;
+  }
+  for (uint32_t kind = kSecTerms; kind <= kSecGenerations; ++kind) {
+    if (!seen[kind]) {
+      return Status::ParseError("RDFA3: missing section " +
+                                std::to_string(kind));
+    }
+  }
+  if (perms_[0].key_count != perms_[1].key_count ||
+      perms_[0].key_count != perms_[2].key_count) {
+    return Status::ParseError("RDFA3: permutation key counts disagree");
+  }
+  if (stats_.triples != perms_[0].key_count) {
+    return Status::ParseError("RDFA3: stats/permutation triple count drift");
+  }
+  return Status::OK();
+}
+
+Status MappedGraphView::InitTerms(std::string_view sec) {
+  SpanReader r(sec);
+  uint32_t block = 0;
+  uint64_t n_dt = 0, n_lang = 0;
+  if (!r.ReadU64(&n_terms_) || !r.ReadU32(&block)) {
+    return Status::ParseError("RDFA3: truncated term header");
+  }
+  if (block != kTermBlock) {
+    return Status::ParseError("RDFA3: unsupported term block size " +
+                              std::to_string(block));
+  }
+  if (n_terms_ > UINT32_MAX) {
+    return Status::ParseError("RDFA3: term count exceeds id space");
+  }
+  if (!r.ReadU64(&n_dt) || n_dt > sec.size()) {
+    return Status::ParseError("RDFA3: truncated datatype dictionary");
+  }
+  datatypes_.resize(n_dt);
+  for (auto& s : datatypes_) {
+    if (!r.ReadVbyteString(&s)) {
+      return Status::ParseError("RDFA3: truncated datatype dictionary");
+    }
+  }
+  if (!r.ReadU64(&n_lang) || n_lang > sec.size()) {
+    return Status::ParseError("RDFA3: truncated language dictionary");
+  }
+  langs_.resize(n_lang);
+  for (auto& s : langs_) {
+    if (!r.ReadVbyteString(&s)) {
+      return Status::ParseError("RDFA3: truncated language dictionary");
+    }
+  }
+  if (!r.ReadU64(&n_term_blocks_) ||
+      n_term_blocks_ != (n_terms_ + kTermBlock - 1) / kTermBlock) {
+    return Status::ParseError("RDFA3: term block count mismatch");
+  }
+  term_offsets_ = r.Take(n_term_blocks_ * 8);
+  if (term_offsets_ == nullptr) {
+    return Status::ParseError("RDFA3: truncated term offset index");
+  }
+  const std::string_view blob = r.Rest();
+  term_blob_ = blob.data();
+  term_blob_len_ = blob.size();
+  uint64_t prev = 0;
+  for (uint64_t b = 0; b < n_term_blocks_; ++b) {
+    const uint64_t off = LoadU64(term_offsets_ + b * 8);
+    if (off < prev || off > term_blob_len_) {
+      return Status::ParseError("RDFA3: term offset index not monotone");
+    }
+    prev = off;
+  }
+  return Status::OK();
+}
+
+Status MappedGraphView::InitPerm(int perm, std::string_view sec) {
+  PermSection& ps = perms_[perm];
+  SpanReader r(sec);
+  uint32_t block = 0;
+  if (!r.ReadU64(&ps.key_count) || !r.ReadU32(&block) ||
+      !r.ReadU64(&ps.n_blocks)) {
+    return Status::ParseError("RDFA3: truncated permutation header");
+  }
+  if (block != kPermBlock) {
+    return Status::ParseError("RDFA3: unsupported permutation block size " +
+                              std::to_string(block));
+  }
+  if (ps.n_blocks != (ps.key_count + kPermBlock - 1) / kPermBlock) {
+    return Status::ParseError("RDFA3: permutation block count mismatch");
+  }
+  ps.index = r.Take(ps.n_blocks * 20);
+  if (ps.index == nullptr) {
+    return Status::ParseError("RDFA3: truncated permutation block index");
+  }
+  const std::string_view blob = r.Rest();
+  ps.blob = blob.data();
+  ps.blob_len = blob.size();
+  uint64_t prev = 0;
+  for (uint64_t b = 0; b < ps.n_blocks; ++b) {
+    const uint64_t off = IndexOffset(ps, b);
+    if (off < prev || off > ps.blob_len) {
+      return Status::ParseError("RDFA3: permutation offsets not monotone");
+    }
+    prev = off;
+  }
+  return Status::OK();
+}
+
+Status MappedGraphView::InitStats(std::string_view sec) {
+  SpanReader r(sec);
+  uint64_t n_preds = 0;
+  if (!r.ReadU64(&stats_.triples) || !r.ReadU64(&stats_.distinct_subjects) ||
+      !r.ReadU64(&stats_.distinct_predicates) ||
+      !r.ReadU64(&stats_.distinct_objects) || !r.ReadU64(&n_preds) ||
+      n_preds > sec.size()) {
+    return Status::ParseError("RDFA3: truncated stats block");
+  }
+  for (uint64_t i = 0; i < n_preds; ++i) {
+    uint32_t pred = 0;
+    PredicateStats entry;
+    if (!r.ReadU32(&pred) || !r.ReadU64(&entry.triples) ||
+        !r.ReadU64(&entry.distinct_subjects) ||
+        !r.ReadU64(&entry.distinct_objects)) {
+      return Status::ParseError("RDFA3: truncated predicate stats");
+    }
+    stats_.by_predicate[pred] = entry;
+  }
+  return Status::OK();
+}
+
+Status MappedGraphView::InitGenerations(std::string_view sec) {
+  SpanReader r(sec);
+  uint64_t n = 0;
+  if (!r.ReadU64(&generation_) || !r.ReadU64(&n) || n > sec.size()) {
+    return Status::ParseError("RDFA3: truncated generation block");
+  }
+  pred_gens_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t pred = 0;
+    uint64_t gen = 0;
+    if (!r.ReadU32(&pred) || !r.ReadU64(&gen)) {
+      return Status::ParseError("RDFA3: truncated generation entry");
+    }
+    pred_gens_.emplace_back(pred, gen);
+  }
+  return Status::OK();
+}
+
+size_t MappedGraphView::DecodeTermBlock(size_t block, Term* out) const {
+  if (block >= n_term_blocks_) return 0;
+  const size_t base = block * kTermBlock;
+  const size_t count = std::min(kTermBlock, n_terms_ - base);
+  const uint64_t off = LoadU64(term_offsets_ + block * 8);
+  const uint64_t end = block + 1 < n_term_blocks_
+                           ? LoadU64(term_offsets_ + (block + 1) * 8)
+                           : term_blob_len_;
+  SpanReader r(std::string_view(term_blob_ + off, end - off));
+  std::string prev_lexical;
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t kind32 = 0;
+    uint64_t kind_and_shared[2] = {0, 0};
+    {
+      // u8 kind, then vbyte shared-prefix length.
+      const char* kp = r.Take(1);
+      if (kp == nullptr) return i;
+      kind32 = static_cast<uint8_t>(*kp);
+      if (!r.ReadVbyte(&kind_and_shared[1])) return i;
+    }
+    const uint64_t shared = kind_and_shared[1];
+    if (shared > prev_lexical.size()) return i;
+    std::string lexical = prev_lexical.substr(0, shared);
+    std::string suffix;
+    if (!r.ReadVbyteString(&suffix)) return i;
+    lexical += suffix;
+    uint64_t dt_idx = 0, lang_idx = 0;
+    if (!r.ReadVbyte(&dt_idx) || !r.ReadVbyte(&lang_idx)) return i;
+    if (dt_idx > datatypes_.size() || lang_idx > langs_.size()) return i;
+    const std::string& dt = dt_idx == 0 ? kEmpty : datatypes_[dt_idx - 1];
+    const std::string& lang = lang_idx == 0 ? kEmpty : langs_[lang_idx - 1];
+    prev_lexical = lexical;
+    out[i] = MakeTerm(static_cast<uint8_t>(kind32), std::move(lexical), dt,
+                      lang);
+  }
+  return count;
+}
+
+Term MappedGraphView::DecodeTerm(TermId id) const {
+  Term block[kTermBlock];
+  const size_t b = id / kTermBlock;
+  const size_t i = id % kTermBlock;
+  const size_t count = DecodeTermBlock(b, block);
+  if (i >= count) return Term();
+  return std::move(block[i]);
+}
+
+void MappedGraphView::DecodeRange(TermId begin, TermId end, Term* out) const {
+  Term block[kTermBlock];
+  size_t written = 0;
+  for (size_t b = begin / kTermBlock; b * kTermBlock < end; ++b) {
+    const size_t count = DecodeTermBlock(b, block);
+    for (size_t i = 0; i < count; ++i) {
+      const size_t id = b * kTermBlock + i;
+      if (id < begin || id >= end) continue;
+      out[written++] = std::move(block[i]);
+    }
+    if (count < kTermBlock) break;
+  }
+}
+
+MappedGraphView::PermKey MappedGraphView::IndexKey(const PermSection& ps,
+                                                   size_t block) const {
+  const char* e = ps.index + block * 20;
+  return {LoadU32(e), LoadU32(e + 4), LoadU32(e + 8)};
+}
+
+uint64_t MappedGraphView::IndexOffset(const PermSection& ps,
+                                      size_t block) const {
+  return LoadU64(ps.index + block * 20 + 12);
+}
+
+size_t MappedGraphView::DecodeKeyBlock(int perm, size_t block,
+                                       PermKey* out) const {
+  const PermSection& ps = perms_[perm];
+  if (block >= ps.n_blocks) return 0;
+  const size_t count =
+      std::min(kPermBlock, static_cast<size_t>(ps.key_count) -
+                               block * kPermBlock);
+  PermKey prev = IndexKey(ps, block);
+  out[0] = prev;
+  const uint64_t off = IndexOffset(ps, block);
+  const uint64_t end = block + 1 < ps.n_blocks ? IndexOffset(ps, block + 1)
+                                               : ps.blob_len;
+  VbyteDecoder dec(ps.blob + off, end - off);
+  for (size_t i = 1; i < count; ++i) {
+    uint64_t da = 0;
+    if (!dec.Next(&da).ok()) return i;
+    PermKey k;
+    uint64_t v = 0;
+    if (da != 0) {
+      k.a = prev.a + static_cast<uint32_t>(da);
+      if (!dec.Next(&v).ok()) return i;
+      k.b = static_cast<uint32_t>(v);
+      if (!dec.Next(&v).ok()) return i;
+      k.c = static_cast<uint32_t>(v);
+    } else {
+      k.a = prev.a;
+      uint64_t db = 0;
+      if (!dec.Next(&db).ok()) return i;
+      if (db != 0) {
+        k.b = prev.b + static_cast<uint32_t>(db);
+        if (!dec.Next(&v).ok()) return i;
+        k.c = static_cast<uint32_t>(v);
+      } else {
+        k.b = prev.b;
+        if (!dec.Next(&v).ok()) return i;
+        k.c = prev.c + static_cast<uint32_t>(v);
+      }
+    }
+    out[i] = k;
+    prev = k;
+  }
+  return count;
+}
+
+size_t MappedGraphView::LowerBound(int perm, const PermKey& probe) const {
+  const PermSection& ps = perms_[perm];
+  if (ps.n_blocks == 0) return 0;
+  // First block whose first key is >= probe.
+  size_t lo = 0, hi = ps.n_blocks;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (IndexKey(ps, mid) < probe) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return 0;
+  // The boundary lies inside the previous block (or just past its end).
+  const size_t b = lo - 1;
+  PermKey block[kPermBlock];
+  const size_t count = DecodeKeyBlock(perm, b, block);
+  const PermKey* pos = std::lower_bound(block, block + count, probe);
+  return b * kPermBlock + static_cast<size_t>(pos - block);
+}
+
+size_t MappedGraphView::UpperBound(int perm, const PermKey& probe) const {
+  const PermSection& ps = perms_[perm];
+  if (ps.n_blocks == 0) return 0;
+  // First block whose first key is > probe.
+  size_t lo = 0, hi = ps.n_blocks;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (!(probe < IndexKey(ps, mid))) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return 0;
+  const size_t b = lo - 1;
+  PermKey block[kPermBlock];
+  const size_t count = DecodeKeyBlock(perm, b, block);
+  const PermKey* pos = std::upper_bound(block, block + count, probe);
+  return b * kPermBlock + static_cast<size_t>(pos - block);
+}
+
+std::pair<size_t, size_t> MappedGraphView::Range(int perm,
+                                                 PermKey probe) const {
+  // Mirror Graph::Range: only the leading run of bound lanes narrows; the
+  // first wildcard lane (and everything after it) spans the whole domain.
+  PermKey lo_key, hi_key;
+  uint32_t* lo_lanes[3] = {&lo_key.a, &lo_key.b, &lo_key.c};
+  uint32_t* hi_lanes[3] = {&hi_key.a, &hi_key.b, &hi_key.c};
+  const uint32_t lanes[3] = {probe.a, probe.b, probe.c};
+  bool wildcard = false;
+  for (int i = 0; i < 3; ++i) {
+    if (wildcard || lanes[i] == kNoTermId) {
+      wildcard = true;
+      *lo_lanes[i] = 0;
+      *hi_lanes[i] = kNoTermId;  // MAX; never a real id
+    } else {
+      *lo_lanes[i] = lanes[i];
+      *hi_lanes[i] = lanes[i];
+    }
+  }
+  return {LowerBound(perm, lo_key), UpperBound(perm, hi_key)};
+}
+
+}  // namespace rdfa::rdf

@@ -14,6 +14,22 @@
 
 namespace rdfa::rdf {
 
+/// A read-only source of already-interned terms that a TermTable can sit on
+/// top of without eagerly decoding them — the RDFA3 mapped snapshot's term
+/// dictionary implements this. Ids are dense [0, term_count()); DecodeTerm
+/// must be thread-safe and deterministic (same id, same term).
+class TermDictSource {
+ public:
+  virtual ~TermDictSource() = default;
+  virtual size_t term_count() const = 0;
+  virtual Term DecodeTerm(TermId id) const = 0;
+  /// Bulk decode of [begin, end) into `out`; sources with block-structured
+  /// storage override this to avoid per-id redundant work.
+  virtual void DecodeRange(TermId begin, TermId end, Term* out) const {
+    for (TermId id = begin; id < end; ++id) out[id - begin] = DecodeTerm(id);
+  }
+};
+
 /// Interns terms to dense 32-bit ids. All engine data structures (graph
 /// indexes, bindings, extensions) operate on TermIds; the table is the only
 /// place term strings live.
@@ -44,11 +60,23 @@ class TermTable {
   /// Looks up an already-interned term; kNoTermId if absent.
   TermId Find(const Term& term) const;
 
-  /// The term for `id`. Precondition: id < size(). Lock-free.
+  /// The term for `id`. Precondition: id < size(). Lock-free once the
+  /// containing chunk exists; with an attached dictionary, the first touch
+  /// of a chunk decodes just that chunk (not the whole dictionary).
   const Term& Get(TermId id) const {
     const size_t c = ChunkOf(id);
-    return chunks_[c].load(std::memory_order_acquire)[id - ChunkBase(c)];
+    const Term* chunk = chunks_[c].load(std::memory_order_acquire);
+    if (chunk == nullptr) chunk = MaterializeChunk(c);
+    return chunk[id - ChunkBase(c)];
   }
+
+  /// Backs this (empty) table with a lazily-decoded dictionary: size()
+  /// immediately reports the dictionary's term count and Get() decodes
+  /// chunks on first touch, but nothing is decoded up front. The intern
+  /// index (Find/Intern/MintBlank) hydrates in full on its first use —
+  /// interning fundamentally needs every term hashed. New terms interned
+  /// past the dictionary append as usual.
+  void AttachDict(std::shared_ptr<const TermDictSource> dict);
 
   /// Convenience: intern an IRI / plain literal directly.
   TermId InternIri(std::string_view iri);
@@ -88,15 +116,29 @@ class TermTable {
   TermId AppendLocked(const Term& term);
   void DestroyChunks();
 
+  // Decodes every term of chunk `c` covered by dict_ into a freshly
+  // allocated chunk and publishes it (no-op if already present). Returns
+  // the chunk pointer. Takes mu_ exclusively.
+  const Term* MaterializeChunk(size_t c) const;
+  // Same, for a caller already holding mu_ exclusively.
+  Term* MaterializeChunkLocked(size_t c) const;
+  // Materializes every dict chunk and builds index_ over the dictionary.
+  // Must run before any append so partially-filled chunks never exist.
+  void HydrateIndex() const;
+
   struct TermHash {
     size_t operator()(const Term& t) const { return t.Hash(); }
   };
 
   mutable std::shared_mutex mu_;  ///< guards index_, blank_counter_, growth
-  std::array<std::atomic<Term*>, kNumChunks> chunks_ = {};
+  mutable std::array<std::atomic<Term*>, kNumChunks> chunks_ = {};
   std::atomic<size_t> size_{0};
-  std::unordered_map<Term, TermId, TermHash> index_;
+  // Mutable because lazy hydration off dict_ is logically const: it changes
+  // the representation, never the observable contents.
+  mutable std::unordered_map<Term, TermId, TermHash> index_;
   uint64_t blank_counter_ = 0;
+  std::shared_ptr<const TermDictSource> dict_;
+  mutable std::atomic<bool> index_hydrated_{true};  ///< false once AttachDict
 };
 
 }  // namespace rdfa::rdf

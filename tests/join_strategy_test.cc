@@ -126,7 +126,7 @@ TEST(BinaryIoStatsTest, V2RoundTripRestoresStatsWithoutRecompute) {
   workload::GenerateProductKg(&g, opt);
   const GraphStats original = g.Stats();
 
-  std::string blob = rdf::SaveBinary(g);
+  std::string blob = rdf::SaveBinary(g, rdf::kSnapshotVersionV2);
   ASSERT_EQ(blob.compare(0, 6, "RDFA2\n"), 0);
 
   // Perturb the saved global triple count: if the loader *recomputed* the
@@ -156,7 +156,7 @@ TEST(BinaryIoStatsTest, V1SnapshotStillLoadsAndRecomputes) {
 
   // A v1 snapshot is the v2 payload minus the stats block, under the old
   // magic — exactly what a pre-stats build wrote.
-  std::string blob = rdf::SaveBinary(g);
+  std::string blob = rdf::SaveBinary(g, rdf::kSnapshotVersionV2);
   blob.resize(blob.size() - StatsBlockSize(original));
   std::memcpy(blob.data(), "RDFA1\n", 6);
 

@@ -1,0 +1,80 @@
+// Regenerates the golden snapshot fixtures under tests/data/ from the
+// dissertation's fixed running-example graph:
+//
+//   make_golden_fixtures <output-dir>
+//
+// The fixtures are checked in; the format-compat test only *loads* them, so
+// they must be regenerated exactly once per on-disk format revision (never
+// per code change). RDFA2/RDFA3 come from the production writer; RDFA1 is
+// written here by hand since the library stopped saving v1 long ago.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "rdf/binary_io.h"
+#include "rdf/graph.h"
+#include "workload/products.h"
+
+namespace {
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+std::string SaveV1(const rdfa::rdf::Graph& graph) {
+  std::string out("RDFA1\n", 6);
+  const rdfa::rdf::TermTable& terms = graph.terms();
+  PutU64(&out, terms.size());
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const rdfa::rdf::Term& t = terms.Get(static_cast<rdfa::rdf::TermId>(i));
+    out.push_back(static_cast<char>(t.kind()));
+    PutString(&out, t.lexical());
+    PutString(&out, t.datatype());
+    PutString(&out, t.lang());
+  }
+  PutU64(&out, graph.triples().size());
+  for (const rdfa::rdf::TripleId& t : graph.triples()) {
+    PutU32(&out, t.s);
+    PutU32(&out, t.p);
+    PutU32(&out, t.o);
+  }
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return f.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  rdfa::rdf::Graph g;
+  rdfa::workload::BuildRunningExample(&g);
+  const bool ok =
+      WriteFile(dir + "/golden_v1.rdfa", SaveV1(g)) &&
+      WriteFile(dir + "/golden_v2.rdfa",
+                rdfa::rdf::SaveBinary(g, rdfa::rdf::kSnapshotVersionV2)) &&
+      WriteFile(dir + "/golden_v3.rdfa",
+                rdfa::rdf::SaveBinary(g, rdfa::rdf::kSnapshotVersionV3));
+  if (!ok) {
+    std::cerr << "failed to write fixtures to " << dir << "\n";
+    return 1;
+  }
+  std::cout << "wrote golden_v{1,2,3}.rdfa (" << g.size() << " triples, "
+            << g.terms().size() << " terms) to " << dir << "\n";
+  return 0;
+}

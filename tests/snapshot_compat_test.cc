@@ -1,0 +1,113 @@
+// Format compatibility: the checked-in golden fixtures (tests/data/) for
+// every snapshot generation — RDFA1, RDFA2, RDFA3 — must keep loading, and
+// all three must describe the same graph. Regenerate fixtures only on a
+// deliberate format revision, with tests/make_golden_fixtures.cc.
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rdf/binary_io.h"
+#include "rdf/graph.h"
+#include "sparql/executor.h"
+#include "sparql/parser.h"
+#include "sparql/results_io.h"
+#include "workload/products.h"
+
+#ifndef RDFA_TEST_DATA_DIR
+#error "RDFA_TEST_DATA_DIR must point at the checked-in fixture directory"
+#endif
+
+namespace rdfa {
+namespace {
+
+using rdf::Graph;
+
+std::string FixturePath(const std::string& name) {
+  return std::string(RDFA_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string RunProbe(Graph* g) {
+  // Join + aggregate probe over the running example, serialized so any
+  // semantic drift between format generations shows up as a byte diff.
+  constexpr char kQuery[] =
+      "PREFIX ex: <http://www.ics.forth.gr/example#>\n"
+      "SELECT ?m (COUNT(?l) AS ?n) (SUM(?p) AS ?total) WHERE { "
+      "?l ex:manufacturer ?m . ?l ex:price ?p } GROUP BY ?m";
+  sparql::Executor exec(g);
+  auto parsed = sparql::ParseQuery(kQuery);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+  if (!parsed.ok()) return "<parse error>";
+  auto table = exec.Execute(parsed.value());
+  EXPECT_TRUE(table.ok()) << table.status().message();
+  if (!table.ok()) return "<exec error>";
+  return sparql::WriteResultsJson(table.value());
+}
+
+class SnapshotCompatTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SnapshotCompatTest, GoldenFixtureLoadsAndMatchesLiveGraph) {
+  Graph golden;
+  Status st = rdf::LoadBinaryFile(FixturePath(GetParam()), &golden);
+  ASSERT_TRUE(st.ok()) << GetParam() << ": " << st.message();
+
+  Graph live;
+  workload::BuildRunningExample(&live);
+  EXPECT_EQ(golden.size(), live.size());
+  EXPECT_EQ(golden.terms().size(), live.terms().size());
+  // Term ids are preserved by every format generation.
+  for (size_t i = 0; i < live.terms().size(); ++i) {
+    EXPECT_EQ(golden.terms().Get(static_cast<rdf::TermId>(i)),
+              live.terms().Get(static_cast<rdf::TermId>(i)))
+        << GetParam() << " term " << i;
+  }
+  EXPECT_EQ(RunProbe(&golden), RunProbe(&live)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormatGenerations, SnapshotCompatTest,
+                         ::testing::Values("golden_v1.rdfa", "golden_v2.rdfa",
+                                           "golden_v3.rdfa"));
+
+TEST(SnapshotCompatTest, GoldenV3OpensMapped) {
+  auto mapped = rdf::OpenMappedSnapshot(FixturePath("golden_v3.rdfa"));
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+  ASSERT_NE(mapped.value()->mapped(), nullptr);
+
+  Graph live;
+  workload::BuildRunningExample(&live);
+  EXPECT_EQ(mapped.value()->size(), live.size());
+  EXPECT_EQ(RunProbe(mapped.value().get()), RunProbe(&live));
+}
+
+TEST(SnapshotCompatTest, ResaveOfGoldenV3RoundTripsByteIdentically) {
+  // Loading a canonical (SPO-ordered) v3 snapshot and saving it again must
+  // reproduce the bytes exactly: load → save is idempotent on v3.
+  std::ifstream f(FixturePath("golden_v3.rdfa"), std::ios::binary);
+  ASSERT_TRUE(f.good());
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  Graph g;
+  ASSERT_TRUE(rdf::LoadBinary(bytes, &g).ok());
+  EXPECT_EQ(rdf::SaveBinary(g), bytes);
+}
+
+TEST(SnapshotCompatTest, TruncatedV3IsRejectedNotMisread) {
+  std::ifstream f(FixturePath("golden_v3.rdfa"), std::ios::binary);
+  ASSERT_TRUE(f.good());
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  // Clipping anywhere inside the section table or a section must produce a
+  // typed ParseError, not a partial graph.
+  for (size_t cut : {size_t{3}, size_t{8}, size_t{40}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    Graph g;
+    Status st = rdf::LoadBinary(std::string_view(bytes).substr(0, cut), &g);
+    EXPECT_FALSE(st.ok()) << "cut at " << cut;
+    EXPECT_EQ(st.code(), StatusCode::kParseError) << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace rdfa

@@ -1,0 +1,169 @@
+#include "common/vbyte.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace rdfa {
+namespace {
+
+TEST(VbyteTest, SingleByteValuesRoundTrip) {
+  for (uint64_t v = 0; v < 128; ++v) {
+    std::string buf;
+    AppendVbyte(&buf, v);
+    EXPECT_EQ(buf.size(), 1u);
+    EXPECT_EQ(VbyteLength(v), 1u);
+    VbyteDecoder dec(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(dec.Next(&out).ok());
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(dec.AtEnd());
+  }
+}
+
+TEST(VbyteTest, BoundaryValuesRoundTrip) {
+  // Every power-of-two boundary and its neighbors, plus the extremes —
+  // these exercise every possible encoded length (1..10 bytes).
+  std::vector<uint64_t> values = {0, 1, std::numeric_limits<uint64_t>::max()};
+  for (int bit = 0; bit < 64; ++bit) {
+    const uint64_t v = uint64_t{1} << bit;
+    values.push_back(v - 1);
+    values.push_back(v);
+    values.push_back(v + 1);
+  }
+  for (uint64_t v : values) {
+    std::string buf;
+    AppendVbyte(&buf, v);
+    EXPECT_EQ(buf.size(), VbyteLength(v)) << v;
+    VbyteDecoder dec(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(dec.Next(&out).ok()) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(dec.pos(), buf.size());
+  }
+}
+
+TEST(VbyteTest, RandomU64SequencesRoundTripProperty) {
+  std::mt19937_64 rng(20260807);
+  for (int round = 0; round < 50; ++round) {
+    // Mix magnitudes: raw 64-bit draws decode long forms, masked draws
+    // exercise the short forms that dominate real posting lists.
+    std::vector<uint64_t> values;
+    std::string buf;
+    for (int i = 0; i < 200; ++i) {
+      const int shift = static_cast<int>(rng() % 64);
+      const uint64_t v = rng() >> shift;
+      values.push_back(v);
+      AppendVbyte(&buf, v);
+    }
+    VbyteDecoder dec(buf);
+    for (uint64_t expected : values) {
+      uint64_t out = 0;
+      ASSERT_TRUE(dec.Next(&out).ok());
+      EXPECT_EQ(out, expected);
+    }
+    EXPECT_TRUE(dec.AtEnd());
+  }
+}
+
+TEST(VbyteTest, EveryByteBoundaryTruncationIsATypedError) {
+  // Mirrors wal_test's corruption pattern: clip the encoded stream at every
+  // possible byte boundary and require a typed ParseError each time a group
+  // is cut mid-way — never garbage, never a crash.
+  std::mt19937_64 rng(7);
+  std::vector<uint64_t> values;
+  std::string buf;
+  std::vector<size_t> ends;  // byte offsets where a complete value ends
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t v = rng() >> (rng() % 64);
+    values.push_back(v);
+    AppendVbyte(&buf, v);
+    ends.push_back(buf.size());
+  }
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    VbyteDecoder dec(buf.data(), cut);
+    size_t decoded = 0;
+    Status last = Status::OK();
+    for (size_t i = 0; i < values.size(); ++i) {
+      uint64_t out = 0;
+      last = dec.Next(&out);
+      if (!last.ok()) break;
+      EXPECT_EQ(out, values[decoded]);
+      ++decoded;
+    }
+    // Every fully contained value must decode; the first clipped group must
+    // fail with ParseError specifically.
+    size_t complete = 0;
+    while (complete < ends.size() && ends[complete] <= cut) ++complete;
+    EXPECT_EQ(decoded, complete) << "cut at " << cut;
+    if (decoded < values.size()) {
+      EXPECT_EQ(last.code(), StatusCode::kParseError) << "cut at " << cut;
+    }
+  }
+}
+
+TEST(VbyteTest, OverlongTenByteEncodingIsRejected) {
+  // 10 continuation-free groups can carry 70 bits; anything where the 10th
+  // byte holds more than the single remaining bit is an overlong/overflow
+  // form that AppendVbyte never emits.
+  std::string buf(9, static_cast<char>(0xFF));
+  buf.push_back(0x02);  // bit 64 set: out of range
+  VbyteDecoder dec(buf);
+  uint64_t out = 0;
+  Status st = dec.Next(&out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+
+  // The maximal legal form (u64 max) still decodes.
+  std::string ok(9, static_cast<char>(0xFF));
+  ok.push_back(0x01);
+  VbyteDecoder dec2(ok);
+  ASSERT_TRUE(dec2.Next(&out).ok());
+  EXPECT_EQ(out, std::numeric_limits<uint64_t>::max());
+}
+
+TEST(VbyteTest, NeverEndingContinuationIsRejected) {
+  // An 11th continuation byte exceeds the u64 form length outright.
+  std::string buf(11, static_cast<char>(0x80));
+  VbyteDecoder dec(buf);
+  uint64_t out = 0;
+  Status st = dec.Next(&out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(VbyteTest, DeltaCodecRoundTripsSortedSequences) {
+  std::mt19937_64 rng(99);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<uint64_t> sorted;
+    uint64_t acc = 0;
+    for (int i = 0; i < 500; ++i) {
+      acc += rng() % 1000;  // non-decreasing, duplicate gaps of 0 included
+      sorted.push_back(acc);
+    }
+    std::string buf;
+    AppendDeltaVbyte(&buf, sorted);
+    auto decoded = DecodeDeltaVbyte(buf, sorted.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_EQ(decoded.value(), sorted);
+  }
+}
+
+TEST(VbyteTest, DeltaCodecRejectsShortSpans) {
+  std::vector<uint64_t> sorted = {5, 10, 1000, 100000};
+  std::string buf;
+  AppendDeltaVbyte(&buf, sorted);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    auto decoded = DecodeDeltaVbyte(std::string_view(buf.data(), cut),
+                                    sorted.size());
+    ASSERT_FALSE(decoded.ok()) << "cut at " << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+  }
+}
+
+}  // namespace
+}  // namespace rdfa
