@@ -1,12 +1,15 @@
 // Ablation study over the BGP query-path knobs: join reordering (source vs
 // greedy order), the reorderer's cost model (legacy range-width heuristic
-// vs GraphStats-calibrated estimates), and the join strategy (index
-// nested-loop vs adaptive order-preserving hash join). Every configuration
-// must return byte-identical results; what changes is the work done,
-// reported as total index rows enumerated (rows_scanned) and wall time.
+// vs GraphStats-calibrated estimates), the join strategy (index nested-loop
+// vs adaptive order-preserving hash join), and planner v2 (DP join ordering
+// + order-aware merge joins with sideways information passing). Every
+// configuration must return the same result set; what changes is the work
+// done, reported as total index rows enumerated (rows_scanned) and wall
+// time.
 //
 // Run: ./build/bench/bench_ablation [--scale=100k] [--iters=N]
 //                                   [--json=<path>] [--ablate-hash-join]
+//                                   [--ablate-sip] [--storage=heap|mmap]
 //                                   [--trace-out=<dir>]
 //   --scale:            laptop count of the generated product KG
 //                       (default 20k)
@@ -14,15 +17,27 @@
 //                       feed the p50/p99 figures)
 //   --json=<path>:      write one machine-readable JSON object for the
 //                       whole run (scale, iters, p50/p99, per-run
-//                       ExecStats)
+//                       ExecStats + plan shapes + result hash)
 //   --ablate-hash-join: force nested-loop joins in the adaptive configs,
 //                       isolating the hash join's contribution
+//   --ablate-sip:       disable sideways information passing in the
+//                       planner-v2 configs (merge cursors advance linearly,
+//                       decoding every entry); the dp-vs-adaptive gate is
+//                       skipped, since the ablation exists to measure the
+//                       decode delta
+//   --storage=heap|mmap: serve the KG from the heap (default) or round-trip
+//                       it through an RDFA3 snapshot and run everything off
+//                       the mapped view; result hashes must agree between
+//                       the two, which ci/validate_bench.py planner-gates
+//                       enforces
 //   --trace-out=<dir>:  write one Chrome trace-event JSON file per
 //                       (query, config) pair — first iteration of each
 //
 // Exit code is non-zero if any configuration diverges from the baseline
-// result bytes, or if (without --ablate-hash-join) the stats+hash
-// configuration fails to beat the NLJ baseline on total rows_scanned.
+// result set, if (without --ablate-hash-join) the stats+hash configuration
+// fails to beat the NLJ baseline on total rows_scanned, or if (without
+// either ablation) the planner-v2 DP+merge configuration fails to beat the
+// adaptive one.
 
 #include <chrono>
 #include <cstdio>
@@ -34,6 +49,7 @@
 
 #include "bench_util.h"
 #include "common/query_context.h"
+#include "rdf/binary_io.h"
 #include "rdf/graph.h"
 #include "sparql/executor.h"
 #include "sparql/parser.h"
@@ -59,7 +75,9 @@ struct QuerySpec {
 
 // Multi-pattern joins over the product KG. Source order is written
 // big-range-first so the no-reorder runs exercise the probe-many shape the
-// hash join targets; the reordered runs show what the cost model picks.
+// hash join targets; the reordered runs show what the cost model picks; the
+// chains give the DP planner orders whose intermediates stay sorted on the
+// join variable, which is where the merge join earns its keep.
 const QuerySpec kSuite[] = {
     {"Q1", "laptop -> company origin",
      "SELECT ?l ?m ?c WHERE { ?l ex:manufacturer ?m . ?m ex:origin ?c . }"},
@@ -69,18 +87,21 @@ const QuerySpec kSuite[] = {
     {"Q3", "laptop price + company origin",
      "SELECT ?l ?p ?c WHERE { ?l ex:manufacturer ?m . ?l ex:price ?p . "
      "?m ex:origin ?c . }"},
-    {"Q4", "laptop -> company founder",
-     "SELECT ?l ?f WHERE { ?l ex:manufacturer ?m . ?m ex:founder ?f . }"},
+    {"Q4", "laptop -> drive -> maker origin",
+     "SELECT ?l ?h ?c WHERE { ?l ex:hardDrive ?h . ?h ex:manufacturer ?hm . "
+     "?hm ex:origin ?c . }"},
     {"Q5", "selective: companies from country0",
      "SELECT ?l ?m WHERE { ?l ex:releaseDate ?d . ?l ex:price ?p . "
      "?l ex:manufacturer ?m . ?m ex:origin ex:country0 . }"},
 };
 
 struct Config {
-  const char* name;
-  bool reorder;
-  bool calibrated;
-  JoinStrategy strategy;
+  std::string name;
+  bool reorder = false;
+  bool calibrated = false;
+  JoinStrategy strategy = JoinStrategy::kNestedLoop;
+  bool use_dp = false;
+  bool sip = true;
 };
 
 struct RunResult {
@@ -102,6 +123,8 @@ RunResult RunOnce(rdfa::rdf::Graph* graph, const std::string& query,
   rdfa::sparql::Executor exec(graph, cfg.reorder);
   exec.set_calibrated_estimates(cfg.calibrated);
   exec.set_join_strategy(cfg.strategy);
+  exec.set_use_dp(cfg.use_dp);
+  exec.set_sip(cfg.sip);
   if (tracer != nullptr) {
     rdfa::QueryContext ctx;
     ctx.set_tracer(tracer);
@@ -129,6 +152,16 @@ std::string StrategyString(const rdfa::sparql::ExecStats& stats) {
   return std::string(stats.join_strategy.begin(), stats.join_strategy.end());
 }
 
+const char* StrategyName(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kAdaptive: return "adaptive";
+    case JoinStrategy::kNestedLoop: return "nested-loop";
+    case JoinStrategy::kHash: return "hash";
+    case JoinStrategy::kMerge: return "merge";
+  }
+  return "?";
+}
+
 // Row-order-insensitive view of a TSV result, for comparing runs whose join
 // *order* differs (reordering legitimately permutes output rows; only runs
 // with the identical plan must match byte-for-byte).
@@ -150,13 +183,31 @@ std::string SortedLines(const std::string& tsv) {
   return out;
 }
 
+// FNV-1a over the *sorted* result lines: a storage-backend- and
+// plan-order-insensitive fingerprint of the result set, compared across the
+// heap and mmap runs by ci/validate_bench.py planner-gates.
+std::string TsvHash(const std::string& tsv) {
+  const std::string canon = SortedLines(tsv);
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : canon) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   size_t scale = 20000;
   int iters = 1;
   std::string json_path;
+  std::string storage = "heap";
   bool ablate_hash = false;
+  bool ablate_sip = false;
   rdfa::bench::TraceSink trace_sink;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -170,6 +221,15 @@ int main(int argc, char** argv) {
       json_path = arg.substr(7);
     } else if (arg == "--ablate-hash-join") {
       ablate_hash = true;
+    } else if (arg == "--ablate-sip") {
+      ablate_sip = true;
+    } else if (arg.rfind("--storage=", 0) == 0) {
+      storage = arg.substr(10);
+      if (storage != "heap" && storage != "mmap") {
+        std::fprintf(stderr, "unknown --storage=%s (heap|mmap)\n",
+                     storage.c_str());
+        return 1;
+      }
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_sink.set_dir(arg.substr(12));
     }
@@ -177,32 +237,63 @@ int main(int argc, char** argv) {
 
   const JoinStrategy adaptive =
       ablate_hash ? JoinStrategy::kNestedLoop : JoinStrategy::kAdaptive;
-  const Config kConfigs[] = {
+  const std::vector<Config> configs = {
       // The NLJ baseline: the pre-stats cost model, nested loops only.
       {"legacy-nlj/source", false, false, JoinStrategy::kNestedLoop},
       {"legacy-nlj/reorder", true, false, JoinStrategy::kNestedLoop},
       // Calibrated estimates, still nested loops: isolates the cost model.
       {"stats-nlj/reorder", true, true, JoinStrategy::kNestedLoop},
-      // Full tentpole: calibrated estimates + adaptive hash join.
+      // PR-3 tentpole: calibrated estimates + adaptive hash join.
       {"stats-adaptive/source", false, true, adaptive},
       {"stats-adaptive/reorder", true, true, adaptive},
+      // Planner v2: DP join ordering + merge joins (+ SIP unless ablated).
+      // DP *is* the reorderer, so the two rows share one plan and exist for
+      // accounting symmetry with the per-flag pairs above.
+      {"dp-merge/source", false, true, JoinStrategy::kMerge, true,
+       !ablate_sip},
+      {"dp-merge/reorder", true, true, JoinStrategy::kMerge, true,
+       !ablate_sip},
   };
 
-  std::printf("== BGP ablation: reorder x cost model x join strategy ==\n\n");
-  rdfa::rdf::Graph g;
+  std::printf(
+      "== BGP ablation: reorder x cost model x join strategy x planner ==\n"
+      "\n");
+  rdfa::rdf::Graph heap_graph;
   rdfa::workload::ProductKgOptions opt;
   opt.laptops = scale;
   opt.companies = scale / 100 + 5;
-  rdfa::workload::GenerateProductKg(&g, opt);
-  g.Freeze();
-  std::printf("product KG: %zu triples (%zu laptops, %zu companies)%s\n\n",
-              g.size(), opt.laptops, opt.companies,
-              ablate_hash ? "  [hash join ABLATED]" : "");
+  rdfa::workload::GenerateProductKg(&heap_graph, opt);
+  std::unique_ptr<rdfa::rdf::Graph> mapped_graph;
+  rdfa::rdf::Graph* g = &heap_graph;
+  if (storage == "mmap") {
+    const std::string snap =
+        "/tmp/bench_ablation_" + std::to_string(scale) + ".rdfa";
+    if (!rdfa::rdf::SaveBinaryFile(heap_graph, snap).ok()) {
+      std::fprintf(stderr, "snapshot save failed: %s\n", snap.c_str());
+      return 1;
+    }
+    auto mapped = rdfa::rdf::OpenMappedSnapshot(snap);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "snapshot open failed: %s\n",
+                   mapped.status().ToString().c_str());
+      return 1;
+    }
+    mapped_graph = std::move(mapped).value();
+    g = mapped_graph.get();
+  }
+  g->Freeze();
+  std::printf(
+      "product KG: %zu triples (%zu laptops, %zu companies) storage=%s%s%s\n"
+      "\n",
+      g->size(), opt.laptops, opt.companies, storage.c_str(),
+      ablate_hash ? "  [hash join ABLATED]" : "",
+      ablate_sip ? "  [SIP ABLATED]" : "");
 
   bool identical = true;
   bool all_ok = true;
   size_t baseline_scanned = 0;  // legacy-nlj, summed over queries + orders
   size_t adaptive_scanned = 0;  // stats-adaptive, same accounting
+  size_t dp_scanned = 0;        // dp-merge, same accounting
   std::vector<double> latencies;
   std::vector<std::string> run_json;
 
@@ -210,16 +301,17 @@ int main(int argc, char** argv) {
     const std::string query = std::string(kPfx) + spec.body;
     std::printf("%s  %s\n", spec.id, spec.description);
     // Equivalence contract: runs that share a join order (same `reorder`
-    // flag and cost model) must match byte-for-byte no matter the strategy;
-    // runs under different orders must agree as row sets.
-    std::vector<std::string> tsvs;  // parallel to kConfigs
-    for (const Config& cfg : kConfigs) {
+    // flag and cost model, or the same DP plan) must match byte-for-byte no
+    // matter the strategy; runs under different orders must agree as row
+    // sets.
+    std::vector<std::string> tsvs;  // parallel to configs
+    for (const Config& cfg : configs) {
       RunResult first;
       std::vector<double> cfg_ms;
       for (int it = 0; it < iters; ++it) {
         std::shared_ptr<rdfa::Tracer> tracer =
             it == 0 ? trace_sink.StartRun() : nullptr;
-        RunResult r = RunOnce(&g, query, cfg, tracer);
+        RunResult r = RunOnce(g, query, cfg, tracer);
         if (tracer != nullptr) {
           (void)trace_sink.FinishRun(tracer.get(), "ablation");
         }
@@ -237,13 +329,16 @@ int main(int argc, char** argv) {
       }
       tsvs.push_back(first.tsv);
       const size_t scanned = TotalScanned(first.stats);
-      if (std::strncmp(cfg.name, "legacy-nlj", 10) == 0) {
+      if (cfg.name.rfind("legacy-nlj", 0) == 0) {
         baseline_scanned += scanned;
-      } else if (std::strncmp(cfg.name, "stats-adaptive", 14) == 0) {
+      } else if (cfg.name.rfind("stats-adaptive", 0) == 0) {
         adaptive_scanned += scanned;
+      } else if (cfg.name.rfind("dp-merge", 0) == 0) {
+        dp_scanned += scanned;
       }
-      std::printf("  %-24s %9zu scanned  strategy=%-4s %9.2f ms\n", cfg.name,
-                  scanned, StrategyString(first.stats).c_str(),
+      std::printf("  %-24s %9zu scanned  strategy=%-4s %9.2f ms\n",
+                  cfg.name.c_str(), scanned,
+                  StrategyString(first.stats).c_str(),
                   Percentile(cfg_ms, 0.50));
 
       JsonObject run;
@@ -251,37 +346,43 @@ int main(int argc, char** argv) {
       run.AddString("config", cfg.name);
       run.AddBool("reorder", cfg.reorder);
       run.AddBool("calibrated", cfg.calibrated);
-      run.AddString("strategy",
-                    cfg.strategy == JoinStrategy::kAdaptive ? "adaptive"
-                                                            : "nested-loop");
+      run.AddString("strategy", StrategyName(cfg.strategy));
+      run.AddBool("use_dp", cfg.use_dp);
+      run.AddBool("sip", cfg.sip);
       run.AddInt("rows_scanned_total", scanned);
+      run.AddString("tsv_hash", TsvHash(first.tsv));
       run.AddNumber("p50_ms", Percentile(cfg_ms, 0.50));
       run.AddNumber("p99_ms", Percentile(cfg_ms, 0.99));
+      // ExecStats embeds the plan shapes ("plans": the explainable per-step
+      // strategy/permutation JSON) for the planner-v2 configs.
       run.AddRaw("exec_stats", first.stats.ToJson());
       run_json.push_back(run.Render());
     }
-    if (tsvs.size() == 5 && !tsvs[0].empty()) {
-      // Indices follow kConfigs: 0/3 share the source-order plan, 2/4 the
-      // calibrated reordered plan — those pairs differ only in strategy and
-      // must be byte-identical. Any other pair may differ in row order.
+    if (tsvs.size() == configs.size() && !tsvs[0].empty()) {
+      // Indices follow `configs`: 0/3 share the source-order plan, 2/4 the
+      // calibrated reordered plan, 5/6 the DP plan — those pairs differ
+      // only in strategy and must be byte-identical. Any other pair may
+      // differ in row order.
       auto check_exact = [&](size_t a, size_t b) {
         if (tsvs[a] != tsvs[b]) {
           identical = false;
-          std::printf("  DIVERGED: %s vs %s (same plan)\n", kConfigs[a].name,
-                      kConfigs[b].name);
+          std::printf("  DIVERGED: %s vs %s (same plan)\n",
+                      configs[a].name.c_str(), configs[b].name.c_str());
         }
       };
       auto check_set = [&](size_t a, size_t b) {
         if (SortedLines(tsvs[a]) != SortedLines(tsvs[b])) {
           identical = false;
-          std::printf("  DIVERGED: %s vs %s (row sets)\n", kConfigs[a].name,
-                      kConfigs[b].name);
+          std::printf("  DIVERGED: %s vs %s (row sets)\n",
+                      configs[a].name.c_str(), configs[b].name.c_str());
         }
       };
       check_exact(0, 3);
       check_exact(2, 4);
+      check_exact(5, 6);
       check_set(0, 1);
       check_set(0, 2);
+      check_set(0, 5);
     }
   }
 
@@ -293,12 +394,24 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(baseline_scanned) /
                         static_cast<double>(adaptive_scanned)
                   : 0.0);
+  const double planner_ratio =
+      dp_scanned > 0 ? static_cast<double>(adaptive_scanned) /
+                           static_cast<double>(dp_scanned)
+                     : 0.0;
+  std::printf("  dp-merge (planner v2): %8zu rows scanned (%.2fx fewer than "
+              "adaptive)\n",
+              dp_scanned, planner_ratio);
   std::printf("  results across configs: %s\n",
-              identical ? "byte-identical" : "DIVERGED");
+              identical ? "equivalent" : "DIVERGED");
 
-  bool hash_won = adaptive_scanned < baseline_scanned;
+  const bool hash_won = adaptive_scanned < baseline_scanned;
   if (!ablate_hash && !hash_won) {
     std::printf("FAILED: adaptive hash join did not reduce rows scanned\n");
+  }
+  const bool dp_won = dp_scanned < adaptive_scanned;
+  if (!ablate_sip && !ablate_hash && !dp_won) {
+    std::printf(
+        "FAILED: planner v2 (DP+merge) did not reduce rows scanned\n");
   }
 
   if (!json_path.empty()) {
@@ -306,12 +419,16 @@ int main(int argc, char** argv) {
     top.AddString("bench", "bench_ablation");
     top.AddInt("scale", scale);
     top.AddInt("iters", static_cast<uint64_t>(iters));
-    top.AddInt("triples", g.size());
+    top.AddInt("triples", g->size());
+    top.AddString("storage", storage);
     top.AddBool("ablate_hash_join", ablate_hash);
+    top.AddBool("ablate_sip", ablate_sip);
     top.AddNumber("p50_ms", Percentile(latencies, 0.50));
     top.AddNumber("p99_ms", Percentile(latencies, 0.99));
     top.AddInt("baseline_rows_scanned", baseline_scanned);
     top.AddInt("adaptive_rows_scanned", adaptive_scanned);
+    top.AddInt("dp_rows_scanned", dp_scanned);
+    top.AddNumber("planner_ratio", planner_ratio);
     top.AddBool("byte_identical", identical);
     top.AddRaw("runs", JsonArray(run_json));
     if (!WriteJsonFile(json_path, top.Render())) return 1;
@@ -319,5 +436,7 @@ int main(int argc, char** argv) {
   }
 
   if (!all_ok || !identical) return 1;
-  return (ablate_hash || hash_won) ? 0 : 1;
+  if (!ablate_hash && !hash_won) return 1;
+  if (!ablate_sip && !ablate_hash && !dp_won) return 1;
+  return 0;
 }

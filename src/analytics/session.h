@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "fs/session.h"
 #include "hifun/query.h"
+#include "sparql/bgp.h"
 #include "sparql/exec_stats.h"
 
 namespace rdfa::analytics {
@@ -52,6 +53,17 @@ class AnalyticsSession {
     thread_count_ = threads < 1 ? 1 : threads;
   }
   int thread_count() const { return thread_count_; }
+
+  /// Join-strategy override for Execute/ExecuteDirect (default kAdaptive;
+  /// see Executor::set_join_strategy).
+  void set_join_strategy(sparql::JoinStrategy strategy) {
+    join_strategy_ = strategy;
+  }
+  sparql::JoinStrategy join_strategy() const { return join_strategy_; }
+
+  /// Planner-v2 DP join ordering (default off; see Executor::set_use_dp).
+  void set_use_dp(bool on) { use_dp_ = on; }
+  bool use_dp() const { return use_dp_; }
 
   /// Deadline/cancellation context for Execute/ExecuteDirect. The default
   /// context never trips; install one with a deadline (or cancel it from
@@ -137,6 +149,8 @@ class AnalyticsSession {
   std::optional<hifun::ResultRestriction> result_restriction_;
   AnswerFrame answer_;
   int thread_count_ = 1;
+  sparql::JoinStrategy join_strategy_ = sparql::JoinStrategy::kAdaptive;
+  bool use_dp_ = false;
   QueryContext ctx_;
   sparql::ExecStats exec_stats_;
 };

@@ -1,6 +1,7 @@
 #include "rdf/graph.h"
 
 #include <mutex>
+#include <tuple>
 
 namespace rdfa::rdf {
 
@@ -17,6 +18,8 @@ void Graph::AttachMapped(std::shared_ptr<const MappedGraphView> view) {
   }
   triples_ready_.store(false, std::memory_order_release);
   // The snapshot *is* the index: nothing to rebuild, stats came with it.
+  // Secondaries are not in the format — they rebuild lazily off the view.
+  sec_dirty_.store(true, std::memory_order_release);
   stats_dirty_.store(false, std::memory_order_release);
   dirty_.store(false, std::memory_order_release);
 }
@@ -56,6 +59,7 @@ bool Graph::AddIds(TripleId t) {
     pred_gens_[t.p] = gen;
   }
   stats_dirty_.store(true, std::memory_order_relaxed);
+  sec_dirty_.store(true, std::memory_order_relaxed);
   dirty_.store(true, std::memory_order_release);
   return true;
 }
@@ -96,6 +100,7 @@ size_t Graph::RemoveMatching(TermId s, TermId p, TermId o) {
     for (TermId pred : touched_preds) pred_gens_[pred] = gen;
   }
   stats_dirty_.store(true, std::memory_order_relaxed);
+  sec_dirty_.store(true, std::memory_order_relaxed);
   dirty_.store(true, std::memory_order_release);
   return before - triples_.size();
 }
@@ -162,42 +167,35 @@ size_t Graph::EstimateMatch(TermId s, TermId p, TermId o) const {
   }
   EnsureIndexes();
   // Longest-bound-prefix selection: every subset of {s, p, o} is a complete
-  // prefix of one permutation, so the range width is the exact match count.
-  switch (ChoosePerm(s != kNoTermId, p != kNoTermId, o != kNoTermId)) {
-    case kPermSPO: {
-      auto [lo, hi] = Range(spo_, {s, p, o});
-      return hi - lo;
-    }
-    case kPermPOS: {
-      auto [lo, hi] = Range(pos_, {p, o, s});
-      return hi - lo;
-    }
-    case kPermOSP: {
-      auto [lo, hi] = Range(osp_, {o, s, p});
-      return hi - lo;
-    }
-  }
-  return 0;
+  // prefix of one permutation (3-arg ChoosePerm only picks primaries), so
+  // the range width is the exact match count.
+  return EstimateInPerm(
+      ChoosePerm(s != kNoTermId, p != kNoTermId, o != kNoTermId), s, p, o);
 }
 
 size_t Graph::EstimateInPerm(Perm perm, TermId s, TermId p, TermId o) const {
-  if (view_ != nullptr) return view_->EstimateInPerm(perm, s, p, o);
-  EnsureIndexes();
-  switch (perm) {
-    case kPermSPO: {
-      auto [lo, hi] = Range(spo_, {s, p, o});
-      return hi - lo;
-    }
-    case kPermPOS: {
-      auto [lo, hi] = Range(pos_, {p, o, s});
-      return hi - lo;
-    }
-    case kPermOSP: {
-      auto [lo, hi] = Range(osp_, {o, s, p});
-      return hi - lo;
+  if (view_ != nullptr && perm <= kPermOSP) {
+    return view_->EstimateInPerm(perm, s, p, o);
+  }
+  auto [lo, hi] = Range(IndexFor(perm), PermuteKey(perm, s, p, o));
+  return hi - lo;
+}
+
+const std::vector<Graph::Key>& Graph::IndexFor(Perm perm) const {
+  if (perm >= kPermPSO) {
+    EnsureSecondaryIndexes();
+    switch (perm) {
+      case kPermSOP: return sop_;
+      case kPermOPS: return ops_;
+      default: return pso_;
     }
   }
-  return 0;
+  EnsureIndexes();
+  switch (perm) {
+    case kPermPOS: return pos_;
+    case kPermOSP: return osp_;
+    default: return spo_;
+  }
 }
 
 std::pair<size_t, size_t> Graph::Range(const std::vector<Key>& index,
@@ -252,6 +250,96 @@ void Graph::EnsureIndexes() const {
     stats_dirty_.store(false, std::memory_order_relaxed);
   }
   dirty_.store(false, std::memory_order_release);
+}
+
+void Graph::EnsureSecondaryIndexes() const {
+  if (!sec_dirty_.load(std::memory_order_acquire)) return;
+  // triples() may materialize a mapped graph's list (its own mutex); taken
+  // before sec_mu_ so the two locks never nest the other way.
+  const std::vector<TripleId>& ts = triples();
+  std::unique_lock<std::shared_mutex> lock(sec_mu_);
+  if (!sec_dirty_.load(std::memory_order_relaxed)) return;
+  pso_.clear();
+  sop_.clear();
+  ops_.clear();
+  pso_.reserve(ts.size());
+  sop_.reserve(ts.size());
+  ops_.reserve(ts.size());
+  for (const TripleId& t : ts) {
+    pso_.push_back({t.p, t.s, t.o});
+    sop_.push_back({t.s, t.o, t.p});
+    ops_.push_back({t.o, t.p, t.s});
+  }
+  std::sort(pso_.begin(), pso_.end());
+  std::sort(sop_.begin(), sop_.end());
+  std::sort(ops_.begin(), ops_.end());
+  sec_dirty_.store(false, std::memory_order_release);
+}
+
+Graph::MergeCursor Graph::OpenMergeCursor(Perm perm, TermId s, TermId p,
+                                          TermId o) const {
+  MergeCursor cur;
+  cur.perm_ = perm;
+  const Key probe = PermuteKey(perm, s, p, o);
+  cur.merge_lane_ = probe.a == kNoTermId ? 0 : probe.b == kNoTermId ? 1 : 2;
+  cur.prefix_ = Key{probe.a == kNoTermId ? 0 : probe.a,
+                    probe.b == kNoTermId ? 0 : probe.b,
+                    probe.c == kNoTermId ? 0 : probe.c};
+  size_t lo = 0, hi = 0;
+  if (view_ != nullptr && perm <= kPermOSP) {
+    cur.view_ = view_.get();
+    std::tie(lo, hi) = view_->Range(static_cast<int>(perm),
+                                    MappedGraphView::PermKey{probe.a, probe.b,
+                                                             probe.c});
+  } else {
+    const std::vector<Key>& index = IndexFor(perm);
+    cur.index_ = &index;
+    std::tie(lo, hi) = Range(index, probe);
+  }
+  cur.lo_ = cur.pos_ = lo;
+  cur.hi_ = hi;
+  if (cur.pos_ < cur.hi_) cur.decoded_ = 1;
+  return cur;
+}
+
+Graph::Key Graph::MergeCursor::Entry() const {
+  if (index_ != nullptr) return (*index_)[pos_];
+  const size_t b = pos_ / MappedGraphView::kPermBlock;
+  if (b != block_id_) {
+    block_.resize(MappedGraphView::kPermBlock);
+    view_->DecodeKeyBlock(static_cast<int>(perm_), b, block_.data());
+    block_id_ = b;
+  }
+  const MappedGraphView::PermKey& k =
+      block_[pos_ % MappedGraphView::kPermBlock];
+  return Key{k.a, k.b, k.c};
+}
+
+void Graph::MergeCursor::SeekGE(TermId v) {
+  ++seeks_;
+  if (at_end() || key() >= v) return;
+  Key probe = prefix_;
+  switch (merge_lane_) {
+    case 0: probe.a = v; probe.b = 0; probe.c = 0; break;
+    case 1: probe.b = v; probe.c = 0; break;
+    default: probe.c = v; break;
+  }
+  size_t target;
+  if (index_ != nullptr) {
+    target = static_cast<size_t>(
+        std::lower_bound(index_->begin() + pos_, index_->begin() + hi_,
+                         probe) -
+        index_->begin());
+  } else {
+    // The global lower bound is monotone with the seek keys, so it can
+    // never land before the current position.
+    target = view_->LowerBoundPos(
+        static_cast<int>(perm_),
+        MappedGraphView::PermKey{probe.a, probe.b, probe.c});
+    target = std::max(target, pos_);
+  }
+  pos_ = std::min(target, hi_);
+  if (pos_ < hi_) ++decoded_;
 }
 
 void Graph::ComputeStatsLocked() const {

@@ -60,6 +60,11 @@ class Graph {
       spo_ = std::move(other.spo_);
       pos_ = std::move(other.pos_);
       osp_ = std::move(other.osp_);
+      pso_ = std::move(other.pso_);
+      sop_ = std::move(other.sop_);
+      ops_ = std::move(other.ops_);
+      sec_dirty_.store(other.sec_dirty_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
       index_generation_ = other.index_generation_;
       stats_ = std::move(other.stats_);
       // The destination graph's content changed wholesale: merge to a stamp
@@ -91,17 +96,31 @@ class Graph {
     return *this;
   }
 
-  /// Index permutations. Each stores every triple re-ordered into the named
-  /// lane order, sorted lexicographically, so any *prefix* of bound lanes
-  /// narrows to a contiguous range by binary search.
-  enum Perm { kPermSPO, kPermPOS, kPermOSP };
+  /// Index permutations. The first three (SPO, POS, OSP) are the primaries:
+  /// maintained lazily by EnsureIndexes, persisted in snapshots, and served
+  /// straight off a mapped RDFA3 view. The last three (PSO, SOP, OPS) are
+  /// secondaries: built in memory on first use so the planner can obtain any
+  /// (bound-prefix, sort-lane) combination — every subset of {s, p, o}
+  /// followed by any free lane is a complete prefix of one of the six. Each
+  /// stores every triple re-ordered into the named lane order, sorted
+  /// lexicographically, so any *prefix* of bound lanes narrows to a
+  /// contiguous range by binary search.
+  enum Perm { kPermSPO, kPermPOS, kPermOSP, kPermPSO, kPermSOP, kPermOPS };
+  static constexpr int kNumPerms = 6;
+  /// Lane order of each permutation: kPermLanes[perm][i] is the triple lane
+  /// (0 = s, 1 = p, 2 = o) stored in key lane i.
+  static constexpr int kPermLanes[kNumPerms][3] = {
+      {0, 1, 2}, {1, 2, 0}, {2, 0, 1}, {1, 0, 2}, {0, 2, 1}, {2, 1, 0}};
 
   /// Picks the permutation with the longest *bound prefix* for the given
   /// boundness pattern (e.g. s+o bound -> OSP, whose (o, s) prefix covers
   /// both, rather than SPO narrowed on s alone). Ties break SPO > POS > OSP
-  /// for determinism. Every subset of {s, p, o} is a complete prefix of one
-  /// of the three permutations, so the chosen range contains exactly the
-  /// matching triples whenever all bound lanes fall in the prefix.
+  /// for determinism, and only the three primaries are considered — this is
+  /// the scan-order contract every pre-planner call site (and the hash
+  /// join's byte-identity argument) relies on. Every subset of {s, p, o} is
+  /// a complete prefix of one of the three permutations, so the chosen
+  /// range contains exactly the matching triples whenever all bound lanes
+  /// fall in the prefix.
   static Perm ChoosePerm(bool s_bound, bool p_bound, bool o_bound) {
     const int spo = s_bound ? (p_bound ? (o_bound ? 3 : 2) : 1) : 0;
     const int pos = p_bound ? (o_bound ? (s_bound ? 3 : 2) : 1) : 0;
@@ -109,6 +128,33 @@ class Graph {
     if (spo >= pos && spo >= osp) return kPermSPO;
     if (pos >= osp) return kPermPOS;
     return kPermOSP;
+  }
+
+  /// As above, but considers all six permutations and — among those with
+  /// the longest bound prefix — prefers the one whose first *free* lane is
+  /// `prefer_lane` (0 = s, 1 = p, 2 = o; -1 = no preference). The planner
+  /// uses this to pick scan orders that feed downstream merge joins: ties
+  /// the 3-arg overload resolves by enum order (forfeiting the interesting
+  /// order) resolve here toward the requested sort lane. Primaries win
+  /// remaining ties, then enum order, so with no (or an unsatisfiable)
+  /// preference the choice degrades to the 3-arg overload's.
+  static Perm ChoosePerm(bool s_bound, bool p_bound, bool o_bound,
+                         int prefer_lane) {
+    const bool bound[3] = {s_bound, p_bound, o_bound};
+    int best = 0, best_prefix = -1, best_pref = -1;
+    for (int perm = 0; perm < kNumPerms; ++perm) {
+      int prefix = 0;
+      while (prefix < 3 && bound[kPermLanes[perm][prefix]]) ++prefix;
+      const int pref =
+          prefix < 3 && kPermLanes[perm][prefix] == prefer_lane ? 1 : 0;
+      if (prefix > best_prefix ||
+          (prefix == best_prefix && pref > best_pref)) {
+        best = perm;
+        best_prefix = prefix;
+        best_pref = pref;
+      }
+    }
+    return static_cast<Perm>(best);
   }
 
   TermTable& terms() { return terms_; }
@@ -226,16 +272,26 @@ class Graph {
   /// a per-row NLJ scan over the same permutation would.
   template <typename Fn>
   void ForEachInPerm(Perm perm, TermId s, TermId p, TermId o, Fn&& fn) const {
-    if (view_ != nullptr) {
+    if (view_ != nullptr && perm <= kPermOSP) {
       view_->ForEachInPerm(static_cast<int>(perm), s, p, o,
                            std::forward<Fn>(fn));
       return;
     }
-    EnsureIndexes();
+    // Secondary permutations are not part of the snapshot format; a mapped
+    // graph serves them from the in-memory secondaries, built off the
+    // materialized triple list so enumeration order matches a heap load.
+    if (perm >= kPermPSO) {
+      EnsureSecondaryIndexes();
+    } else {
+      EnsureIndexes();
+    }
     switch (perm) {
       case kPermSPO: ScanIndex(spo_, {s, p, o}, kPermSPO, fn); break;
       case kPermPOS: ScanIndex(pos_, {p, o, s}, kPermPOS, fn); break;
       case kPermOSP: ScanIndex(osp_, {o, s, p}, kPermOSP, fn); break;
+      case kPermPSO: ScanIndex(pso_, {p, s, o}, kPermPSO, fn); break;
+      case kPermSOP: ScanIndex(sop_, {s, o, p}, kPermSOP, fn); break;
+      case kPermOPS: ScanIndex(ops_, {o, p, s}, kPermOPS, fn); break;
     }
   }
 
@@ -292,6 +348,24 @@ class Graph {
     return {pred_gens_.begin(), pred_gens_.end()};
   }
 
+  /// Streaming cursor over one narrowed permutation range, the scan half of
+  /// the merge join. The constant lanes of the pattern must form a complete
+  /// prefix of `perm`; the merge lane is the first free lane after them, so
+  /// entries stream in ascending merge-key order. SeekGE is the sideways-
+  /// information-passing hook: it binary-searches forward to the next
+  /// candidate key, and on the mapped backend skips whole posting-list
+  /// blocks without decoding them. decoded() counts entries actually
+  /// materialized (the merge join's rows-scanned contribution); seeks()
+  /// counts SeekGE calls separately — a seek is a binary search, not a row
+  /// enumeration, so the two are never conflated in ExecStats.
+  class MergeCursor;
+
+  /// Opens a cursor over `perm` narrowed to the pattern's constant lanes
+  /// (kNoTermId = free). Primaries are served off the mapped view when one
+  /// is attached (lazy per-block decode); secondaries and heap graphs use
+  /// the sorted in-memory index.
+  MergeCursor OpenMergeCursor(Perm perm, TermId s, TermId p, TermId o) const;
+
  private:
   // A permuted triple used as an index entry; lexicographic order.
   struct Key {
@@ -308,8 +382,17 @@ class Graph {
       case kPermSPO: return {k.a, k.b, k.c};
       case kPermPOS: return {k.c, k.a, k.b};
       case kPermOSP: return {k.b, k.c, k.a};
+      case kPermPSO: return {k.b, k.a, k.c};
+      case kPermSOP: return {k.a, k.c, k.b};
+      case kPermOPS: return {k.c, k.b, k.a};
     }
     return {};
+  }
+
+  static Key PermuteKey(Perm perm, TermId s, TermId p, TermId o) {
+    const TermId lanes[3] = {s, p, o};
+    return {lanes[kPermLanes[perm][0]], lanes[kPermLanes[perm][1]],
+            lanes[kPermLanes[perm][2]]};
   }
 
   struct TripleHash {
@@ -345,6 +428,18 @@ class Graph {
   // exactly once behind `index_mu_` (double-checked), and the release store
   // of `dirty_` publishes the built indexes to later lock-free readers.
   void EnsureIndexes() const;
+
+  // Lazily builds the three secondary permutations (PSO, SOP, OPS) from the
+  // triple list. Not persisted in snapshots — the planner pays this build
+  // on first use of a sort order the primaries cannot provide. Same
+  // publication discipline as EnsureIndexes (atomic fast path + mutex
+  // double-check), behind its own flag so primary-only workloads never pay.
+  void EnsureSecondaryIndexes() const;
+
+  // The sorted index vector for `perm`, built on demand. Callers on a
+  // mapped graph should prefer the view for primaries; this is the heap /
+  // secondary fallback the merge cursor uses.
+  const std::vector<Key>& IndexFor(Perm perm) const;
 
   // Recomputes stats_ from the freshly sorted indexes. Caller must hold
   // index_mu_ exclusively with spo_/pos_/osp_ built.
@@ -383,6 +478,12 @@ class Graph {
   mutable std::vector<Key> spo_;
   mutable std::vector<Key> pos_;
   mutable std::vector<Key> osp_;
+  // Secondary permutations; see EnsureSecondaryIndexes.
+  mutable std::atomic<bool> sec_dirty_{true};
+  mutable std::shared_mutex sec_mu_;
+  mutable std::vector<Key> pso_;
+  mutable std::vector<Key> sop_;
+  mutable std::vector<Key> ops_;
   mutable GraphStats stats_;
 
   // RDFA3 snapshot backend; null for a plain heap graph. Detached (under
@@ -390,6 +491,50 @@ class Graph {
   std::shared_ptr<const MappedGraphView> view_;
   mutable std::mutex materialize_mu_;
   mutable std::atomic<bool> triples_ready_{true};  ///< false once attached
+};
+
+class Graph::MergeCursor {
+ public:
+  MergeCursor() = default;
+
+  bool at_end() const { return pos_ >= hi_; }
+  /// Merge-lane value (the sort key) of the current entry.
+  TermId key() const { return Lane(Entry(), merge_lane_); }
+  /// The current entry as a triple.
+  TripleId triple() const { return Graph::Unpermute(Entry(), perm_); }
+  /// Advances one entry; the new entry (if any) counts as decoded.
+  void Next() {
+    ++pos_;
+    if (pos_ < hi_) ++decoded_;
+  }
+  /// Jumps to the first entry at or past merge key `v` (keys must be sought
+  /// in ascending order). Entries skipped over are never decoded — on the
+  /// mapped backend only the per-block index is touched.
+  void SeekGE(TermId v);
+
+  /// Entries materialized so far (rows-scanned accounting).
+  size_t decoded() const { return decoded_; }
+  /// SeekGE calls so far (reported separately from decoded entries).
+  size_t seeks() const { return seeks_; }
+
+ private:
+  friend class Graph;
+  Key Entry() const;
+  static TermId Lane(const Key& k, int lane) {
+    return lane == 0 ? k.a : lane == 1 ? k.b : k.c;
+  }
+
+  Perm perm_ = kPermSPO;
+  int merge_lane_ = 0;  ///< key lane holding the merge variable (0..2)
+  Key prefix_{0, 0, 0};  ///< constant lanes; zero elsewhere (seek probes)
+  const std::vector<Key>* index_ = nullptr;  ///< heap / secondary backend
+  const MappedGraphView* view_ = nullptr;    ///< mapped primary backend
+  size_t lo_ = 0, hi_ = 0, pos_ = 0;
+  size_t decoded_ = 0, seeks_ = 0;
+  // Mapped flavor: the one block the cursor position lies in, decoded
+  // lazily (kPermBlock keys at a time, same as ForEachInPerm).
+  mutable std::vector<MappedGraphView::PermKey> block_;
+  mutable size_t block_id_ = static_cast<size_t>(-1);
 };
 
 }  // namespace rdfa::rdf

@@ -98,6 +98,15 @@ class MappedGraphView : public TermDictSource {
   /// returns the number of keys decoded.
   size_t DecodeKeyBlock(int perm, size_t block, PermKey* out) const;
 
+  /// Global position of the first key >= `probe` (a fully-bound permuted
+  /// key) — the public twin of the internal binary search. Streaming merge
+  /// cursors use it to seek past non-matching keys (sideways information
+  /// passing) touching only the per-block index entries, never the skipped
+  /// posting-list blocks themselves.
+  size_t LowerBoundPos(int perm, const PermKey& probe) const {
+    return LowerBound(perm, probe);
+  }
+
   /// Enumerates matches in the permutation's sort order, decoding only the
   /// blocks overlapping the narrowed range — the mapped twin of the heap
   /// Graph's ScanIndex, including the inline filter on non-prefix lanes.

@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "sparql/planner.h"
 
 namespace rdfa::sparql {
 
@@ -68,6 +69,8 @@ double LegacyScore(const rdf::Graph& graph, const CompiledPattern& p,
   return est;
 }
 
+}  // namespace
+
 // Calibrated per-row cardinality estimate: the constant-narrowed match
 // count, divided by the distinct count of each bound-variable lane within
 // that population (predicate-local when the predicate is constant — i.e.
@@ -93,6 +96,8 @@ double CalibratedRowEstimate(const rdf::Graph& graph, const CompiledPattern& p,
                                     : gs.distinct_objects);
   return est;
 }
+
+namespace {
 
 double Score(const rdf::Graph& graph, const CompiledPattern& p,
              const std::set<int>& bound, bool calibrated) {
@@ -327,6 +332,467 @@ size_t ProbeHashRange(const rdf::Graph& graph, const CompiledPattern& p,
   return fallback_scanned;
 }
 
+// Executes one pattern step through the v1 hash/NLJ machinery — shared by
+// the classic pattern loop and planner-v2 non-merge (or demoted) steps.
+// Replaces *rows with the extended set; empty output short-circuits in the
+// caller.
+Status ExecuteAdaptiveStep(const rdf::Graph& graph, const CompiledPattern& p,
+                           int source_pattern, const JoinOptions& opts,
+                           int threads, Tracer* tracer,
+                           std::vector<Binding>* rows) {
+  // One typed check per join stage; scans poll the cheap flag inline.
+  if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
+  TraceSpan join_span(tracer, "bgp-join");
+  join_span.Arg("pattern", static_cast<int64_t>(source_pattern));
+  join_span.Arg("input_rows", static_cast<uint64_t>(rows->size()));
+  std::vector<Binding> next;
+  next.reserve(rows->size());
+  size_t scanned = 0;
+  char strategy_used = 'N';
+  Status build_status = Status::OK();
+
+  const HashPlan plan = PlanHash(graph, p, *rows, opts.strategy);
+  if (plan.use_hash) {
+    strategy_used = 'H';
+    HashTable table;
+    size_t build_scanned = 0;
+    {
+      TraceSpan build_span(tracer, "hash-build");
+      build_status =
+          BuildHashTable(graph, p, plan, opts.ctx, &table, &build_scanned);
+      build_span.Arg("build_rows", static_cast<uint64_t>(build_scanned));
+    }
+    scanned += build_scanned;
+    if (opts.stats != nullptr) {
+      ++opts.stats->hash_builds;
+      opts.stats->hash_build_rows += build_scanned;
+    }
+    if (build_status.ok()) {
+      size_t probe_hits = 0;
+      if (threads > 1 && rows->size() >= 2 * kMinMorselRows) {
+        // Morsel-parallel probe; concatenation in morsel order keeps the
+        // output byte-identical to the serial probe (and thus to NLJ).
+        auto morsels =
+            Morsels(rows->size(),
+                    static_cast<size_t>(threads) * kMorselsPerThread,
+                    kMinMorselRows);
+        std::vector<std::vector<Binding>> parts(morsels.size());
+        std::vector<size_t> part_scanned(morsels.size(), 0);
+        std::vector<size_t> part_hits(morsels.size(), 0);
+        ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+          if (opts.ctx != nullptr && opts.ctx->ShouldStop()) return;
+          auto [lo, hi] = morsels[m];
+          part_scanned[m] =
+              ProbeHashRange(graph, p, plan, table, *rows, lo, hi, opts.ctx,
+                             &parts[m], &part_hits[m]);
+        });
+        for (size_t m = 0; m < morsels.size(); ++m) {
+          scanned += part_scanned[m];
+          probe_hits += part_hits[m];
+          for (Binding& b : parts[m]) next.push_back(std::move(b));
+        }
+        if (opts.stats != nullptr) {
+          opts.stats->morsel_count += morsels.size();
+        }
+      } else {
+        scanned += ProbeHashRange(graph, p, plan, table, *rows, 0,
+                                  rows->size(), opts.ctx, &next, &probe_hits);
+      }
+      if (opts.stats != nullptr) opts.stats->hash_probe_hits += probe_hits;
+      join_span.Arg("probe_hits", static_cast<uint64_t>(probe_hits));
+    }
+  } else if (threads > 1 && rows->size() == 1) {
+    // Single seed row (the common first pattern): materialize the index
+    // range once and split *it* into morsels.
+    const Binding& row = rows->front();
+    TermId s = p.s_var < 0 ? p.s_id : row[p.s_var];
+    TermId pp = p.p_var < 0 ? p.p_id : row[p.p_var];
+    TermId o = p.o_var < 0 ? p.o_id : row[p.o_var];
+    std::vector<rdf::TripleId> matches = graph.Match(s, pp, o);
+    scanned = matches.size();
+    auto morsels = Morsels(matches.size(),
+                           static_cast<size_t>(threads) * kMorselsPerThread,
+                           kMinMorselRows);
+    if (morsels.size() <= 1) {
+      for (size_t i = 0; i < matches.size(); ++i) {
+        if (opts.ctx != nullptr && (i + 1) % kCheckEveryRows == 0 &&
+            opts.ctx->ShouldStop()) {
+          break;
+        }
+        ExtendRow(p, row, matches[i], &next);
+      }
+    } else {
+      std::vector<std::vector<Binding>> parts(morsels.size());
+      ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+        auto [lo, hi] = morsels[m];
+        parts[m].reserve(hi - lo);
+        for (size_t i = lo; i < hi; ++i) {
+          if (opts.ctx != nullptr && (i - lo + 1) % kCheckEveryRows == 0 &&
+              opts.ctx->ShouldStop()) {
+            return;  // abandon this morsel; caller reports the trip
+          }
+          ExtendRow(p, row, matches[i], &parts[m]);
+        }
+      });
+      for (std::vector<Binding>& part : parts) {
+        for (Binding& b : part) next.push_back(std::move(b));
+      }
+      if (opts.stats != nullptr) opts.stats->morsel_count += morsels.size();
+    }
+  } else if (threads > 1 && rows->size() >= 2 * kMinMorselRows) {
+    // Morsel-parallel extension over the incoming rows; concatenation in
+    // morsel order keeps the output byte-identical to the serial join.
+    auto morsels = Morsels(rows->size(),
+                           static_cast<size_t>(threads) * kMorselsPerThread,
+                           kMinMorselRows);
+    std::vector<std::vector<Binding>> parts(morsels.size());
+    std::vector<size_t> part_scanned(morsels.size(), 0);
+    ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+      if (opts.ctx != nullptr && opts.ctx->ShouldStop()) return;
+      auto [lo, hi] = morsels[m];
+      part_scanned[m] =
+          ExtendRange(graph, p, *rows, lo, hi, opts.ctx, &parts[m]);
+    });
+    for (size_t m = 0; m < morsels.size(); ++m) {
+      scanned += part_scanned[m];
+      for (Binding& b : parts[m]) next.push_back(std::move(b));
+    }
+    if (opts.stats != nullptr) opts.stats->morsel_count += morsels.size();
+  } else {
+    scanned = ExtendRange(graph, p, *rows, 0, rows->size(), opts.ctx, &next);
+  }
+
+  if (opts.stats != nullptr) {
+    ++opts.stats->bgp_patterns;
+    opts.stats->rows_scanned.push_back(scanned);
+    opts.stats->join_order.push_back(source_pattern);
+    opts.stats->join_strategy.push_back(strategy_used);
+  }
+  join_span.Arg("strategy", strategy_used == 'H' ? "hash" : "nested-loop");
+  join_span.Arg("rows_scanned", static_cast<uint64_t>(scanned));
+  join_span.Arg("output_rows", static_cast<uint64_t>(next.size()));
+  // A tripped hash build already carries the typed status from its
+  // counted check; surface it after the stats are recorded.
+  RDFA_RETURN_NOT_OK(build_status);
+  // A scan abandoned mid-pattern left `next` partial: surface the typed
+  // status now rather than joining the next pattern against garbage.
+  if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
+  *rows = std::move(next);
+  return Status::OK();
+}
+
+// ---- planner v2: seed scan / sieve / merge steps -------------------------
+
+// Planner-v2 seed step: enumerate the first pattern's constant-narrowed
+// range in the plan's permutation, so the intermediate comes out sorted on
+// the interesting-order variable. Byte-layout mirrors the v1 single-seed
+// path (materialize, then extend serially or by morsels).
+Status ExecuteSeedStep(const rdf::Graph& graph, const CompiledPattern& p,
+                       int source_pattern, const PlannedStep& step,
+                       const JoinOptions& opts, int threads, Tracer* tracer,
+                       std::vector<Binding>* rows) {
+  if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
+  TraceSpan join_span(tracer, "bgp-join");
+  join_span.Arg("pattern", static_cast<int64_t>(source_pattern));
+  join_span.Arg("input_rows", static_cast<uint64_t>(rows->size()));
+  join_span.Arg("strategy", "seed-scan");
+  join_span.Arg("perm", PermName(step.perm));
+  const Binding row = rows->front();
+  std::vector<rdf::TripleId> matches;
+  bool stopped = false;
+  size_t scanned = 0;
+  graph.ForEachInPerm(step.perm, p.s_var < 0 ? p.s_id : kNoTermId,
+                      p.p_var < 0 ? p.p_id : kNoTermId,
+                      p.o_var < 0 ? p.o_id : kNoTermId,
+                      [&](const rdf::TripleId& t) {
+                        if (stopped) return;
+                        ++scanned;
+                        if (opts.ctx != nullptr &&
+                            scanned % kCheckEveryRows == 0 &&
+                            opts.ctx->ShouldStop()) {
+                          stopped = true;
+                          return;
+                        }
+                        matches.push_back(t);
+                      });
+  std::vector<Binding> next;
+  next.reserve(matches.size());
+  bool extended = false;
+  if (threads > 1) {
+    auto morsels = Morsels(matches.size(),
+                           static_cast<size_t>(threads) * kMorselsPerThread,
+                           kMinMorselRows);
+    if (morsels.size() > 1) {
+      std::vector<std::vector<Binding>> parts(morsels.size());
+      ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+        auto [lo, hi] = morsels[m];
+        parts[m].reserve(hi - lo);
+        for (size_t i = lo; i < hi; ++i) {
+          if (opts.ctx != nullptr && (i - lo + 1) % kCheckEveryRows == 0 &&
+              opts.ctx->ShouldStop()) {
+            return;  // abandon this morsel; caller reports the trip
+          }
+          ExtendRow(p, row, matches[i], &parts[m]);
+        }
+      });
+      for (std::vector<Binding>& part : parts) {
+        for (Binding& b : part) next.push_back(std::move(b));
+      }
+      if (opts.stats != nullptr) opts.stats->morsel_count += morsels.size();
+      extended = true;
+    }
+  }
+  if (!extended) {
+    for (size_t i = 0; i < matches.size(); ++i) {
+      if (opts.ctx != nullptr && (i + 1) % kCheckEveryRows == 0 &&
+          opts.ctx->ShouldStop()) {
+        break;
+      }
+      ExtendRow(p, row, matches[i], &next);
+    }
+  }
+  if (opts.stats != nullptr) {
+    ++opts.stats->bgp_patterns;
+    opts.stats->rows_scanned.push_back(scanned);
+    opts.stats->join_order.push_back(source_pattern);
+    opts.stats->join_strategy.push_back('S');
+  }
+  join_span.Arg("rows_scanned", static_cast<uint64_t>(scanned));
+  join_span.Arg("output_rows", static_cast<uint64_t>(next.size()));
+  if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
+  *rows = std::move(next);
+  return Status::OK();
+}
+
+// A contiguous run of input rows sharing one interesting-order key — the
+// sieve a merge step pushes into its cursor.
+struct SieveRun {
+  TermId key;
+  size_t begin, end;  // input-row extent [begin, end)
+};
+
+// Builds the sieve: distinct head-slot values of the (sorted) input with
+// their run extents. Returns false when a row leaves the head unbound or
+// breaks the sort order — the caller then demotes the step to the adaptive
+// machinery, which is byte-identical. A tripped counted check is reported
+// through *status with the sieve left partial.
+bool BuildSieve(const std::vector<Binding>& rows, int head_slot,
+                const QueryContext* ctx, std::vector<SieveRun>* runs,
+                Status* status) {
+  runs->clear();
+  size_t polled = 0;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const TermId v = rows[r][head_slot];
+    if (v == kNoTermId) return false;
+    if (!runs->empty() && v < runs->back().key) return false;
+    if (ctx != nullptr && ++polled % kCheckEveryRows == 0) {
+      Status check = ctx->Check("sieve-build");
+      if (!check.ok()) {
+        *status = check;
+        return true;
+      }
+    }
+    if (runs->empty() || v != runs->back().key) {
+      runs->push_back({v, r, r + 1});
+    } else {
+      runs->back().end = r + 1;
+    }
+  }
+  return true;
+}
+
+// Streams one merge cursor against a contiguous range of sieve runs,
+// appending extensions in input-row order. With SIP the cursor seeks
+// straight to each run's key (skipping whole blocks of non-candidates);
+// without it the cursor advances linearly, decoding every entry in the
+// range. Each key group is buffered once and replayed across its run's
+// rows — the replay enumerates exactly the triples (in exactly the order) a
+// per-row NLJ probe of that key would, which is the byte-identity argument.
+Status MergeRuns(const rdf::Graph& graph, const CompiledPattern& p,
+                 rdf::Graph::Perm perm, const std::vector<Binding>& rows,
+                 const std::vector<SieveRun>& runs, size_t run_lo,
+                 size_t run_hi, bool sip, const QueryContext* ctx,
+                 std::vector<Binding>* out, size_t* decoded, size_t* seeks,
+                 size_t* advances) {
+  rdf::Graph::MergeCursor cur = graph.OpenMergeCursor(
+      perm, p.s_var < 0 ? p.s_id : kNoTermId,
+      p.p_var < 0 ? p.p_id : kNoTermId, p.o_var < 0 ? p.o_id : kNoTermId);
+  std::vector<rdf::TripleId> group;
+  for (size_t ri = run_lo; ri < run_hi && !cur.at_end(); ++ri) {
+    const SieveRun& run = runs[ri];
+    if (sip) {
+      cur.SeekGE(run.key);
+    } else {
+      while (!cur.at_end() && cur.key() < run.key) {
+        cur.Next();
+        if (ctx != nullptr && ++*advances % kCheckEveryRows == 0) {
+          Status check = ctx->Check("merge-advance");
+          if (!check.ok()) {
+            *decoded += cur.decoded();
+            *seeks += cur.seeks();
+            return check;
+          }
+        }
+      }
+    }
+    if (cur.at_end()) break;
+    if (cur.key() != run.key) continue;
+    group.clear();
+    while (!cur.at_end() && cur.key() == run.key) {
+      group.push_back(cur.triple());
+      cur.Next();
+      if (ctx != nullptr && ++*advances % kCheckEveryRows == 0) {
+        Status check = ctx->Check("merge-advance");
+        if (!check.ok()) {
+          *decoded += cur.decoded();
+          *seeks += cur.seeks();
+          return check;
+        }
+      }
+    }
+    for (size_t r = run.begin; r < run.end; ++r) {
+      for (const rdf::TripleId& t : group) ExtendRow(p, rows[r], t, out);
+    }
+  }
+  *decoded += cur.decoded();
+  *seeks += cur.seeks();
+  return Status::OK();
+}
+
+// Planner-v2 merge step: sieve the input's interesting-order keys, stream
+// an order-agreeing cursor against them. Parallel execution (SIP only)
+// splits the *runs* into morsels, each with its own cursor; concatenation
+// in morsel order equals the serial output. Without SIP the linear advance
+// is inherently sequential, so execution stays serial.
+Status ExecuteMergeStep(const rdf::Graph& graph, const CompiledPattern& p,
+                        int source_pattern, const PlannedStep& step,
+                        int head_slot, const JoinOptions& opts, int threads,
+                        Tracer* tracer, std::vector<Binding>* rows) {
+  std::vector<SieveRun> runs;
+  Status sieve_status = Status::OK();
+  if (!BuildSieve(*rows, head_slot, opts.ctx, &runs, &sieve_status)) {
+    // Head unbound or input unsorted — impossible for trivial-seed
+    // pipelines, but the demotion is byte-identical regardless.
+    return ExecuteAdaptiveStep(graph, p, source_pattern, opts, threads,
+                               tracer, rows);
+  }
+  if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
+  TraceSpan join_span(tracer, "bgp-join");
+  join_span.Arg("pattern", static_cast<int64_t>(source_pattern));
+  join_span.Arg("input_rows", static_cast<uint64_t>(rows->size()));
+  join_span.Arg("strategy", "merge");
+  join_span.Arg("perm", PermName(step.perm));
+  join_span.Arg("sieve_keys", static_cast<uint64_t>(runs.size()));
+
+  std::vector<Binding> next;
+  size_t decoded = 0, seeks = 0, advances = 0;
+  Status merge_status = sieve_status;
+  if (merge_status.ok()) {
+    next.reserve(rows->size());
+    bool merged = false;
+    if (opts.sip && threads > 1 && rows->size() >= 2 * kMinMorselRows) {
+      auto morsels = Morsels(runs.size(),
+                             static_cast<size_t>(threads) * kMorselsPerThread,
+                             kMinMorselRows);
+      if (morsels.size() > 1) {
+        std::vector<std::vector<Binding>> parts(morsels.size());
+        std::vector<size_t> part_decoded(morsels.size(), 0);
+        std::vector<size_t> part_seeks(morsels.size(), 0);
+        std::vector<size_t> part_advances(morsels.size(), 0);
+        std::vector<Status> part_status(morsels.size(), Status::OK());
+        ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
+          if (opts.ctx != nullptr && opts.ctx->ShouldStop()) return;
+          auto [lo, hi] = morsels[m];
+          part_status[m] = MergeRuns(graph, p, step.perm, *rows, runs, lo, hi,
+                                     /*sip=*/true, opts.ctx, &parts[m],
+                                     &part_decoded[m], &part_seeks[m],
+                                     &part_advances[m]);
+        });
+        for (size_t m = 0; m < morsels.size(); ++m) {
+          decoded += part_decoded[m];
+          seeks += part_seeks[m];
+          if (merge_status.ok() && !part_status[m].ok()) {
+            merge_status = part_status[m];
+          }
+          for (Binding& b : parts[m]) next.push_back(std::move(b));
+        }
+        if (opts.stats != nullptr) opts.stats->morsel_count += morsels.size();
+        merged = true;
+      }
+    }
+    if (!merged) {
+      merge_status = MergeRuns(graph, p, step.perm, *rows, runs, 0,
+                               runs.size(), opts.sip, opts.ctx, &next,
+                               &decoded, &seeks, &advances);
+    }
+  }
+  if (opts.stats != nullptr) {
+    ++opts.stats->bgp_patterns;
+    opts.stats->rows_scanned.push_back(decoded);
+    opts.stats->join_order.push_back(source_pattern);
+    opts.stats->join_strategy.push_back('M');
+    ++opts.stats->merge_joins;
+    opts.stats->merge_rows_decoded += decoded;
+    opts.stats->sieve_seeks += seeks;
+    opts.stats->sieve_keys += runs.size();
+  }
+  join_span.Arg("rows_scanned", static_cast<uint64_t>(decoded));
+  join_span.Arg("sieve_seeks", static_cast<uint64_t>(seeks));
+  join_span.Arg("output_rows", static_cast<uint64_t>(next.size()));
+  RDFA_RETURN_NOT_OK(merge_status);
+  if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
+  *rows = std::move(next);
+  return Status::OK();
+}
+
+// Planner-v2 pipeline: annotate the execution-ordered patterns, surface the
+// plan shape, run the seed scan in the interesting-order permutation, then
+// each later step as a merge (when qualified and the strategy allows) or
+// through the adaptive machinery. Annotation is a pure function of the
+// order, so a plan-cache replay of the captured order reproduces the plan
+// bit-for-bit.
+Status ExecuteBgpV2(const rdf::Graph& graph,
+                    const std::vector<CompiledPattern>& patterns,
+                    const std::vector<int>& source_index, bool dp_ordered,
+                    const JoinOptions& opts, int threads, Tracer* tracer,
+                    std::vector<Binding>* rows) {
+  BgpPlan plan = AnnotateBgpPlan(graph, patterns);
+  plan.used_dp = dp_ordered;
+  {
+    TraceSpan plan_span(tracer, "plan-v2");
+    plan_span.Arg("patterns", static_cast<uint64_t>(patterns.size()));
+    plan_span.Arg("dp", dp_ordered);
+    plan_span.Arg("head_slot", static_cast<int64_t>(plan.head_slot));
+  }
+  if (opts.stats != nullptr) {
+    opts.stats->plan_shapes.push_back(plan.ToJson(source_index));
+    if (dp_ordered) ++opts.stats->dp_plans;
+  }
+  RDFA_RETURN_NOT_OK(ExecuteSeedStep(graph, patterns[0], source_index[0],
+                                     plan.steps[0], opts, threads, tracer,
+                                     rows));
+  if (rows->empty()) return Status::OK();
+  // kHash / kNestedLoop demote qualified merge steps to their forced
+  // strategy — byte-identical by the order argument in MergeRuns.
+  const bool merge_enabled = opts.strategy == JoinStrategy::kAdaptive ||
+                             opts.strategy == JoinStrategy::kMerge;
+  for (size_t pi = 1; pi < patterns.size(); ++pi) {
+    const PlannedStep& step = plan.steps[pi];
+    if (step.strategy == 'M' && merge_enabled) {
+      RDFA_RETURN_NOT_OK(ExecuteMergeStep(graph, patterns[pi],
+                                          source_index[pi], step,
+                                          plan.head_slot, opts, threads,
+                                          tracer, rows));
+    } else {
+      RDFA_RETURN_NOT_OK(ExecuteAdaptiveStep(graph, patterns[pi],
+                                             source_index[pi], opts, threads,
+                                             tracer, rows));
+    }
+    if (rows->empty()) return Status::OK();
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
@@ -348,6 +814,27 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
   std::iota(source_index.begin(), source_index.end(), 0);
 
   Tracer* tracer = opts.ctx != nullptr ? opts.ctx->tracer() : nullptr;
+
+  // Planner v2 engages only on trivial-seed runs (one all-unbound input
+  // row — the top-level BGP case): its interesting-order and seed-scan
+  // reasoning assumes the first pattern produces the intermediate. Seeded
+  // re-entries (OPTIONAL / UNION / EXISTS) run the v1 machinery, where
+  // kMerge degrades to kAdaptive semantics.
+  bool trivial_seed = rows->size() == 1;
+  if (trivial_seed) {
+    for (TermId v : rows->front()) {
+      if (v != kNoTermId) {
+        trivial_seed = false;
+        break;
+      }
+    }
+  }
+  const bool v2 = trivial_seed && !patterns.empty() &&
+                  (opts.strategy == JoinStrategy::kMerge || opts.use_dp);
+  // "This plan's order came from the DP search" — deterministic across
+  // capture and replay (a replayed DP order still reports dp=true).
+  const bool dp_ordered = v2 && opts.use_dp && patterns.size() > 1 &&
+                          patterns.size() <= kMaxDpPatterns;
 
   // Plan-cache replay: apply a previously chosen order without re-running
   // the greedy reorderer. Only a valid permutation of the pattern count is
@@ -382,39 +869,60 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
     }
   }
 
-  if (!replayed && reorder && patterns.size() > 1) {
+  // Join ordering. DP (planner v2) replaces the greedy reorderer when
+  // enabled and the BGP is small enough — and, being the reorderer itself,
+  // it also applies when `reorder` is off, making the chosen order immune
+  // to source-order accidents. Orders only change performance, never the
+  // result set.
+  if (!replayed && patterns.size() > 1 && (reorder || dp_ordered)) {
     TraceSpan plan_span(tracer, "plan");
     plan_span.Arg("patterns", static_cast<uint64_t>(patterns.size()));
     plan_span.Arg("calibrated", opts.calibrated_estimates);
-    // Seed "bound" with slots already bound in the incoming rows.
-    std::set<int> bound;
-    if (!rows->empty()) {
-      const Binding& first = rows->front();
-      for (size_t i = 0; i < first.size(); ++i) {
-        if (first[i] != kNoTermId) bound.insert(static_cast<int>(i));
+    if (dp_ordered) {
+      plan_span.Arg("dp", true);
+      std::vector<int> order = PlanBgpOrderDp(graph, patterns);
+      std::vector<CompiledPattern> ordered;
+      std::vector<int> ordered_source;
+      ordered.reserve(patterns.size());
+      ordered_source.reserve(patterns.size());
+      for (int idx : order) {
+        ordered.push_back(patterns[idx]);
+        ordered_source.push_back(source_index[idx]);
       }
-    }
-    std::vector<CompiledPattern> ordered;
-    std::vector<int> ordered_source;
-    std::vector<bool> used(patterns.size(), false);
-    for (size_t step = 0; step < patterns.size(); ++step) {
-      double best = -1;
-      size_t best_i = 0;
-      for (size_t i = 0; i < patterns.size(); ++i) {
-        if (used[i]) continue;
-        double s = Score(graph, patterns[i], bound, opts.calibrated_estimates);
-        if (best < 0 || s < best) {
-          best = s;
-          best_i = i;
+      patterns = std::move(ordered);
+      source_index = std::move(ordered_source);
+    } else {
+      // Seed "bound" with slots already bound in the incoming rows.
+      std::set<int> bound;
+      if (!rows->empty()) {
+        const Binding& first = rows->front();
+        for (size_t i = 0; i < first.size(); ++i) {
+          if (first[i] != kNoTermId) bound.insert(static_cast<int>(i));
         }
       }
-      used[best_i] = true;
-      ordered.push_back(patterns[best_i]);
-      ordered_source.push_back(source_index[best_i]);
-      MarkBound(patterns[best_i], &bound);
+      std::vector<CompiledPattern> ordered;
+      std::vector<int> ordered_source;
+      std::vector<bool> used(patterns.size(), false);
+      for (size_t step = 0; step < patterns.size(); ++step) {
+        double best = -1;
+        size_t best_i = 0;
+        for (size_t i = 0; i < patterns.size(); ++i) {
+          if (used[i]) continue;
+          double s =
+              Score(graph, patterns[i], bound, opts.calibrated_estimates);
+          if (best < 0 || s < best) {
+            best = s;
+            best_i = i;
+          }
+        }
+        used[best_i] = true;
+        ordered.push_back(patterns[best_i]);
+        ordered_source.push_back(source_index[best_i]);
+        MarkBound(patterns[best_i], &bound);
+      }
+      patterns = std::move(ordered);
+      source_index = std::move(ordered_source);
     }
-    patterns = std::move(ordered);
-    source_index = std::move(ordered_source);
   }
 
   if (opts.capture_order != nullptr) {
@@ -422,148 +930,14 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
   }
 
   const int threads = std::max(1, opts.threads);
+  if (v2) {
+    return ExecuteBgpV2(graph, patterns, source_index, dp_ordered, opts,
+                        threads, tracer, rows);
+  }
   for (size_t pi = 0; pi < patterns.size(); ++pi) {
-    // One typed check per join stage; scans poll the cheap flag inline.
-    if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
-    const CompiledPattern& p = patterns[pi];
-    TraceSpan join_span(tracer, "bgp-join");
-    join_span.Arg("pattern", static_cast<int64_t>(source_index[pi]));
-    join_span.Arg("input_rows", static_cast<uint64_t>(rows->size()));
-    std::vector<Binding> next;
-    next.reserve(rows->size());
-    size_t scanned = 0;
-    char strategy_used = 'N';
-    Status build_status = Status::OK();
-
-    const HashPlan plan = PlanHash(graph, p, *rows, opts.strategy);
-    if (plan.use_hash) {
-      strategy_used = 'H';
-      HashTable table;
-      size_t build_scanned = 0;
-      {
-        TraceSpan build_span(tracer, "hash-build");
-        build_status =
-            BuildHashTable(graph, p, plan, opts.ctx, &table, &build_scanned);
-        build_span.Arg("build_rows", static_cast<uint64_t>(build_scanned));
-      }
-      scanned += build_scanned;
-      if (opts.stats != nullptr) {
-        ++opts.stats->hash_builds;
-        opts.stats->hash_build_rows += build_scanned;
-      }
-      if (build_status.ok()) {
-        size_t probe_hits = 0;
-        if (threads > 1 && rows->size() >= 2 * kMinMorselRows) {
-          // Morsel-parallel probe; concatenation in morsel order keeps the
-          // output byte-identical to the serial probe (and thus to NLJ).
-          auto morsels =
-              Morsels(rows->size(),
-                      static_cast<size_t>(threads) * kMorselsPerThread,
-                      kMinMorselRows);
-          std::vector<std::vector<Binding>> parts(morsels.size());
-          std::vector<size_t> part_scanned(morsels.size(), 0);
-          std::vector<size_t> part_hits(morsels.size(), 0);
-          ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
-            if (opts.ctx != nullptr && opts.ctx->ShouldStop()) return;
-            auto [lo, hi] = morsels[m];
-            part_scanned[m] =
-                ProbeHashRange(graph, p, plan, table, *rows, lo, hi, opts.ctx,
-                               &parts[m], &part_hits[m]);
-          });
-          for (size_t m = 0; m < morsels.size(); ++m) {
-            scanned += part_scanned[m];
-            probe_hits += part_hits[m];
-            for (Binding& b : parts[m]) next.push_back(std::move(b));
-          }
-          if (opts.stats != nullptr) {
-            opts.stats->morsel_count += morsels.size();
-          }
-        } else {
-          scanned += ProbeHashRange(graph, p, plan, table, *rows, 0,
-                                    rows->size(), opts.ctx, &next,
-                                    &probe_hits);
-        }
-        if (opts.stats != nullptr) opts.stats->hash_probe_hits += probe_hits;
-        join_span.Arg("probe_hits", static_cast<uint64_t>(probe_hits));
-      }
-    } else if (threads > 1 && rows->size() == 1) {
-      // Single seed row (the common first pattern): materialize the index
-      // range once and split *it* into morsels.
-      const Binding& row = rows->front();
-      TermId s = p.s_var < 0 ? p.s_id : row[p.s_var];
-      TermId pp = p.p_var < 0 ? p.p_id : row[p.p_var];
-      TermId o = p.o_var < 0 ? p.o_id : row[p.o_var];
-      std::vector<rdf::TripleId> matches = graph.Match(s, pp, o);
-      scanned = matches.size();
-      auto morsels = Morsels(matches.size(),
-                             static_cast<size_t>(threads) * kMorselsPerThread,
-                             kMinMorselRows);
-      if (morsels.size() <= 1) {
-        for (size_t i = 0; i < matches.size(); ++i) {
-          if (opts.ctx != nullptr && (i + 1) % kCheckEveryRows == 0 &&
-              opts.ctx->ShouldStop()) {
-            break;
-          }
-          ExtendRow(p, row, matches[i], &next);
-        }
-      } else {
-        std::vector<std::vector<Binding>> parts(morsels.size());
-        ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
-          auto [lo, hi] = morsels[m];
-          parts[m].reserve(hi - lo);
-          for (size_t i = lo; i < hi; ++i) {
-            if (opts.ctx != nullptr && (i - lo + 1) % kCheckEveryRows == 0 &&
-                opts.ctx->ShouldStop()) {
-              return;  // abandon this morsel; caller reports the trip
-            }
-            ExtendRow(p, row, matches[i], &parts[m]);
-          }
-        });
-        for (std::vector<Binding>& part : parts) {
-          for (Binding& b : part) next.push_back(std::move(b));
-        }
-        if (opts.stats != nullptr) opts.stats->morsel_count += morsels.size();
-      }
-    } else if (threads > 1 && rows->size() >= 2 * kMinMorselRows) {
-      // Morsel-parallel extension over the incoming rows; concatenation in
-      // morsel order keeps the output byte-identical to the serial join.
-      auto morsels = Morsels(rows->size(),
-                             static_cast<size_t>(threads) * kMorselsPerThread,
-                             kMinMorselRows);
-      std::vector<std::vector<Binding>> parts(morsels.size());
-      std::vector<size_t> part_scanned(morsels.size(), 0);
-      ThreadPool::Shared().ParallelFor(morsels.size(), [&](size_t m) {
-        if (opts.ctx != nullptr && opts.ctx->ShouldStop()) return;
-        auto [lo, hi] = morsels[m];
-        part_scanned[m] =
-            ExtendRange(graph, p, *rows, lo, hi, opts.ctx, &parts[m]);
-      });
-      for (size_t m = 0; m < morsels.size(); ++m) {
-        scanned += part_scanned[m];
-        for (Binding& b : parts[m]) next.push_back(std::move(b));
-      }
-      if (opts.stats != nullptr) opts.stats->morsel_count += morsels.size();
-    } else {
-      scanned = ExtendRange(graph, p, *rows, 0, rows->size(), opts.ctx,
-                            &next);
-    }
-
-    if (opts.stats != nullptr) {
-      ++opts.stats->bgp_patterns;
-      opts.stats->rows_scanned.push_back(scanned);
-      opts.stats->join_order.push_back(source_index[pi]);
-      opts.stats->join_strategy.push_back(strategy_used);
-    }
-    join_span.Arg("strategy", strategy_used == 'H' ? "hash" : "nested-loop");
-    join_span.Arg("rows_scanned", static_cast<uint64_t>(scanned));
-    join_span.Arg("output_rows", static_cast<uint64_t>(next.size()));
-    // A tripped hash build already carries the typed status from its
-    // counted check; surface it after the stats are recorded.
-    RDFA_RETURN_NOT_OK(build_status);
-    // A scan abandoned mid-pattern left `next` partial: surface the typed
-    // status now rather than joining the next pattern against garbage.
-    if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
-    *rows = std::move(next);
+    RDFA_RETURN_NOT_OK(ExecuteAdaptiveStep(graph, patterns[pi],
+                                           source_index[pi], opts, threads,
+                                           tracer, rows));
     if (rows->empty()) return Status::OK();
   }
   return Status::OK();

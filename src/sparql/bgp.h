@@ -29,10 +29,20 @@ struct CompiledPattern {
 CompiledPattern CompileTriple(const TriplePattern& tp, VarTable* vars,
                               const rdf::Graph& graph);
 
+/// Calibrated per-row cardinality estimate: the constant-narrowed match
+/// count, divided by the distinct count of each bound-variable lane within
+/// that population (predicate-local when the predicate is constant).
+/// Shared by the greedy reorderer, the adaptive hash decision, and the
+/// planner-v2 DP cost model.
+double CalibratedRowEstimate(const rdf::Graph& graph, const CompiledPattern& p,
+                             bool s_bound, bool p_bound, bool o_bound);
+
 /// How JoinBgp extends rows through a pattern.
 enum class JoinStrategy {
   /// Per-pattern cost-based choice between the two strategies below (the
   /// default): hash when one build pays for many probes, NLJ otherwise.
+  /// With JoinOptions::use_dp, planner-v2 runs also take merge steps the
+  /// plan marks qualified.
   kAdaptive,
   /// One binary-search index range scan per input row.
   kNestedLoop,
@@ -41,6 +51,16 @@ enum class JoinStrategy {
   /// (build-once / probe-many). Probing in input order — with buckets built
   /// in index-scan order — keeps results byte-identical to the serial NLJ.
   kHash,
+  /// Planner v2: streaming merge join. The first pattern scans the
+  /// permutation whose sort order matches the plan's interesting-order
+  /// variable; later patterns that join on that variable stream an
+  /// order-agreeing permutation cursor against the sorted input, skipping
+  /// non-candidate keys via SeekGE (sideways information passing) and
+  /// replaying each decoded key group across its input-row run — no build
+  /// side is ever materialized. Steps the plan does not mark as merges fall
+  /// back to the adaptive hash/NLJ machinery. On seeded (non-trivial) input
+  /// rows — OPTIONAL/UNION/EXISTS re-entries — this degrades to kAdaptive.
+  kMerge,
 };
 
 /// Knobs and instrumentation for one JoinBgp call.
@@ -67,6 +87,19 @@ struct JoinOptions {
   /// calibration, false the legacy range-width + flat-discount heuristic
   /// (the ablation benchmark toggles this).
   bool calibrated_estimates = true;
+  /// Planner v2 join ordering: replaces the greedy reorderer with an
+  /// exhaustive DP search over subsets (<= 8 patterns; order-aware greedy
+  /// above that), costed from the calibrated GraphStats and aware of which
+  /// orders enable merge joins. Applies to trivial-seed BGP runs and, when
+  /// set, overrides a false `reorder` flag — DP *is* the reorderer, so it is
+  /// immune to source-order accidents. Orders only change performance,
+  /// never the result set.
+  bool use_dp = false;
+  /// Sideways information passing inside merge steps: true (default) seeks
+  /// the cursor past non-candidate merge keys; false advances linearly,
+  /// decoding every key in the range (the bench --ablate-sip baseline;
+  /// forces serial merge execution). Identical result bytes either way.
+  bool sip = true;
   /// Plan-cache replay: a join order previously chosen for this BGP (source
   /// indexes in execution order, the ExecStats::join_order format). When it
   /// is a valid permutation of the pattern count, the greedy reorderer is

@@ -27,11 +27,20 @@ struct ExecStats {
   /// source-order index (within its BGP run) of the pattern executed i-th.
   std::vector<int> join_order;
   /// Join strategy per executed pattern, parallel to join_order:
-  /// 'N' = index nested-loop, 'H' = order-preserving hash join.
+  /// 'N' = index nested-loop, 'H' = order-preserving hash join,
+  /// 'M' = planner-v2 streaming merge join.
   std::vector<char> join_strategy;
   size_t hash_builds = 0;      ///< patterns executed via the hash strategy
   size_t hash_build_rows = 0;  ///< build-side index rows enumerated
   size_t hash_probe_hits = 0;  ///< bucket entries probed across all rows
+  size_t merge_joins = 0;        ///< patterns executed via the merge strategy
+  size_t merge_rows_decoded = 0; ///< index entries merge cursors decoded
+  size_t sieve_seeks = 0;        ///< SeekGE calls issued by merge cursors
+  size_t sieve_keys = 0;         ///< distinct join-key runs sieved from input
+  size_t dp_plans = 0;           ///< BGP runs ordered by the DP search
+  /// Planner-v2 plan shape per BGP run (BgpPlan::ToJson: strategies,
+  /// permutations, expected rows) — the explainable-plan surface.
+  std::vector<std::string> plan_shapes;
   /// Set when the query unwound on a tripped deadline or cancellation; the
   /// other counters then describe the *partial* work done up to the trip
   /// (so callers can see where the budget went).
@@ -83,6 +92,13 @@ struct ExecStats {
            " hash_build_rows=" + std::to_string(hash_build_rows) +
            " hash_probe_hits=" + std::to_string(hash_probe_hits);
     }
+    if (merge_joins > 0) {
+      s += " merge_joins=" + std::to_string(merge_joins) +
+           " merge_rows_decoded=" + std::to_string(merge_rows_decoded) +
+           " sieve_seeks=" + std::to_string(sieve_seeks) +
+           " sieve_keys=" + std::to_string(sieve_keys);
+    }
+    if (dp_plans > 0) s += " dp_plans=" + std::to_string(dp_plans);
     return s;
   }
 
@@ -117,7 +133,18 @@ struct ExecStats {
     s += "],\"hash_builds\":" + std::to_string(hash_builds);
     s += ",\"hash_build_rows\":" + std::to_string(hash_build_rows);
     s += ",\"hash_probe_hits\":" + std::to_string(hash_probe_hits);
-    s += "}";
+    s += ",\"merge_joins\":" + std::to_string(merge_joins);
+    s += ",\"merge_rows_decoded\":" + std::to_string(merge_rows_decoded);
+    s += ",\"sieve_seeks\":" + std::to_string(sieve_seeks);
+    s += ",\"sieve_keys\":" + std::to_string(sieve_keys);
+    s += ",\"dp_plans\":" + std::to_string(dp_plans);
+    // Plan shapes are already JSON objects; embed them verbatim.
+    s += ",\"plans\":[";
+    for (size_t i = 0; i < plan_shapes.size(); ++i) {
+      if (i > 0) s += ",";
+      s += plan_shapes[i];
+    }
+    s += "]}";
     return s;
   }
 

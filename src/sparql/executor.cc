@@ -289,6 +289,8 @@ Result<std::vector<Binding>> Executor::EvalPattern(const GraphPattern& pattern,
           jopts.ctx = &ctx_;
           jopts.strategy = join_strategy_;
           jopts.calibrated_estimates = calibrated_estimates_;
+          jopts.use_dp = use_dp_;
+          jopts.sip = sip_;
           // Plan-cache hookup: BGP join runs are numbered in evaluation
           // order (deterministic for a fixed AST + graph), so a replayed
           // query consumes the cached order recorded at the same position.

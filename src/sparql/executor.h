@@ -52,6 +52,21 @@ class Executor {
   void set_calibrated_estimates(bool on) { calibrated_estimates_ = on; }
   bool calibrated_estimates() const { return calibrated_estimates_; }
 
+  /// Planner-v2 DP join ordering (default off): replaces the greedy
+  /// reorderer with an exhaustive subset-DP search for top-level BGPs of up
+  /// to kMaxDpPatterns patterns, and annotates each run with an explainable
+  /// plan (stats().plan_shapes). Result bytes for a given plan are
+  /// unchanged; only join order / permutation choices move.
+  void set_use_dp(bool on) { use_dp_ = on; }
+  bool use_dp() const { return use_dp_; }
+
+  /// Sideways information passing inside planner-v2 merge steps (default
+  /// on): off decodes merge ranges linearly instead of seeking past
+  /// non-candidate keys — the bench --ablate-sip baseline. Identical result
+  /// bytes either way.
+  void set_sip(bool on) { sip_ = on; }
+  bool sip() const { return sip_; }
+
   /// Installs the deadline/cancellation context for subsequent queries
   /// (copies share cancellation state with the caller's handle). The
   /// default context is unlimited. A tripped context unwinds evaluation to
@@ -123,6 +138,8 @@ class Executor {
   int threads_ = 1;
   JoinStrategy join_strategy_ = JoinStrategy::kAdaptive;
   bool calibrated_estimates_ = true;
+  bool use_dp_ = false;
+  bool sip_ = true;
   ExecStats stats_;
   QueryContext ctx_;
   const std::vector<std::vector<int>>* replay_orders_ = nullptr;

@@ -1,0 +1,310 @@
+#include "sparql/planner.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace rdfa::sparql {
+
+namespace {
+
+using rdf::kNoTermId;
+using rdf::TermId;
+
+int LaneVar(const CompiledPattern& p, int lane) {
+  return lane == 0 ? p.s_var : lane == 1 ? p.p_var : p.o_var;
+}
+
+// Constant-narrowed index range width of a pattern: the exact number of
+// index rows a hash build (or an unseeked merge cursor) over it decodes.
+double ConstWidth(const rdf::Graph& graph, const CompiledPattern& p) {
+  return static_cast<double>(
+      graph.EstimateMatch(p.s_var < 0 ? p.s_id : kNoTermId,
+                          p.p_var < 0 ? p.p_id : kNoTermId,
+                          p.o_var < 0 ? p.o_id : kNoTermId));
+}
+
+void MarkBoundSlots(const CompiledPattern& p, std::set<int>* bound) {
+  for (int lane = 0; lane < 3; ++lane) {
+    const int v = LaneVar(p, lane);
+    if (v >= 0) bound->insert(v);
+  }
+}
+
+// Counts the pattern's bound-variable lanes under `bound(slot)`; when the
+// count is 1, `*only_lane` names that lane. A step merge-qualifies iff the
+// count is 1 and the lane's variable is the interesting order.
+template <typename BoundFn>
+int BoundVarLanes(const CompiledPattern& p, BoundFn bound, int* only_lane) {
+  int n = 0;
+  for (int lane = 0; lane < 3; ++lane) {
+    const int v = LaneVar(p, lane);
+    if (v >= 0 && bound(v)) {
+      ++n;
+      *only_lane = lane;
+    }
+  }
+  return n;
+}
+
+// The permutation a merge step streams: constant lanes first (narrowing the
+// cursor range), then the merge lane — so within the constant prefix the
+// cursor is sorted by the merge key. With no constant lanes the primary
+// ChoosePerm of the merge lane is used, which is exactly the permutation a
+// per-row NLJ probe would pick; with constants, at most one lane trails the
+// merge key, so every decoded group replays in that probe's order too.
+rdf::Graph::Perm MergePerm(const CompiledPattern& p, int merge_lane) {
+  const bool c[3] = {p.s_var < 0, p.p_var < 0, p.o_var < 0};
+  const int nc = (c[0] ? 1 : 0) + (c[1] ? 1 : 0) + (c[2] ? 1 : 0);
+  if (nc == 0) {
+    return rdf::Graph::ChoosePerm(merge_lane == 0, merge_lane == 1,
+                                  merge_lane == 2);
+  }
+  for (int perm = 0; perm < rdf::Graph::kNumPerms; ++perm) {
+    bool prefix_const = true;
+    for (int i = 0; i < nc; ++i) {
+      prefix_const = prefix_const && c[rdf::Graph::kPermLanes[perm][i]];
+    }
+    if (prefix_const && nc < 3 &&
+        rdf::Graph::kPermLanes[perm][nc] == merge_lane) {
+      return static_cast<rdf::Graph::Perm>(perm);
+    }
+  }
+  return rdf::Graph::ChoosePerm(c[0], c[1], c[2]);
+}
+
+}  // namespace
+
+const char* PermName(rdf::Graph::Perm perm) {
+  static constexpr const char* kNames[rdf::Graph::kNumPerms] = {
+      "SPO", "POS", "OSP", "PSO", "SOP", "OPS"};
+  return kNames[static_cast<int>(perm)];
+}
+
+std::vector<int> PlanBgpOrderDp(const rdf::Graph& graph,
+                                const std::vector<CompiledPattern>& patterns) {
+  const size_t n = patterns.size();
+  std::vector<int> source(n);
+  std::iota(source.begin(), source.end(), 0);
+  if (n <= 1 || n > kMaxDpPatterns) return source;
+
+  // Compact variable-slot numbering: slot -> bit index, sorted by slot id
+  // so the mapping (and thus every tie-break below) is deterministic.
+  std::vector<int> slots;
+  for (const auto& p : patterns) {
+    for (int lane = 0; lane < 3; ++lane) {
+      const int v = LaneVar(p, lane);
+      if (v >= 0) slots.push_back(v);
+    }
+  }
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  auto bit_of = [&slots](int slot) {
+    return static_cast<int>(
+        std::lower_bound(slots.begin(), slots.end(), slot) - slots.begin());
+  };
+
+  std::vector<uint32_t> varbits(n, 0);
+  std::vector<double> width(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (int lane = 0; lane < 3; ++lane) {
+      const int v = LaneVar(patterns[i], lane);
+      if (v >= 0) varbits[i] |= 1u << bit_of(v);
+    }
+    width[i] = ConstWidth(graph, patterns[i]);
+  }
+
+  // Bound-slot set per subset, built incrementally off the lowest member.
+  const uint32_t full = (1u << n) - 1;
+  std::vector<uint32_t> maskbits(full + 1, 0);
+  for (uint32_t m = 1; m <= full; ++m) {
+    int low = 0;
+    while (((m >> low) & 1u) == 0) ++low;
+    maskbits[m] = maskbits[m & (m - 1)] | varbits[low];
+  }
+
+  // DP state: (subset, interesting-order head). The head is fixed by the
+  // seed pattern's scan permutation and preserved down the pipeline, so it
+  // is part of the state, not a per-step choice. `nheads - 1` = no order.
+  struct State {
+    double cost = 0;
+    double rows = 0;
+    std::vector<int> order;
+    bool valid = false;
+  };
+  const int nheads = static_cast<int>(slots.size()) + 1;
+  std::vector<std::vector<State>> dp(full + 1, std::vector<State>(nheads));
+  auto relax = [&dp](uint32_t mask, int head, double cost, double rows,
+                     std::vector<int> order) {
+    State& s = dp[mask][head];
+    if (!s.valid || cost < s.cost) {
+      s.cost = cost;
+      s.rows = rows;
+      s.order = std::move(order);
+      s.valid = true;
+    }
+  };
+
+  // Seeds: every pattern, headless or sorted on any of its free lanes (all
+  // seed permutations decode the same constant-narrowed width).
+  for (size_t f = 0; f < n; ++f) {
+    relax(1u << f, nheads - 1, width[f], width[f],
+          {static_cast<int>(f)});
+    for (int lane = 0; lane < 3; ++lane) {
+      const int v = LaneVar(patterns[f], lane);
+      if (v >= 0) {
+        relax(1u << f, bit_of(v), width[f], width[f],
+              {static_cast<int>(f)});
+      }
+    }
+  }
+
+  for (uint32_t mask = 1; mask < full; ++mask) {
+    // Cross-product guard: while any unused pattern shares a variable with
+    // the subset, disconnected extensions are skipped.
+    bool any_connected = false;
+    for (size_t j = 0; j < n; ++j) {
+      if (((mask >> j) & 1u) == 0 && (varbits[j] & maskbits[mask]) != 0) {
+        any_connected = true;
+      }
+    }
+    for (int head = 0; head < nheads; ++head) {
+      const State& s = dp[mask][head];
+      if (!s.valid) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if ((mask >> j) & 1u) continue;
+        if (any_connected && (varbits[j] & maskbits[mask]) == 0) continue;
+        bool lb[3] = {false, false, false};
+        int only = -1;
+        for (int lane = 0; lane < 3; ++lane) {
+          const int v = LaneVar(patterns[j], lane);
+          if (v >= 0 && ((maskbits[mask] >> bit_of(v)) & 1u)) {
+            lb[lane] = true;
+            only = lane;
+          }
+        }
+        const int nbound = (lb[0] ? 1 : 0) + (lb[1] ? 1 : 0) + (lb[2] ? 1 : 0);
+        const double per_row =
+            CalibratedRowEstimate(graph, patterns[j], lb[0], lb[1], lb[2]);
+        const double nlj = s.rows * per_row;
+        // NLJ decodes rows x fanout; a hash build (or merge cursor) decodes
+        // the constant-narrowed width once. Either alternative needs a bound
+        // join key; without one only NLJ (a full-width scan per row) exists.
+        const double cost = nbound > 0 ? std::min(width[j], nlj) : nlj;
+        (void)only;  // merge costs no less than the hash bound above
+        std::vector<int> order = s.order;
+        order.push_back(static_cast<int>(j));
+        relax(mask | (1u << j), head, s.cost + cost, nlj, std::move(order));
+      }
+    }
+  }
+
+  const State* best = nullptr;
+  for (int head = 0; head < nheads; ++head) {
+    const State& s = dp[full][head];
+    if (s.valid && (best == nullptr || s.cost < best->cost)) best = &s;
+  }
+  return best != nullptr ? best->order : source;
+}
+
+BgpPlan AnnotateBgpPlan(const rdf::Graph& graph,
+                        const std::vector<CompiledPattern>& ordered) {
+  BgpPlan plan;
+  plan.steps.resize(ordered.size());
+  if (ordered.empty()) return plan;
+  const CompiledPattern& first = ordered.front();
+
+  // Interesting order: the first pattern's free lane whose variable
+  // merge-qualifies the most downstream steps. Zero qualifiers keeps the
+  // head unset and the seed scan on the default (3-arg ChoosePerm)
+  // permutation — identical enumeration order to the v1 engine.
+  int head_lane = -1;
+  int best_score = 0;
+  for (int lane = 0; lane < 3; ++lane) {
+    const int v = LaneVar(first, lane);
+    if (v < 0) continue;
+    std::set<int> bound;
+    MarkBoundSlots(first, &bound);
+    int score = 0;
+    for (size_t i = 1; i < ordered.size(); ++i) {
+      int only = -1;
+      const int nb = BoundVarLanes(
+          ordered[i], [&bound](int s) { return bound.count(s) > 0; }, &only);
+      if (nb == 1 && LaneVar(ordered[i], only) == v) ++score;
+      MarkBoundSlots(ordered[i], &bound);
+    }
+    if (score > best_score) {
+      best_score = score;
+      head_lane = lane;
+    }
+  }
+  plan.head_slot = head_lane >= 0 ? LaneVar(first, head_lane) : -1;
+
+  const bool c0[3] = {first.s_var < 0, first.p_var < 0, first.o_var < 0};
+  PlannedStep& seed = plan.steps.front();
+  seed.strategy = 'S';
+  seed.perm = head_lane >= 0
+                  ? rdf::Graph::ChoosePerm(c0[0], c0[1], c0[2], head_lane)
+                  : rdf::Graph::ChoosePerm(c0[0], c0[1], c0[2]);
+  seed.est_rows = ConstWidth(graph, first);
+  seed.est_cost = seed.est_rows;
+
+  std::set<int> bound;
+  MarkBoundSlots(first, &bound);
+  double rows = seed.est_rows;
+  plan.est_cost = seed.est_cost;
+  for (size_t i = 1; i < ordered.size(); ++i) {
+    const CompiledPattern& p = ordered[i];
+    int only = -1;
+    const int nb = BoundVarLanes(
+        p, [&bound](int s) { return bound.count(s) > 0; }, &only);
+    const double per_row = CalibratedRowEstimate(
+        graph, p, p.s_var >= 0 && bound.count(p.s_var) > 0,
+        p.p_var >= 0 && bound.count(p.p_var) > 0,
+        p.o_var >= 0 && bound.count(p.o_var) > 0);
+    PlannedStep& step = plan.steps[i];
+    const double nlj = rows * per_row;
+    const double w = ConstWidth(graph, p);
+    if (plan.head_slot >= 0 && nb == 1 && LaneVar(p, only) == plan.head_slot) {
+      step.strategy = 'M';
+      step.perm = MergePerm(p, only);
+      step.est_cost = std::min(w, nlj);
+    } else {
+      step.strategy = 'A';
+      step.est_cost = nb > 0 ? std::min(w, nlj) : nlj;
+    }
+    step.est_rows = nlj;
+    rows = nlj;
+    plan.est_cost += step.est_cost;
+    MarkBoundSlots(p, &bound);
+  }
+  return plan;
+}
+
+std::string BgpPlan::ToJson(const std::vector<int>& source_order) const {
+  std::string out = "{\"dp\":";
+  out += used_dp ? "true" : "false";
+  char buf[160];
+  std::snprintf(buf, sizeof buf, ",\"head_slot\":%d,\"est_cost\":%.0f",
+                head_slot, est_cost);
+  out += buf;
+  out += ",\"steps\":[";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const PlannedStep& s = steps[i];
+    const int src =
+        i < source_order.size() ? source_order[i] : static_cast<int>(i);
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"pattern\":%d,\"strategy\":\"%c\",\"perm\":\"%s\","
+                  "\"est_rows\":%.0f,\"est_cost\":%.0f}",
+                  i == 0 ? "" : ",", src, s.strategy, PermName(s.perm),
+                  s.est_rows, s.est_cost);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rdfa::sparql
