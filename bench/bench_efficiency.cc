@@ -28,6 +28,10 @@
 //            updates plus p50/p99 (JSON key "mixed_rw").
 //   --global-invalidation: ablate the mixed leg to wildcard footprints
 //            (classic whole-cache invalidation) — hit rate drops to 0.
+//   --obs-overhead=N: run the suite N rounds with span profiling off and
+//            on (interleaved), byte-compare every answer pair, and report
+//            both p50s plus the relative overhead (JSON key
+//            "observability" — the CI obs-gates job enforces the budget).
 //   --json:  write one machine-readable JSON object for the run (scale,
 //            iters, p50/p99, per-query ExecStats)
 //   --trace-out:  write one Chrome trace-event JSON file per served query
@@ -47,10 +51,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/query_context.h"
+#include "common/trace.h"
 
 #include "bench_util.h"
 #include "endpoint/endpoint.h"
@@ -561,12 +567,122 @@ int RunStorageLeg(size_t laptops, const std::string& mode,
   return failures;
 }
 
+/// The --obs-overhead leg: runs the query suite `rounds` times with
+/// profiling off (no tracer attached) and, interleaved, with full span
+/// profiling on, byte-comparing every pair of answers. Reports p50 per-query
+/// latency for both modes and the relative overhead — the number the CI
+/// obs-gates job holds under its budget — plus the distinct profile stage
+/// names one traced run produced. Profiling must never change answer bytes;
+/// any mismatch is a bench failure.
+int RunObservabilityLeg(size_t laptops, int rounds, std::string* json_out) {
+  auto graph = std::make_unique<rdfa::rdf::Graph>();
+  rdfa::workload::ProductKgOptions opt;
+  opt.laptops = laptops;
+  opt.companies = laptops / 100 + 5;
+  rdfa::workload::GenerateProductKg(graph.get(), opt);
+  rdfa::rdf::MaterializeRdfsClosure(graph.get());
+  graph->Freeze();
+  std::printf("\n== observability overhead: profiling on vs off "
+              "(%zu triples, %d rounds) ==\n",
+              graph->size(), rounds);
+
+  rdfa::rdf::PrefixMap prefixes;
+  std::vector<rdfa::sparql::ParsedQuery> parsed;
+  for (const QuerySpec& spec : kSuite) {
+    auto q = rdfa::hifun::ParseHifun(spec.hifun, prefixes,
+                                     rdfa::workload::kExampleNs);
+    auto sparql = q.ok() ? rdfa::translator::TranslateToSparql(q.value())
+                         : rdfa::Result<std::string>(q.status());
+    auto p = sparql.ok() ? rdfa::sparql::ParseQuery(sparql.value())
+                         : rdfa::Result<rdfa::sparql::ParsedQuery>(
+                               sparql.status());
+    if (!p.ok()) {
+      std::fprintf(stderr, "obs: %s: %s\n", spec.id,
+                   p.status().ToString().c_str());
+      return 1;
+    }
+    parsed.push_back(std::move(p).value());
+  }
+
+  int failures = 0;
+  size_t identical = 0;
+  std::vector<double> off_ms, on_ms;
+  std::set<std::string> stages;
+  // One untimed warmup pass so lazy index builds and page faults are paid
+  // before either mode is measured.
+  // DP ordering on: the planner-v2 configuration is the one worth
+  // profiling, and its dp-plan/plan-v2 spans are part of stage coverage.
+  for (const auto& q : parsed) {
+    rdfa::sparql::Executor warm(graph.get());
+    warm.set_use_dp(true);
+    (void)warm.Execute(q);
+  }
+  for (int round = 0; round < rounds; ++round) {
+    for (const auto& q : parsed) {
+      rdfa::sparql::Executor off(graph.get());
+      off.set_use_dp(true);
+      auto t = std::chrono::steady_clock::now();
+      auto off_res = off.Execute(q);
+      off_ms.push_back(MsSince(t));
+
+      rdfa::sparql::Executor on(graph.get());
+      on.set_use_dp(true);
+      auto tracer = std::make_shared<rdfa::Tracer>();
+      rdfa::QueryContext ctx;
+      ctx.set_tracer(tracer);
+      on.set_query_context(std::move(ctx));
+      t = std::chrono::steady_clock::now();
+      auto on_res = on.Execute(q);
+      on_ms.push_back(MsSince(t));
+
+      if (!off_res.ok() || !on_res.ok()) {
+        std::fprintf(stderr, "obs: suite query failed\n");
+        ++failures;
+        continue;
+      }
+      if (off_res.value().ToTsv() == on_res.value().ToTsv()) {
+        ++identical;
+      } else {
+        std::fprintf(stderr,
+                     "obs: profiling changed the answer bytes (round %d)\n",
+                     round);
+        ++failures;
+      }
+      for (const auto& span : tracer->FinishedSpans()) {
+        stages.insert(span.name);
+      }
+    }
+  }
+  const double off_p50 = Percentile(off_ms, 0.50);
+  const double on_p50 = Percentile(on_ms, 0.50);
+  const double overhead_pct =
+      off_p50 > 0 ? (on_p50 - off_p50) / off_p50 * 100.0 : 0;
+  std::printf("profiling off p50 %.3f ms, on p50 %.3f ms (%+.1f%%); "
+              "%zu/%zu answers byte-identical; %zu distinct stages\n",
+              off_p50, on_p50, overhead_pct, identical, off_ms.size(),
+              stages.size());
+  if (json_out != nullptr) {
+    JsonObject obj;
+    obj.AddInt("rounds", static_cast<uint64_t>(rounds));
+    obj.AddInt("suite_queries", std::size(kSuite));
+    obj.AddNumber("off_p50_ms", off_p50);
+    obj.AddNumber("on_p50_ms", on_p50);
+    obj.AddNumber("overhead_pct", overhead_pct);
+    obj.AddInt("byte_identical", identical);
+    obj.AddInt("pairs", off_ms.size());
+    obj.AddInt("distinct_stages", stages.size());
+    *json_out = obj.Render();
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   size_t scale = 0;
   int iters = 1;
   int mixed_writes = 0;
+  int obs_rounds = 0;
   bool global_invalidation = false;
   std::string json_path;
   std::string storage_mode;
@@ -584,6 +700,8 @@ int main(int argc, char** argv) {
       g_cache_mb = mb < 0 ? 0 : static_cast<size_t>(mb);
     } else if (arg.rfind("--mixed-writes=", 0) == 0) {
       mixed_writes = std::atoi(arg.c_str() + 15);
+    } else if (arg.rfind("--obs-overhead=", 0) == 0) {
+      obs_rounds = std::atoi(arg.c_str() + 15);
     } else if (arg == "--global-invalidation") {
       global_invalidation = true;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
@@ -638,6 +756,10 @@ int main(int argc, char** argv) {
   if (!storage_mode.empty()) {
     failures += RunStorageLeg(scales.front(), storage_mode, &storage_json);
   }
+  std::string obs_json;
+  if (obs_rounds > 0) {
+    failures += RunObservabilityLeg(scales.front(), obs_rounds, &obs_json);
+  }
   std::printf(
       "\nshape check vs paper: off-peak totals are several times smaller "
       "than peak totals;\nall queries remain interactive (sub-second "
@@ -657,6 +779,7 @@ int main(int argc, char** argv) {
     top.AddInt("cache_mismatches", g_cache_mismatches);
     if (!mixed_json.empty()) top.AddRaw("mixed_rw", mixed_json);
     if (!storage_json.empty()) top.AddRaw("storage", storage_json);
+    if (!obs_json.empty()) top.AddRaw("observability", obs_json);
     top.AddRaw("runs", JsonArray(g_run_json));
     if (!WriteJsonFile(json_path, top.Render())) return 1;
     std::printf("wrote %s\n", json_path.c_str());

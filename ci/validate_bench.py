@@ -30,6 +30,15 @@ carrying its own inline python:
       runs, and the SIP runs must decode fewer merge rows than the ablated
       (--ablate-sip) ones
 
+  validate_bench.py obs-gates --bench=F --explain=F --slow-dir=DIR
+                              [--max-overhead-pct=5] [--epsilon-ms=2]
+                              [--min-stages=6]
+      the observability gates: the bench's profiling-on/off leg must be
+      byte-identical with bounded overhead, the shell's EXPLAIN output must
+      match the plan-JSON schema, and every slow-query capture must parse
+      and carry an operator profile naming at least min-stages distinct
+      stages across the directory
+
 Exits non-zero (via assert) on any violated gate.
 """
 
@@ -216,6 +225,102 @@ def cmd_planner_gates(args):
           % (ratio, args.min_ratio, len(h_heap), with_sip, without_sip))
 
 
+def _check_plan_json(plan):
+    """Asserts `plan` matches the EXPLAIN plan-JSON schema."""
+    assert plan["form"] in ("select", "ask", "construct", "describe"), plan
+    assert plan["strategy"] in ("adaptive", "nested-loop", "hash", "merge"), (
+        plan["strategy"])
+    assert isinstance(plan["use_dp"], bool), plan
+    assert isinstance(plan["threads"], int) and plan["threads"] >= 1, plan
+    assert plan["backend"] in ("heap", "mmap"), plan["backend"]
+    assert isinstance(plan["bgps"], list), plan
+    for bgp in plan["bgps"]:
+        assert isinstance(bgp["dp"], bool), bgp
+        assert isinstance(bgp["steps"], list) and bgp["steps"], bgp
+        for step in bgp["steps"]:
+            assert isinstance(step["pattern"], int), step
+            assert step["strategy"] in ("S", "M", "A"), step
+            assert re.fullmatch(r"[SPO]{3}", step["perm"]), step
+            assert step["est_rows"] >= 0, step
+            assert step["est_cost"] >= 0, step
+
+
+def _profile_ops(nodes, out):
+    """Collects every "op" name from a nested profile tree into `out`."""
+    for node in nodes:
+        assert "op" in node and "ms" in node, node
+        out.add(node["op"])
+        _profile_ops(node.get("children", []), out)
+
+
+def cmd_obs_gates(args):
+    # Gate 1: the profiled leg of the bench must return byte-identical
+    # answers with bounded overhead. The epsilon absorbs timer noise on the
+    # one-core CI runners; the percentage is the real budget.
+    doc = json.load(open(args.bench))
+    obs = doc["observability"]
+    assert doc["failures"] == 0, "bench reported %s failures" % doc["failures"]
+    assert obs["byte_identical"] == obs["pairs"], (
+        "only %s/%s profiled answers byte-identical"
+        % (obs["byte_identical"], obs["pairs"]))
+    budget = obs["off_p50_ms"] * (1 + args.max_overhead_pct / 100.0) \
+        + args.epsilon_ms
+    assert obs["on_p50_ms"] <= budget, (
+        "profiling overhead %.2f ms p50 vs %.2f ms off (budget %.2f ms)"
+        % (obs["on_p50_ms"], obs["off_p50_ms"], budget))
+    assert obs["distinct_stages"] >= args.min_stages, (
+        "profiled runs named only %s distinct stages (gate: >= %s)"
+        % (obs["distinct_stages"], args.min_stages))
+
+    # Gate 2: every EXPLAIN / EXPLAIN ANALYZE line the shell printed must
+    # match the plan-JSON schema (analyze lines nest the plan under "plan"
+    # and add a "profile" tree).
+    plans = analyzed = 0
+    for line in open(args.explain):
+        line = line.strip()
+        while line.startswith("rdfa>"):  # interactive prompt prefix
+            line = line[len("rdfa>"):].lstrip()
+        if not line.startswith("{"):
+            continue  # banner / table noise around the JSON
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            continue
+        if "plan" in obj:
+            _check_plan_json(obj["plan"])
+            assert obj["ok"] in (True, False), obj
+            ops = set()
+            _profile_ops(obj["profile"], ops)
+            assert "execute" in ops, ops
+            analyzed += 1
+        elif "form" in obj:
+            _check_plan_json(obj)
+            plans += 1
+    assert plans > 0, "no EXPLAIN output found in %s" % args.explain
+    assert analyzed > 0, "no EXPLAIN ANALYZE output in %s" % args.explain
+
+    # Gate 3: every slow-query capture parses, and across the ring the
+    # embedded operator profiles name enough distinct stages to triage with.
+    files = sorted(glob.glob(os.path.join(args.slow_dir, "slow-*.json")))
+    assert files, "no slow-query captures under %s" % args.slow_dir
+    stages = set()
+    for path in files:
+        with open(path) as f:
+            rec = json.load(f)
+        assert "outcome" in rec and "query_hash" in rec, path
+        _profile_ops(rec.get("profile", []), stages)
+    assert len(stages) >= args.min_stages, (
+        "slow captures name only %d distinct stages %s (gate: >= %d)"
+        % (len(stages), sorted(stages), args.min_stages))
+
+    print("obs gates ok: overhead %.2f -> %.2f ms p50 (budget %.2f), "
+          "%d/%d byte-identical, %d explain + %d analyze lines, "
+          "%d captures naming %d stages"
+          % (obs["off_p50_ms"], obs["on_p50_ms"], budget,
+             obs["byte_identical"], obs["pairs"], plans, analyzed,
+             len(files), len(stages)))
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -253,6 +358,15 @@ def main(argv):
     p.add_argument("--sip-off", required=True)
     p.add_argument("--min-ratio", type=float, default=1.3)
     p.set_defaults(func=cmd_planner_gates)
+
+    p = sub.add_parser("obs-gates")
+    p.add_argument("--bench", required=True)
+    p.add_argument("--explain", required=True)
+    p.add_argument("--slow-dir", required=True)
+    p.add_argument("--max-overhead-pct", type=float, default=5.0)
+    p.add_argument("--epsilon-ms", type=float, default=2.0)
+    p.add_argument("--min-stages", type=int, default=6)
+    p.set_defaults(func=cmd_obs_gates)
 
     args = parser.parse_args(argv)
     args.func(args)

@@ -7,6 +7,7 @@
 // Scripted demo:       ./build/examples/rdfa_shell --demo
 // Type `help` for the command list.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -22,6 +23,7 @@
 #include "common/metrics.h"
 #include "common/query_context.h"
 #include "common/query_log.h"
+#include "common/query_registry.h"
 #include "common/string_util.h"
 #include "common/trace.h"
 #include "endpoint/endpoint.h"
@@ -32,6 +34,7 @@
 #include "rdf/turtle.h"
 #include "search/keyword.h"
 #include "sparql/executor.h"
+#include "sparql/parser.h"
 #include "sparql/results_io.h"
 #include "viz/chart.h"
 #include "viz/table_render.h"
@@ -60,6 +63,9 @@ struct Shell {
   std::unique_ptr<rdfa::QueryLog> query_log;  ///< --query-log=<path>
   bool cache_on = false;   ///< `cache on|off` / --cache-mb=
   size_t cache_mb = 64;    ///< answer-cache byte budget when the cache is on
+  std::string slow_dir;    ///< --slow-query-dir=: slow-query capture ring
+  double slow_ms = 250;    ///< --slow-query-ms=: capture threshold
+  int slow_max = 32;       ///< --slow-query-max=: ring size (files kept)
   rdfa::QueryContext exec_ctx;  ///< the context armed for the current exec
   std::unique_ptr<rdfa::endpoint::SimulatedEndpoint> endpoint;
   const rdfa::rdf::Graph* endpoint_graph = nullptr;
@@ -87,6 +93,9 @@ struct Shell {
       endpoint->set_thread_count(threads);
       endpoint->set_join_strategy(join_strategy);
       endpoint->set_use_dp(use_dp);
+      if (!slow_dir.empty()) {
+        endpoint->set_slow_query_capture(slow_dir, slow_ms, slow_max);
+      }
       endpoint_graph = &graph();
     }
     return *endpoint;
@@ -235,6 +244,15 @@ void PrintHelp() {
   hifun                         show the synthesized HIFUN query
   check                         expressiveness report for the current query
   sparql                        show the translated SPARQL
+  explain [sparql]              plan-only JSON: join order, strategies,
+                                permutations, cost estimates (no execution);
+                                defaults to the session's synthesized query
+  explain analyze [sparql]      execute and print plan + nested per-operator
+                                profile (wall time, rows, counters) + stats
+                                as one JSON line
+  ps                            live in-flight queries (id, stage, rows,
+                                deadline left, snapshot epoch)
+  kill <id>                     cooperatively cancel an in-flight query
   exec                          run the analytic query (fills the AF)
   threads <n>                   parallelism for exec (results identical)
                                 (planner flags: --join-strategy=adaptive|
@@ -250,6 +268,10 @@ void PrintHelp() {
                                 exec (re-running an unchanged query is a hit;
                                 any mutation invalidates); --cache-mb=<n>
                                 sets the byte budget and turns it on
+                                (--slow-query-dir=<dir> --slow-query-ms=<t>
+                                --slow-query-max=<n>: cached execs slower
+                                than t ms dump plan+profile into a bounded
+                                ring of n files under dir)
   update <sparql update>        commit a SPARQL update through the WAL
                                 (needs --wal=<path>; durable before visible)
   walstress <n> [batch]         n synthetic durable inserts, committed per
@@ -453,6 +475,85 @@ bool HandleLine(Shell& shell, const std::string& line) {
     auto s = shell.session().BuildSparql();
     if (s.ok()) std::printf("%s\n", s.value().c_str());
     else report(s.status());
+  } else if (cmd == "explain") {
+    // `explain [sparql]` prints the plan the executor would run (no data is
+    // touched); `explain analyze [sparql]` executes and prints plan +
+    // measured operator profile + ExecStats as one JSON line. With no
+    // inline query, the session's synthesized SPARQL is explained.
+    std::string rest;
+    std::getline(in, rest);
+    rest = std::string(rdfa::TrimWhitespace(rest));
+    bool analyze = false;
+    if (rdfa::ToUpperAscii(rest.substr(0, 7)) == "ANALYZE") {
+      analyze = true;
+      rest = std::string(rdfa::TrimWhitespace(rest.substr(7)));
+    }
+    std::string text = rest;
+    if (text.empty()) {
+      auto s = shell.session().BuildSparql();
+      if (!report(s.status())) return true;
+      text = s.value();
+    }
+    auto parsed = rdfa::sparql::ParseQuery(text);
+    if (!report(parsed.status())) return true;
+    rdfa::sparql::Executor exec(&shell.graph());
+    exec.set_thread_count(shell.threads);
+    exec.set_join_strategy(shell.join_strategy);
+    exec.set_use_dp(shell.use_dp);
+    std::string plan = exec.ExplainJson(parsed.value());
+    if (!analyze) {
+      std::printf("%s\n", plan.c_str());
+      return true;
+    }
+    auto tracer = std::make_shared<rdfa::Tracer>();
+    rdfa::QueryContext ctx = shell.timeout_ms > 0
+        ? rdfa::QueryContext::WithDeadlineMs(shell.timeout_ms)
+        : rdfa::QueryContext();
+    ctx.set_tracer(tracer);
+    exec.set_query_context(std::move(ctx));
+    auto result = exec.Execute(parsed.value());
+    std::printf("{\"plan\":%s,\"profile\":%s,\"stats\":%s,\"ok\":%s,"
+                "\"rows\":%llu}\n",
+                plan.c_str(), tracer->ProfileJson().c_str(),
+                exec.stats().ToJson().c_str(), result.ok() ? "true" : "false",
+                static_cast<unsigned long long>(
+                    result.ok() ? result.value().num_rows() : 0));
+    if (!result.ok()) report(result.status());
+  } else if (cmd == "ps") {
+    auto inflight = rdfa::QueryRegistry::Global().Snapshot();
+    rdfa::QueryRegistry::Global().UpdateStageGauges();
+    if (inflight.empty()) {
+      std::printf("no queries in flight\n");
+      return true;
+    }
+    std::printf("%6s %-14s %10s %10s %10s %6s  %s\n", "id", "stage", "rows",
+                "elapsed", "deadline", "epoch", "query");
+    for (const auto& q : inflight) {
+      std::string deadline =
+          std::isfinite(q.deadline_remaining_ms)
+              ? std::to_string(static_cast<long long>(q.deadline_remaining_ms)) +
+                    "ms"
+              : "-";
+      std::printf("%6lld %-14s %10llu %8.1fms %10s %6llu  %s\n",
+                  static_cast<long long>(q.id),
+                  q.stage != nullptr ? q.stage : "-",
+                  static_cast<unsigned long long>(q.rows), q.elapsed_ms,
+                  deadline.c_str(),
+                  static_cast<unsigned long long>(q.snapshot_epoch),
+                  q.head.c_str());
+    }
+  } else if (cmd == "kill") {
+    long long id = -1;
+    in >> id;
+    if (id < 0) {
+      std::printf("usage: kill <id>   (ids from ps)\n");
+      return true;
+    }
+    if (rdfa::QueryRegistry::Global().Kill(id)) {
+      std::printf("query %lld cancelled (it unwinds at its next check)\n", id);
+    } else {
+      std::printf("no in-flight query with id %lld\n", id);
+    }
   } else if (cmd == "exec" && shell.cache_on) {
     // Cached execution: route the synthesized SPARQL through a local
     // endpoint whose generation-checked answer/plan caches make repeated
@@ -601,6 +702,7 @@ bool HandleLine(Shell& shell, const std::string& line) {
   } else if (cmd == "kgstats") {
     std::printf("%s\n", shell.KgStatsLine().c_str());
   } else if (cmd == "metrics") {
+    rdfa::QueryRegistry::Global().UpdateStageGauges();
     std::printf("%s", rdfa::MetricsRegistry::Global().PrometheusText().c_str());
   } else if (cmd == "timeout") {
     double ms = 0;
@@ -742,6 +844,14 @@ int main(int argc, char** argv) {
       long mb = std::atol(arg.c_str() + 11);
       shell.cache_mb = mb < 0 ? 0 : static_cast<size_t>(mb);
       shell.cache_on = shell.cache_mb > 0;
+    } else if (arg.rfind("--slow-query-dir=", 0) == 0) {
+      shell.slow_dir = arg.substr(17);
+    } else if (arg.rfind("--slow-query-ms=", 0) == 0) {
+      double ms = std::strtod(arg.c_str() + 16, nullptr);
+      shell.slow_ms = ms < 0 ? 0 : ms;
+    } else if (arg.rfind("--slow-query-max=", 0) == 0) {
+      int n = std::atoi(arg.c_str() + 17);
+      shell.slow_max = n < 1 ? 1 : n;
     } else if (arg.rfind("--query-log=", 0) == 0) {
       std::string path = arg.substr(12);
       if (!path.empty()) {

@@ -93,6 +93,7 @@ class LruCache {
     if (opts_.max_bytes > 0 && shard_bytes_ == 0) shard_bytes_ = 1;
     if (opts_.max_entries > 0 && shard_entries_ == 0) shard_entries_ = 1;
     if (!metric_prefix.empty()) {
+      metric_prefix_ = metric_prefix;
       MetricsRegistry& reg = MetricsRegistry::Global();
       m_hits_ = &reg.GetCounter(metric_prefix + "_hits_total",
                                 "Cache hits (" + metric_prefix + ")");
@@ -143,6 +144,7 @@ class LruCache {
     Shard& shard = ShardFor(key);
     std::shared_ptr<const V> value;
     bool invalidated = false;
+    CacheFootprint stale_fp;
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       auto it = shard.index.find(key);
@@ -150,6 +152,7 @@ class LruCache {
         ++shard.misses;
       } else if (it->second->generation != stamp_fn(it->second->footprint)) {
         shard.bytes -= it->second->bytes;
+        stale_fp = std::move(it->second->footprint);
         shard.lru.erase(it->second);
         shard.index.erase(it);
         ++shard.invalidations;
@@ -167,6 +170,22 @@ class LruCache {
       if (m_misses_ != nullptr) m_misses_->Increment();
       if (invalidated && m_invalidations_ != nullptr) {
         m_invalidations_->Increment();
+        // Predicate-granular attribution: which dependency went stale. A
+        // wildcard footprint (global-generation entries) lands on "*".
+        // Registry-map path, but invalidations are rare by construction.
+        MetricsRegistry& reg = MetricsRegistry::Global();
+        const std::string family =
+            metric_prefix_ + "_invalidations_by_predicate_total";
+        static const char* const kHelp =
+            "Cache invalidations attributed to a stale footprint predicate";
+        if (stale_fp.wildcard) {
+          reg.GetCounterLabeled(family, "predicate", "*", kHelp).Increment();
+        } else {
+          for (const std::string& pred : stale_fp.predicates) {
+            reg.GetCounterLabeled(family, "predicate", pred, kHelp)
+                .Increment();
+          }
+        }
       }
     }
     return value;
@@ -283,6 +302,7 @@ class LruCache {
   }
 
   CacheOptions opts_;
+  std::string metric_prefix_;
   size_t shard_bytes_ = 0;
   size_t shard_entries_ = 0;
   std::vector<Shard> shards_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 
 #include "common/string_util.h"
 
@@ -30,6 +31,38 @@ std::string FormatValue(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6f", v);
   return buf;
+}
+
+/// Splits a registered series name into its family and the label body:
+/// "fam{k=\"v\"}" -> ("fam", "k=\"v\""); an unlabeled name has an empty
+/// label body. Exposition needs the split so histogram suffixes land on the
+/// family (fam_bucket{k="v",le="..."}), not inside the braces.
+void SplitSeries(const std::string& name, std::string* family,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *family = name;
+    labels->clear();
+    return;
+  }
+  *family = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+/// Escapes a HELP text per the exposition format (backslash and newline).
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -127,6 +160,44 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *e.histogram;
 }
 
+Counter& MetricsRegistry::GetCounterLabeled(const std::string& family,
+                                            const std::string& label_key,
+                                            const std::string& label_value,
+                                            const std::string& help) {
+  return GetCounter(LabeledName(family, label_key, label_value), help);
+}
+
+Gauge& MetricsRegistry::GetGaugeLabeled(const std::string& family,
+                                        const std::string& label_key,
+                                        const std::string& label_value,
+                                        const std::string& help) {
+  return GetGauge(LabeledName(family, label_key, label_value), help);
+}
+
+std::string MetricsRegistry::EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::LabeledName(const std::string& family,
+                                         const std::string& label_key,
+                                         const std::string& label_value) {
+  return family + "{" + label_key + "=\"" + EscapeLabelValue(label_value) +
+         "\"}";
+}
+
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
@@ -143,29 +214,48 @@ const Histogram* MetricsRegistry::FindHistogram(
 std::string MetricsRegistry::PrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
+  // Labeled children of one family sort contiguously (the '{' suffix), so
+  // emitting HELP/TYPE on first encounter groups every family correctly; an
+  // empty help falls back to the family name, keeping the exposition's
+  // every-family-has-HELP invariant even for lazily registered series.
+  std::set<std::string> emitted_families;
   for (const auto& [name, e] : entries_) {
-    if (!e.help.empty()) out += "# HELP " + name + " " + e.help + "\n";
+    std::string family, labels;
+    SplitSeries(name, &family, &labels);
+    const std::string brace_labels = labels.empty() ? "" : "{" + labels + "}";
+    if (emitted_families.insert(family).second) {
+      out += "# HELP " + family + " " +
+             (e.help.empty() ? family : EscapeHelp(e.help)) + "\n";
+      const char* type = e.counter != nullptr    ? "counter"
+                         : e.gauge != nullptr    ? "gauge"
+                         : e.histogram != nullptr ? "histogram"
+                                                  : "untyped";
+      out += "# TYPE " + family + " " + type + "\n";
+    }
     if (e.counter != nullptr) {
-      out += "# TYPE " + name + " counter\n";
-      out += name + " " + std::to_string(e.counter->Value()) + "\n";
+      out += family + brace_labels + " " +
+             std::to_string(e.counter->Value()) + "\n";
     } else if (e.gauge != nullptr) {
-      out += "# TYPE " + name + " gauge\n";
-      out += name + " " + FormatValue(e.gauge->Value()) + "\n";
+      out += family + brace_labels + " " + FormatValue(e.gauge->Value()) +
+             "\n";
     } else if (e.histogram != nullptr) {
-      out += "# TYPE " + name + " histogram\n";
+      const std::string le_prefix =
+          labels.empty() ? "_bucket{le=\"" : "_bucket{" + labels + ",le=\"";
       const std::vector<double>& bounds = e.histogram->bounds();
       std::vector<uint64_t> buckets = e.histogram->BucketCounts();
       uint64_t cumulative = 0;
       for (size_t b = 0; b < bounds.size(); ++b) {
         cumulative += buckets[b];
-        out += name + "_bucket{le=\"" + FormatValue(bounds[b]) + "\"} " +
+        out += family + le_prefix + FormatValue(bounds[b]) + "\"} " +
                std::to_string(cumulative) + "\n";
       }
       cumulative += buckets[bounds.size()];
-      out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+      out += family + le_prefix + "+Inf\"} " + std::to_string(cumulative) +
              "\n";
-      out += name + "_sum " + FormatValue(e.histogram->Sum()) + "\n";
-      out += name + "_count " + std::to_string(e.histogram->Count()) + "\n";
+      out += family + "_sum" + brace_labels + " " +
+             FormatValue(e.histogram->Sum()) + "\n";
+      out += family + "_count" + brace_labels + " " +
+             std::to_string(e.histogram->Count()) + "\n";
     }
   }
   return out;

@@ -119,6 +119,30 @@ class MetricsRegistry {
   Histogram& GetHistogram(const std::string& name, std::vector<double> bounds,
                           const std::string& help = "");
 
+  /// Labeled children of a metric family: one series per (label key, label
+  /// value) pair, e.g. GetGaugeLabeled("rdfa_inflight_queries_by_stage",
+  /// "stage", "bgp-join", ...). The label value is escaped per the
+  /// Prometheus text format (backslash, double quote, newline); HELP/TYPE
+  /// are emitted once per family. References are stable like the unlabeled
+  /// Get* forms, but each call re-renders the series name — hot paths
+  /// should cache the reference.
+  Counter& GetCounterLabeled(const std::string& family,
+                             const std::string& label_key,
+                             const std::string& label_value,
+                             const std::string& help = "");
+  Gauge& GetGaugeLabeled(const std::string& family,
+                         const std::string& label_key,
+                         const std::string& label_value,
+                         const std::string& help = "");
+
+  /// Escapes a label value per the Prometheus text exposition format:
+  /// backslash, double quote and newline become \\, \" and \n.
+  static std::string EscapeLabelValue(const std::string& v);
+  /// The canonical series name `family{key="escaped value"}`.
+  static std::string LabeledName(const std::string& family,
+                                 const std::string& label_key,
+                                 const std::string& label_value);
+
   /// Looks a metric up without registering; null when absent.
   const Counter* FindCounter(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;

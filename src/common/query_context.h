@@ -13,6 +13,19 @@ namespace rdfa {
 
 class Tracer;
 
+/// Lock-free progress counters one in-flight query publishes for samplers
+/// (the live query registry's `ps` view and the per-stage Prometheus
+/// gauges). The memory is owned by the registry's fixed slot pool — never
+/// freed — so readers may dereference without coordinating with query
+/// shutdown. Writers use relaxed stores: progress is monotonic telemetry,
+/// not synchronization.
+struct QueryProgress {
+  /// The stage name of the most recent Check(); a static string literal.
+  std::atomic<const char*> stage{nullptr};
+  /// Result rows produced so far (updated at join-step granularity).
+  std::atomic<uint64_t> rows{0};
+};
+
 /// Per-query deadline + cooperative-cancellation handle, threaded through
 /// the whole query path (executor, HIFUN evaluator, analytics session,
 /// roll-up cache, endpoint). Modeled after a serving stack's request
@@ -107,6 +120,9 @@ class QueryContext {
   /// is two relaxed atomics plus, when a deadline is set, one clock read.
   Status Check(const char* stage) const {
     state_->checks.fetch_add(1, std::memory_order_relaxed);
+    if (progress_ != nullptr) {
+      progress_->stage.store(stage, std::memory_order_relaxed);
+    }
     int64_t countdown =
         state_->cancel_countdown.load(std::memory_order_acquire);
     if (countdown > 0 &&
@@ -151,6 +167,22 @@ class QueryContext {
   Tracer* tracer() const { return tracer_.get(); }
   const std::shared_ptr<Tracer>& shared_tracer() const { return tracer_; }
 
+  /// Attaches live-progress counters (owned by the query registry's
+  /// never-freed slot pool, so the raw pointer outlives every sampler).
+  /// Copies of the context share the pointer; Check() then publishes its
+  /// stage, and join loops call AddProgressRows(). Null (the default) makes
+  /// both a single pointer compare.
+  void set_progress(QueryProgress* progress) { progress_ = progress; }
+  QueryProgress* progress() const { return progress_; }
+
+  /// Publishes `n` more produced rows for `ps`-style sampling. Relaxed:
+  /// telemetry only, never synchronization.
+  void AddProgressRows(uint64_t n) const {
+    if (progress_ != nullptr) {
+      progress_->rows.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
  private:
   struct State {
     std::atomic<bool> cancelled{false};
@@ -167,6 +199,7 @@ class QueryContext {
 
   std::shared_ptr<State> state_;
   std::shared_ptr<Tracer> tracer_;
+  QueryProgress* progress_ = nullptr;
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
 };

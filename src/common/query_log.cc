@@ -73,6 +73,20 @@ std::string FormatQueryLogLine(const QueryLogRecord& rec) {
   if (!rec.trace_file.empty()) {
     out += ",\"trace_file\":\"" + JsonEscape(rec.trace_file) + "\"";
   }
+  if (!rec.join_strategies.empty()) {
+    out += ",\"join_strategies\":\"" + JsonEscape(rec.join_strategies) + "\"";
+  }
+  out += ",\"dp_used\":";
+  out += rec.dp_used ? "true" : "false";
+  out += ",\"sieve_builds\":" + std::to_string(rec.sieve_builds);
+  out += ",\"merge_joins\":" + std::to_string(rec.merge_joins);
+  if (!rec.storage_backend.empty()) {
+    out += ",\"storage_backend\":\"" + JsonEscape(rec.storage_backend) + "\"";
+  }
+  if (!rec.profile_json.empty()) {
+    // Already a JSON array — embedded verbatim, not re-escaped.
+    out += ",\"profile\":" + rec.profile_json;
+  }
   out += "}";
   return out;
 }
@@ -101,6 +115,21 @@ std::string WriteTraceFile(const std::string& dir, const std::string& stem,
   if (ec) return "";
   std::string path =
       dir + "/" + stem + "-" + std::to_string(seq) + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return "";
+  out << json;
+  return path;
+}
+
+std::string SlowQueryCapturer::MaybeCapture(double total_ms,
+                                            const std::string& json) {
+  if (dir_.empty() || total_ms < threshold_ms_) return "";
+  const int64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return "";
+  std::string path =
+      dir_ + "/slow-" + std::to_string(seq % max_files_) + ".json";
   std::ofstream out(path, std::ios::trunc);
   if (!out) return "";
   out << json;

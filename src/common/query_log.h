@@ -1,6 +1,7 @@
 #ifndef RDFA_COMMON_QUERY_LOG_H_
 #define RDFA_COMMON_QUERY_LOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -20,6 +21,15 @@ struct QueryLogRecord {
   bool cache_hit = false;
   std::string exec_stats_json;  ///< ExecStats::ToJson() output, verbatim
   std::string trace_file;       ///< path of the Chrome trace, if one was written
+  /// Comma-joined join strategies the BGP steps actually ran with
+  /// ("merge,hash" etc.), from ExecStats::join_strategies. Empty when the
+  /// query had no BGP joins.
+  std::string join_strategies;
+  bool dp_used = false;         ///< DP join ordering produced the plan order
+  int64_t sieve_builds = 0;     ///< bitmap sieves built across BGP steps
+  int64_t merge_joins = 0;      ///< merge-join steps executed
+  std::string storage_backend;  ///< "heap" or "mmap" ("" when unknown)
+  std::string profile_json;     ///< Tracer::ProfileJson(), embedded verbatim
 };
 
 /// FNV-1a 64-bit hash of the query text — stable across runs so the same
@@ -67,6 +77,38 @@ class QueryLog {
 /// written, or empty string on failure.
 std::string WriteTraceFile(const std::string& dir, const std::string& stem,
                            int64_t seq, const std::string& json);
+
+/// Slow-query capture: queries whose wall time crosses a threshold get
+/// their full forensic record (query + plan profile + trace + stats) dumped
+/// as JSON into a bounded ring of files, `dir/slow-<k>.json` with
+/// k = seq % max_files — old captures are overwritten, so the directory
+/// never grows past max_files regardless of how pathological the workload
+/// is. Thread-safe; a default-constructed capturer (empty dir) is disabled.
+class SlowQueryCapturer {
+ public:
+  SlowQueryCapturer() = default;
+  SlowQueryCapturer(std::string dir, double threshold_ms, int max_files)
+      : dir_(std::move(dir)),
+        threshold_ms_(threshold_ms),
+        max_files_(max_files > 0 ? max_files : 1) {}
+
+  bool enabled() const { return !dir_.empty(); }
+  double threshold_ms() const { return threshold_ms_; }
+
+  /// Writes `json` into the ring when `total_ms` crosses the threshold.
+  /// Returns the path written, or empty when below threshold / disabled /
+  /// the write failed.
+  std::string MaybeCapture(double total_ms, const std::string& json);
+
+  /// Captures written so far (for tests and the shell's `help`).
+  int64_t captures() const { return seq_.load(std::memory_order_relaxed); }
+
+ private:
+  std::string dir_;
+  double threshold_ms_ = 0;
+  int max_files_ = 1;
+  std::atomic<int64_t> seq_{0};
+};
 
 }  // namespace rdfa
 

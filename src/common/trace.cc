@@ -1,10 +1,41 @@
 #include "common/trace.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
+#include <set>
 
 #include "common/string_util.h"
 
 namespace rdfa {
+
+namespace {
+
+/// The innermost open spans of this thread, outermost first: (tracer, id)
+/// pairs. Parent links are same-thread containment — exactly the relation
+/// Perfetto renders by stacking intervals — so a plain thread-local stack
+/// is enough: RAII guarantees LIFO per thread, and a span never migrates
+/// threads. Entries for several live tracers can interleave (a nested
+/// tracer simply sees -1 parents for its own roots).
+thread_local std::vector<std::pair<const Tracer*, int64_t>> tls_open_spans;
+
+}  // namespace
+
+int64_t Tracer::BeginSpan(int64_t* parent) {
+  *parent = !tls_open_spans.empty() && tls_open_spans.back().first == this
+                ? tls_open_spans.back().second
+                : -1;
+  const int64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  tls_open_spans.emplace_back(this, id);
+  return id;
+}
+
+void Tracer::EndSpan(int64_t id) {
+  if (!tls_open_spans.empty() && tls_open_spans.back().first == this &&
+      tls_open_spans.back().second == id) {
+    tls_open_spans.pop_back();
+  }
+}
 
 void Tracer::Span::Arg(const char* key, double value) {
   if (tracer_ == nullptr) return;
@@ -27,16 +58,24 @@ void Tracer::Instant(const char* name) {
   // Rendered as a zero-duration span: one storage shape keeps export and
   // test helpers uniform, and Perfetto draws it as a tick.
   Clock::time_point now = Clock::now();
-  RecordSpan(name, now, now, {});
+  const int64_t parent =
+      !tls_open_spans.empty() && tls_open_spans.back().first == this
+          ? tls_open_spans.back().second
+          : -1;
+  const int64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  RecordSpan(name, now, now, id, parent, {});
 }
 
 void Tracer::RecordSpan(
     const char* name, Clock::time_point start, Clock::time_point end,
+    int64_t id, int64_t parent,
     std::vector<std::pair<std::string, std::string>> args) {
   SpanRecord rec;
   rec.name = name;
   rec.start_us = SinceEpochUs(start);
   rec.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
+  rec.id = id;
+  rec.parent = parent;
   rec.args = std::move(args);
   std::lock_guard<std::mutex> lock(mu_);
   rec.tid = TidOrdinalLocked(std::this_thread::get_id());
@@ -93,6 +132,65 @@ std::string Tracer::ToChromeJson() const {
     out += "}";
   }
   out += "]}";
+  return out;
+}
+
+std::string Tracer::ProfileJson() const {
+  std::vector<SpanRecord> spans = FinishedSpans();
+  // Siblings render in creation (id) order: completion order would put a
+  // parent *after* its children, which reads backwards in a plan tree.
+  std::vector<size_t> order(spans.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return spans[a].id < spans[b].id;
+  });
+  std::set<int64_t> finished_ids;
+  for (const SpanRecord& s : spans) finished_ids.insert(s.id);
+  std::map<int64_t, std::vector<size_t>> children;  // parent id -> span idx
+  for (size_t i : order) {
+    // A parent that never finished (possible only when exporting mid-query)
+    // cannot anchor a subtree: promote its children to roots.
+    const int64_t p =
+        finished_ids.count(spans[i].parent) ? spans[i].parent : -1;
+    children[p].push_back(i);
+  }
+  char buf[64];
+  std::function<void(const SpanRecord&, std::string*)> render =
+      [&](const SpanRecord& s, std::string* out) {
+        *out += "{\"op\":\"" + JsonEscape(s.name) + "\"";
+        std::snprintf(buf, sizeof(buf),
+                      ",\"start_ms\":%.3f,\"ms\":%.3f", s.start_us / 1000.0,
+                      s.dur_us / 1000.0);
+        *out += buf;
+        if (!s.args.empty()) {
+          *out += ",\"args\":{";
+          for (size_t a = 0; a < s.args.size(); ++a) {
+            if (a > 0) *out += ",";
+            *out +=
+                "\"" + JsonEscape(s.args[a].first) + "\":" + s.args[a].second;
+          }
+          *out += "}";
+        }
+        auto it = children.find(s.id);
+        if (it != children.end()) {
+          *out += ",\"children\":[";
+          for (size_t c = 0; c < it->second.size(); ++c) {
+            if (c > 0) *out += ",";
+            render(spans[it->second[c]], out);
+          }
+          *out += "]";
+        }
+        *out += "}";
+      };
+  std::string out = "[";
+  auto roots = children.find(-1);
+  if (roots != children.end()) {
+    for (size_t r = 0; r < roots->second.size(); ++r) {
+      if (r > 0) out += ",";
+      render(spans[roots->second[r]], &out);
+    }
+  }
+  out += "]";
   return out;
 }
 

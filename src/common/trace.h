@@ -1,6 +1,7 @@
 #ifndef RDFA_COMMON_TRACE_H_
 #define RDFA_COMMON_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -46,6 +47,13 @@ class Tracer {
     double start_us = 0;  ///< microseconds since the tracer's epoch
     double dur_us = 0;
     int tid = 0;  ///< small per-tracer thread ordinal, 0 = first thread seen
+    /// Creation-order span id, unique within the tracer. Parent is the id of
+    /// the innermost span open *on the same thread* when this one began
+    /// (-1 = root) — the same containment relation Perfetto renders, kept
+    /// explicitly so ProfileJson can rebuild the operator tree after the
+    /// flat completion-ordered record list is all that is left.
+    int64_t id = -1;
+    int64_t parent = -1;
     /// Arguments in insertion order; values are pre-rendered JSON (numbers
     /// bare, strings quoted+escaped).
     std::vector<std::pair<std::string, std::string>> args;
@@ -60,13 +68,18 @@ class Tracer {
    public:
     Span(Tracer* tracer, const char* name)
         : tracer_(tracer), name_(name) {
-      if (tracer_ != nullptr) start_ = Clock::now();
+      if (tracer_ != nullptr) {
+        start_ = Clock::now();
+        id_ = tracer_->BeginSpan(&parent_);
+      }
     }
     Span(const Span&) = delete;
     Span& operator=(const Span&) = delete;
     ~Span() {
       if (tracer_ != nullptr) {
-        tracer_->RecordSpan(name_, start_, Clock::now(), std::move(args_));
+        tracer_->EndSpan(id_);
+        tracer_->RecordSpan(name_, start_, Clock::now(), id_, parent_,
+                            std::move(args_));
       }
     }
 
@@ -97,6 +110,8 @@ class Tracer {
     Tracer* tracer_;
     const char* name_;
     Clock::time_point start_{};
+    int64_t id_ = -1;
+    int64_t parent_ = -1;
     std::vector<std::pair<std::string, std::string>> args_;
   };
 
@@ -118,11 +133,25 @@ class Tracer {
   /// per-tracer thread ordinal.
   std::string ToChromeJson() const;
 
+  /// The operator-level profile tree: finished spans nested by parent link,
+  /// each node {"op","start_ms","ms","args"?,"children"?}, siblings in
+  /// creation (id) order, roots gathered under one JSON array. This is the
+  /// EXPLAIN ANALYZE payload — the "execute" span is normally the sole
+  /// root, with seed scans / joins / aggregation as its subtree.
+  std::string ProfileJson() const;
+
  private:
   friend class Span;
 
+  /// Assigns a fresh span id, reports the enclosing same-thread span of
+  /// *this tracer* through `*parent` (-1 = none) and pushes the new span
+  /// onto the thread's open-span stack.
+  int64_t BeginSpan(int64_t* parent);
+  /// Pops `id` off the thread's open-span stack (RAII makes it the top).
+  void EndSpan(int64_t id);
+
   void RecordSpan(const char* name, Clock::time_point start,
-                  Clock::time_point end,
+                  Clock::time_point end, int64_t id, int64_t parent,
                   std::vector<std::pair<std::string, std::string>> args);
   int TidOrdinalLocked(std::thread::id id);
   double SinceEpochUs(Clock::time_point t) const {
@@ -130,6 +159,7 @@ class Tracer {
   }
 
   const Clock::time_point epoch_;
+  std::atomic<int64_t> next_id_{0};
   mutable std::mutex mu_;
   std::vector<SpanRecord> spans_;
   std::map<std::thread::id, int> tids_;

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/metrics.h"
+#include "common/query_registry.h"
 #include "common/trace.h"
 #include "sparql/executor.h"
 #include "sparql/footprint.h"
@@ -222,6 +223,14 @@ void SimulatedEndpoint::set_query_log_path(const std::string& path) {
   query_log_ = std::make_unique<QueryLog>(path);
 }
 
+void SimulatedEndpoint::set_slow_query_capture(std::string dir,
+                                               double threshold_ms,
+                                               int max_files) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_capturer_ = std::make_unique<SlowQueryCapturer>(std::move(dir),
+                                                       threshold_ms, max_files);
+}
+
 size_t SimulatedEndpoint::queries_served() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queries_served_;
@@ -256,29 +265,42 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql,
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++queries_served_;
-    // With a trace directory configured, every served query is traced; a
-    // tracer the caller attached themselves takes precedence.
-    if (!trace_dir_.empty() && ctx.tracer() == nullptr) {
+    // With a trace directory (or slow-query capture) configured, every
+    // served query is traced; a tracer the caller attached themselves takes
+    // precedence.
+    const bool want_tracer =
+        !trace_dir_.empty() ||
+        (slow_capturer_ != nullptr && slow_capturer_->enabled());
+    if (want_tracer && ctx.tracer() == nullptr) {
       ctx.set_tracer(std::make_shared<Tracer>());
     }
   }
   std::shared_ptr<Tracer> tracer = ctx.shared_tracer();
 
-  // Flushes the per-query trace file and the structured query-log line.
-  // Called on every exit path, including error-arm returns, so aborted and
-  // shed queries still leave a well-formed trace.
+  // Set once the execution graph is known ("heap" / "mmap"); read by the
+  // finish lambda below when it builds the structured log record.
+  std::string storage_backend;
+
+  // Flushes the per-query trace file, the structured query-log line, and —
+  // over the slow-query threshold — a forensic capture file. Called on
+  // every exit path, including error-arm returns, so aborted and shed
+  // queries still leave a well-formed trace.
   auto finish = [&](const Status& status) {
     std::string trace_path;
     QueryLog* qlog = nullptr;
+    SlowQueryCapturer* capturer = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
       qlog = query_log_.get();
+      capturer = slow_capturer_.get();
       if (tracer != nullptr && !trace_dir_.empty()) {
         trace_path = WriteTraceFile(trace_dir_, "query", trace_seq_++,
                                     tracer->ToChromeJson());
       }
     }
-    if (qlog != nullptr && qlog->enabled()) {
+    const bool log_on = qlog != nullptr && qlog->enabled();
+    const bool capture_on = capturer != nullptr && capturer->enabled();
+    if (log_on || capture_on) {
       QueryLogRecord rec;
       rec.query_hash = HashQueryText(sparql);
       rec.query_head = sparql.substr(0, std::min<size_t>(sparql.size(), 60));
@@ -289,10 +311,36 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql,
       rec.cache_hit = resp.cache_hit;
       if (!resp.cache_hit && status.code() != StatusCode::kResourceExhausted) {
         rec.exec_stats_json = resp.exec_stats.ToJson();
+        for (char c : resp.exec_stats.join_strategy) {
+          if (!rec.join_strategies.empty()) rec.join_strategies += ",";
+          switch (c) {
+            case 'S': rec.join_strategies += "seed"; break;
+            case 'M': rec.join_strategies += "merge"; break;
+            case 'H': rec.join_strategies += "hash"; break;
+            case 'N': rec.join_strategies += "nested-loop"; break;
+            default: rec.join_strategies += c; break;
+          }
+        }
+        rec.dp_used = resp.exec_stats.dp_plans > 0;
+        rec.sieve_builds = static_cast<int64_t>(resp.exec_stats.sieve_keys);
+        rec.merge_joins = static_cast<int64_t>(resp.exec_stats.merge_joins);
       }
+      rec.storage_backend = storage_backend;
       rec.trace_file = trace_path;
-      qlog->Write(rec);
+      if (tracer != nullptr) rec.profile_json = tracer->ProfileJson();
+      if (log_on) qlog->Write(rec);
+      if (capture_on) {
+        std::string path =
+            capturer->MaybeCapture(resp.total_ms, FormatQueryLogLine(rec));
+        if (!path.empty()) {
+          MetricsRegistry::Global()
+              .GetCounter("rdfa_slow_query_captures_total",
+                          "Queries captured by the slow-query ring")
+              .Increment();
+        }
+      }
     }
+    QueryRegistry::Global().UpdateStageGauges();
   };
 
   std::optional<TraceSpan> adm_span;
@@ -325,6 +373,15 @@ Result<QueryResponse> SimulatedEndpoint::Query(const std::string& sparql,
     pin = mvcc_->Snapshot();
     g = pin.graph.get();
   }
+  storage_backend = g->mapped() != nullptr ? "mmap" : "heap";
+
+  // Live in-flight registry: visible to `ps`/`kill` and the
+  // rdfa_inflight_queries gauges until the handle releases the slot on any
+  // exit path. Registration attaches relaxed progress counters to `ctx`, so
+  // the executor's stage checks and row counts are sampled lock-free.
+  QueryRegistry::Handle inflight = QueryRegistry::Global().Register(
+      &ctx, sparql, HashQueryText(sparql), mvcc_ != nullptr ? pin.epoch : 0);
+  QueryRegistry::Global().UpdateStageGauges();
 
   // Stamp-checked cache lookup. Legacy mode stamps with the global
   // generation read *before* execution; MVCC mode validates each entry

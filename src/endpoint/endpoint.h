@@ -256,6 +256,19 @@ class SimulatedEndpoint {
   void set_query_log_path(const std::string& path);
   const QueryLog* structured_log() const { return query_log_.get(); }
 
+  /// Slow-query capture: any served query whose total time (execution plus
+  /// modeled overheads and queueing) crosses `threshold_ms` dumps its full
+  /// forensic record — query head, outcome, ExecStats, plan shapes, and the
+  /// nested operator profile — into `dir/slow-<k>.json`, a bounded ring of
+  /// `max_files` files. Enabling this also attaches a tracer to every served
+  /// query (like set_trace_dir) so captures always carry a profile. Empty
+  /// dir disables. Configure before serving traffic.
+  void set_slow_query_capture(std::string dir, double threshold_ms,
+                              int max_files = 32);
+  const SlowQueryCapturer* slow_query_capturer() const {
+    return slow_capturer_.get();
+  }
+
  private:
   double SimulatedNetworkMs(const std::string& sparql);  // callers hold mu_
   void ReleaseSlot();
@@ -293,6 +306,7 @@ class SimulatedEndpoint {
   std::string trace_dir_;
   int64_t trace_seq_ = 0;
   std::unique_ptr<QueryLog> query_log_;
+  std::unique_ptr<SlowQueryCapturer> slow_capturer_;
 
   /// Admission state: bounded in-flight count plus a FIFO ticket queue.
   mutable std::mutex adm_mu_;

@@ -337,6 +337,14 @@ void Graph::MergeCursor::SeekGE(TermId v) {
         static_cast<int>(perm_),
         MappedGraphView::PermKey{probe.a, probe.b, probe.c});
     target = std::max(target, pos_);
+    // Credit posting-list blocks the seek jumped over without decoding
+    // (the SIP win the observability layer surfaces per query).
+    const size_t from_block = pos_ / MappedGraphView::kPermBlock;
+    const size_t to_block =
+        std::min(target, hi_) / MappedGraphView::kPermBlock;
+    if (to_block > from_block) {
+      view_->AddBlocksSkipped(to_block - from_block);
+    }
   }
   pos_ = std::min(target, hi_);
   if (pos_ < hi_) ++decoded_;

@@ -299,6 +299,7 @@ Status MappedGraphView::InitGenerations(std::string_view sec) {
 
 size_t MappedGraphView::DecodeTermBlock(size_t block, Term* out) const {
   if (block >= n_term_blocks_) return 0;
+  term_blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
   const size_t base = block * kTermBlock;
   const size_t count = std::min(kTermBlock, n_terms_ - base);
   const uint64_t off = LoadU64(term_offsets_ + block * 8);
@@ -336,6 +337,7 @@ size_t MappedGraphView::DecodeTermBlock(size_t block, Term* out) const {
 }
 
 Term MappedGraphView::DecodeTerm(TermId id) const {
+  dict_lookups_.fetch_add(1, std::memory_order_relaxed);
   Term block[kTermBlock];
   const size_t b = id / kTermBlock;
   const size_t i = id % kTermBlock;
@@ -345,6 +347,12 @@ Term MappedGraphView::DecodeTerm(TermId id) const {
 }
 
 void MappedGraphView::DecodeRange(TermId begin, TermId end, Term* out) const {
+  // The lazy TermTable materializes whole chunks through here, so this is
+  // the dictionary-lookup path that actually runs in production; count the
+  // terms served, not the calls.
+  if (end > begin) {
+    dict_lookups_.fetch_add(end - begin, std::memory_order_relaxed);
+  }
   Term block[kTermBlock];
   size_t written = 0;
   for (size_t b = begin / kTermBlock; b * kTermBlock < end; ++b) {
@@ -373,6 +381,7 @@ size_t MappedGraphView::DecodeKeyBlock(int perm, size_t block,
                                        PermKey* out) const {
   const PermSection& ps = perms_[perm];
   if (block >= ps.n_blocks) return 0;
+  key_blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
   const size_t count =
       std::min(kPermBlock, static_cast<size_t>(ps.key_count) -
                                block * kPermBlock);

@@ -2,6 +2,7 @@
 #define RDFA_RDF_MAPPED_GRAPH_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -133,6 +134,30 @@ class MappedGraphView : public TermDictSource {
     }
   }
 
+  /// Lazy-decode observability counters: relaxed, monotonically rising for
+  /// the view's lifetime. The executor snapshots them before/after a query
+  /// to attribute decode work ("mmap-decode" span + rdfa_mmap_* counters);
+  /// relaxed increments on the const scan path keep results byte-identical
+  /// whether or not anyone reads them.
+  struct DecodeCounters {
+    uint64_t key_blocks_decoded = 0;
+    uint64_t term_blocks_decoded = 0;
+    uint64_t dict_lookups = 0;
+    uint64_t blocks_skipped = 0;  ///< merge-cursor SeekGE block skips
+  };
+  DecodeCounters decode_counters() const {
+    return DecodeCounters{
+        key_blocks_decoded_.load(std::memory_order_relaxed),
+        term_blocks_decoded_.load(std::memory_order_relaxed),
+        dict_lookups_.load(std::memory_order_relaxed),
+        blocks_skipped_.load(std::memory_order_relaxed)};
+  }
+  /// Credits block skips a merge cursor's SeekGE achieved (graph.cc calls
+  /// this from the mapped cursor flavor).
+  void AddBlocksSkipped(uint64_t n) const {
+    blocks_skipped_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   /// Permutes a pattern into `perm`'s lane order (wildcards preserved).
   static PermKey Permute(int perm, TermId s, TermId p, TermId o) {
     switch (perm) {
@@ -194,6 +219,13 @@ class MappedGraphView : public TermDictSource {
   GraphStats stats_;
   uint64_t generation_ = 0;
   std::vector<std::pair<TermId, uint64_t>> pred_gens_;
+
+  // Decode counters (mutable: the view is logically immutable and shared
+  // const; counting decodes does not change observable scan results).
+  mutable std::atomic<uint64_t> key_blocks_decoded_{0};
+  mutable std::atomic<uint64_t> term_blocks_decoded_{0};
+  mutable std::atomic<uint64_t> dict_lookups_{0};
+  mutable std::atomic<uint64_t> blocks_skipped_{0};
 };
 
 }  // namespace rdfa::rdf

@@ -13,6 +13,10 @@
 #include "rdf/graph.h"
 #include "rdf/wal.h"
 
+namespace rdfa {
+class Tracer;
+}
+
 namespace rdfa::rdf {
 
 /// Epoch-based MVCC coordinator over immutable Graph versions.
@@ -42,6 +46,10 @@ class MvccGraph {
     std::string wal_path;      ///< empty = no durability
     size_t wal_sync_every = 1; ///< fsync batching for intra-commit appends
     UpdateFn update_fn;        ///< required to buffer/replay SPARQL updates
+    /// Optional tracer: Open() records a "wal-replay" span, Commit() a
+    /// "mvcc-commit" span with "wal-append" / "commit-apply" /
+    /// "commit-publish" children. Null disables (zero overhead).
+    std::shared_ptr<Tracer> tracer;
   };
 
   /// A pinned snapshot: the immutable graph version plus the epoch it
@@ -50,6 +58,11 @@ class MvccGraph {
   struct Pin {
     std::shared_ptr<Graph> graph;
     uint64_t epoch = 0;
+    /// Pin-tracking token: its destructor decrements this epoch's pin count
+    /// in the coordinator's pin table (which feeds the
+    /// rdfa_mvcc_snapshot_pins / min_pinned_epoch / epoch_lag gauges). The
+    /// table is shared, so a pin outliving the MvccGraph stays safe.
+    std::shared_ptr<void> token;
   };
 
   struct OpenInfo {
@@ -92,9 +105,12 @@ class MvccGraph {
   Result<uint64_t> Commit();
 
  private:
+  struct PinTable;
+
   Status ApplyRecord(Graph* g, const WalRecord& rec) const;
 
   Options opts_;
+  std::shared_ptr<PinTable> pin_table_;
   OpenInfo open_info_;
   std::unique_ptr<WriteAheadLog> wal_;
 

@@ -3,12 +3,35 @@
 #include <unistd.h>
 
 #include <array>
+#include <chrono>
 #include <cstring>
 #include <utility>
+
+#include "common/metrics.h"
 
 namespace rdfa::rdf {
 
 namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+Histogram& AppendLatency() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "rdfa_wal_append_ms", Histogram::LatencyBoundsMs(),
+      "WAL frame encode+write latency (excluding fsync)");
+  return h;
+}
+
+Histogram& FsyncLatency() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "rdfa_wal_fsync_ms", Histogram::LatencyBoundsMs(),
+      "WAL flush+fsync latency");
+  return h;
+}
 
 // Frame header: payload length + CRC, both u32 little-endian.
 constexpr size_t kHeaderBytes = 8;
@@ -226,6 +249,7 @@ WriteAheadLog::~WriteAheadLog() {
 }
 
 Status WriteAheadLog::Append(const WalRecord& rec) {
+  const auto start = std::chrono::steady_clock::now();
   const std::string payload = EncodePayload(rec);
   std::string frame;
   frame.reserve(kHeaderBytes + payload.size());
@@ -236,11 +260,13 @@ Status WriteAheadLog::Append(const WalRecord& rec) {
     return Status::Internal("wal: short write to " + path_);
   }
   ++appended_;
+  AppendLatency().Observe(MsSince(start));
   if (++since_sync_ >= sync_every_) return Sync();
   return Status::OK();
 }
 
 Status WriteAheadLog::Sync() {
+  const auto start = std::chrono::steady_clock::now();
   since_sync_ = 0;
   if (std::fflush(file_) != 0) {
     return Status::Internal("wal: fflush failed for " + path_);
@@ -248,6 +274,7 @@ Status WriteAheadLog::Sync() {
   if (::fsync(fileno(file_)) != 0) {
     return Status::Internal("wal: fsync failed for " + path_);
   }
+  FsyncLatency().Observe(MsSince(start));
   return Status::OK();
 }
 

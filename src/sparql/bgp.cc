@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "sparql/planner.h"
@@ -112,6 +113,33 @@ void MarkBound(const CompiledPattern& p, std::set<int>* bound) {
   if (p.s_var >= 0) bound->insert(p.s_var);
   if (p.p_var >= 0) bound->insert(p.p_var);
   if (p.o_var >= 0) bound->insert(p.o_var);
+}
+
+// Greedy selectivity ordering: repeatedly pick the cheapest unused pattern
+// given the variables bound so far. Returns indexes into `patterns` in
+// execution order. Shared by JoinBgp and the plan-only EXPLAIN path.
+std::vector<int> GreedyOrder(const rdf::Graph& graph,
+                             const std::vector<CompiledPattern>& patterns,
+                             std::set<int> bound, bool calibrated) {
+  std::vector<int> order;
+  order.reserve(patterns.size());
+  std::vector<bool> used(patterns.size(), false);
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    double best = -1;
+    size_t best_i = 0;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      double s = Score(graph, patterns[i], bound, calibrated);
+      if (best < 0 || s < best) {
+        best = s;
+        best_i = i;
+      }
+    }
+    used[best_i] = true;
+    order.push_back(static_cast<int>(best_i));
+    MarkBound(patterns[best_i], &bound);
+  }
+  return order;
 }
 
 // Extends `row` with triple `t` under pattern `p` (re-checking
@@ -477,6 +505,7 @@ Status ExecuteAdaptiveStep(const rdf::Graph& graph, const CompiledPattern& p,
   // A scan abandoned mid-pattern left `next` partial: surface the typed
   // status now rather than joining the next pattern against garbage.
   if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
+  if (opts.ctx != nullptr) opts.ctx->AddProgressRows(next.size());
   *rows = std::move(next);
   return Status::OK();
 }
@@ -560,6 +589,7 @@ Status ExecuteSeedStep(const rdf::Graph& graph, const CompiledPattern& p,
   join_span.Arg("rows_scanned", static_cast<uint64_t>(scanned));
   join_span.Arg("output_rows", static_cast<uint64_t>(next.size()));
   if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
+  if (opts.ctx != nullptr) opts.ctx->AddProgressRows(next.size());
   *rows = std::move(next);
   return Status::OK();
 }
@@ -741,6 +771,7 @@ Status ExecuteMergeStep(const rdf::Graph& graph, const CompiledPattern& p,
   join_span.Arg("output_rows", static_cast<uint64_t>(next.size()));
   RDFA_RETURN_NOT_OK(merge_status);
   if (opts.ctx != nullptr) RDFA_RETURN_NOT_OK(opts.ctx->Check("bgp-join"));
+  if (opts.ctx != nullptr) opts.ctx->AddProgressRows(next.size());
   *rows = std::move(next);
   return Status::OK();
 }
@@ -878,19 +909,22 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
     TraceSpan plan_span(tracer, "plan");
     plan_span.Arg("patterns", static_cast<uint64_t>(patterns.size()));
     plan_span.Arg("calibrated", opts.calibrated_estimates);
+    std::vector<int> order;
     if (dp_ordered) {
-      plan_span.Arg("dp", true);
-      std::vector<int> order = PlanBgpOrderDp(graph, patterns);
-      std::vector<CompiledPattern> ordered;
-      std::vector<int> ordered_source;
-      ordered.reserve(patterns.size());
-      ordered_source.reserve(patterns.size());
-      for (int idx : order) {
-        ordered.push_back(patterns[idx]);
-        ordered_source.push_back(source_index[idx]);
+      DpStats dp_stats;
+      {
+        TraceSpan dp_span(tracer, "dp-plan");
+        order = PlanBgpOrderDp(graph, patterns, &dp_stats);
+        dp_span.Arg("states_considered",
+                    static_cast<uint64_t>(dp_stats.states_considered));
+        dp_span.Arg("states_expanded",
+                    static_cast<uint64_t>(dp_stats.states_expanded));
       }
-      patterns = std::move(ordered);
-      source_index = std::move(ordered_source);
+      plan_span.Arg("dp", true);
+      static Histogram& dp_plan_ms = MetricsRegistry::Global().GetHistogram(
+          "rdfa_dp_plan_ms", Histogram::LatencyBoundsMs(),
+          "DP join-order search latency");
+      dp_plan_ms.Observe(dp_stats.plan_ms);
     } else {
       // Seed "bound" with slots already bound in the incoming rows.
       std::set<int> bound;
@@ -900,29 +934,19 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
           if (first[i] != kNoTermId) bound.insert(static_cast<int>(i));
         }
       }
-      std::vector<CompiledPattern> ordered;
-      std::vector<int> ordered_source;
-      std::vector<bool> used(patterns.size(), false);
-      for (size_t step = 0; step < patterns.size(); ++step) {
-        double best = -1;
-        size_t best_i = 0;
-        for (size_t i = 0; i < patterns.size(); ++i) {
-          if (used[i]) continue;
-          double s =
-              Score(graph, patterns[i], bound, opts.calibrated_estimates);
-          if (best < 0 || s < best) {
-            best = s;
-            best_i = i;
-          }
-        }
-        used[best_i] = true;
-        ordered.push_back(patterns[best_i]);
-        ordered_source.push_back(source_index[best_i]);
-        MarkBound(patterns[best_i], &bound);
-      }
-      patterns = std::move(ordered);
-      source_index = std::move(ordered_source);
+      order = GreedyOrder(graph, patterns, std::move(bound),
+                          opts.calibrated_estimates);
     }
+    std::vector<CompiledPattern> ordered;
+    std::vector<int> ordered_source;
+    ordered.reserve(patterns.size());
+    ordered_source.reserve(patterns.size());
+    for (int idx : order) {
+      ordered.push_back(patterns[idx]);
+      ordered_source.push_back(source_index[idx]);
+    }
+    patterns = std::move(ordered);
+    source_index = std::move(ordered_source);
   }
 
   if (opts.capture_order != nullptr) {
@@ -947,6 +971,19 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
                size_t slot_count, bool reorder, std::vector<Binding>* rows) {
   return JoinBgp(graph, std::move(patterns), slot_count, reorder,
                  JoinOptions{}, rows);
+}
+
+std::vector<int> PlanBgpOrder(const rdf::Graph& graph,
+                              const std::vector<CompiledPattern>& patterns,
+                              const JoinOptions& opts, bool reorder) {
+  std::vector<int> source(patterns.size());
+  std::iota(source.begin(), source.end(), 0);
+  if (patterns.size() <= 1) return source;
+  const bool dp = opts.use_dp && patterns.size() <= kMaxDpPatterns;
+  if (dp) return PlanBgpOrderDp(graph, patterns);
+  if (!reorder) return source;
+  return GreedyOrder(graph, patterns, std::set<int>(),
+                     opts.calibrated_estimates);
 }
 
 }  // namespace rdfa::sparql

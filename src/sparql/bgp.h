@@ -124,6 +124,16 @@ Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
 Status JoinBgp(const rdf::Graph& graph, std::vector<CompiledPattern> patterns,
                size_t slot_count, bool reorder, std::vector<Binding>* rows);
 
+/// Plans a trivial-seed BGP's join order without executing anything: the
+/// same order JoinBgp would choose for a top-level run — the DP search when
+/// `opts.use_dp` and the BGP is small enough, the greedy reorderer when
+/// `reorder`, source order otherwise. Returns source indexes in execution
+/// order. The EXPLAIN path pairs this with AnnotateBgpPlan (planner.h) to
+/// render the plan shape without touching any data.
+std::vector<int> PlanBgpOrder(const rdf::Graph& graph,
+                              const std::vector<CompiledPattern>& patterns,
+                              const JoinOptions& opts, bool reorder);
+
 }  // namespace rdfa::sparql
 
 #endif  // RDFA_SPARQL_BGP_H_

@@ -15,6 +15,7 @@
 #include "rdf/browse.h"
 #include "sparql/bgp.h"
 #include "sparql/parser.h"
+#include "sparql/planner.h"
 
 namespace rdfa::sparql {
 
@@ -913,6 +914,13 @@ Result<ResultTable> Executor::Execute(const ParsedQuery& query) {
   }
   stats_.index_build_ms = MsSince(freeze_start);
 
+  // Mapped-backend decode accounting: snapshot the view's relaxed counters
+  // around the dispatch so the per-query deltas land in the trace and the
+  // global rdfa_mmap_* counters. Reads only; never affects results.
+  const rdf::MappedGraphView* mapped = graph_->mapped();
+  rdf::MappedGraphView::DecodeCounters mm_before{};
+  if (mapped != nullptr) mm_before = mapped->decode_counters();
+
   Result<ResultTable> result = [&]() -> Result<ResultTable> {
     switch (query.form) {
       case ParsedQuery::Form::kSelect:
@@ -932,6 +940,34 @@ Result<ResultTable> Executor::Execute(const ParsedQuery& query) {
     }
     return Status::Internal("unknown query form");
   }();
+  if (mapped != nullptr) {
+    const rdf::MappedGraphView::DecodeCounters mm = mapped->decode_counters();
+    const uint64_t key_blocks = mm.key_blocks_decoded - mm_before.key_blocks_decoded;
+    const uint64_t term_blocks =
+        mm.term_blocks_decoded - mm_before.term_blocks_decoded;
+    const uint64_t dict_lookups = mm.dict_lookups - mm_before.dict_lookups;
+    const uint64_t blocks_skipped = mm.blocks_skipped - mm_before.blocks_skipped;
+    {
+      TraceSpan decode_span(ctx_.tracer(), "mmap-decode");
+      decode_span.Arg("key_blocks", key_blocks);
+      decode_span.Arg("term_blocks", term_blocks);
+      decode_span.Arg("dict_lookups", dict_lookups);
+      decode_span.Arg("blocks_skipped", blocks_skipped);
+    }
+    auto& reg = MetricsRegistry::Global();
+    reg.GetCounter("rdfa_mmap_key_blocks_decoded_total",
+                   "Mapped-snapshot permutation key blocks decoded")
+        .Increment(key_blocks);
+    reg.GetCounter("rdfa_mmap_term_blocks_decoded_total",
+                   "Mapped-snapshot dictionary term blocks decoded")
+        .Increment(term_blocks);
+    reg.GetCounter("rdfa_mmap_dict_lookups_total",
+                   "Mapped-snapshot dictionary term lookups")
+        .Increment(dict_lookups);
+    reg.GetCounter("rdfa_mmap_blocks_skipped_total",
+                   "Mapped-snapshot permutation blocks skipped via SeekGE")
+        .Increment(blocks_skipped);
+  }
   stats_.total_ms = MsSince(total_start);
   StatusCode code = result.status().code();
   if (code == StatusCode::kDeadlineExceeded || code == StatusCode::kCancelled) {
@@ -945,6 +981,100 @@ Result<ResultTable> Executor::Execute(const ParsedQuery& query) {
   }
   RecordQueryMetrics(stats_, code);
   return result;
+}
+
+std::string Executor::ExplainJson(const ParsedQuery& query) {
+  graph_->Freeze();
+  const GraphPattern* where = &query.select.where;
+  const char* form = "select";
+  switch (query.form) {
+    case ParsedQuery::Form::kSelect:
+      break;
+    case ParsedQuery::Form::kAsk:
+      where = &query.ask.where;
+      form = "ask";
+      break;
+    case ParsedQuery::Form::kConstruct:
+      where = &query.construct.where;
+      form = "construct";
+      break;
+    case ParsedQuery::Form::kDescribe:
+      where = &query.describe.where;
+      form = "describe";
+      break;
+  }
+  const char* strategy = "adaptive";
+  switch (join_strategy_) {
+    case JoinStrategy::kAdaptive:
+      break;
+    case JoinStrategy::kNestedLoop:
+      strategy = "nested-loop";
+      break;
+    case JoinStrategy::kHash:
+      strategy = "hash";
+      break;
+    case JoinStrategy::kMerge:
+      strategy = "merge";
+      break;
+  }
+  std::string out = "{\"form\":\"";
+  out += form;
+  out += "\",\"strategy\":\"";
+  out += strategy;
+  out += "\",\"use_dp\":";
+  out += use_dp_ ? "true" : "false";
+  out += ",\"threads\":";
+  out += std::to_string(threads_);
+  out += ",\"backend\":\"";
+  out += graph_->mapped() != nullptr ? "mmap" : "heap";
+  out += "\",\"bgps\":[";
+
+  JoinOptions opts;
+  opts.strategy = join_strategy_;
+  opts.calibrated_estimates = calibrated_estimates_;
+  opts.use_dp = use_dp_;
+  opts.sip = sip_;
+  VarTable vars;
+  bool first = true;
+  const auto& body = where->elements;
+  size_t i = 0;
+  while (i < body.size()) {
+    if (body[i].kind != PatternElement::Kind::kTriple) {
+      ++i;
+      continue;
+    }
+    std::vector<CompiledPattern> compiled;
+    while (i < body.size() && body[i].kind == PatternElement::Kind::kTriple) {
+      compiled.push_back(CompileTriple(body[i].triple, &vars, *graph_));
+      ++i;
+    }
+    const std::vector<int> order =
+        PlanBgpOrder(*graph_, compiled, opts, reorder_joins_);
+    std::vector<CompiledPattern> ordered;
+    ordered.reserve(order.size());
+    bool impossible = false;
+    for (int idx : order) {
+      impossible = impossible || compiled[idx].impossible;
+      ordered.push_back(compiled[idx]);
+    }
+    BgpPlan plan = AnnotateBgpPlan(*graph_, ordered);
+    plan.used_dp =
+        opts.use_dp && compiled.size() > 1 && compiled.size() <= kMaxDpPatterns;
+    if (!first) out += ",";
+    first = false;
+    if (impossible) {
+      // A constant term absent from the graph: the run matches nothing.
+      // Keep the plan shape but flag it so EXPLAIN readers see the short
+      // circuit Execute() would take.
+      std::string plan_json = plan.ToJson(order);
+      out += "{\"impossible\":true,";
+      out += plan_json.substr(1);
+    } else {
+      out += plan.ToJson(order);
+    }
+  }
+  out += "]}";
+  return out;
 }
 
 Result<Executor::UpdateStats> Executor::Update(const UpdateRequest& request) {

@@ -110,6 +110,17 @@ class Executor {
   /// Dispatches on the query form. ASK yields a 1x1 table with column "ask".
   Result<ResultTable> Execute(const ParsedQuery& query);
 
+  /// EXPLAIN: plans the query's top-level BGP runs without executing
+  /// anything (no data rows are touched, only GraphStats and the term
+  /// table). Each contiguous run of triple patterns in the WHERE clause is
+  /// compiled, ordered exactly as Execute() would order it (DP search,
+  /// greedy reorderer, or source order, per the executor's knobs), and
+  /// annotated into a plan shape. Returns a JSON object:
+  ///   {"form":"select","use_dp":bool,"strategy":"adaptive","threads":N,
+  ///    "bgps":[{"dp":...,"head_slot":...,"steps":[...]}]}
+  /// Freezes the graph's indexes (same eager build as Execute).
+  std::string ExplainJson(const ParsedQuery& query);
+
   /// Triples added/removed by an update.
   struct UpdateStats {
     size_t inserted = 0;

@@ -1,6 +1,7 @@
 #include "sparql/planner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <numeric>
@@ -85,11 +86,13 @@ const char* PermName(rdf::Graph::Perm perm) {
 }
 
 std::vector<int> PlanBgpOrderDp(const rdf::Graph& graph,
-                                const std::vector<CompiledPattern>& patterns) {
+                                const std::vector<CompiledPattern>& patterns,
+                                DpStats* stats) {
   const size_t n = patterns.size();
   std::vector<int> source(n);
   std::iota(source.begin(), source.end(), 0);
   if (n <= 1 || n > kMaxDpPatterns) return source;
+  const auto plan_start = std::chrono::steady_clock::now();
 
   // Compact variable-slot numbering: slot -> bit index, sorted by slot id
   // so the mapping (and thus every tie-break below) is deterministic.
@@ -137,8 +140,10 @@ std::vector<int> PlanBgpOrderDp(const rdf::Graph& graph,
   };
   const int nheads = static_cast<int>(slots.size()) + 1;
   std::vector<std::vector<State>> dp(full + 1, std::vector<State>(nheads));
-  auto relax = [&dp](uint32_t mask, int head, double cost, double rows,
-                     std::vector<int> order) {
+  size_t states_considered = 0;
+  auto relax = [&dp, &states_considered](uint32_t mask, int head, double cost,
+                                         double rows, std::vector<int> order) {
+    ++states_considered;
     State& s = dp[mask][head];
     if (!s.valid || cost < s.cost) {
       s.cost = cost;
@@ -174,6 +179,7 @@ std::vector<int> PlanBgpOrderDp(const rdf::Graph& graph,
     for (int head = 0; head < nheads; ++head) {
       const State& s = dp[mask][head];
       if (!s.valid) continue;
+      if (stats != nullptr) ++stats->states_expanded;
       for (size_t j = 0; j < n; ++j) {
         if ((mask >> j) & 1u) continue;
         if (any_connected && (varbits[j] & maskbits[mask]) == 0) continue;
@@ -206,6 +212,12 @@ std::vector<int> PlanBgpOrderDp(const rdf::Graph& graph,
   for (int head = 0; head < nheads; ++head) {
     const State& s = dp[full][head];
     if (s.valid && (best == nullptr || s.cost < best->cost)) best = &s;
+  }
+  if (stats != nullptr) {
+    stats->states_considered = states_considered;
+    stats->plan_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - plan_start)
+                         .count();
   }
   return best != nullptr ? best->order : source;
 }

@@ -46,6 +46,16 @@ struct BgpPlan {
 /// Human-readable permutation name ("SPO" ... "OPS").
 const char* PermName(rdf::Graph::Perm perm);
 
+/// Observability counters one DP search fills (when the caller passes a
+/// non-null out-param): how long planning took and how much of the state
+/// space it walked. Surfaced as the "dp-plan" trace span and the
+/// rdfa_dp_plan_ms histogram.
+struct DpStats {
+  double plan_ms = 0;
+  size_t states_considered = 0;  ///< (subset, head) states relaxed into
+  size_t states_expanded = 0;    ///< valid states whose extensions were tried
+};
+
 /// DP join-order search (DPsize over subsets) for BGPs of up to
 /// kMaxDpPatterns patterns: enumerates every connected left-deep order and
 /// every first-pattern sort order, costing steps in estimated index rows
@@ -53,9 +63,11 @@ const char* PermName(rdf::Graph::Perm perm);
 /// width, merge (when the step joins exactly on the seeded interesting
 /// order) as the cheaper of the two — and returns the cheapest order as
 /// source indexes. Deterministic: ties keep the earliest-enumerated state.
-/// Callers handle larger BGPs with the greedy fallback.
+/// Callers handle larger BGPs with the greedy fallback. `stats` (nullable)
+/// receives planning time and search-space counters.
 std::vector<int> PlanBgpOrderDp(const rdf::Graph& graph,
-                                const std::vector<CompiledPattern>& patterns);
+                                const std::vector<CompiledPattern>& patterns,
+                                DpStats* stats = nullptr);
 
 /// Annotates an execution-ordered pattern sequence: picks the interesting
 /// order (the first pattern's free lane that qualifies the most downstream

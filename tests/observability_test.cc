@@ -6,7 +6,10 @@
 // escaping). Runs in both the plain and the TSan-labelled suite — the
 // concurrent tests are the reason.
 
+#include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -22,9 +25,13 @@
 #include "common/metrics.h"
 #include "common/query_context.h"
 #include "common/query_log.h"
+#include "common/query_registry.h"
 #include "common/string_util.h"
 #include "common/trace.h"
 #include "endpoint/endpoint.h"
+#include "rdf/binary_io.h"
+#include "rdf/mapped_graph.h"
+#include "rdf/mvcc.h"
 #include "sparql/bgp.h"
 #include "sparql/executor.h"
 #include "sparql/parser.h"
@@ -887,6 +894,644 @@ TEST(TraceSinkTest, DisabledSinkIsInertEnabledSinkWritesFiles) {
   EXPECT_TRUE(JsonChecker::Valid(content));
   EXPECT_NE(content.find("\"step\""), std::string::npos);
   std::filesystem::remove_all(dir, ec);
+}
+
+// ---------------------------------------------------------------------------
+// Labeled metric families: Prometheus escaping and HELP/TYPE exposition.
+
+size_t CountOccurrences(const std::string& haystack, const std::string& pin) {
+  size_t n = 0;
+  for (size_t pos = haystack.find(pin); pos != std::string::npos;
+       pos = haystack.find(pin, pos + 1)) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(MetricsLabelTest, EscapeLabelValueHandlesAllSpecials) {
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(MetricsRegistry::LabeledName("fam", "stage", "bgp-join"),
+            "fam{stage=\"bgp-join\"}");
+}
+
+TEST(MetricsLabelTest, LabeledFamiliesEmitHelpAndTypeOnce) {
+  MetricsRegistry reg;
+  reg.GetGaugeLabeled("test_stage_gauge", "stage", "parse",
+                      "queries per stage")
+      .Set(2);
+  reg.GetGaugeLabeled("test_stage_gauge", "stage", "bgp-join",
+                      "queries per stage")
+      .Set(3);
+  reg.GetCounterLabeled("test_kill_total", "stage", "he said \"now\"\n")
+      .Increment(7);
+
+  const std::string text = reg.PrometheusText();
+  // One HELP and one TYPE line per *family*, not per series.
+  EXPECT_EQ(CountOccurrences(text, "# HELP test_stage_gauge "), 1u) << text;
+  EXPECT_EQ(CountOccurrences(text, "# TYPE test_stage_gauge gauge"), 1u)
+      << text;
+  EXPECT_EQ(CountOccurrences(text, "# TYPE test_kill_total counter"), 1u)
+      << text;
+  EXPECT_NE(text.find("queries per stage"), std::string::npos);
+  // Both series render with their label, values intact.
+  EXPECT_NE(text.find("test_stage_gauge{stage=\"parse\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_stage_gauge{stage=\"bgp-join\"} 3"),
+            std::string::npos)
+      << text;
+  // The hostile label value is escaped, keeping the exposition line-oriented.
+  EXPECT_NE(text.find("test_kill_total{stage=\"he said \\\"now\\\"\\n\"} 7"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find('\n', text.find("test_kill_total{")),
+            text.find(" 7", text.find("test_kill_total{")) + 2);
+}
+
+// ---------------------------------------------------------------------------
+// ProfileJson: the flat span list rebuilds into the operator tree.
+
+TEST(TracerTest, ProfileJsonNestsSpansByContainment) {
+  Tracer tracer;
+  {
+    TraceSpan execute(&tracer, "execute");
+    {
+      TraceSpan plan(&tracer, "plan");
+      plan.Arg("patterns", static_cast<int64_t>(3));
+    }
+    {
+      TraceSpan join(&tracer, "bgp-join");
+      { TraceSpan seek(&tracer, "sieve-seek"); }
+    }
+  }
+  { TraceSpan tail(&tracer, "rollup-cache"); }
+
+  const std::string profile = tracer.ProfileJson();
+  ASSERT_TRUE(JsonChecker::Valid(profile)) << profile;
+  // Two roots, creation order: execute first, rollup-cache second.
+  const size_t exec_pos = profile.find("\"op\":\"execute\"");
+  const size_t tail_pos = profile.find("\"op\":\"rollup-cache\"");
+  ASSERT_NE(exec_pos, std::string::npos) << profile;
+  ASSERT_NE(tail_pos, std::string::npos) << profile;
+  EXPECT_LT(exec_pos, tail_pos);
+  // plan and bgp-join sit inside execute's children array, siblings in
+  // creation order; sieve-seek nests one level further down.
+  const size_t children_pos = profile.find("\"children\":", exec_pos);
+  ASSERT_NE(children_pos, std::string::npos) << profile;
+  const size_t plan_pos = profile.find("\"op\":\"plan\"");
+  const size_t join_pos = profile.find("\"op\":\"bgp-join\"");
+  const size_t seek_pos = profile.find("\"op\":\"sieve-seek\"");
+  ASSERT_NE(plan_pos, std::string::npos);
+  ASSERT_NE(join_pos, std::string::npos);
+  ASSERT_NE(seek_pos, std::string::npos);
+  EXPECT_LT(children_pos, plan_pos);
+  EXPECT_LT(plan_pos, join_pos);
+  EXPECT_LT(join_pos, seek_pos);
+  EXPECT_LT(seek_pos, tail_pos);
+  // Span args ride along on the profile node.
+  EXPECT_NE(profile.find("\"patterns\":3"), std::string::npos) << profile;
+  // Every node carries a duration.
+  EXPECT_GE(CountOccurrences(profile, "\"ms\":"), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// The live query registry: registration, sampling, kill, concurrency.
+
+TEST(QueryRegistryTest, RegisterSnapshotProgressAndRelease) {
+  QueryRegistry& reg = QueryRegistry::Global();
+  QueryContext ctx = QueryContext::WithDeadlineMs(3600 * 1000.0);
+  const std::string text = "SELECT ?s WHERE { ?s ?p ?o }";
+  int64_t id = -1;
+  {
+    QueryRegistry::Handle h =
+        reg.Register(&ctx, text, HashQueryText(text), /*snapshot_epoch=*/42);
+    id = h.id();
+    ASSERT_GE(id, 0);
+
+    // The context copy now publishes stage + rows into the slot.
+    QueryContext copy = ctx;
+    ASSERT_TRUE(copy.Check("bgp-join").ok());
+    copy.AddProgressRows(123);
+
+    bool found = false;
+    for (const InflightQuery& q : reg.Snapshot()) {
+      if (q.id != id) continue;
+      found = true;
+      EXPECT_EQ(q.query_hash, HashQueryText(text));
+      EXPECT_EQ(q.snapshot_epoch, 42u);
+      EXPECT_EQ(q.head.substr(0, 6), "SELECT");
+      ASSERT_NE(q.stage, nullptr);
+      EXPECT_STREQ(q.stage, "bgp-join");
+      EXPECT_EQ(q.rows, 123u);
+      EXPECT_GE(q.elapsed_ms, 0.0);
+      // An armed deadline samples as a finite remaining budget.
+      EXPECT_TRUE(std::isfinite(q.deadline_remaining_ms));
+      EXPECT_GT(q.deadline_remaining_ms, 0.0);
+    }
+    EXPECT_TRUE(found);
+
+    // A second, deadline-less query samples as infinite remaining budget.
+    QueryContext free_ctx;
+    QueryRegistry::Handle h2 = reg.Register(&free_ctx, "ASK { ?s ?p ?o }",
+                                            /*query_hash=*/1, 0);
+    for (const InflightQuery& q : reg.Snapshot()) {
+      if (q.id == h2.id()) {
+        EXPECT_FALSE(std::isfinite(q.deadline_remaining_ms));
+      }
+    }
+  }
+  // Both handles released: the ids are gone from the sample.
+  for (const InflightQuery& q : reg.Snapshot()) {
+    EXPECT_NE(q.id, id);
+  }
+}
+
+TEST(QueryRegistryTest, KillCancelsTheRegisteredContext) {
+  QueryRegistry& reg = QueryRegistry::Global();
+  QueryContext ctx;
+  QueryRegistry::Handle h =
+      reg.Register(&ctx, "SELECT * WHERE { ?s ?p ?o }", 7, 0);
+  ASSERT_GE(h.id(), 0);
+  ASSERT_TRUE(ctx.Check("execute").ok());
+
+  EXPECT_FALSE(reg.Kill(h.id() + 100000));  // unknown id
+  EXPECT_TRUE(reg.Kill(h.id()));
+  // The query's own context copies observe the cancellation.
+  Status s = ctx.Check("execute");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(QueryRegistryTest, StageGaugesTrackAndDrainToZero) {
+  MetricsRegistry::Global().ResetForTest();
+  QueryRegistry& reg = QueryRegistry::Global();
+  QueryContext ctx;
+  {
+    QueryRegistry::Handle h = reg.Register(&ctx, "SELECT 1", 9, 0);
+    ASSERT_TRUE(ctx.Check("hash-build").ok());
+    reg.UpdateStageGauges();
+    const std::string text = MetricsRegistry::Global().PrometheusText();
+    EXPECT_NE(
+        text.find("rdfa_inflight_queries_by_stage{stage=\"hash-build\"} 1"),
+        std::string::npos)
+        << text;
+  }
+  reg.UpdateStageGauges();
+  const std::string text = MetricsRegistry::Global().PrometheusText();
+  // The emptied stage keeps its series at 0 rather than disappearing.
+  EXPECT_NE(
+      text.find("rdfa_inflight_queries_by_stage{stage=\"hash-build\"} 0"),
+      std::string::npos)
+      << text;
+}
+
+// TSan target: writers registering/unregistering, a query thread hammering
+// stage/rows, a sampler reading lock-free, and kills landing mid-flight.
+TEST(QueryRegistryTest, ConcurrentRegisterSampleKill) {
+  QueryRegistry& reg = QueryRegistry::Global();
+  constexpr int kWriters = 4;
+  constexpr int kQueriesPerWriter = 50;
+  std::atomic<bool> stop{false};
+
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const InflightQuery& q : reg.Snapshot()) {
+        // Dereference everything a `ps` implementation would.
+        ASSERT_GE(q.id, 0);
+        if (q.stage != nullptr) {
+          ASSERT_GT(std::string(q.stage).size(), 0u);
+        }
+      }
+      reg.UpdateStageGauges();
+    }
+  });
+  std::thread killer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto snap = reg.Snapshot();
+      if (!snap.empty()) reg.Kill(snap[snap.size() / 2].id);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&reg, w] {
+      for (int i = 0; i < kQueriesPerWriter; ++i) {
+        QueryContext ctx;
+        QueryRegistry::Handle h = reg.Register(
+            &ctx, "SELECT ?x WHERE { ?x ?y ?z }",
+            static_cast<uint64_t>(w * 1000 + i), static_cast<uint64_t>(i));
+        QueryContext copy = ctx;
+        for (int step = 0; step < 20; ++step) {
+          // Killed queries unwind exactly like production joins do.
+          if (!copy.Check(step % 2 == 0 ? "bgp-join" : "group-aggregate")
+                   .ok()) {
+            break;
+          }
+          copy.AddProgressRows(17);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  sampler.join();
+  killer.join();
+
+  // Every handle released: the registry drains empty.
+  EXPECT_TRUE(reg.Snapshot().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query capture ring.
+
+TEST(SlowQueryCaptureTest, RingNeverGrowsPastMaxFiles) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "rdfa_obs_slow_ring";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  SlowQueryCapturer cap(dir, /*threshold_ms=*/1.0, /*max_files=*/3);
+  ASSERT_TRUE(cap.enabled());
+  EXPECT_EQ(cap.MaybeCapture(0.5, "{\"fast\":true}"), "");  // below threshold
+  for (int i = 0; i < 8; ++i) {
+    const std::string path =
+        cap.MaybeCapture(5.0, "{\"seq\":" + std::to_string(i) + "}");
+    ASSERT_FALSE(path.empty());
+  }
+  EXPECT_EQ(cap.captures(), 8);
+
+  size_t files = 0;
+  bool saw_latest = false;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++files;
+    std::ifstream in(entry.path());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_TRUE(JsonChecker::Valid(content)) << entry.path();
+    if (content == "{\"seq\":7}") saw_latest = true;
+  }
+  EXPECT_EQ(files, 3u);  // seq 5,6,7 survive in slots 2,0,1
+  EXPECT_TRUE(saw_latest);
+
+  SlowQueryCapturer off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_EQ(off.MaybeCapture(1e9, "{}"), "");
+  fs::remove_all(dir, ec);
+}
+
+TEST(SlowQueryCaptureTest, EndpointCapturesForensicRecordWithProfile) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "rdfa_obs_slow_ep";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  rdf::Graph g;
+  workload::BuildInvoicesExample(&g);
+  endpoint::SimulatedEndpoint ep(&g, endpoint::LatencyProfile::Local());
+  // Threshold 0: every query is "slow", so one query suffices.
+  ep.set_slow_query_capture(dir, /*threshold_ms=*/0.0, /*max_files=*/4);
+  ASSERT_TRUE(ep.Query(kInvQuery).ok());
+  ASSERT_NE(ep.slow_query_capturer(), nullptr);
+  EXPECT_GE(ep.slow_query_capturer()->captures(), 1);
+
+  size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++files;
+    std::ifstream in(entry.path());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    ASSERT_TRUE(JsonChecker::Valid(content)) << entry.path();
+    // The capture is a full query-log record: outcome, stats, the new
+    // planner/storage markers, and the embedded operator profile.
+    EXPECT_NE(content.find("\"outcome\":\"ok\""), std::string::npos);
+    EXPECT_NE(content.find("\"storage_backend\":\"heap\""),
+              std::string::npos);
+    EXPECT_NE(content.find("\"join_strategies\":"), std::string::npos);
+    EXPECT_NE(content.find("\"profile\":"), std::string::npos);
+    EXPECT_NE(content.find("\"op\":\"execute\""), std::string::npos);
+    EXPECT_NE(content.find("\"op\":\"bgp-join\""), std::string::npos);
+  }
+  EXPECT_GE(files, 1u);
+  fs::remove_all(dir, ec);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN / EXPLAIN ANALYZE across join strategies and storage backends.
+
+struct ExplainFixture {
+  std::unique_ptr<rdf::Graph> heap;
+  std::unique_ptr<rdf::Graph> mapped;
+  std::string snapshot_path;
+
+  ExplainFixture() {
+    heap = std::make_unique<rdf::Graph>();
+    workload::ProductKgOptions opt;
+    opt.laptops = 120;
+    opt.seed = 7;
+    workload::GenerateProductKg(heap.get(), opt);
+    snapshot_path = ::testing::TempDir() + "rdfa_obs_explain.rdfa";
+    EXPECT_TRUE(rdf::SaveBinaryFile(*heap, snapshot_path).ok());
+    auto opened = rdf::OpenMappedSnapshot(snapshot_path);
+    EXPECT_TRUE(opened.ok());
+    mapped = std::move(opened.value());
+  }
+  ~ExplainFixture() { std::remove(snapshot_path.c_str()); }
+};
+
+constexpr char kProductPfx[] =
+    "PREFIX ex: <http://www.ics.forth.gr/example#>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+constexpr char kJoinQuery[] =
+    "SELECT ?l ?m ?c WHERE { ?l ex:manufacturer ?m . ?m ex:origin ?c . "
+    "?l ex:price ?p }";
+
+TEST(ExplainTest, SchemaHoldsAcrossStrategiesAndBackends) {
+  ExplainFixture fx;
+  auto parsed = sparql::ParseQuery(kProductPfx + std::string(kJoinQuery));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+
+  const sparql::JoinStrategy strategies[] = {
+      sparql::JoinStrategy::kAdaptive, sparql::JoinStrategy::kNestedLoop,
+      sparql::JoinStrategy::kHash, sparql::JoinStrategy::kMerge};
+  const char* strategy_names[] = {"adaptive", "nested-loop", "hash", "merge"};
+
+  struct Backend {
+    rdf::Graph* g;
+    const char* name;
+  } backends[] = {{fx.heap.get(), "heap"}, {fx.mapped.get(), "mmap"}};
+
+  for (const Backend& b : backends) {
+    for (size_t i = 0; i < 4; ++i) {
+      sparql::Executor exec(b.g);
+      exec.set_join_strategy(strategies[i]);
+      const std::string plan = exec.ExplainJson(parsed.value());
+      ASSERT_TRUE(JsonChecker::Valid(plan)) << plan;
+      EXPECT_NE(plan.find("\"form\":\"select\""), std::string::npos) << plan;
+      EXPECT_NE(plan.find(std::string("\"strategy\":\"") +
+                          strategy_names[i] + "\""),
+                std::string::npos)
+          << plan;
+      EXPECT_NE(plan.find(std::string("\"backend\":\"") + b.name + "\""),
+                std::string::npos)
+          << plan;
+      EXPECT_NE(plan.find("\"use_dp\":"), std::string::npos) << plan;
+      EXPECT_NE(plan.find("\"threads\":"), std::string::npos) << plan;
+      EXPECT_NE(plan.find("\"bgps\":["), std::string::npos) << plan;
+      // Three patterns → three plan steps, each annotated.
+      EXPECT_EQ(CountOccurrences(plan, "\"pattern\":"), 3u) << plan;
+      EXPECT_EQ(CountOccurrences(plan, "\"perm\":"), 3u) << plan;
+      EXPECT_EQ(CountOccurrences(plan, "\"est_rows\":"), 3u) << plan;
+    }
+  }
+
+  // EXPLAIN plans without executing: a fresh executor's stats stay empty.
+  sparql::Executor exec(fx.heap.get());
+  exec.ExplainJson(parsed.value());
+  EXPECT_EQ(exec.stats().total_ms, 0.0);
+}
+
+TEST(ExplainTest, AnalyzeProfileReconcilesWithExecStats) {
+  ExplainFixture fx;
+  auto parsed = sparql::ParseQuery(kProductPfx + std::string(kJoinQuery));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+
+  const sparql::JoinStrategy strategies[] = {
+      sparql::JoinStrategy::kAdaptive, sparql::JoinStrategy::kNestedLoop,
+      sparql::JoinStrategy::kHash, sparql::JoinStrategy::kMerge};
+
+  struct Backend {
+    rdf::Graph* g;
+    const char* name;
+  } backends[] = {{fx.heap.get(), "heap"}, {fx.mapped.get(), "mmap"}};
+
+  // Join strategies may legitimately emit rows in different orders; the
+  // row *set* must agree across every (strategy, backend) configuration,
+  // and within one configuration profiling must not change a byte.
+  auto sorted_lines = [](const std::string& tsv) {
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start < tsv.size()) {
+      size_t end = tsv.find('\n', start);
+      if (end == std::string::npos) end = tsv.size();
+      lines.push_back(tsv.substr(start, end - start));
+      start = end + 1;
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+
+  std::vector<std::string> reference_rows;
+  for (const Backend& b : backends) {
+    for (const sparql::JoinStrategy strategy : strategies) {
+      // Untraced run = the answer bytes the profiled run must reproduce.
+      sparql::Executor plain(b.g);
+      plain.set_join_strategy(strategy);
+      auto baseline = plain.Execute(parsed.value());
+      ASSERT_TRUE(baseline.ok());
+      const std::string baseline_tsv = baseline.value().ToTsv();
+      if (reference_rows.empty()) {
+        reference_rows = sorted_lines(baseline_tsv);
+      } else {
+        EXPECT_EQ(sorted_lines(baseline_tsv), reference_rows)
+            << "result set diverged on " << b.name;
+      }
+
+      auto tracer = std::make_shared<Tracer>();
+      sparql::Executor exec(b.g);
+      exec.set_join_strategy(strategy);
+      QueryContext ctx;
+      ctx.set_tracer(tracer);
+      exec.set_query_context(ctx);
+      auto table = exec.Execute(parsed.value());
+      ASSERT_TRUE(table.ok()) << table.status().message();
+      EXPECT_EQ(table.value().ToTsv(), baseline_tsv)
+          << "profiling changed the answer bytes on " << b.name;
+
+      // The measured profile and the post-run stats must describe the same
+      // execution: a bgp-join step per pattern, consistent strategy letters,
+      // and a well-formed nested profile rooted at "execute".
+      const sparql::ExecStats& stats = exec.stats();
+      EXPECT_EQ(stats.join_strategy.size(), 3u);
+      const std::string profile = tracer->ProfileJson();
+      ASSERT_TRUE(JsonChecker::Valid(profile)) << profile;
+      EXPECT_NE(profile.find("\"op\":\"execute\""), std::string::npos);
+      EXPECT_TRUE(tracer->HasSpan("plan"));
+      EXPECT_TRUE(tracer->HasSpan("bgp-join"));
+      const std::string stats_json = stats.ToJson();
+      ASSERT_TRUE(JsonChecker::Valid(stats_json)) << stats_json;
+      if (std::string(b.name) == "mmap") {
+        EXPECT_TRUE(tracer->HasSpan("mmap-decode"))
+            << "mapped execution must account for block decodes";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storage-layer instrumentation: MVCC commit, WAL replay, mmap decode.
+
+TEST(StorageSpanTest, MvccCommitAndWalReplayEmitSpans) {
+  MetricsRegistry::Global().ResetForTest();
+  const std::string wal_path = ::testing::TempDir() + "rdfa_obs_wal.log";
+  std::remove(wal_path.c_str());
+
+  auto commit_tracer = std::make_shared<Tracer>();
+  {
+    rdf::MvccGraph::Options opts;
+    opts.wal_path = wal_path;
+    opts.tracer = commit_tracer;
+    auto opened = rdf::MvccGraph::Open(opts);
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    rdf::MvccGraph& mvcc = *opened.value();
+    mvcc.Insert(Term::Iri("urn:s"), Term::Iri("urn:p"), Term::Iri("urn:o"));
+    mvcc.Insert(Term::Iri("urn:s2"), Term::Iri("urn:p"), Term::Iri("urn:o2"));
+    ASSERT_TRUE(mvcc.Commit().ok());
+  }
+  EXPECT_TRUE(commit_tracer->HasSpan("mvcc-commit"));
+  EXPECT_TRUE(commit_tracer->HasSpan("wal-append"));
+  EXPECT_TRUE(commit_tracer->HasSpan("commit-apply"));
+  EXPECT_TRUE(commit_tracer->HasSpan("commit-publish"));
+
+  // Commit latency decomposition landed in the histograms...
+  const Histogram* append = MetricsRegistry::Global().FindHistogram(
+      "rdfa_wal_append_ms");
+  ASSERT_NE(append, nullptr);
+  EXPECT_GE(append->Count(), 1u);
+  const Histogram* apply = MetricsRegistry::Global().FindHistogram(
+      "rdfa_mvcc_commit_apply_ms");
+  ASSERT_NE(apply, nullptr);
+  EXPECT_GE(apply->Count(), 1u);
+  // ...and the commit counter ticked.
+  const Counter* commits =
+      MetricsRegistry::Global().FindCounter("rdfa_mvcc_commits_total");
+  ASSERT_NE(commits, nullptr);
+  EXPECT_GE(commits->Value(), 1u);
+
+  // Reopening replays the WAL under a "wal-replay" span that reports how
+  // many records came back.
+  auto replay_tracer = std::make_shared<Tracer>();
+  {
+    rdf::MvccGraph::Options opts;
+    opts.wal_path = wal_path;
+    opts.tracer = replay_tracer;
+    auto reopened = rdf::MvccGraph::Open(opts);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+    EXPECT_GE(reopened.value()->open_info().replayed_records, 1u);
+    EXPECT_EQ(reopened.value()->Snapshot().graph->size(), 2u);
+  }
+  EXPECT_TRUE(replay_tracer->HasSpan("wal-replay"));
+  bool saw_records_arg = false;
+  for (const Tracer::SpanRecord& s : replay_tracer->FinishedSpans()) {
+    if (s.name != "wal-replay") continue;
+    for (const auto& kv : s.args) {
+      if (kv.first == "records") saw_records_arg = true;
+    }
+  }
+  EXPECT_TRUE(saw_records_arg);
+  std::remove(wal_path.c_str());
+}
+
+TEST(StorageSpanTest, PinGaugesTrackSnapshotEpochLag) {
+  MetricsRegistry::Global().ResetForTest();
+  rdf::MvccGraph mvcc;
+  mvcc.Insert(Term::Iri("urn:a"), Term::Iri("urn:p"), Term::Iri("urn:b"));
+  ASSERT_TRUE(mvcc.Commit().ok());
+  rdf::MvccGraph::Pin old_pin = mvcc.Snapshot();
+  mvcc.Insert(Term::Iri("urn:c"), Term::Iri("urn:p"), Term::Iri("urn:d"));
+  ASSERT_TRUE(mvcc.Commit().ok());
+
+  // With an old pin outstanding after a newer commit, the lag gauges show a
+  // reader holding back GC by one epoch.
+  std::string text = MetricsRegistry::Global().PrometheusText();
+  EXPECT_NE(text.find("rdfa_mvcc_snapshot_pins 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rdfa_mvcc_epoch_lag 1"), std::string::npos) << text;
+
+  { rdf::MvccGraph::Pin drop = std::move(old_pin); }
+  rdf::MvccGraph::Pin fresh = mvcc.Snapshot();
+  text = MetricsRegistry::Global().PrometheusText();
+  EXPECT_NE(text.find("rdfa_mvcc_epoch_lag 0"), std::string::npos) << text;
+}
+
+TEST(StorageSpanTest, MappedExecutionEmitsDecodeSpanAndCounters) {
+  MetricsRegistry::Global().ResetForTest();
+  ExplainFixture fx;
+  // The FILTER forces per-binding literal decodes, so the dictionary-lookup
+  // counter must move alongside the posting-list key-block decodes.
+  auto parsed = sparql::ParseQuery(
+      kProductPfx +
+      std::string("SELECT ?l ?p WHERE { ?l ex:manufacturer ?m . "
+                  "?l ex:price ?p . FILTER(?p > 1200) }"));
+  ASSERT_TRUE(parsed.ok());
+
+  auto tracer = std::make_shared<Tracer>();
+  sparql::Executor exec(fx.mapped.get());
+  QueryContext ctx;
+  ctx.set_tracer(tracer);
+  exec.set_query_context(ctx);
+  ASSERT_TRUE(exec.Execute(parsed.value()).ok());
+
+  ASSERT_TRUE(tracer->HasSpan("mmap-decode"));
+  bool saw_args = false;
+  for (const Tracer::SpanRecord& s : tracer->FinishedSpans()) {
+    if (s.name != "mmap-decode") continue;
+    std::vector<std::string> keys;
+    for (const auto& kv : s.args) keys.push_back(kv.first);
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "key_blocks"), keys.end());
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "term_blocks"), keys.end());
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "dict_lookups"),
+              keys.end());
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "blocks_skipped"),
+              keys.end());
+    saw_args = true;
+  }
+  EXPECT_TRUE(saw_args);
+
+  // A lazily-decoded join must have decoded key blocks and looked terms up.
+  const Counter* key_blocks = MetricsRegistry::Global().FindCounter(
+      "rdfa_mmap_key_blocks_decoded_total");
+  ASSERT_NE(key_blocks, nullptr);
+  EXPECT_GT(key_blocks->Value(), 0u);
+  const Counter* lookups =
+      MetricsRegistry::Global().FindCounter("rdfa_mmap_dict_lookups_total");
+  ASSERT_NE(lookups, nullptr);
+  EXPECT_GT(lookups->Value(), 0u);
+}
+
+TEST(StorageSpanTest, DpPlannerEmitsTimingSpan) {
+  ExplainFixture fx;
+  auto parsed = sparql::ParseQuery(kProductPfx + std::string(kJoinQuery));
+  ASSERT_TRUE(parsed.ok());
+
+  auto tracer = std::make_shared<Tracer>();
+  sparql::Executor exec(fx.heap.get());
+  exec.set_use_dp(true);
+  QueryContext ctx;
+  ctx.set_tracer(tracer);
+  exec.set_query_context(ctx);
+  ASSERT_TRUE(exec.Execute(parsed.value()).ok());
+  EXPECT_GE(exec.stats().dp_plans, 1u);
+
+  ASSERT_TRUE(tracer->HasSpan("dp-plan"));
+  bool saw_states = false;
+  for (const Tracer::SpanRecord& s : tracer->FinishedSpans()) {
+    if (s.name != "dp-plan") continue;
+    for (const auto& kv : s.args) {
+      if (kv.first == "states_considered") {
+        saw_states = true;
+        EXPECT_NE(kv.second, "0");
+      }
+    }
+  }
+  EXPECT_TRUE(saw_states);
+  const Histogram* dp_ms =
+      MetricsRegistry::Global().FindHistogram("rdfa_dp_plan_ms");
+  ASSERT_NE(dp_ms, nullptr);
+  EXPECT_GE(dp_ms->Count(), 1u);
 }
 
 }  // namespace
