@@ -30,6 +30,12 @@ carrying its own inline python:
       runs, and the SIP runs must decode fewer merge rows than the ablated
       (--ablate-sip) ones
 
+  validate_bench.py server-gates FILE [FILE ...] [--require-shed]
+      the HTTP endpoint gates: every leg must have served requests with
+      nonzero throughput and a p99, zero transport/4xx/5xx errors, and no
+      sheds or timeouts outside the injected-shed leg (which in turn must
+      draw real 503s); --require-shed additionally demands that leg exists
+
   validate_bench.py obs-gates --bench=F --explain=F --slow-dir=DIR
                               [--max-overhead-pct=5] [--epsilon-ms=2]
                               [--min-stages=6]
@@ -225,6 +231,41 @@ def cmd_planner_gates(args):
           % (ratio, args.min_ratio, len(h_heap), with_sip, without_sip))
 
 
+def cmd_server_gates(args):
+    for path in args.files:
+        doc = json.load(open(path))
+        assert doc["bench"] == "bench_server", path
+        runs = doc["runs"]
+        assert runs, "no runs in %s" % path
+        for r in runs:
+            leg = "%s:%s" % (os.path.basename(path), r["name"])
+            assert r["requests"] > 0, leg + " served no requests"
+            assert r["throughput_rps"] > 0, leg + " has zero throughput"
+            assert "p99_ms" in r and r["p99_ms"] >= 0, leg + " lacks p99"
+            assert r["transport_errors"] == 0, (leg, r["transport_errors"])
+            assert r["errors_4xx"] == 0, (leg, r["errors_4xx"])
+            # 503/504 are tracked separately, so errors_5xx is strictly
+            # "unexpected 5xx" (500s etc.) — zero everywhere.
+            assert r["errors_5xx"] == 0, (leg, r["errors_5xx"])
+            if r["name"] == "closed-shed":
+                # The injected-shed leg must prove the 503 path reaches the
+                # wire — and still serve some queries between sheds.
+                assert r["shed_503"] > 0, leg + " drew no 503s"
+                assert r["ok_200"] > 0, leg + " served nothing"
+            else:
+                assert r["shed_503"] == 0, (leg, r["shed_503"])
+                assert r["timeout_504"] == 0, (leg, r["timeout_504"])
+                assert r["ok_200"] == r["requests"], (leg, r)
+        if args.require_shed:
+            assert any(r["name"] == "closed-shed" for r in runs), (
+                "%s has no injected-shed leg" % path)
+        print("%s: %d legs ok (%s)"
+              % (os.path.basename(path), len(runs),
+                 ", ".join("%s %.0f req/s p99 %.1f ms"
+                           % (r["name"], r["throughput_rps"], r["p99_ms"])
+                           for r in runs)))
+
+
 def _check_plan_json(plan):
     """Asserts `plan` matches the EXPLAIN plan-JSON schema."""
     assert plan["form"] in ("select", "ask", "construct", "describe"), plan
@@ -358,6 +399,11 @@ def main(argv):
     p.add_argument("--sip-off", required=True)
     p.add_argument("--min-ratio", type=float, default=1.3)
     p.set_defaults(func=cmd_planner_gates)
+
+    p = sub.add_parser("server-gates")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--require-shed", action="store_true")
+    p.set_defaults(func=cmd_server_gates)
 
     p = sub.add_parser("obs-gates")
     p.add_argument("--bench", required=True)

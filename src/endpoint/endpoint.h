@@ -220,6 +220,9 @@ class SimulatedEndpoint {
   bool predicate_invalidation() const { return predicate_invalidation_; }
   bool mvcc_mode() const { return mvcc_ != nullptr; }
   rdf::MvccGraph* mvcc() const { return mvcc_; }
+  /// Legacy-mode graph (null in MVCC mode — pin a snapshot instead). For
+  /// plan-only paths (EXPLAIN) that bypass Query().
+  rdf::Graph* base_graph() const { return graph_; }
 
   const LatencyProfile& profile() const { return profile_; }
   size_t queries_served() const;

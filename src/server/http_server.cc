@@ -1,0 +1,488 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/metrics.h"
+#include "common/query_registry.h"
+#include "common/string_util.h"
+
+namespace rdfa::server {
+
+namespace {
+
+std::string ErrnoText(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Looks up `key` in decoded form params (first occurrence wins).
+const std::string* FindParam(
+    const std::vector<std::pair<std::string, std::string>>& params,
+    std::string_view key) {
+  for (const auto& [k, v] : params) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(endpoint::RequestHandler* handler,
+                       HttpServerOptions options)
+    : handler_(handler), options_(std::move(options)) {
+  if (options_.worker_threads < 1) options_.worker_threads = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal(ErrnoText("socket"));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::Internal(ErrnoText("bind"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 1024) != 0) {
+    Status st = Status::Internal(ErrnoText("listen"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  // The dispatcher must never block in accept(): poll gates it.
+  ::fcntl(listen_fd_, F_SETFL, O_NONBLOCK);
+  if (::pipe(wake_pipe_) != 0) {
+    Status st = Status::Internal(ErrnoText("pipe"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  dispatcher_ = std::thread(&HttpServer::DispatcherLoop, this);
+  workers_.reserve(static_cast<size_t>(options_.worker_threads));
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back(&HttpServer::WorkerLoop, this);
+  }
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  WakeDispatcher();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Whatever connections were still queued or handed back are closed here;
+  // workers closed their own on the way out.
+  std::deque<std::unique_ptr<Connection>> queued;
+  std::vector<std::unique_ptr<Connection>> handed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queued.swap(work_queue_);
+    handed.swap(handback_);
+  }
+  for (auto& c : queued) CloseConnection(std::move(c));
+  for (auto& c : handed) CloseConnection(std::move(c));
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) {
+      ::close(wake_pipe_[i]);
+      wake_pipe_[i] = -1;
+    }
+  }
+}
+
+HttpServer::Counters HttpServer::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+void HttpServer::WakeDispatcher() {
+  char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+void HttpServer::CloseConnection(std::unique_ptr<Connection> conn) {
+  if (conn == nullptr) return;
+  if (conn->fd >= 0) ::close(conn->fd);
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  --counters_.connections_open;
+  MetricsRegistry::Global()
+      .GetGauge("rdfa_http_open_connections", "Open HTTP connections")
+      .Set(static_cast<double>(counters_.connections_open));
+}
+
+void HttpServer::DispatcherLoop() {
+  // Connections currently idle between requests, multiplexed via poll.
+  std::vector<std::unique_ptr<Connection>> parked;
+  std::vector<pollfd> fds;
+  while (running_.load(std::memory_order_acquire)) {
+    // Reclaim connections workers finished with.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& c : handback_) parked.push_back(std::move(c));
+      handback_.clear();
+    }
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    for (const auto& c : parked) fds.push_back({c->fd, POLLIN, 0});
+    // Connections accepted below join `parked` after fds was built; only
+    // the first `polled` entries have a pollfd this round.
+    const size_t polled = parked.size();
+    int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) {  // drain wake bytes
+      char sink[64];
+      while (::read(wake_pipe_[0], sink, sizeof(sink)) > 0) {
+      }
+    }
+    if (fds[0].revents != 0) {
+      while (true) {
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;  // EAGAIN: drained
+        size_t open;
+        {
+          std::lock_guard<std::mutex> lock(counters_mu_);
+          open = counters_.connections_open;
+        }
+        if (open >= options_.max_connections) {
+          ::close(fd);
+          std::lock_guard<std::mutex> lock(counters_mu_);
+          ++counters_.connections_rejected;
+          continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        // Workers read blocking with this budget: a mid-request stall
+        // answers 408 instead of pinning a worker forever.
+        long ms = static_cast<long>(options_.read_timeout_ms);
+        timeval tv{ms / 1000, (ms % 1000) * 1000};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        {
+          std::lock_guard<std::mutex> lock(counters_mu_);
+          ++counters_.connections_accepted;
+          ++counters_.connections_open;
+          MetricsRegistry::Global()
+              .GetGauge("rdfa_http_open_connections", "Open HTTP connections")
+              .Set(static_cast<double>(counters_.connections_open));
+        }
+        parked.push_back(std::move(conn));
+      }
+    }
+    // Hand readable (or hung-up) parked connections to the workers.
+    bool queued_any = false;
+    size_t fd_idx = 2;
+    for (size_t i = 0; i < polled; ++i, ++fd_idx) {
+      if (fds[fd_idx].revents == 0) continue;
+      std::lock_guard<std::mutex> lock(mu_);
+      work_queue_.push_back(std::move(parked[i]));
+      queued_any = true;
+    }
+    if (queued_any) {
+      parked.erase(std::remove(parked.begin(), parked.end(), nullptr),
+                   parked.end());
+      work_cv_.notify_all();
+    }
+  }
+  for (auto& c : parked) CloseConnection(std::move(c));
+}
+
+void HttpServer::WorkerLoop() {
+  while (true) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !work_queue_.empty(); });
+      if (stopping_) return;
+      conn = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    if (ServeConnection(conn.get())) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        handback_.push_back(std::move(conn));
+      }
+      WakeDispatcher();
+    } else {
+      CloseConnection(std::move(conn));
+    }
+  }
+}
+
+bool HttpServer::WriteAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // client went away mid-response; drop the connection
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool HttpServer::ServeConnection(Connection* conn) {
+  HttpRequestParser parser(options_.max_header_bytes, options_.max_body_bytes);
+  int reads = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    HttpRequest req;
+    int error_status = 400;
+    ParseState state = parser.Feed(&conn->buffer, &req, &error_status);
+    if (state == ParseState::kError) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.parse_errors;
+      }
+      MetricsRegistry::Global()
+          .GetCounter("rdfa_http_parse_errors_total",
+                      "Requests rejected by the HTTP parser")
+          .Increment();
+      WriteAll(conn->fd,
+               RenderHttpResponse(
+                   error_status, "application/json",
+                   endpoint::RequestHandler::ErrorBody(Status::InvalidArgument(
+                       "malformed HTTP request")),
+                   /*keep_alive=*/false));
+      return false;
+    }
+    if (state == ParseState::kDone) {
+      ++conn->requests;
+      auto start = std::chrono::steady_clock::now();
+      int status = 200;
+      std::string type, body;
+      Route(req, &status, &type, &body);
+      bool keep = req.keep_alive &&
+                  conn->requests < options_.max_keepalive_requests;
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      reg.GetCounter("rdfa_http_requests_total", "HTTP requests served")
+          .Increment();
+      reg.GetCounterLabeled("rdfa_http_responses_total", "code",
+                            std::to_string(status),
+                            "HTTP responses by status code")
+          .Increment();
+      reg.GetHistogram("rdfa_http_request_ms", Histogram::LatencyBoundsMs(),
+                       "HTTP request service time (parse to response write)")
+          .Observe(ms);
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.requests_served;
+      }
+      std::vector<std::string> extra;
+      if (status == 405) extra.push_back("Allow: GET, POST");
+      if (!WriteAll(conn->fd,
+                    RenderHttpResponse(status, type, body, keep, extra))) {
+        return false;
+      }
+      if (!keep) return false;
+      continue;  // drain pipelined requests already buffered
+    }
+    // kNeedMore: nothing complete in the buffer. Once this wakeup's data is
+    // drained and no request is pending, park the connection again.
+    if (conn->buffer.empty() && reads > 0) return true;
+    char chunk[16 * 1024];
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    ++reads;
+    if (n == 0) return false;  // clean EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (conn->buffer.empty()) return true;  // spurious wake; park
+        // Mid-request stall: answer 408 and drop the connection.
+        {
+          std::lock_guard<std::mutex> lock(counters_mu_);
+          ++counters_.read_timeouts;
+        }
+        WriteAll(conn->fd,
+                 RenderHttpResponse(
+                     408, "application/json",
+                     endpoint::RequestHandler::ErrorBody(
+                         Status::DeadlineExceeded("request read timed out")),
+                     /*keep_alive=*/false));
+        return false;
+      }
+      return false;
+    }
+    conn->buffer.append(chunk, static_cast<size_t>(n));
+  }
+  return false;  // server stopping
+}
+
+void HttpServer::Route(const HttpRequest& req, int* status, std::string* type,
+                       std::string* body) {
+  using endpoint::RequestHandler;
+  *type = "application/json";
+  if (req.method != "GET" && req.method != "POST") {
+    *status = 405;
+    *body = RequestHandler::ErrorBody(
+        Status::Unsupported("method " + req.method + " not allowed"));
+    return;
+  }
+
+  if (req.path == "/healthz") {
+    *status = 200;
+    *type = "text/plain";
+    *body = "ok\n";
+    return;
+  }
+  if (req.path == "/metrics") {
+    QueryRegistry::Global().UpdateStageGauges();
+    *status = 200;
+    *type = "text/plain; version=0.0.4";
+    *body = MetricsRegistry::Global().PrometheusText();
+    return;
+  }
+
+  if (req.path != "/sparql" && req.path != "/explain") {
+    *status = 404;
+    *body = RequestHandler::ErrorBody(
+        Status::NotFound("no route for " + req.path));
+    return;
+  }
+
+  // Collect query-string parameters, then (for urlencoded POSTs) the body
+  // form — later pairs never override the query string, matching the "first
+  // occurrence wins" lookup.
+  std::vector<std::pair<std::string, std::string>> params;
+  if (!ParseUrlEncodedForm(req.raw_query, &params)) {
+    *status = 400;
+    *body = RequestHandler::ErrorBody(
+        Status::InvalidArgument("invalid percent-encoding in query string"));
+    return;
+  }
+  std::string query_text;
+  const std::string* q = FindParam(params, "query");
+  if (q != nullptr) query_text = *q;
+  if (req.method == "POST") {
+    std::string content_type =
+        ToLowerAscii(req.Header("content-type"));
+    size_t semi = content_type.find(';');
+    if (semi != std::string::npos) {
+      content_type = std::string(TrimWhitespace(content_type.substr(0, semi)));
+    }
+    if (content_type == "application/x-www-form-urlencoded" ||
+        (content_type.empty() && !req.body.empty())) {
+      std::vector<std::pair<std::string, std::string>> form;
+      if (!ParseUrlEncodedForm(req.body, &form)) {
+        *status = 400;
+        *body = RequestHandler::ErrorBody(Status::InvalidArgument(
+            "invalid percent-encoding in form body"));
+        return;
+      }
+      for (auto& kv : form) params.push_back(std::move(kv));
+      if (q == nullptr) {
+        const std::string* bq = FindParam(params, "query");
+        if (bq != nullptr) query_text = *bq;
+      }
+    } else if (content_type == "application/sparql-query") {
+      query_text = req.body;
+    } else {
+      *status = 415;
+      *body = RequestHandler::ErrorBody(Status::Unsupported(
+          "unsupported content type: " + content_type));
+      return;
+    }
+  }
+  if (query_text.empty()) {
+    *status = 400;
+    *body = RequestHandler::ErrorBody(
+        Status::InvalidArgument("missing required parameter: query"));
+    return;
+  }
+
+  if (req.path == "/explain") {
+    Result<std::string> plan = handler_->Explain(query_text);
+    if (!plan.ok()) {
+      *status = RequestHandler::HttpStatusFor(plan.status());
+      *body = RequestHandler::ErrorBody(plan.status());
+      return;
+    }
+    *status = 200;
+    *body = std::move(plan).value();
+    return;
+  }
+
+  // /sparql: negotiate the serialization (format= beats Accept), cap the
+  // requested timeout, and run the shared pipeline.
+  endpoint::EndpointRequest er;
+  er.query = std::move(query_text);
+  const std::string* timeout = FindParam(params, "timeout");
+  if (timeout != nullptr) {
+    double ms = std::strtod(timeout->c_str(), nullptr);
+    er.timeout_ms = ms < 0 ? 0 : ms;
+  }
+  const std::string* format = FindParam(params, "format");
+  std::string accept = format != nullptr
+                           ? *format
+                           : std::string(req.Header("accept"));
+  if (!endpoint::NegotiateFormat(accept, &er.format)) {
+    *status = 406;
+    *body = RequestHandler::ErrorBody(
+        Status::Unsupported("no supported result format in: " + accept));
+    return;
+  }
+  endpoint::EndpointResponse resp = handler_->Handle(er);
+  *status = resp.http_status;
+  *type = std::move(resp.content_type);
+  *body = std::move(resp.body);
+}
+
+}  // namespace rdfa::server

@@ -1,0 +1,135 @@
+#ifndef RDFA_SERVER_HTTP_SERVER_H_
+#define RDFA_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "endpoint/request_handler.h"
+#include "server/http_util.h"
+
+namespace rdfa::server {
+
+struct HttpServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port (tests and the in-process bench); the bound
+  /// port is available from port() after Start().
+  uint16_t port = 0;
+  /// Worker threads executing requests. Idle keep-alive connections cost no
+  /// worker — they park in the dispatcher's poll set — so a handful of
+  /// workers can serve thousands of open connections.
+  int worker_threads = 4;
+  size_t max_header_bytes = 16 * 1024;
+  size_t max_body_bytes = 1 << 20;
+  /// Cap for (and default of) the per-request `timeout=` parameter, applied
+  /// by the RequestHandler. 0 = uncapped.
+  double max_timeout_ms = 30'000;
+  /// A worker waiting for the rest of a partially received request gives
+  /// the client this long per read before answering 408 and closing.
+  double read_timeout_ms = 10'000;
+  /// Hard ceiling on concurrently open connections; accepts beyond it are
+  /// closed immediately (visible as rdfa_http_conns_rejected_total).
+  size_t max_connections = 4096;
+  /// Requests served on one connection before the server forces a close
+  /// (bounds per-connection state growth under pipelining abuse).
+  uint64_t max_keepalive_requests = 100'000;
+};
+
+/// A multi-threaded HTTP/1.1 front-end over the shared request pipeline
+/// (endpoint::RequestHandler): blocking sockets, one acceptor/dispatcher
+/// thread multiplexing idle connections through poll(2), and a fixed worker
+/// pool doing request parsing, query execution and response writes.
+///
+/// Routes:
+///   GET/POST /sparql   SPARQL protocol dialect (query=, timeout=, format=)
+///   GET      /explain  plan-only JSON for query=
+///   GET      /metrics  Prometheus text exposition
+///   GET      /healthz  liveness probe
+///
+/// Lifecycle of a connection: accept → poll set → (readable) work queue →
+/// worker parses + serves until its buffer drains → back to the poll set.
+/// Pipelined requests drain in the worker without re-entering the poll set,
+/// so back-to-back requests on one connection stay in order.
+class HttpServer {
+ public:
+  HttpServer(endpoint::RequestHandler* handler, HttpServerOptions options);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the dispatcher + workers. InvalidArgument /
+  /// Internal on socket failures (message carries errno text).
+  Status Start();
+  /// Stops accepting, closes every connection, joins every thread.
+  /// Idempotent; also invoked by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  /// Monotonic counters for tests and the /healthz body. Slot accounting:
+  /// `connections_open` must return to 0 once every client is gone.
+  struct Counters {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_rejected = 0;
+    uint64_t connections_open = 0;
+    uint64_t requests_served = 0;
+    uint64_t parse_errors = 0;
+    uint64_t read_timeouts = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string buffer;        ///< accumulated unparsed input
+    uint64_t requests = 0;     ///< served on this connection
+  };
+
+  void DispatcherLoop();
+  void WorkerLoop();
+  /// Serves requests from conn until its buffer has no complete request.
+  /// Returns false when the connection must close (error, Connection:
+  /// close, EOF); true to park it back in the poll set.
+  bool ServeConnection(Connection* conn);
+  bool WriteAll(int fd, std::string_view bytes);
+  void CloseConnection(std::unique_ptr<Connection> conn);
+  void Route(const HttpRequest& request, int* status, std::string* type,
+             std::string* body);
+  void WakeDispatcher();
+
+  endpoint::RequestHandler* handler_;
+  HttpServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread dispatcher_;
+  std::vector<std::thread> workers_;
+
+  /// Work queue: connections with (probably) readable data. The dispatcher
+  /// and workers exchange ownership of Connection objects through here and
+  /// through parked_; a connection is owned by exactly one side at a time.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::unique_ptr<Connection>> work_queue_;
+  /// Connections a worker finished with, waiting to rejoin the poll set.
+  std::vector<std::unique_ptr<Connection>> handback_;
+  bool stopping_ = false;
+
+  mutable std::mutex counters_mu_;
+  Counters counters_;
+};
+
+}  // namespace rdfa::server
+
+#endif  // RDFA_SERVER_HTTP_SERVER_H_

@@ -1,0 +1,391 @@
+#include "server/http_util.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace rdfa::server {
+
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool IsUnreserved(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' ||
+         c == '~';
+}
+
+/// True when `value` (a Connection header) lists `token` among its
+/// comma-separated, case-insensitive members.
+bool HasConnectionToken(std::string_view value, std::string_view token) {
+  for (const std::string& part : SplitString(value, ',')) {
+    if (EqualsIgnoreCase(TrimWhitespace(part), token)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PercentDecode(std::string_view in, std::string* out,
+                   bool plus_is_space) {
+  out->clear();
+  out->reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    char c = in[i];
+    if (c == '%') {
+      if (i + 2 >= in.size() || HexValue(in[i + 1]) < 0 ||
+          HexValue(in[i + 2]) < 0) {
+        return false;  // truncated or non-hex escape
+      }
+      out->push_back(static_cast<char>(HexValue(in[i + 1]) * 16 +
+                                       HexValue(in[i + 2])));
+      i += 2;
+    } else if (c == '+' && plus_is_space) {
+      out->push_back(' ');
+    } else {
+      out->push_back(c);
+    }
+  }
+  return true;
+}
+
+std::string PercentEncode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (IsUnreserved(c)) {
+      out.push_back(c);
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+bool ParseUrlEncodedForm(
+    std::string_view form,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  for (const std::string& pair : SplitString(form, '&')) {
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    std::string key, value;
+    if (eq == std::string::npos) {
+      if (!PercentDecode(pair, &key, /*plus_is_space=*/true)) return false;
+    } else {
+      if (!PercentDecode(std::string_view(pair).substr(0, eq), &key,
+                         /*plus_is_space=*/true) ||
+          !PercentDecode(std::string_view(pair).substr(eq + 1), &value,
+                         /*plus_is_space=*/true)) {
+        return false;
+      }
+    }
+    out->emplace_back(std::move(key), std::move(value));
+  }
+  return true;
+}
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+ParseState HttpRequestParser::Feed(std::string* buffer, HttpRequest* out,
+                                   int* error_status) {
+  *error_status = 400;
+  // Locate the end of the header section. CRLF line endings per the RFC;
+  // bare-LF requests (hand-typed through netcat) are tolerated.
+  size_t header_end = buffer->find("\r\n\r\n");
+  size_t terminator = 4;
+  size_t lf_end = buffer->find("\n\n");
+  if (lf_end != std::string::npos &&
+      (header_end == std::string::npos || lf_end < header_end)) {
+    header_end = lf_end;
+    terminator = 2;
+  }
+  if (header_end == std::string::npos) {
+    if (buffer->size() > max_header_bytes_) {
+      *error_status = 431;  // header section will never fit
+      return ParseState::kError;
+    }
+    return ParseState::kNeedMore;
+  }
+  if (header_end > max_header_bytes_) {
+    *error_status = 431;
+    return ParseState::kError;
+  }
+
+  HttpRequest req;
+  std::vector<std::string> lines =
+      SplitString(std::string_view(*buffer).substr(0, header_end), '\n');
+  for (std::string& line : lines) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+  }
+  if (lines.empty() || lines[0].empty()) return ParseState::kError;
+
+  // Request line: METHOD SP request-target SP HTTP/1.minor
+  std::vector<std::string> parts = SplitString(lines[0], ' ');
+  if (parts.size() != 3 || parts[0].empty() || parts[1].empty()) {
+    return ParseState::kError;
+  }
+  for (char c : parts[0]) {
+    // Methods are tokens of visible ASCII; anything else (binary noise from
+    // a fuzzer, an attempted TLS handshake) is not HTTP at all.
+    if (c <= ' ' || c >= 0x7f) return ParseState::kError;
+  }
+  req.method = parts[0];
+  req.target = parts[1];
+  if (!StartsWith(parts[2], "HTTP/")) return ParseState::kError;
+  if (parts[2] == "HTTP/1.1") {
+    req.version_minor = 1;
+  } else if (parts[2] == "HTTP/1.0") {
+    req.version_minor = 0;
+  } else {
+    *error_status = 505;
+    return ParseState::kError;
+  }
+  size_t qmark = req.target.find('?');
+  req.path = req.target.substr(0, qmark);
+  if (qmark != std::string::npos) req.raw_query = req.target.substr(qmark + 1);
+
+  // Header fields. Obsolete line folding (a field starting with
+  // whitespace) is rejected per RFC 7230 §3.2.4.
+  uint64_t content_length = 0;
+  bool have_length = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    if (line[0] == ' ' || line[0] == '\t') return ParseState::kError;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) return ParseState::kError;
+    std::string name = ToLowerAscii(line.substr(0, colon));
+    if (name.find(' ') != std::string::npos ||
+        name.find('\t') != std::string::npos) {
+      return ParseState::kError;  // no whitespace before the colon
+    }
+    std::string value(TrimWhitespace(std::string_view(line).substr(colon + 1)));
+    if (name == "content-length") {
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        return ParseState::kError;
+      }
+      errno = 0;
+      uint64_t parsed = std::strtoull(value.c_str(), nullptr, 10);
+      if (errno == ERANGE || (have_length && parsed != content_length)) {
+        return ParseState::kError;  // overflow or conflicting lengths
+      }
+      content_length = parsed;
+      have_length = true;
+    }
+    if (name == "transfer-encoding") {
+      *error_status = 501;  // chunked bodies are not implemented
+      return ParseState::kError;
+    }
+    req.headers.emplace_back(std::move(name), std::move(value));
+  }
+  if (content_length > max_body_bytes_) {
+    *error_status = 413;
+    return ParseState::kError;
+  }
+  size_t total = header_end + terminator + content_length;
+  if (buffer->size() < total) return ParseState::kNeedMore;
+
+  req.body = buffer->substr(header_end + terminator, content_length);
+  req.keep_alive = req.version_minor >= 1;
+  std::string_view conn = req.Header("connection");
+  if (HasConnectionToken(conn, "close")) req.keep_alive = false;
+  if (HasConnectionToken(conn, "keep-alive")) req.keep_alive = true;
+
+  buffer->erase(0, total);
+  *out = std::move(req);
+  return ParseState::kDone;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 406: return "Not Acceptable";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 415: return "Unsupported Media Type";
+    case 431: return "Request Header Fields Too Large";
+    case 499: return "Client Closed Request";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string RenderHttpResponse(int status, const std::string& content_type,
+                               std::string_view body, bool keep_alive,
+                               const std::vector<std::string>& extra_headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    ReasonPhrase(status) + "\r\n";
+  if (!content_type.empty()) {
+    out += "Content-Type: " + content_type + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const std::string& h : extra_headers) out += h + "\r\n";
+  out += "\r\n";
+  out.append(body);
+  return out;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool HttpClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return false;
+  }
+  // A stalled server must fail the harness loudly, not hang it.
+  timeval tv{30, 0};
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool HttpClient::SendRaw(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string_view HttpClient::Response::Header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+bool HttpClient::ReadResponse(Response* out) {
+  *out = Response();
+  auto fill = [&]() -> bool {  // one more read() into buffer_
+    char chunk[8192];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  };
+  size_t header_end;
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer_.size() > (1u << 20) || !fill()) return false;
+  }
+  std::vector<std::string> lines =
+      SplitString(std::string_view(buffer_).substr(0, header_end), '\n');
+  for (std::string& line : lines) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+  }
+  if (lines.empty() || !StartsWith(lines[0], "HTTP/1.")) return false;
+  out->keep_alive = StartsWith(lines[0], "HTTP/1.1");
+  size_t sp = lines[0].find(' ');
+  if (sp == std::string::npos) return false;
+  out->status = std::atoi(lines[0].c_str() + sp + 1);
+  size_t content_length = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    size_t colon = lines[i].find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = ToLowerAscii(lines[i].substr(0, colon));
+    std::string value(
+        TrimWhitespace(std::string_view(lines[i]).substr(colon + 1)));
+    if (name == "content-length") {
+      content_length = std::strtoull(value.c_str(), nullptr, 10);
+    }
+    if (name == "connection") {
+      if (HasConnectionToken(value, "close")) out->keep_alive = false;
+      if (HasConnectionToken(value, "keep-alive")) out->keep_alive = true;
+    }
+    out->headers.emplace_back(std::move(name), std::move(value));
+  }
+  size_t total = header_end + 4 + content_length;
+  while (buffer_.size() < total) {
+    if (!fill()) return false;
+  }
+  out->body = buffer_.substr(header_end + 4, content_length);
+  buffer_.erase(0, total);
+  return true;
+}
+
+bool HttpClient::Get(const std::string& target, Response* out,
+                     const std::string& accept) {
+  std::string req = "GET " + target + " HTTP/1.1\r\nHost: rdfa\r\n";
+  if (!accept.empty()) req += "Accept: " + accept + "\r\n";
+  req += "\r\n";
+  return SendRaw(req) && ReadResponse(out);
+}
+
+bool HttpClient::Post(const std::string& target,
+                      const std::string& content_type, const std::string& body,
+                      Response* out, const std::string& accept) {
+  std::string req = "POST " + target + " HTTP/1.1\r\nHost: rdfa\r\n";
+  req += "Content-Type: " + content_type + "\r\n";
+  if (!accept.empty()) req += "Accept: " + accept + "\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  req += body;
+  return SendRaw(req) && ReadResponse(out);
+}
+
+}  // namespace rdfa::server

@@ -1,0 +1,137 @@
+#ifndef RDFA_SERVER_HTTP_UTIL_H_
+#define RDFA_SERVER_HTTP_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rdfa::server {
+
+/// Percent-decodes `in` per RFC 3986 / application/x-www-form-urlencoded.
+/// `plus_is_space` additionally maps '+' to ' ' (form/query-string rules).
+/// Returns false on a truncated or non-hex escape ("%x", "%zz", trailing
+/// "%") — callers turn that into an HTTP 400, never into silent garbage.
+bool PercentDecode(std::string_view in, std::string* out, bool plus_is_space);
+
+/// Percent-encodes `in` for use inside a query-string value: unreserved
+/// characters pass through, space becomes %20, everything else %XX. The
+/// load generator and tests build request targets with this.
+std::string PercentEncode(std::string_view in);
+
+/// Splits "a=b&c=d%20e" into decoded (key, value) pairs in order. Empty
+/// segments are skipped; a key without '=' gets an empty value. Returns
+/// false if any component fails to percent-decode.
+bool ParseUrlEncodedForm(
+    std::string_view form,
+    std::vector<std::pair<std::string, std::string>>* out);
+
+/// One parsed HTTP/1.1 request.
+struct HttpRequest {
+  std::string method;     ///< verbatim token from the request line
+  std::string target;     ///< raw request-target, e.g. "/sparql?query=..."
+  std::string path;       ///< target up to '?' (undecoded; routes are ASCII)
+  std::string raw_query;  ///< target after '?', still percent-encoded
+  int version_minor = 1;  ///< HTTP/1.<n> from the request line
+  /// Header (name, value) pairs in arrival order; names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection semantics after this request: HTTP/1.1 defaults to
+  /// keep-alive, HTTP/1.0 to close; a Connection header overrides either.
+  bool keep_alive = true;
+
+  /// Value of the first header named `name` (lowercase), or "".
+  std::string_view Header(std::string_view name) const;
+};
+
+/// Incremental outcome of feeding bytes to the request parser.
+enum class ParseState {
+  kNeedMore,  ///< the buffer holds a prefix of a valid request
+  kDone,      ///< one full request was consumed from the buffer
+  kError,     ///< protocol violation; `error_status` says which 4xx/5xx
+};
+
+/// Zero-copy-ish incremental HTTP/1.1 request parser: call Feed() with the
+/// connection's accumulated input buffer; on kDone the consumed bytes are
+/// erased (leftover pipelined bytes stay for the next call). The parser is
+/// stateless between requests — every Feed() re-scans the (small) buffer —
+/// which keeps split-read handling trivially correct: any byte split,
+/// including mid-request-line or mid-%-escape, just returns kNeedMore.
+class HttpRequestParser {
+ public:
+  HttpRequestParser(size_t max_header_bytes, size_t max_body_bytes)
+      : max_header_bytes_(max_header_bytes), max_body_bytes_(max_body_bytes) {}
+
+  /// On kError, `*error_status` is the HTTP status to answer with before
+  /// closing: 400 malformed, 413 oversized body, 431 oversized header
+  /// section, 501 unimplemented transfer-coding, 505 bad version.
+  ParseState Feed(std::string* buffer, HttpRequest* out, int* error_status);
+
+ private:
+  size_t max_header_bytes_;
+  size_t max_body_bytes_;
+};
+
+/// Renders a full HTTP/1.1 response with Content-Length and Connection
+/// headers. `reason` defaults from the status code when empty;
+/// `extra_headers` are spliced in verbatim (each "Name: value", no CRLF).
+std::string RenderHttpResponse(
+    int status, const std::string& content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::string>& extra_headers = {});
+
+/// Canonical reason phrase for the handful of status codes the server
+/// emits; "Unknown" otherwise.
+const char* ReasonPhrase(int status);
+
+/// Minimal blocking HTTP/1.1 client over one loopback connection, shared
+/// by the load generator and the test suites. Not a general client: it
+/// trusts Content-Length framing (which the server always provides).
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient() { Close(); }
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept { *this = std::move(other); }
+  HttpClient& operator=(HttpClient&& other) noexcept;
+
+  /// Connects to host:port (numeric IPv4 host). False on failure.
+  bool Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+  int fd() const { return fd_; }
+
+  /// Writes all of `bytes` (handling short writes). False on error.
+  bool SendRaw(std::string_view bytes);
+
+  /// One parsed response.
+  struct Response {
+    int status = 0;
+    std::vector<std::pair<std::string, std::string>> headers;  ///< lowercased
+    std::string body;
+    bool keep_alive = true;
+    std::string_view Header(std::string_view name) const;
+  };
+
+  /// Reads one response (status line + headers + Content-Length body).
+  /// False on EOF/timeout/garbage; the connection is then dead.
+  bool ReadResponse(Response* out);
+
+  /// Convenience: GET `target`, optionally with an Accept header.
+  bool Get(const std::string& target, Response* out,
+           const std::string& accept = "");
+  /// Convenience: POST `target` with the given body/content type.
+  bool Post(const std::string& target, const std::string& content_type,
+            const std::string& body, Response* out,
+            const std::string& accept = "");
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the previous response
+};
+
+}  // namespace rdfa::server
+
+#endif  // RDFA_SERVER_HTTP_UTIL_H_

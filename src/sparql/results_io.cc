@@ -117,6 +117,14 @@ std::string WriteResultsCsv(const ResultTable& table) {
   return out;
 }
 
+std::string WriteResultsTsv(const ResultTable& table) {
+  // ResultTable::ToTsv already emits exactly the W3C TSV shape (header of
+  // ?vars, N-Triples term syntax, empty cells for unbound); this alias
+  // exists so the serialization registry treats TSV like the other W3C
+  // formats and the two callers can never drift apart.
+  return table.ToTsv();
+}
+
 std::string WriteResultsXml(const ResultTable& table) {
   std::string out =
       "<?xml version=\"1.0\"?>\n"

@@ -21,6 +21,14 @@ std::string WriteResultsCsv(const ResultTable& table);
 /// Serializes in the W3C "SPARQL Query Results XML Format".
 std::string WriteResultsXml(const ResultTable& table);
 
+/// Serializes in the W3C "SPARQL 1.1 Query Results TSV Format": a header of
+/// `?`-prefixed variable names, then one row per solution with terms in
+/// their SPARQL (N-Triples) syntax — IRIs bracketed, literals quoted with
+/// datatype/lang tags — and unbound cells left empty. Tab/newline cannot
+/// appear unescaped inside a serialized term, so the format needs no
+/// quoting layer of its own.
+std::string WriteResultsTsv(const ResultTable& table);
+
 }  // namespace rdfa::sparql
 
 #endif  // RDFA_SPARQL_RESULTS_IO_H_
